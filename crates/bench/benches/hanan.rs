@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for Hanan grid construction (Section 2.2) —
+//! the reduction step whose output-size advantage over uniform grids the
+//! paper relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oarsmt_geom::{Coord, HananGraph, Layout, Obstacle, Pin, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_layout(pins: usize, obstacles: usize, span: i64, seed: u64) -> Layout {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut layout = Layout::new(3);
+    for _ in 0..obstacles {
+        let x = rng.gen_range(0..span - 6);
+        let y = rng.gen_range(0..span - 6);
+        let w = rng.gen_range(1..6);
+        let h = rng.gen_range(1..6);
+        layout = layout
+            .with_obstacle(Obstacle::new(Rect::new(x, y, x + w, y + h), rng.gen_range(0..3)));
+    }
+    let mut placed = 0;
+    while placed < pins {
+        let at = Coord::new(rng.gen_range(0..span), rng.gen_range(0..span));
+        let layer = rng.gen_range(0..3);
+        // Skip positions inside obstacles on the same layer; `validate`
+        // cannot be used per-pin because it also rejects pin counts < 2.
+        let collides = layout
+            .obstacles()
+            .iter()
+            .any(|o| o.layer == layer && o.rect.contains(at))
+            || layout.pins().iter().any(|p| p.at == at && p.layer == layer);
+        if !collides {
+            layout = layout.with_pin(Pin::new(at, layer));
+            placed += 1;
+        }
+    }
+    layout.validate().expect("generated benchmark layout is valid");
+    layout
+}
+
+fn bench_hanan_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hanan_from_layout");
+    group.sample_size(20);
+    for &(pins, obstacles) in &[(5usize, 4usize), (10, 12), (20, 30)] {
+        let layout = random_layout(pins, obstacles, 200, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{pins}pins_{obstacles}obs")),
+            &layout,
+            |b, layout| b.iter(|| HananGraph::from_layout(layout).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_hanan_neighbor_sweep(c: &mut Criterion) {
+    let layout = random_layout(15, 20, 400, 7);
+    let graph = HananGraph::from_layout(&layout).unwrap();
+    // The paper's point: the Hanan graph is far smaller than the uniform
+    // grid over the same area.
+    let uniform = 401 * 401 * 3usize;
+    assert!(graph.len() * 4 < uniform, "hanan reduces the vertex count");
+    c.bench_function("hanan_neighbor_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for idx in 0..graph.len() {
+                for (_, w) in graph.neighbors(graph.point(idx)) {
+                    acc += w;
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_hanan_construction, bench_hanan_neighbor_sweep);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks for the search schemes: combinatorial vs
+//! conventional MCTS sample generation (the paper reports 3.48× faster
+//! sample generation for the combinatorial scheme) and the terminal-rule
+//! ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use oarsmt::selector::UniformSelector;
+use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+use oarsmt_geom::HananGraph;
+use oarsmt_mcts::{AlphaGoMcts, CombinatorialMcts, MctsConfig};
+use oarsmt_router::OarmstRouter;
+
+fn routable_case(seed: u64) -> HananGraph {
+    let mut gen = CaseGenerator::new(GeneratorConfig::tiny(7, 7, 1, (5, 5)), seed);
+    loop {
+        let g = gen.generate();
+        if OarmstRouter::new().route(&g, &[]).is_ok() {
+            return g;
+        }
+    }
+}
+
+fn config() -> MctsConfig {
+    MctsConfig {
+        base_iterations: 4 * 49,
+        base_size: 49,
+        use_critic: false,
+        ..MctsConfig::default()
+    }
+}
+
+fn bench_sample_generation(c: &mut Criterion) {
+    let g = routable_case(11);
+    let mut group = c.benchmark_group("mcts_sample_generation");
+    group.sample_size(10);
+    group.bench_function("combinatorial", |b| {
+        let mut sel = UniformSelector::new(0.08);
+        let mcts = CombinatorialMcts::new(config());
+        b.iter(|| mcts.search(&g, &mut sel).unwrap())
+    });
+    group.bench_function("conventional_alphago", |b| {
+        let mut sel = UniformSelector::new(0.08);
+        let mcts = AlphaGoMcts::new(config());
+        b.iter(|| mcts.search(&g, &mut sel).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_terminal_rule_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: the cost-flat terminal rule prunes ineffective
+    // combinations; disabling it (a huge flat-run budget) grows the search.
+    let g = routable_case(13);
+    let mut group = c.benchmark_group("mcts_terminal_rules");
+    group.sample_size(10);
+    group.bench_function("flat_run_3", |b| {
+        let mut sel = UniformSelector::new(0.08);
+        let mcts = CombinatorialMcts::new(config());
+        b.iter(|| mcts.search(&g, &mut sel).unwrap())
+    });
+    group.bench_function("flat_run_off", |b| {
+        let mut sel = UniformSelector::new(0.08);
+        let mcts = CombinatorialMcts::new(MctsConfig {
+            max_flat_run: u32::MAX,
+            ..config()
+        });
+        b.iter(|| mcts.search(&g, &mut sel).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sample_generation, bench_terminal_rule_ablation);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the routers across the Table 1 size
+//! ladder — the scaling behaviour behind Table 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+use oarsmt_geom::HananGraph;
+use oarsmt_router::{Lin18Router, Liu14Router, OarmstRouter, SpanningRouter};
+
+fn case(h: usize, v: usize, m: usize, pins: usize, seed: u64) -> HananGraph {
+    let mut gen = CaseGenerator::new(GeneratorConfig::tiny(h, v, m, (pins, pins)), seed);
+    loop {
+        let g = gen.generate();
+        if OarmstRouter::new().route(&g, &[]).is_ok() {
+            return g;
+        }
+    }
+}
+
+fn bench_routers_across_sizes(c: &mut Criterion) {
+    let sizes = [(8usize, 8usize, 2usize, 4usize), (16, 16, 2, 8), (24, 24, 3, 16)];
+    let mut group = c.benchmark_group("routers");
+    group.sample_size(15);
+    for &(h, v, m, pins) in &sizes {
+        let g = case(h, v, m, pins, 99);
+        let label = format!("{h}x{v}x{m}_{pins}pins");
+        group.bench_with_input(BenchmarkId::new("oarmst", &label), &g, |b, g| {
+            b.iter(|| OarmstRouter::new().route(g, &[]).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lin18", &label), &g, |b, g| {
+            b.iter(|| Lin18Router::new().route(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("liu14", &label), &g, |b, g| {
+            b.iter(|| Liu14Router::new().route(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("spanning", &label), &g, |b, g| {
+            b.iter(|| SpanningRouter::new().route(g).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_polish_ablation(c: &mut Criterion) {
+    // DESIGN.md ablation: the path-assessed polish round's cost and the
+    // bounded-exploration variant.
+    let g = case(16, 16, 3, 10, 7);
+    let mut group = c.benchmark_group("oarmst_ablation");
+    group.sample_size(15);
+    group.bench_function("polish_on", |b| {
+        b.iter(|| OarmstRouter::new().route(&g, &[]).unwrap())
+    });
+    group.bench_function("polish_off", |b| {
+        b.iter(|| {
+            OarmstRouter::new()
+                .with_polish_rounds(0)
+                .route(&g, &[])
+                .unwrap()
+        })
+    });
+    group.bench_function("bounded_margin2", |b| {
+        b.iter(|| {
+            OarmstRouter::new()
+                .with_bounds_margin(2)
+                .route(&g, &[])
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routers_across_sizes, bench_polish_ablation);
+criterion_main!(benches);

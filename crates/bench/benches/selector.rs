@@ -1,0 +1,61 @@
+//! Criterion micro-benchmarks for the Steiner-point selector: one-shot vs
+//! sequential inference (the paper's Section 3.1 claim that one inference
+//! suffices, vs `n − 2` for sequential agents), and inference scaling with
+//! layout size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oarsmt::selector::{NeuralSelector, Selector};
+use oarsmt::topk::{select_top_k, steiner_budget};
+use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+use oarsmt_mcts::alphago::sequential_select;
+use oarsmt_nn::unet::UNetConfig;
+
+fn selector() -> NeuralSelector {
+    NeuralSelector::with_config(UNetConfig {
+        in_channels: 7,
+        base_channels: 4,
+        levels: 2,
+        seed: 3,
+    })
+}
+
+fn bench_inference_scaling(c: &mut Criterion) {
+    let mut sel = selector();
+    let mut group = c.benchmark_group("selector_inference");
+    group.sample_size(15);
+    for &(h, v, m) in &[(8usize, 8usize, 2usize), (16, 16, 2), (24, 24, 3), (32, 32, 3)] {
+        let g = CaseGenerator::new(GeneratorConfig::tiny(h, v, m, (4, 6)), 1).generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{h}x{v}x{m}")),
+            &g,
+            |b, g| b.iter(|| sel.fsp(g, &[])),
+        );
+    }
+    group.finish();
+}
+
+fn bench_one_shot_vs_sequential(c: &mut Criterion) {
+    // The paper's runtime advantage: n-2 Steiner points from ONE inference
+    // vs one inference per point for sequential agents.
+    let g = {
+        let mut gen = CaseGenerator::new(GeneratorConfig::tiny(12, 12, 2, (8, 8)), 5);
+        gen.generate()
+    };
+    let mut group = c.benchmark_group("steiner_selection");
+    group.sample_size(15);
+    group.bench_function("one_shot", |b| {
+        let mut sel = selector();
+        b.iter(|| {
+            let fsp = sel.fsp(&g, &[]);
+            select_top_k(&g, &fsp, steiner_budget(g.pins().len()), &[])
+        })
+    });
+    group.bench_function("sequential", |b| {
+        let mut sel = selector();
+        b.iter(|| sequential_select(&g, &mut sel))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference_scaling, bench_one_shot_vs_sequential);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Regenerates **Fig. 11**: average ST-to-MST ratio versus training time on
+//! fixed-size layouts (the paper's 24×24×4, scaled here to 8×8×2), for the
+//! three policy-optimization schemes: our combinatorial MCTS, the
+//! conventional AlphaGo-like MCTS, and PPO.
+//!
+//! Paper shape to reproduce: our curve stays below the AlphaGo-like curve,
+//! and both MCTS curves stay well below PPO; the gap widens on layouts
+//! with more pins than seen in training (Fig. 11(b)).
+
+fn main() {
+    let stages: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("Fig. 11: ST-to-MST ratio vs training time, fixed 8x8x2 layouts\n");
+    oarsmt_bench::harness::print_training_curves((8, 8, 2), stages, 0xF161);
+    println!("paper: ours < alphago-like << ppo at every point of the curves");
+}

@@ -1,0 +1,17 @@
+//! Regenerates **Fig. 12**: average ST-to-MST ratio versus training time on
+//! larger fixed-size layouts (the paper's 32×32×4, scaled here to 12×12×2).
+//!
+//! Paper shape to reproduce: the same ordering as Fig. 11 with our lead
+//! over the AlphaGo-like router growing on the larger layouts; the
+//! sequential baselines also pay `n − 2` inferences per layout at test
+//! time, so their evaluation is slower.
+
+fn main() {
+    let stages: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    println!("Fig. 12: ST-to-MST ratio vs training time, fixed 12x12x2 layouts\n");
+    oarsmt_bench::harness::print_training_curves((12, 12, 2), stages, 0xF162);
+    println!("paper: ours < alphago-like << ppo, lead growing with layout size");
+}

@@ -1,0 +1,72 @@
+//! Diagnostic (not a paper experiment): measures the Steiner-selection
+//! headroom over the \[14\] baseline on T32-scale layouts, comparing
+//! candidate sources of increasing strength. Used to calibrate the
+//! experiment configuration; see DESIGN.md §5.
+
+use oarsmt::eval::CostComparison;
+use oarsmt::rl_router::RlRouter;
+use oarsmt::selector::{MedianHeuristicSelector, Selector};
+use oarsmt::topk::{select_top_k, steiner_budget};
+use oarsmt_bench::harness;
+use oarsmt_geom::gen::TestSubsetSpec;
+use oarsmt_mcts::{CombinatorialMcts, MctsConfig};
+use oarsmt_router::{Lin18Router, OarmstRouter, RouteError};
+
+fn main() {
+    let spec = &TestSubsetSpec::ladder()[0]; // T32 scale
+    let mut gen = spec.generator(0xFEED);
+    let lin18 = Lin18Router::new();
+    let oarmst = OarmstRouter::new();
+    let mut nn = harness::pretrained_selector();
+    let mut nn_router = RlRouter::new(&mut nn);
+    let mut median_router = RlRouter::new(MedianHeuristicSelector::new());
+
+    let mut vs_plain = CostComparison::new();
+    let mut vs_median = CostComparison::new();
+    let mut vs_nn = CostComparison::new();
+    let mut vs_mcts = CostComparison::new();
+
+    for graph in gen.generate_many(30) {
+        let Ok(base) = lin18.route(&graph) else {
+            continue;
+        };
+        let plain = oarmst.route(&graph, &[]).expect("routable");
+        vs_plain.record(base.cost(), plain.cost());
+        let med = median_router.route(&graph).expect("routable");
+        vs_median.record(base.cost(), med.tree.cost());
+        let nn_out = nn_router.route(&graph).expect("routable");
+        vs_nn.record(base.cost(), nn_out.tree.cost());
+
+        // Oracle-ish: combinatorial MCTS with a median-heuristic actor at
+        // inference time (slow, only for calibration).
+        let mcts = CombinatorialMcts::new(MctsConfig {
+            base_iterations: 48,
+            base_size: graph.len(),
+            ..MctsConfig::default()
+        });
+        let mut sel = MedianHeuristicSelector::new();
+        match mcts.search(&graph, &mut sel) {
+            Ok(out) => {
+                // Route with the searched combination, then the usual
+                // refinement + safeguard.
+                let fsp = sel.fsp(&graph, &[]);
+                let _topk = select_top_k(&graph, &fsp, steiner_budget(graph.pins().len()), &[]);
+                let t1 = oarmst.route(&graph, &out.executed).expect("routable");
+                let mut best = t1.cost().min(plain.cost());
+                let implied = t1.steiner_vertices(&graph, graph.pins());
+                if !implied.is_empty() {
+                    let t2 = oarmst.route(&graph, &implied).expect("routable");
+                    best = best.min(t2.cost());
+                }
+                vs_mcts.record(base.cost(), best);
+            }
+            Err(RouteError::Disconnected { .. }) => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+    println!("vs [14] baseline (positive = better than [14]):");
+    println!("  plain OARMST : {vs_plain}");
+    println!("  ours(median) : {vs_median}");
+    println!("  ours(nn)     : {vs_nn}");
+    println!("  ours(mcts)   : {vs_mcts}");
+}

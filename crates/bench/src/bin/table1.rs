@@ -1,0 +1,38 @@
+//! Regenerates **Table 1**: the settings of each randomly generated test
+//! subset — the paper's original parameters side by side with the scaled
+//! parameters used by this reproduction (DESIGN.md §5).
+
+use oarsmt_bench::Table;
+use oarsmt_geom::gen::TestSubsetSpec;
+
+fn main() {
+    println!("Table 1: setting of each randomly generated test subset");
+    println!("(paper parameters -> scaled reproduction parameters)\n");
+    let mut table = Table::new([
+        "subset",
+        "paper HxV",
+        "paper M",
+        "paper layouts",
+        "H",
+        "V",
+        "M",
+        "# pins",
+        "# obstacles",
+        "layouts",
+    ]);
+    for spec in TestSubsetSpec::ladder() {
+        table.row([
+            spec.name.to_string(),
+            format!("{}x{}", spec.paper_dims.0, spec.paper_dims.1),
+            format!("{}~{}", spec.paper_dims.2 .0, spec.paper_dims.2 .1),
+            spec.paper_layouts.to_string(),
+            spec.h.to_string(),
+            spec.v.to_string(),
+            format!("{}~{}", spec.m.0, spec.m.1),
+            format!("{}~{}", spec.pins.0, spec.pins.1),
+            format!("{}~{}", spec.obstacles.0, spec.obstacles.1),
+            spec.layouts.to_string(),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Table 3**: runtime comparison between the \[14\] baseline
+//! and our RL router (Steiner-point selection time vs total time, and the
+//! speedup) on the randomly generated test subsets.
+//!
+//! Paper shape to reproduce: the baseline may be faster on the smallest
+//! subset, but our speedup grows with layout size, and the Steiner-point
+//! selection time grows mildly (one inference per layout regardless of the
+//! pin count).
+
+use oarsmt_bench::{harness, Table};
+use oarsmt_geom::gen::TestSubsetSpec;
+
+fn main() {
+    println!("Table 3: runtime comparison between [14] and our router\n");
+    let mut selector = harness::pretrained_selector();
+    let mut table = Table::new([
+        "subset",
+        "layouts",
+        "[14] avg s (a)",
+        "Spoint select",
+        "ours total (b)",
+        "speedup (a/b)",
+    ]);
+    for spec in TestSubsetSpec::ladder() {
+        let result =
+            harness::run_subset(&spec, &mut selector, 0xDAC2024).expect("subset must route");
+        let n = result.comparison.count().max(1) as f64;
+        let base = result.baseline_time.as_secs_f64() / n;
+        let select = result.select_time.as_secs_f64() / n;
+        let total = result.ours_time.as_secs_f64() / n;
+        table.row([
+            result.name.to_string(),
+            result.comparison.count().to_string(),
+            format!("{base:.5}"),
+            format!("{select:.5}"),
+            format!("{total:.5}"),
+            format!("{:.1}x", base / total),
+        ]);
+        eprintln!("[table3] {} done", result.name);
+    }
+    table.print();
+    println!("\npaper: speedup 0.8x on T32 rising to ~75x on T512");
+}

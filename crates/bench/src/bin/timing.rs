@@ -1,0 +1,67 @@
+//! Diagnostic (not a paper experiment): raw timings of the building
+//! blocks, used to size the experiment budgets.
+
+use std::time::Instant;
+
+use oarsmt::selector::{NeuralSelector, Selector};
+use oarsmt_bench::harness::experiment_net_config;
+use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+use oarsmt_mcts::{CombinatorialMcts, MctsConfig};
+use oarsmt_router::{Lin18Router, OarmstRouter};
+
+fn main() {
+    let mut selector = NeuralSelector::with_config(experiment_net_config());
+    for (h, v, m) in [(6, 6, 1), (8, 8, 2), (12, 12, 2), (16, 16, 3), (24, 24, 3), (32, 32, 3)] {
+        let mut gen = CaseGenerator::new(GeneratorConfig::tiny(h, v, m, (4, 6)), 1);
+        let g = gen.generate();
+        let t0 = Instant::now();
+        let reps = 5;
+        for _ in 0..reps {
+            let _ = selector.fsp(&g, &[]);
+        }
+        let infer = t0.elapsed() / reps;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = OarmstRouter::new().route(&g, &[]);
+        }
+        let route = t0.elapsed() / reps;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let _ = Lin18Router::new().route(&g);
+        }
+        let lin = t0.elapsed() / reps;
+        println!("{h}x{v}x{m}: fsp {infer:?}, oarmst {route:?}, lin18 {lin:?}");
+    }
+
+    // One MCTS search at the training size.
+    let mut gen = CaseGenerator::new(GeneratorConfig::tiny(6, 6, 1, (4, 5)), 2);
+    let g = gen.generate();
+    let mcts = CombinatorialMcts::new(MctsConfig {
+        base_iterations: 128,
+        base_size: 36,
+        use_critic: false,
+        ..MctsConfig::default()
+    });
+    let t0 = Instant::now();
+    let out = mcts.search(&g, &mut selector).unwrap();
+    println!(
+        "mcts 6x6x1 (alpha 128, no critic): {:?}, {} nodes, {} sims",
+        t0.elapsed(),
+        out.nodes_created,
+        out.simulations
+    );
+    let mcts = CombinatorialMcts::new(MctsConfig {
+        base_iterations: 128,
+        base_size: 36,
+        use_critic: true,
+        ..MctsConfig::default()
+    });
+    let t0 = Instant::now();
+    let out = mcts.search(&g, &mut selector).unwrap();
+    println!(
+        "mcts 6x6x1 (alpha 128, critic): {:?}, {} nodes, {} sims",
+        t0.elapsed(),
+        out.nodes_created,
+        out.simulations
+    );
+}

@@ -1,0 +1,346 @@
+//! Shared experiment machinery: the pretrained selector and the subset
+//! comparison runner behind Tables 2–3 and Fig. 10.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use oarsmt::eval::CostComparison;
+use oarsmt::rl_router::RlRouter;
+use oarsmt::selector::NeuralSelector;
+use oarsmt_geom::gen::TestSubsetSpec;
+use oarsmt_nn::unet::UNetConfig;
+use oarsmt_rl::schedule::laptop_schedule;
+use oarsmt_rl::Trainer;
+use oarsmt_router::{Lin18Router, RouteError};
+
+/// Architecture of the experiment selector (small enough to train in
+/// minutes on one core, wide enough to learn the 3–6-pin patterns).
+pub fn experiment_net_config() -> UNetConfig {
+    UNetConfig {
+        in_channels: 7,
+        base_channels: 4,
+        levels: 2,
+        seed: 1234,
+    }
+}
+
+/// Path of the cached pretrained selector weights.
+fn weights_path() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("artifacts");
+    dir.join("selector-v1.bin")
+}
+
+/// Returns the experiment selector, training it with the scaled schedule of
+/// [`laptop_schedule`] on first use and caching the weights under
+/// `crates/bench/artifacts/`.
+///
+/// # Panics
+///
+/// Panics if training fails systematically (cannot generate routable
+/// layouts) or the cache directory is not writable.
+pub fn pretrained_selector() -> NeuralSelector {
+    let path = weights_path();
+    let mut selector = NeuralSelector::with_config(experiment_net_config());
+    if path.exists() && selector.load(&path).is_ok() {
+        return selector;
+    }
+    eprintln!("[harness] training experiment selector (one-time, cached at {path:?})");
+    let mut trainer = Trainer::new(laptop_schedule(7));
+    let reports = trainer
+        .run(&mut selector)
+        .expect("training on random layouts must succeed");
+    for r in &reports {
+        eprintln!("[harness] {r}");
+    }
+    std::fs::create_dir_all(path.parent().expect("artifacts dir")).expect("create artifacts dir");
+    selector.save(&path).expect("cache selector weights");
+    selector
+}
+
+/// Per-subset outcome of the ours-vs-\[14\] comparison.
+#[derive(Debug, Clone)]
+pub struct SubsetResult {
+    /// Subset name.
+    pub name: &'static str,
+    /// Cost statistics (baseline = \[14\], ours = RL router).
+    pub comparison: CostComparison,
+    /// Total \[14\] routing time.
+    pub baseline_time: Duration,
+    /// Total Steiner-point selection time of our router.
+    pub select_time: Duration,
+    /// Total routing time of our router.
+    pub ours_time: Duration,
+    /// Per-layout `(obstacle_ratio, improvement_ratio)` points (Fig. 10).
+    pub obstacle_points: Vec<(f64, f64)>,
+    /// Layouts skipped because their pins were walled off.
+    pub skipped: usize,
+}
+
+/// Runs one subset: generates its layouts, routes each with the \[14\]
+/// baseline and with our RL router, and accumulates cost, runtime and
+/// obstacle-ratio statistics.
+///
+/// # Errors
+///
+/// Propagates systematic routing failures; layouts whose pins are
+/// disconnected by obstacles are counted in `skipped`.
+pub fn run_subset(
+    spec: &TestSubsetSpec,
+    selector: &mut NeuralSelector,
+    seed: u64,
+) -> Result<SubsetResult, RouteError> {
+    let lin18 = Lin18Router::new();
+    let mut comparison = CostComparison::new();
+    let mut baseline_time = Duration::ZERO;
+    let mut select_time = Duration::ZERO;
+    let mut ours_time = Duration::ZERO;
+    let mut obstacle_points = Vec::new();
+    let mut skipped = 0usize;
+    let mut gen = spec.generator(seed);
+
+    // Borrow the caller's selector inside a router for this subset.
+    let mut router = RlRouter::new(&mut *selector);
+    for graph in gen.generate_many(spec.layouts) {
+        let t0 = std::time::Instant::now();
+        let base = match lin18.route(&graph) {
+            Ok(t) => t,
+            Err(RouteError::Disconnected { .. }) | Err(RouteError::BlockedTerminal(_)) => {
+                skipped += 1;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        baseline_time += t0.elapsed();
+
+        let outcome = match router.route(&graph) {
+            Ok(o) => o,
+            Err(oarsmt::CoreError::Route(RouteError::Disconnected { .. })) => {
+                skipped += 1;
+                continue;
+            }
+            Err(oarsmt::CoreError::Route(e)) => return Err(e),
+            Err(e) => panic!("unexpected selector error: {e}"),
+        };
+        select_time += outcome.select_time;
+        ours_time += outcome.total_time;
+
+        comparison.record(base.cost(), outcome.tree.cost());
+        let improvement = (base.cost() - outcome.tree.cost()) / base.cost();
+        obstacle_points.push((graph.obstacle_ratio(), improvement));
+    }
+    Ok(SubsetResult {
+        name: spec.name,
+        comparison,
+        baseline_time,
+        select_time,
+        ours_time,
+        obstacle_points,
+        skipped,
+    })
+}
+
+/// One checkpoint of the Figs. 11–12 training-time curves.
+#[derive(Debug, Clone, Copy)]
+pub struct CurveRow {
+    /// Cumulative training wall-clock seconds at this checkpoint.
+    pub train_seconds: f64,
+    /// Average ST-to-MST ratio on the in-training pin range.
+    pub st_mst_small: f64,
+    /// Average ST-to-MST ratio on the beyond-training pin range.
+    pub st_mst_large: f64,
+}
+
+/// The three routers compared in Figs. 11–12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Ours: combinatorial MCTS, one-shot inference.
+    Combinatorial,
+    /// Conventional AlphaGo-like MCTS, sequential inference.
+    AlphaGoLike,
+    /// PPO, sequential inference.
+    Ppo,
+}
+
+impl Policy {
+    /// Display name matching the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::Combinatorial => "ours",
+            Policy::AlphaGoLike => "alphago-like",
+            Policy::Ppo => "ppo",
+        }
+    }
+}
+
+/// Trains one policy on fixed-size layouts and evaluates its ST-to-MST
+/// ratio after every stage — the machinery behind Figs. 11–12.
+///
+/// `size` is the fixed layout size; `pin_train` the training pin range;
+/// evaluation uses `pin_train` ("small") and `pin_beyond` ("large", beyond
+/// the training range, testing generalization as in Fig. 11(b)).
+pub fn training_curve(
+    policy: Policy,
+    size: (usize, usize, usize),
+    pin_train: (usize, usize),
+    pin_beyond: (usize, usize),
+    stages: usize,
+    seed: u64,
+) -> Vec<CurveRow> {
+    use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+    use oarsmt_mcts::MctsConfig;
+    use oarsmt_rl::ppo::{PpoConfig, PpoTrainer};
+    use oarsmt_rl::trainer::{st_to_mst_over_cases, InferenceMode, Trainer, TrainerConfig};
+    use std::time::Instant;
+
+    let (h, v, m) = size;
+    let small_cases =
+        CaseGenerator::new(GeneratorConfig::paper_costs(h, v, m, pin_train), seed ^ 0xCAFE)
+            .generate_many(40);
+    let large_cases =
+        CaseGenerator::new(GeneratorConfig::paper_costs(h, v, m, pin_beyond), seed ^ 0xBEEF)
+            .generate_many(40);
+
+    let trainer_config = TrainerConfig {
+        sizes: vec![size],
+        layouts_per_size: 20,
+        stages,
+        curriculum_stages: 2,
+        pin_range: pin_train,
+        epochs_per_stage: 2,
+        batch_size: 32,
+        learning_rate: 1e-3,
+        augment: true,
+        mcts: MctsConfig {
+            base_iterations: 2 * h * v * m,
+            base_size: h * v * m,
+            ..MctsConfig::default()
+        },
+        seed,
+    };
+    let mut rows = Vec::with_capacity(stages);
+    let mut elapsed = 0.0f64;
+    match policy {
+        Policy::Combinatorial | Policy::AlphaGoLike => {
+            let mut trainer = if policy == Policy::Combinatorial {
+                Trainer::new(trainer_config)
+            } else {
+                Trainer::new_alphago(trainer_config)
+            };
+            let mode = if policy == Policy::Combinatorial {
+                InferenceMode::OneShot
+            } else {
+                InferenceMode::Sequential
+            };
+            let mut selector = NeuralSelector::with_config(experiment_net_config());
+            for stage in 0..stages {
+                let t0 = Instant::now();
+                trainer
+                    .run_stage(&mut selector, stage)
+                    .expect("training stage");
+                elapsed += t0.elapsed().as_secs_f64();
+                rows.push(CurveRow {
+                    train_seconds: elapsed,
+                    st_mst_small: st_to_mst_over_cases(&mut selector, mode, &small_cases),
+                    st_mst_large: st_to_mst_over_cases(&mut selector, mode, &large_cases),
+                });
+            }
+        }
+        Policy::Ppo => {
+            let mut trainer = PpoTrainer::new(
+                PpoConfig {
+                    iterations: 1,
+                    episodes_per_iter: 24,
+                    epochs: 2,
+                    size,
+                    pin_range: pin_train,
+                    seed,
+                    ..PpoConfig::default()
+                },
+                experiment_net_config(),
+            );
+            for stage in 0..stages {
+                let t0 = Instant::now();
+                trainer.run_iteration(stage);
+                elapsed += t0.elapsed().as_secs_f64();
+                rows.push(CurveRow {
+                    train_seconds: elapsed,
+                    st_mst_small: st_to_mst_over_cases(
+                        trainer.policy_mut(),
+                        InferenceMode::Sequential,
+                        &small_cases,
+                    ),
+                    st_mst_large: st_to_mst_over_cases(
+                        trainer.policy_mut(),
+                        InferenceMode::Sequential,
+                        &large_cases,
+                    ),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Prints the Figs. 11–12 curves for all three policies at one layout size.
+pub fn print_training_curves(size: (usize, usize, usize), stages: usize, seed: u64) {
+    use crate::report::Table;
+    let pin_train = (3, 5);
+    let pin_beyond = (6, 9);
+    for policy in [Policy::Combinatorial, Policy::AlphaGoLike, Policy::Ppo] {
+        let rows = training_curve(policy, size, pin_train, pin_beyond, stages, seed);
+        println!(
+            "{} ({}x{}x{}, train pins {}-{}, beyond {}-{}):",
+            policy.name(),
+            size.0,
+            size.1,
+            size.2,
+            pin_train.0,
+            pin_train.1,
+            pin_beyond.0,
+            pin_beyond.1
+        );
+        let mut table = Table::new(["train s", "st/mst (3-5 pins)", "st/mst (6-9 pins)"]);
+        for r in &rows {
+            table.row([
+                format!("{:.1}", r.train_seconds),
+                format!("{:.4}", r.st_mst_small),
+                format!("{:.4}", r.st_mst_large),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_subset_accumulates_statistics() {
+        let spec = TestSubsetSpec {
+            name: "tiny",
+            paper_dims: (32, 32, (4, 10)),
+            paper_layouts: 0,
+            h: 7,
+            v: 7,
+            m: (2, 2),
+            pins: (3, 5),
+            obstacles: (4, 8),
+            layouts: 4,
+        };
+        let mut selector = NeuralSelector::with_config(UNetConfig {
+            in_channels: 7,
+            base_channels: 2,
+            levels: 1,
+            seed: 0,
+        });
+        let result = run_subset(&spec, &mut selector, 99).unwrap();
+        assert!(result.comparison.count() + result.skipped == 4);
+        assert!(result.comparison.count() > 0);
+        assert_eq!(
+            result.obstacle_points.len(),
+            result.comparison.count()
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Benchmark harness regenerating every table and figure of the paper.
+//!
+//! One binary per experiment (see DESIGN.md §4):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — test-subset settings (paper vs scaled) |
+//! | `table2` | Table 2 — routing cost, ours vs \[14\] |
+//! | `table3` | Table 3 — runtime, ours vs \[14\] |
+//! | `table4` | Table 4 — public benchmarks vs \[12\]/\[16\]/\[14\] |
+//! | `fig10`  | Fig. 10 — improvement ratio vs obstacle ratio |
+//! | `fig11`  | Fig. 11 — ST-to-MST vs training time (small layouts) |
+//! | `fig12`  | Fig. 12 — ST-to-MST vs training time (larger layouts) |
+//!
+//! Criterion micro-benchmarks (`cargo bench`) back the runtime claims:
+//! Hanan reduction, router scaling, one-shot vs sequential inference, and
+//! combinatorial vs conventional MCTS sample generation.
+//!
+//! Run any table with `cargo run --release -p oarsmt-bench --bin table2`.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{pretrained_selector, SubsetResult};
+pub use report::Table;

@@ -1,0 +1,59 @@
+//! Error types of the RL router pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use oarsmt_nn::NnError;
+use oarsmt_router::RouteError;
+
+/// Errors produced by the RL router.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The final OARMST construction failed.
+    Route(RouteError),
+    /// Loading or saving selector weights failed.
+    Model(NnError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Route(e) => write!(f, "routing failed: {e}"),
+            CoreError::Model(e) => write!(f, "selector model error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Route(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+        }
+    }
+}
+
+impl From<RouteError> for CoreError {
+    fn from(e: RouteError) -> Self {
+        CoreError::Route(e)
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e = CoreError::from(RouteError::TooFewTerminals(1));
+        assert!(e.to_string().contains("routing failed"));
+        assert!(Error::source(&e).is_some());
+    }
+}

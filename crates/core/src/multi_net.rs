@@ -1,0 +1,296 @@
+//! Sequential multi-net routing: the application the paper's introduction
+//! motivates — in a real flow, each routed net becomes a *pre-routed wire*
+//! (an obstacle) for the nets that follow.
+//!
+//! [`MultiNetRouter`] routes a list of nets in order on a shared Hanan
+//! graph, committing each finished tree's vertices as obstacles before the
+//! next net routes. Nets are usually ordered shortest-first (fewest pins /
+//! smallest bounding box), which the router can do for you.
+
+use std::fmt;
+
+use oarsmt_geom::{GridPoint, HananGraph, VertexKind};
+use oarsmt_router::RouteTree;
+
+use crate::error::CoreError;
+use crate::rl_router::RlRouter;
+use crate::selector::Selector;
+
+/// A net to route: a name and its pin locations on the shared grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Net name (for reporting).
+    pub name: String,
+    /// Pin locations.
+    pub pins: Vec<GridPoint>,
+}
+
+impl Net {
+    /// Creates a net.
+    pub fn new<S: Into<String>>(name: S, pins: Vec<GridPoint>) -> Self {
+        Net {
+            name: name.into(),
+            pins,
+        }
+    }
+
+    /// Half-perimeter wirelength of the pin bounding box in grid steps —
+    /// the classic net-ordering key.
+    pub fn hpwl(&self) -> usize {
+        if self.pins.is_empty() {
+            return 0;
+        }
+        let (mut h0, mut h1, mut v0, mut v1) = (usize::MAX, 0, usize::MAX, 0);
+        for p in &self.pins {
+            h0 = h0.min(p.h);
+            h1 = h1.max(p.h);
+            v0 = v0.min(p.v);
+            v1 = v1.max(p.v);
+        }
+        (h1 - h0) + (v1 - v0)
+    }
+}
+
+/// Result of routing one net in a multi-net sequence.
+#[derive(Debug, Clone)]
+pub struct NetResult {
+    /// The net name.
+    pub name: String,
+    /// The routed tree, or `None` if the net became unroutable (blocked by
+    /// previously committed nets or obstacles).
+    pub tree: Option<RouteTree>,
+}
+
+/// Summary of a multi-net routing run.
+#[derive(Debug, Clone)]
+pub struct MultiNetOutcome {
+    /// Per-net results, in routing order.
+    pub nets: Vec<NetResult>,
+    /// Total routing cost over the successfully routed nets.
+    pub total_cost: f64,
+    /// Number of nets that could not be routed.
+    pub failed: usize,
+}
+
+impl fmt::Display for MultiNetOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nets routed, {} failed, total cost {}",
+            self.nets.len() - self.failed,
+            self.failed,
+            self.total_cost
+        )
+    }
+}
+
+/// Routes several nets sequentially, committing each tree as obstacles.
+#[derive(Debug)]
+pub struct MultiNetRouter<S> {
+    router: RlRouter<S>,
+    order_by_hpwl: bool,
+}
+
+impl<S: Selector> MultiNetRouter<S> {
+    /// Creates a multi-net router around a Steiner-point selector.
+    pub fn new(selector: S) -> Self {
+        MultiNetRouter {
+            router: RlRouter::new(selector),
+            order_by_hpwl: true,
+        }
+    }
+
+    /// Keeps the caller's net order instead of sorting by HPWL
+    /// (builder style).
+    #[must_use]
+    pub fn without_ordering(mut self) -> Self {
+        self.order_by_hpwl = false;
+        self
+    }
+
+    /// Routes all nets on a template graph (whose own pins are ignored —
+    /// each net brings its pins). Committed trees block later nets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Route`] only for *structural* failures (a net
+    /// with pins on obstacles); nets that merely become unroutable due to
+    /// congestion are reported in the outcome with `tree: None`.
+    pub fn route_nets(
+        &mut self,
+        template: &HananGraph,
+        nets: &[Net],
+    ) -> Result<MultiNetOutcome, CoreError> {
+        let mut order: Vec<usize> = (0..nets.len()).collect();
+        if self.order_by_hpwl {
+            order.sort_by_key(|&i| (nets[i].hpwl(), nets[i].pins.len()));
+        }
+        // Start from an un-pinned copy of the template.
+        let mut base = strip_pins(template);
+        let mut results = Vec::with_capacity(nets.len());
+        let mut total_cost = 0.0;
+        let mut failed = 0usize;
+        for &i in &order {
+            let net = &nets[i];
+            // Place this net's pins on the current (obstacle-augmented) graph.
+            let mut graph = base.clone();
+            let mut placeable = true;
+            for &p in &net.pins {
+                if graph.add_pin(p).is_err() {
+                    placeable = false;
+                    break;
+                }
+            }
+            if !placeable {
+                failed += 1;
+                results.push(NetResult {
+                    name: net.name.clone(),
+                    tree: None,
+                });
+                continue;
+            }
+            match self.router.route(&graph) {
+                Ok(out) => {
+                    total_cost += out.tree.cost();
+                    // Commit: every tree vertex becomes an obstacle for the
+                    // remaining nets (pre-routed wire).
+                    for v in out.tree.vertices() {
+                        let p = graph.point(v as usize);
+                        let _ = base.add_obstacle_vertex(p);
+                    }
+                    results.push(NetResult {
+                        name: net.name.clone(),
+                        tree: Some(out.tree),
+                    });
+                }
+                Err(CoreError::Route(_)) => {
+                    failed += 1;
+                    results.push(NetResult {
+                        name: net.name.clone(),
+                        tree: None,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(MultiNetOutcome {
+            nets: results,
+            total_cost,
+            failed,
+        })
+    }
+}
+
+/// Clones a graph with all pins removed (kinds reset to empty).
+fn strip_pins(graph: &HananGraph) -> HananGraph {
+    let (h, v, m) = graph.dims();
+    let mut g = HananGraph::with_costs(
+        h,
+        v,
+        m,
+        graph.x_costs().to_vec(),
+        graph.y_costs().to_vec(),
+        graph.via_cost(),
+    )
+    .expect("dims of an existing graph are valid");
+    for idx in 0..graph.len() {
+        if graph.kind_at(idx) == VertexKind::Obstacle {
+            g.add_obstacle_vertex(graph.point(idx))
+                .expect("obstacle placement on an empty clone");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::MedianHeuristicSelector;
+
+    fn open_grid() -> HananGraph {
+        HananGraph::uniform(10, 10, 2, 1.0, 1.0, 3.0)
+    }
+
+    fn p(h: usize, v: usize, m: usize) -> GridPoint {
+        GridPoint::new(h, v, m)
+    }
+
+    #[test]
+    fn routes_disjoint_nets_without_conflicts() {
+        let template = open_grid();
+        let nets = vec![
+            Net::new("a", vec![p(0, 0, 0), p(3, 0, 0)]),
+            Net::new("b", vec![p(0, 5, 0), p(3, 5, 0), p(1, 8, 0)]),
+        ];
+        let mut router = MultiNetRouter::new(MedianHeuristicSelector::new());
+        let out = router.route_nets(&template, &nets).unwrap();
+        assert_eq!(out.failed, 0);
+        assert!(out.total_cost > 0.0);
+        // Trees are vertex-disjoint (the second net avoided the first).
+        let trees: Vec<&RouteTree> = out.nets.iter().filter_map(|n| n.tree.as_ref()).collect();
+        let va = trees[0].vertices();
+        let vb = trees[1].vertices();
+        assert!(va.is_disjoint(&vb));
+    }
+
+    #[test]
+    fn later_nets_detour_around_committed_wires() {
+        let template = HananGraph::uniform(5, 5, 1, 1.0, 1.0, 3.0);
+        // Net a routes straight across the middle; net b must cross it and
+        // is forced to detour (single layer!).
+        let nets = vec![
+            Net::new("a", vec![p(0, 2, 0), p(4, 2, 0)]),
+            Net::new("b", vec![p(2, 0, 0), p(2, 4, 0)]),
+        ];
+        let mut router = MultiNetRouter::new(MedianHeuristicSelector::new()).without_ordering();
+        let out = router.route_nets(&template, &nets).unwrap();
+        // b either fails (fully blocked) or costs more than the manhattan 4.
+        match &out.nets[1].tree {
+            Some(t) => assert!(t.cost() > 4.0),
+            None => assert_eq!(out.failed, 1),
+        }
+    }
+
+    #[test]
+    fn second_layer_relieves_crossings() {
+        let template = HananGraph::uniform(5, 5, 2, 1.0, 1.0, 3.0);
+        let nets = vec![
+            Net::new("a", vec![p(0, 2, 0), p(4, 2, 0)]),
+            Net::new("b", vec![p(2, 0, 0), p(2, 4, 0)]),
+        ];
+        let mut router = MultiNetRouter::new(MedianHeuristicSelector::new()).without_ordering();
+        let out = router.route_nets(&template, &nets).unwrap();
+        assert_eq!(out.failed, 0, "layer 1 offers a crossing");
+        let b = out.nets[1].tree.as_ref().unwrap();
+        assert!(b.via_count(&template) >= 2 || b.cost() > 4.0);
+    }
+
+    #[test]
+    fn hpwl_ordering_routes_small_nets_first() {
+        let template = open_grid();
+        let big = Net::new("big", vec![p(0, 0, 0), p(9, 9, 0)]);
+        let small = Net::new("small", vec![p(4, 4, 0), p(5, 4, 0)]);
+        let mut router = MultiNetRouter::new(MedianHeuristicSelector::new());
+        let out = router
+            .route_nets(&template, &[big.clone(), small.clone()])
+            .unwrap();
+        assert_eq!(out.nets[0].name, "small");
+        assert_eq!(out.nets[1].name, "big");
+        assert_eq!(big.hpwl(), 18);
+        assert_eq!(small.hpwl(), 1);
+    }
+
+    #[test]
+    fn pins_on_committed_wires_fail_gracefully() {
+        let template = HananGraph::uniform(4, 1, 1, 1.0, 1.0, 3.0);
+        let nets = vec![
+            Net::new("a", vec![p(0, 0, 0), p(3, 0, 0)]),
+            // b's pin sits on a's wire.
+            Net::new("b", vec![p(1, 0, 0), p(2, 0, 0)]),
+        ];
+        let mut router = MultiNetRouter::new(MedianHeuristicSelector::new()).without_ordering();
+        let out = router.route_nets(&template, &nets).unwrap();
+        assert_eq!(out.failed, 1);
+        assert!(out.nets[1].tree.is_none());
+    }
+}

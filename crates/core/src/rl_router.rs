@@ -1,0 +1,243 @@
+//! The end-to-end RL ML-OARSMT router (Fig. 2 of the paper).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_router::{OarmstRouter, RouteTree};
+
+use crate::error::CoreError;
+use crate::selector::Selector;
+use crate::topk::{select_top_k, steiner_budget};
+
+/// Result of routing one layout, including the phase timings the paper
+/// reports in Table 3 (Steiner-point selection time vs total time).
+#[derive(Debug, Clone)]
+pub struct RouteOutcome {
+    /// The final ML-OARSMT.
+    pub tree: RouteTree,
+    /// The Steiner points actually proposed by the selector (before
+    /// OARMST pruning).
+    pub steiner_points: Vec<GridPoint>,
+    /// Wall-clock time of the Steiner-point selection (one inference plus
+    /// top-k).
+    pub select_time: Duration,
+    /// Total wall-clock time including OARMST construction.
+    pub total_time: Duration,
+}
+
+impl fmt::Display for RouteOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "routed: cost {}, {} steiner candidates, {:?} total",
+            self.tree.cost(),
+            self.steiner_points.len(),
+            self.total_time
+        )
+    }
+}
+
+/// The RL router: a Steiner-point [`Selector`] feeding the OARMST router.
+///
+/// With `safeguard` enabled (the default), the router also builds the
+/// pins-only OARMST and returns whichever tree is cheaper, so a poorly
+/// trained selector can never make the result worse than no Steiner points
+/// at all. Disable it with [`RlRouter::without_safeguard`] to measure the
+/// raw selector quality (as the ST-to-MST experiments of Figs. 11–12 do).
+#[derive(Debug)]
+pub struct RlRouter<S> {
+    selector: S,
+    oarmst: OarmstRouter,
+    safeguard: bool,
+    refine: bool,
+}
+
+impl<S: Selector> RlRouter<S> {
+    /// Creates a router with the safeguard and refinement enabled.
+    pub fn new(selector: S) -> Self {
+        RlRouter {
+            selector,
+            // The refine loop runs its own explicit polish, so the inner
+            // OARMST builds skip theirs.
+            oarmst: OarmstRouter::new().with_polish_rounds(0),
+            safeguard: true,
+            refine: true,
+        }
+    }
+
+    /// Disables the pins-only safeguard (builder style).
+    #[must_use]
+    pub fn without_safeguard(mut self) -> Self {
+        self.safeguard = false;
+        self
+    }
+
+    /// Disables the implied-Steiner refinement pass (builder style).
+    ///
+    /// Refinement promotes grid vertices that emerged with degree ≥ 3 in
+    /// the first tree to Steiner candidates and rebuilds once, keeping the
+    /// cheaper tree — the "remove redundant Steiner points ... and then
+    /// reconstruct" step of the OARMST router generalized to also *add*
+    /// discovered branch points.
+    #[must_use]
+    pub fn without_refine(mut self) -> Self {
+        self.refine = false;
+        self
+    }
+
+    /// Access to the wrapped selector.
+    pub fn selector_mut(&mut self) -> &mut S {
+        &mut self.selector
+    }
+
+    /// Routes a layout: one selector inference, top `n − 2` Steiner points,
+    /// OARMST construction with pruning.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Route`] when the pins cannot be connected (see
+    /// [`OarmstRouter::route`]).
+    pub fn route(&mut self, graph: &HananGraph) -> Result<RouteOutcome, CoreError> {
+        let start = Instant::now();
+        let k = steiner_budget(graph.pins().len());
+        let fsp = self.selector.fsp(graph, &[]);
+        let steiner_points = select_top_k(graph, &fsp, k, &[]);
+        let select_time = start.elapsed();
+
+        let mut tree = self.oarmst.route(graph, &steiner_points)?;
+        if self.safeguard {
+            let plain = self.oarmst.route(graph, &[])?;
+            if plain.cost() < tree.cost() {
+                tree = plain;
+            }
+        }
+        if self.refine {
+            // Alternate path-assessed polish (to convergence) with
+            // reconstruction over the discovered branch vertices plus the
+            // selector's candidates — the OARMST step follows [14], whose
+            // retracing interleaves both moves until the tree stabilizes.
+            for round in 0..4 {
+                let mut terminals: Vec<GridPoint> = graph.pins().to_vec();
+                terminals.extend(tree.steiner_vertices(graph, graph.pins()));
+                for _ in 0..8 {
+                    let (polished, improved) =
+                        oarsmt_router::retrace::polish_round(graph, tree, &terminals)?;
+                    tree = polished;
+                    if !improved {
+                        break;
+                    }
+                }
+                let mut promoted = tree.steiner_vertices(graph, graph.pins());
+                promoted.extend_from_slice(&steiner_points);
+                // Rotate the Prim start terminal per round: alternate
+                // construction orders explore different equal-cost path
+                // choices.
+                let rebuilt = self
+                    .oarmst
+                    .clone()
+                    .with_start(round)
+                    .route(graph, &promoted)?;
+                if rebuilt.cost() + 1e-9 < tree.cost() {
+                    tree = rebuilt;
+                } else {
+                    break;
+                }
+            }
+        }
+        Ok(RouteOutcome {
+            tree,
+            steiner_points,
+            select_time,
+            total_time: start.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::{MedianHeuristicSelector, NeuralSelector, UniformSelector};
+    use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+    use oarsmt_nn::unet::UNetConfig;
+
+    fn cross_graph() -> HananGraph {
+        let mut g = HananGraph::uniform(5, 5, 1, 1.0, 1.0, 3.0);
+        for &(h, v) in &[(0, 2), (4, 2), (2, 0), (2, 4)] {
+            g.add_pin(GridPoint::new(h, v, 0)).unwrap();
+        }
+        g
+    }
+
+    fn tiny_neural(seed: u64) -> NeuralSelector {
+        NeuralSelector::with_config(UNetConfig {
+            in_channels: 7,
+            base_channels: 2,
+            levels: 1,
+            seed,
+        })
+    }
+
+    #[test]
+    fn median_selector_finds_the_cross_center() {
+        let g = cross_graph();
+        let mut router = RlRouter::new(MedianHeuristicSelector::new());
+        let out = router.route(&g).unwrap();
+        // Optimal cross tree costs 8 through the center (2,2,0).
+        assert_eq!(out.tree.cost(), 8.0);
+        assert!(out.steiner_points.contains(&GridPoint::new(2, 2, 0)));
+    }
+
+    #[test]
+    fn safeguard_bounds_cost_by_pins_only_tree() {
+        let mut gen = CaseGenerator::new(GeneratorConfig::tiny(8, 8, 2, (3, 6)), 3);
+        let oarmst = OarmstRouter::new();
+        let mut router = RlRouter::new(tiny_neural(0));
+        for g in gen.generate_many(10) {
+            let Ok(plain) = oarmst.route(&g, &[]) else {
+                continue;
+            };
+            let out = router.route(&g).unwrap();
+            assert!(out.tree.cost() <= plain.cost() + 1e-9);
+            assert!(out.tree.spans_in(&g, g.pins()));
+            assert!(out.tree.is_tree());
+        }
+    }
+
+    #[test]
+    fn without_safeguard_reports_raw_selector_quality() {
+        let g = cross_graph();
+        // Uniform selector picks by tie-break priority — likely bad points,
+        // but OARMST pruning removes redundant ones, so the tree is valid.
+        let mut router = RlRouter::new(UniformSelector::new(0.5)).without_safeguard();
+        let out = router.route(&g).unwrap();
+        assert!(out.tree.spans_in(&g, g.pins()));
+    }
+
+    #[test]
+    fn steiner_budget_matches_pin_count() {
+        let g = cross_graph(); // 4 pins -> 2 candidates
+        let mut router = RlRouter::new(MedianHeuristicSelector::new());
+        let out = router.route(&g).unwrap();
+        assert!(out.steiner_points.len() <= 2);
+    }
+
+    #[test]
+    fn timings_are_ordered() {
+        let g = cross_graph();
+        let mut router = RlRouter::new(tiny_neural(1));
+        let out = router.route(&g).unwrap();
+        assert!(out.select_time <= out.total_time);
+    }
+
+    #[test]
+    fn two_pin_layouts_need_no_selection() {
+        let mut g = HananGraph::uniform(4, 4, 1, 1.0, 1.0, 3.0);
+        g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
+        g.add_pin(GridPoint::new(3, 3, 0)).unwrap();
+        let mut router = RlRouter::new(MedianHeuristicSelector::new());
+        let out = router.route(&g).unwrap();
+        assert!(out.steiner_points.is_empty());
+        assert_eq!(out.tree.cost(), 6.0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Steiner-point selectors: the neural agent and cheap heuristic stand-ins.
+
+use std::fmt;
+use std::path::Path;
+
+use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_nn::serialize::{load_from_file, save_to_file};
+use oarsmt_nn::unet::{UNet3d, UNetConfig};
+
+use crate::error::CoreError;
+use crate::features::{encode_features, FEATURE_CHANNELS};
+
+/// A Steiner-point selector: anything that can produce the paper's *final
+/// selected probability* `fsp(v)` for every vertex of a Hanan graph.
+///
+/// `extra_pins` carry the already-selected Steiner points of an MCTS state,
+/// which the selector must treat as pins (Section 3.4). Implementations take
+/// `&mut self` because neural inference caches activations.
+pub trait Selector {
+    /// Per-vertex final selected probabilities, indexed like
+    /// [`HananGraph::index`], each in `[0, 1]`.
+    fn fsp(&mut self, graph: &HananGraph, extra_pins: &[GridPoint]) -> Vec<f32>;
+}
+
+/// Mutable references are selectors too, so routers can borrow a selector
+/// without taking ownership.
+impl<S: Selector + ?Sized> Selector for &mut S {
+    fn fsp(&mut self, graph: &HananGraph, extra_pins: &[GridPoint]) -> Vec<f32> {
+        (**self).fsp(graph, extra_pins)
+    }
+}
+
+/// The neural selector: the 3D Residual U-Net of Section 3.3.
+#[derive(Debug)]
+pub struct NeuralSelector {
+    net: UNet3d,
+}
+
+impl NeuralSelector {
+    /// Wraps an existing network.
+    pub fn from_net(net: UNet3d) -> Self {
+        NeuralSelector { net }
+    }
+
+    /// A randomly initialized selector with the default architecture
+    /// (7 input channels, laptop-scale width).
+    pub fn random(seed: u64) -> Self {
+        NeuralSelector::with_config(UNetConfig {
+            seed,
+            ..UNetConfig::default()
+        })
+    }
+
+    /// A randomly initialized selector with an explicit architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.in_channels != 7` (the feature encoding is fixed).
+    pub fn with_config(config: UNetConfig) -> Self {
+        assert_eq!(
+            config.in_channels, FEATURE_CHANNELS,
+            "the selector consumes the 7-channel encoding of Fig. 3"
+        );
+        let mut net = UNet3d::new(config);
+        // Steiner-point labels are sparse; start near the label mean so the
+        // MCTS actor's telescoping policy (Eq. 1) stays well-conditioned
+        // from the first training stage.
+        net.init_output_bias(-3.0);
+        NeuralSelector { net }
+    }
+
+    /// Access to the underlying network (used by trainers).
+    pub fn net_mut(&mut self) -> &mut UNet3d {
+        &mut self.net
+    }
+
+    /// Saves the selector weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Model`] on I/O failure.
+    pub fn save<P: AsRef<Path>>(&mut self, path: P) -> Result<(), CoreError> {
+        save_to_file(&mut self.net, path).map_err(CoreError::from)
+    }
+
+    /// Loads selector weights saved by [`NeuralSelector::save`] into a
+    /// selector of the same architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Model`] on I/O failure or architecture
+    /// mismatch.
+    pub fn load<P: AsRef<Path>>(&mut self, path: P) -> Result<(), CoreError> {
+        load_from_file(&mut self.net, path).map_err(CoreError::from)
+    }
+}
+
+impl Selector for NeuralSelector {
+    fn fsp(&mut self, graph: &HananGraph, extra_pins: &[GridPoint]) -> Vec<f32> {
+        let x = encode_features(graph, extra_pins);
+        // The network emits a [1, M, H, V] probability volume (see the
+        // layout note in `features`); reorder it to graph-index order.
+        let probs = self.net.predict(&x);
+        crate::features::to_graph_order(probs.data(), graph)
+    }
+}
+
+impl fmt::Display for NeuralSelector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.net.config();
+        write!(
+            f,
+            "neural selector (base {}, levels {})",
+            c.base_channels, c.levels
+        )
+    }
+}
+
+/// A trivial selector assigning the same probability everywhere. Useful as
+/// a control in experiments and tests (it reduces the RL router to the
+/// plain pins-only OARMST after the safeguard).
+#[derive(Debug, Clone, Copy)]
+pub struct UniformSelector {
+    p: f32,
+}
+
+impl UniformSelector {
+    /// Creates a uniform selector with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn new(p: f32) -> Self {
+        assert!((0.0..=1.0).contains(&p));
+        UniformSelector { p }
+    }
+}
+
+impl Selector for UniformSelector {
+    fn fsp(&mut self, graph: &HananGraph, _extra_pins: &[GridPoint]) -> Vec<f32> {
+        vec![self.p; graph.len()]
+    }
+}
+
+/// A geometric heuristic selector: vertices close to the pins' median
+/// coordinate (the classic 3-pin Steiner point) get high probability. Used
+/// as an untrained-but-sensible baseline and to keep benches independent of
+/// training time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MedianHeuristicSelector;
+
+impl MedianHeuristicSelector {
+    /// Creates the heuristic selector.
+    pub fn new() -> Self {
+        MedianHeuristicSelector
+    }
+}
+
+impl Selector for MedianHeuristicSelector {
+    fn fsp(&mut self, graph: &HananGraph, extra_pins: &[GridPoint]) -> Vec<f32> {
+        let mut pins: Vec<GridPoint> = graph.pins().to_vec();
+        pins.extend_from_slice(extra_pins);
+        if pins.is_empty() {
+            return vec![0.0; graph.len()];
+        }
+        let median = |mut xs: Vec<usize>| -> f32 {
+            xs.sort_unstable();
+            xs[xs.len() / 2] as f32
+        };
+        let mh = median(pins.iter().map(|p| p.h).collect());
+        let mv = median(pins.iter().map(|p| p.v).collect());
+        let mm = median(pins.iter().map(|p| p.m).collect());
+        let scale = (graph.h() + graph.v() + graph.m()) as f32;
+        (0..graph.len())
+            .map(|idx| {
+                let p = graph.point(idx);
+                let d = (p.h as f32 - mh).abs() + (p.v as f32 - mv).abs() + (p.m as f32 - mm).abs();
+                (-4.0 * d / scale).exp()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> HananGraph {
+        let mut g = HananGraph::uniform(5, 5, 2, 1.0, 1.0, 3.0);
+        g.add_pin(GridPoint::new(0, 2, 0)).unwrap();
+        g.add_pin(GridPoint::new(4, 2, 0)).unwrap();
+        g.add_pin(GridPoint::new(2, 0, 0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn neural_selector_outputs_probabilities_for_any_size() {
+        let mut s = NeuralSelector::with_config(UNetConfig {
+            in_channels: 7,
+            base_channels: 2,
+            levels: 2,
+            seed: 0,
+        });
+        for (h, v, m) in [(5, 5, 2), (3, 7, 1), (9, 4, 3)] {
+            let g = HananGraph::uniform(h, v, m, 1.0, 1.0, 3.0);
+            let fsp = s.fsp(&g, &[]);
+            assert_eq!(fsp.len(), g.len());
+            assert!(fsp.iter().all(|&p| p > 0.0 && p < 1.0));
+        }
+    }
+
+    #[test]
+    fn extra_pins_change_neural_output() {
+        let mut s = NeuralSelector::with_config(UNetConfig {
+            in_channels: 7,
+            base_channels: 2,
+            levels: 1,
+            seed: 1,
+        });
+        let g = graph();
+        let base = s.fsp(&g, &[]);
+        let with_extra = s.fsp(&g, &[GridPoint::new(3, 3, 1)]);
+        assert_ne!(base, with_extra);
+    }
+
+    #[test]
+    fn median_heuristic_peaks_at_the_median() {
+        let mut s = MedianHeuristicSelector::new();
+        let g = graph();
+        let fsp = s.fsp(&g, &[]);
+        // Median of pins (0,2,0),(4,2,0),(2,0,0) is (2,2,0).
+        let at_median = fsp[g.index(GridPoint::new(2, 2, 0))];
+        for idx in 0..g.len() {
+            assert!(fsp[idx] <= at_median + 1e-6);
+        }
+    }
+
+    #[test]
+    fn uniform_selector_is_flat() {
+        let mut s = UniformSelector::new(0.3);
+        let g = graph();
+        let fsp = s.fsp(&g, &[]);
+        assert!(fsp.iter().all(|&p| p == 0.3));
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join("oarsmt_core_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("selector.bin");
+        let cfg = UNetConfig {
+            in_channels: 7,
+            base_channels: 2,
+            levels: 1,
+            seed: 7,
+        };
+        let mut a = NeuralSelector::with_config(cfg);
+        a.save(&path).unwrap();
+        let mut b = NeuralSelector::with_config(UNetConfig { seed: 8, ..cfg });
+        b.load(&path).unwrap();
+        let g = graph();
+        assert_eq!(a.fsp(&g, &[]), b.fsp(&g, &[]));
+        std::fs::remove_file(&path).ok();
+    }
+}

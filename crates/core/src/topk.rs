@@ -1,0 +1,142 @@
+//! Top-k Steiner-point selection from a probability array.
+//!
+//! "If there are `n` pins to be connected in the input layout, the vertices
+//! with the top `n − 2` highest probabilities will be selected as the
+//! Steiner points" (Section 3.1). Only *valid* vertices — empty, not a pin
+//! or obstacle, not already selected — participate; ties break toward the
+//! higher selection priority (smaller lexicographic `(h, v, m)`).
+
+use oarsmt_geom::{GridPoint, HananGraph, VertexKind};
+
+/// Selects the `k` valid vertices with the highest probabilities.
+///
+/// `exclude` marks additional invalid vertices (e.g. Steiner points already
+/// fixed by an MCTS state). Returns fewer than `k` points when fewer valid
+/// vertices exist. The result is sorted by selection priority.
+///
+/// # Panics
+///
+/// Panics if `fsp.len() != graph.len()`.
+pub fn select_top_k(
+    graph: &HananGraph,
+    fsp: &[f32],
+    k: usize,
+    exclude: &[GridPoint],
+) -> Vec<GridPoint> {
+    assert_eq!(fsp.len(), graph.len(), "fsp must cover every vertex");
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut excluded = vec![false; graph.len()];
+    for &p in exclude {
+        excluded[graph.index(p)] = true;
+    }
+    let mut candidates: Vec<(f32, usize)> = (0..graph.len())
+        .filter(|&idx| graph.kind_at(idx) == VertexKind::Empty && !excluded[idx])
+        .map(|idx| (fsp[idx], idx))
+        .collect();
+    // Highest probability first; ties by smaller index (= higher priority).
+    candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut out: Vec<GridPoint> = candidates
+        .into_iter()
+        .take(k)
+        .map(|(_, idx)| graph.point(idx))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+/// The number of Steiner points the paper selects for an `n`-pin layout:
+/// `max(n − 2, 0)` (Section 2.1: a layout with `n` pins needs at most
+/// `n − 2` irredundant Steiner points).
+pub fn steiner_budget(pin_count: usize) -> usize {
+    pin_count.saturating_sub(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph() -> HananGraph {
+        let mut g = HananGraph::uniform(3, 3, 1, 1.0, 1.0, 3.0);
+        g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
+        g.add_obstacle_vertex(GridPoint::new(2, 2, 0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn picks_highest_probability_valid_vertices() {
+        let g = graph();
+        let mut fsp = vec![0.1f32; g.len()];
+        fsp[g.index(GridPoint::new(1, 1, 0))] = 0.9;
+        fsp[g.index(GridPoint::new(2, 0, 0))] = 0.8;
+        // Tempt with invalid vertices:
+        fsp[g.index(GridPoint::new(0, 0, 0))] = 1.0; // pin
+        fsp[g.index(GridPoint::new(2, 2, 0))] = 1.0; // obstacle
+        let sel = select_top_k(&g, &fsp, 2, &[]);
+        assert_eq!(
+            sel,
+            vec![GridPoint::new(1, 1, 0), GridPoint::new(2, 0, 0)]
+        );
+    }
+
+    #[test]
+    fn exclusions_are_respected() {
+        let g = graph();
+        let mut fsp = vec![0.5f32; g.len()];
+        let hot = GridPoint::new(1, 1, 0);
+        fsp[g.index(hot)] = 0.99;
+        let sel = select_top_k(&g, &fsp, 1, &[hot]);
+        assert!(!sel.contains(&hot));
+        assert_eq!(sel.len(), 1);
+    }
+
+    #[test]
+    fn ties_break_by_priority() {
+        let g = graph();
+        let fsp = vec![0.5f32; g.len()];
+        let sel = select_top_k(&g, &fsp, 2, &[]);
+        // First two valid vertices in priority order: (0,1,0) then (0,2,0).
+        assert_eq!(
+            sel,
+            vec![GridPoint::new(0, 1, 0), GridPoint::new(0, 2, 0)]
+        );
+    }
+
+    #[test]
+    fn k_larger_than_valid_count_returns_all_valid() {
+        let g = graph();
+        let fsp = vec![0.5f32; g.len()];
+        let sel = select_top_k(&g, &fsp, 100, &[]);
+        // 9 vertices - 1 pin - 1 obstacle = 7 valid.
+        assert_eq!(sel.len(), 7);
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        let g = graph();
+        let fsp = vec![0.5f32; g.len()];
+        assert!(select_top_k(&g, &fsp, 0, &[]).is_empty());
+    }
+
+    #[test]
+    fn steiner_budget_is_n_minus_2() {
+        assert_eq!(steiner_budget(0), 0);
+        assert_eq!(steiner_budget(2), 0);
+        assert_eq!(steiner_budget(3), 1);
+        assert_eq!(steiner_budget(10), 8);
+    }
+
+    #[test]
+    fn result_is_sorted_by_priority() {
+        let g = graph();
+        let mut fsp = vec![0.0f32; g.len()];
+        fsp[g.index(GridPoint::new(2, 1, 0))] = 0.9;
+        fsp[g.index(GridPoint::new(0, 1, 0))] = 0.5;
+        let sel = select_top_k(&g, &fsp, 2, &[]);
+        assert_eq!(
+            sel,
+            vec![GridPoint::new(0, 1, 0), GridPoint::new(2, 1, 0)]
+        );
+    }
+}

@@ -1,0 +1,517 @@
+//! Single- and multi-source Dijkstra over Hanan grid graphs.
+//!
+//! Dijkstra over the grid is the "maze router" of the paper's OARMST
+//! construction (Section 3.1): it finds the cheapest obstacle-avoiding
+//! rectilinear path, counting via costs for layer changes.
+//!
+//! [`SearchSpace`] owns the per-vertex arrays and can be reused across
+//! queries on same-sized graphs; the free functions are one-shot
+//! conveniences.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use oarsmt_geom::{GridPoint, HananGraph};
+
+use crate::error::GraphError;
+use crate::path::GridPath;
+
+/// Sentinel for "no predecessor".
+const NO_PREV: u32 = u32::MAX;
+
+/// Heap entry ordered by smallest cost first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    cost: f64,
+    idx: u32,
+}
+
+impl Eq for Entry {}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the cheapest first.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An optional rectangular search bound in grid indices (inclusive), used by
+/// the bounded-exploration baseline router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBounds {
+    /// Minimum horizontal index.
+    pub h_lo: usize,
+    /// Maximum horizontal index (inclusive).
+    pub h_hi: usize,
+    /// Minimum vertical index.
+    pub v_lo: usize,
+    /// Maximum vertical index (inclusive).
+    pub v_hi: usize,
+}
+
+impl SearchBounds {
+    /// The bounding box of a set of points, expanded by `margin` grid steps
+    /// on each side and clipped to the graph.
+    pub fn around<I: IntoIterator<Item = GridPoint>>(
+        graph: &HananGraph,
+        points: I,
+        margin: usize,
+    ) -> SearchBounds {
+        let mut h_lo = usize::MAX;
+        let mut h_hi = 0usize;
+        let mut v_lo = usize::MAX;
+        let mut v_hi = 0usize;
+        for p in points {
+            h_lo = h_lo.min(p.h);
+            h_hi = h_hi.max(p.h);
+            v_lo = v_lo.min(p.v);
+            v_hi = v_hi.max(p.v);
+        }
+        if h_lo == usize::MAX {
+            // Empty input: the whole grid.
+            return SearchBounds {
+                h_lo: 0,
+                h_hi: graph.h() - 1,
+                v_lo: 0,
+                v_hi: graph.v() - 1,
+            };
+        }
+        SearchBounds {
+            h_lo: h_lo.saturating_sub(margin),
+            h_hi: (h_hi + margin).min(graph.h() - 1),
+            v_lo: v_lo.saturating_sub(margin),
+            v_hi: (v_hi + margin).min(graph.v() - 1),
+        }
+    }
+
+    /// Whether a point lies inside the bound (all layers are inside).
+    #[inline]
+    pub fn contains(&self, p: GridPoint) -> bool {
+        self.h_lo <= p.h && p.h <= self.h_hi && self.v_lo <= p.v && p.v <= self.v_hi
+    }
+}
+
+/// Reusable Dijkstra work arrays (distance, predecessor, visit stamps).
+///
+/// Reuse a single `SearchSpace` across the many maze-routing queries of an
+/// OARMST construction to avoid repeated allocation. The space automatically
+/// grows when given a larger graph.
+#[derive(Debug, Clone, Default)]
+pub struct SearchSpace {
+    dist: Vec<f64>,
+    prev: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    heap: BinaryHeap<Entry>,
+}
+
+impl SearchSpace {
+    /// Creates an empty search space; arrays grow on first use.
+    pub fn new() -> Self {
+        SearchSpace::default()
+    }
+
+    fn prepare(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.prev.resize(n, NO_PREV);
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrapped: reset all stamps once.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn fresh(&self, idx: usize) -> bool {
+        self.stamp[idx] != self.epoch
+    }
+
+    /// Multi-source, multi-target shortest path: from the cheapest of
+    /// `sources` (each with an initial cost of zero) to the first settled
+    /// vertex for which `is_target` returns `true`.
+    ///
+    /// `bounds`, when given, restricts expansion to a rectangular grid
+    /// window (targets outside the window are unreachable).
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::EmptyTerminalSet`] if `sources` is empty.
+    /// * [`GraphError::BlockedSource`] if every source is blocked.
+    /// * [`GraphError::Unreachable`] if no target can be reached.
+    pub fn shortest_path_to_set<F>(
+        &mut self,
+        graph: &HananGraph,
+        sources: &[GridPoint],
+        is_target: F,
+        bounds: Option<SearchBounds>,
+    ) -> Result<GridPath, GraphError>
+    where
+        F: Fn(usize) -> bool,
+    {
+        if sources.is_empty() {
+            return Err(GraphError::EmptyTerminalSet);
+        }
+        self.prepare(graph.len());
+        let mut any_source = false;
+        for &s in sources {
+            if graph.is_blocked(s) {
+                continue;
+            }
+            let idx = graph.index(s);
+            if self.fresh(idx) || self.dist[idx] > 0.0 {
+                self.stamp[idx] = self.epoch;
+                self.dist[idx] = 0.0;
+                self.prev[idx] = NO_PREV;
+                self.heap.push(Entry {
+                    cost: 0.0,
+                    idx: idx as u32,
+                });
+                any_source = true;
+            }
+        }
+        if !any_source {
+            return Err(GraphError::BlockedSource(sources[0]));
+        }
+
+        while let Some(Entry { cost, idx }) = self.heap.pop() {
+            let idx = idx as usize;
+            if cost > self.dist[idx] {
+                continue; // stale heap entry
+            }
+            if is_target(idx) {
+                return Ok(self.reconstruct(graph, idx));
+            }
+            let p = graph.point(idx);
+            for (q, w) in graph.neighbors(p) {
+                if let Some(b) = bounds {
+                    if !b.contains(q) {
+                        continue;
+                    }
+                }
+                let qi = graph.index(q);
+                let nd = cost + w;
+                if self.fresh(qi) || nd < self.dist[qi] {
+                    self.stamp[qi] = self.epoch;
+                    self.dist[qi] = nd;
+                    self.prev[qi] = idx as u32;
+                    self.heap.push(Entry {
+                        cost: nd,
+                        idx: qi as u32,
+                    });
+                }
+            }
+        }
+        Err(GraphError::Unreachable {
+            from: sources[0],
+            to: None,
+        })
+    }
+
+    /// Full single-source Dijkstra; returns the distance to every vertex
+    /// (`f64::INFINITY` where unreachable).
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::BlockedSource`] if the source vertex is blocked.
+    pub fn distances_from(
+        &mut self,
+        graph: &HananGraph,
+        source: GridPoint,
+    ) -> Result<Vec<f64>, GraphError> {
+        if graph.is_blocked(source) {
+            return Err(GraphError::BlockedSource(source));
+        }
+        self.prepare(graph.len());
+        let s = graph.index(source);
+        self.stamp[s] = self.epoch;
+        self.dist[s] = 0.0;
+        self.prev[s] = NO_PREV;
+        self.heap.push(Entry {
+            cost: 0.0,
+            idx: s as u32,
+        });
+        while let Some(Entry { cost, idx }) = self.heap.pop() {
+            let idx = idx as usize;
+            if cost > self.dist[idx] {
+                continue;
+            }
+            let p = graph.point(idx);
+            for (q, w) in graph.neighbors(p) {
+                let qi = graph.index(q);
+                let nd = cost + w;
+                if self.fresh(qi) || nd < self.dist[qi] {
+                    self.stamp[qi] = self.epoch;
+                    self.dist[qi] = nd;
+                    self.prev[qi] = idx as u32;
+                    self.heap.push(Entry {
+                        cost: nd,
+                        idx: qi as u32,
+                    });
+                }
+            }
+        }
+        Ok((0..graph.len())
+            .map(|i| {
+                if self.stamp[i] == self.epoch {
+                    self.dist[i]
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect())
+    }
+
+    fn reconstruct(&self, graph: &HananGraph, target: usize) -> GridPath {
+        let mut points = Vec::new();
+        let mut cur = target;
+        loop {
+            points.push(graph.point(cur));
+            let prev = self.prev[cur];
+            if prev == NO_PREV {
+                break;
+            }
+            cur = prev as usize;
+        }
+        points.reverse();
+        GridPath {
+            points,
+            cost: self.dist[target],
+        }
+    }
+}
+
+/// One-shot shortest path between two vertices.
+///
+/// # Errors
+///
+/// See [`SearchSpace::shortest_path_to_set`].
+pub fn shortest_path(
+    graph: &HananGraph,
+    from: GridPoint,
+    to: GridPoint,
+) -> Result<GridPath, GraphError> {
+    let target_idx = graph.index(to);
+    let mut space = SearchSpace::new();
+    space
+        .shortest_path_to_set(graph, &[from], |i| i == target_idx, None)
+        .map_err(|e| match e {
+            GraphError::Unreachable { from, .. } => GraphError::Unreachable {
+                from,
+                to: Some(to),
+            },
+            other => other,
+        })
+}
+
+/// One-shot multi-source shortest path to a target set.
+///
+/// # Errors
+///
+/// See [`SearchSpace::shortest_path_to_set`].
+pub fn shortest_path_to_set<F>(
+    graph: &HananGraph,
+    sources: &[GridPoint],
+    is_target: F,
+) -> Result<GridPath, GraphError>
+where
+    F: Fn(usize) -> bool,
+{
+    SearchSpace::new().shortest_path_to_set(graph, sources, is_target, None)
+}
+
+/// One-shot full single-source distances.
+///
+/// # Errors
+///
+/// See [`SearchSpace::distances_from`].
+pub fn distances_from(graph: &HananGraph, source: GridPoint) -> Result<Vec<f64>, GraphError> {
+    SearchSpace::new().distances_from(graph, source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_grid(h: usize, v: usize, m: usize) -> HananGraph {
+        HananGraph::uniform(h, v, m, 1.0, 1.0, 3.0)
+    }
+
+    #[test]
+    fn straight_line_cost_is_manhattan() {
+        let g = open_grid(5, 5, 1);
+        let p = shortest_path(&g, GridPoint::new(0, 0, 0), GridPoint::new(4, 3, 0)).unwrap();
+        assert_eq!(p.cost, 7.0);
+        assert_eq!(p.source(), GridPoint::new(0, 0, 0));
+        assert_eq!(p.target(), GridPoint::new(4, 3, 0));
+        // Consecutive points are neighbors.
+        for (a, b) in p.edges() {
+            assert_eq!(a.grid_distance(b), 1);
+        }
+    }
+
+    #[test]
+    fn path_cost_equals_sum_of_edge_costs() {
+        let g = HananGraph::with_costs(4, 3, 2, vec![2.0, 5.0, 1.0], vec![4.0, 4.0], 3.0).unwrap();
+        let p = shortest_path(&g, GridPoint::new(0, 0, 0), GridPoint::new(3, 2, 1)).unwrap();
+        let sum: f64 = p
+            .edges()
+            .map(|(a, b)| g.edge_cost(a, b).expect("path edges are grid edges"))
+            .sum();
+        assert!((p.cost - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn routes_around_obstacle_wall() {
+        // A vertical wall with a single gap forces a detour.
+        let mut g = open_grid(5, 5, 1);
+        for v in 0..4 {
+            g.add_obstacle_vertex(GridPoint::new(2, v, 0)).unwrap();
+        }
+        let p = shortest_path(&g, GridPoint::new(0, 0, 0), GridPoint::new(4, 0, 0)).unwrap();
+        // Must go up to row 4, across, and back down: 4 + 4 + 4 + ... check
+        // exact: up 4, right 4, down 4 = 12.
+        assert_eq!(p.cost, 12.0);
+        assert!(p.points.iter().all(|&q| !g.is_blocked(q)));
+    }
+
+    #[test]
+    fn uses_other_layer_when_cheaper() {
+        // Fully blocked layer 0 except endpoints: path must via up and back.
+        let mut g = open_grid(3, 1, 2);
+        g.add_obstacle_vertex(GridPoint::new(1, 0, 0)).unwrap();
+        let p = shortest_path(&g, GridPoint::new(0, 0, 0), GridPoint::new(2, 0, 0)).unwrap();
+        // via(3) + 2 horizontal + via(3) = 8.
+        assert_eq!(p.cost, 8.0);
+    }
+
+    #[test]
+    fn unreachable_target_is_an_error() {
+        let mut g = open_grid(3, 3, 1);
+        // Wall off the right column completely.
+        for v in 0..3 {
+            g.add_obstacle_vertex(GridPoint::new(1, v, 0)).unwrap();
+        }
+        let err = shortest_path(&g, GridPoint::new(0, 0, 0), GridPoint::new(2, 2, 0)).unwrap_err();
+        assert!(matches!(err, GraphError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn blocked_source_is_an_error() {
+        let mut g = open_grid(3, 3, 1);
+        g.add_obstacle_vertex(GridPoint::new(0, 0, 0)).unwrap();
+        let err = shortest_path(&g, GridPoint::new(0, 0, 0), GridPoint::new(2, 2, 0)).unwrap_err();
+        assert_eq!(err, GraphError::BlockedSource(GridPoint::new(0, 0, 0)));
+    }
+
+    #[test]
+    fn empty_sources_is_an_error() {
+        let g = open_grid(3, 3, 1);
+        let err = shortest_path_to_set(&g, &[], |_| true).unwrap_err();
+        assert_eq!(err, GraphError::EmptyTerminalSet);
+    }
+
+    #[test]
+    fn multi_source_picks_nearest_source() {
+        let g = open_grid(10, 1, 1);
+        let sources = [GridPoint::new(0, 0, 0), GridPoint::new(8, 0, 0)];
+        let target = g.index(GridPoint::new(6, 0, 0));
+        let p = shortest_path_to_set(&g, &sources, |i| i == target).unwrap();
+        assert_eq!(p.cost, 2.0);
+        assert_eq!(p.source(), GridPoint::new(8, 0, 0));
+    }
+
+    #[test]
+    fn source_in_target_set_gives_trivial_path() {
+        let g = open_grid(3, 3, 1);
+        let s = GridPoint::new(1, 1, 0);
+        let si = g.index(s);
+        let p = shortest_path_to_set(&g, &[s], |i| i == si).unwrap();
+        assert_eq!(p.cost, 0.0);
+        assert_eq!(p.points, vec![s]);
+    }
+
+    #[test]
+    fn distances_match_individual_paths() {
+        let mut g = open_grid(6, 6, 2);
+        g.add_obstacle_vertex(GridPoint::new(2, 2, 0)).unwrap();
+        g.add_obstacle_vertex(GridPoint::new(3, 2, 0)).unwrap();
+        let src = GridPoint::new(0, 0, 0);
+        let dist = distances_from(&g, src).unwrap();
+        for idx in (0..g.len()).step_by(7) {
+            let p = g.point(idx);
+            if g.is_blocked(p) {
+                assert!(dist[idx].is_infinite());
+                continue;
+            }
+            let path = shortest_path(&g, src, p).unwrap();
+            assert!(
+                (dist[idx] - path.cost).abs() < 1e-9,
+                "distance mismatch at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn bounded_search_cannot_leave_window() {
+        let g = open_grid(10, 10, 1);
+        let bounds = SearchBounds {
+            h_lo: 0,
+            h_hi: 4,
+            v_lo: 0,
+            v_hi: 4,
+        };
+        let target = g.index(GridPoint::new(9, 9, 0));
+        let err = SearchSpace::new()
+            .shortest_path_to_set(&g, &[GridPoint::new(0, 0, 0)], |i| i == target, Some(bounds))
+            .unwrap_err();
+        assert!(matches!(err, GraphError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn bounds_around_clips_to_graph() {
+        let g = open_grid(6, 6, 1);
+        let b = SearchBounds::around(
+            &g,
+            [GridPoint::new(1, 1, 0), GridPoint::new(4, 2, 0)],
+            3,
+        );
+        assert_eq!((b.h_lo, b.h_hi, b.v_lo, b.v_hi), (0, 5, 0, 5));
+        assert!(b.contains(GridPoint::new(0, 0, 0)));
+    }
+
+    #[test]
+    fn search_space_reuse_is_consistent() {
+        let g = open_grid(8, 8, 2);
+        let mut space = SearchSpace::new();
+        let t1 = g.index(GridPoint::new(7, 7, 1));
+        let t2 = g.index(GridPoint::new(3, 0, 0));
+        let a = space
+            .shortest_path_to_set(&g, &[GridPoint::new(0, 0, 0)], |i| i == t1, None)
+            .unwrap();
+        let b = space
+            .shortest_path_to_set(&g, &[GridPoint::new(0, 0, 0)], |i| i == t2, None)
+            .unwrap();
+        // 7 + 7 + via(3) and 3.
+        assert_eq!(a.cost, 17.0);
+        assert_eq!(b.cost, 3.0);
+        // And again the first query, identically.
+        let a2 = space
+            .shortest_path_to_set(&g, &[GridPoint::new(0, 0, 0)], |i| i == t1, None)
+            .unwrap();
+        assert_eq!(a2.cost, a.cost);
+    }
+}

@@ -1,0 +1,35 @@
+//! Graph-search substrate over 3D Hanan grid graphs.
+//!
+//! This crate hosts the search primitives every router in the reproduction
+//! is built from:
+//!
+//! * [`dijkstra`] — single- and multi-source Dijkstra over a
+//!   [`HananGraph`](oarsmt_geom::HananGraph), the "maze router" of the
+//!   paper's OARMST construction (Section 3.1, following \[14\]),
+//! * [`mst`] — Prim's algorithm over dense terminal-distance matrices,
+//! * [`union_find`] — disjoint sets, used for tree validation,
+//! * [`path`] — grid paths with costs.
+//!
+//! # Example
+//!
+//! ```
+//! use oarsmt_geom::{HananGraph, GridPoint};
+//! use oarsmt_graph::dijkstra::shortest_path;
+//!
+//! let g = HananGraph::uniform(4, 4, 1, 1.0, 1.0, 3.0);
+//! let path = shortest_path(&g, GridPoint::new(0, 0, 0), GridPoint::new(3, 3, 0))
+//!     .expect("open grid is connected");
+//! assert_eq!(path.cost, 6.0);
+//! ```
+
+pub mod dijkstra;
+pub mod error;
+pub mod mst;
+pub mod path;
+pub mod union_find;
+
+pub use dijkstra::{distances_from, shortest_path, shortest_path_to_set, SearchSpace};
+pub use error::GraphError;
+pub use mst::{prim_mst, MstEdge};
+pub use path::GridPath;
+pub use union_find::UnionFind;

@@ -1,0 +1,99 @@
+//! Grid paths produced by maze routing.
+
+use std::fmt;
+
+use oarsmt_geom::GridPoint;
+use serde::{Deserialize, Serialize};
+
+/// An obstacle-avoiding path between two grid vertices: the visited points
+/// in order, plus the total routing cost of the traversed edges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridPath {
+    /// Visited grid points, source first, target last. Consecutive points
+    /// are grid neighbors.
+    pub points: Vec<GridPoint>,
+    /// Sum of the traversed edge costs (including via costs).
+    pub cost: f64,
+}
+
+impl GridPath {
+    /// A zero-cost path consisting of a single point (source == target).
+    pub fn trivial(p: GridPoint) -> Self {
+        GridPath {
+            points: vec![p],
+            cost: 0.0,
+        }
+    }
+
+    /// The source endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty (never produced by this crate's
+    /// searches).
+    pub fn source(&self) -> GridPoint {
+        *self.points.first().expect("path has at least one point")
+    }
+
+    /// The target endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is empty.
+    pub fn target(&self) -> GridPoint {
+        *self.points.last().expect("path has at least one point")
+    }
+
+    /// Number of edges in the path.
+    pub fn edge_count(&self) -> usize {
+        self.points.len().saturating_sub(1)
+    }
+
+    /// Iterator over the path's edges as point pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (GridPoint, GridPoint)> + '_ {
+        self.points.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
+impl fmt::Display for GridPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "path {} -> {} ({} edges, cost {})",
+            self.source(),
+            self.target(),
+            self.edge_count(),
+            self.cost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_path_has_no_edges() {
+        let p = GridPath::trivial(GridPoint::new(1, 2, 0));
+        assert_eq!(p.edge_count(), 0);
+        assert_eq!(p.source(), p.target());
+        assert_eq!(p.cost, 0.0);
+        assert_eq!(p.edges().count(), 0);
+    }
+
+    #[test]
+    fn edges_pair_consecutive_points() {
+        let p = GridPath {
+            points: vec![
+                GridPoint::new(0, 0, 0),
+                GridPoint::new(1, 0, 0),
+                GridPoint::new(1, 1, 0),
+            ],
+            cost: 2.0,
+        };
+        let edges: Vec<_> = p.edges().collect();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[0], (GridPoint::new(0, 0, 0), GridPoint::new(1, 0, 0)));
+        assert_eq!(edges[1], (GridPoint::new(1, 0, 0), GridPoint::new(1, 1, 0)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the graph-search substrate.
+
+use oarsmt_graph::dijkstra::{distances_from, shortest_path, SearchSpace};
+use oarsmt_graph::mst::{mst_cost, prim_mst};
+use oarsmt_graph::UnionFind;
+use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+use oarsmt_geom::{GridPoint, HananGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_case(seed: u64) -> HananGraph {
+    CaseGenerator::new(GeneratorConfig::paper_costs(7, 6, 2, (3, 5)), seed).generate()
+}
+
+fn random_free_point(graph: &HananGraph, rng: &mut StdRng) -> GridPoint {
+    loop {
+        let p = GridPoint::new(
+            rng.gen_range(0..graph.h()),
+            rng.gen_range(0..graph.v()),
+            rng.gen_range(0..graph.m()),
+        );
+        if !graph.is_blocked(p) {
+            return p;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn dijkstra_distances_satisfy_triangle_inequality(seed in 0u64..800) {
+        let g = random_case(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 99);
+        let a = random_free_point(&g, &mut rng);
+        let b = random_free_point(&g, &mut rng);
+        let c = random_free_point(&g, &mut rng);
+        let da = distances_from(&g, a).unwrap();
+        let db = distances_from(&g, b).unwrap();
+        let ab = da[g.index(b)];
+        let bc = db[g.index(c)];
+        let ac = da[g.index(c)];
+        if ab.is_finite() && bc.is_finite() {
+            prop_assert!(ac <= ab + bc + 1e-9);
+        }
+    }
+
+    #[test]
+    fn shortest_paths_are_symmetric(seed in 0u64..800) {
+        let g = random_case(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 7);
+        let a = random_free_point(&g, &mut rng);
+        let b = random_free_point(&g, &mut rng);
+        match (shortest_path(&g, a, b), shortest_path(&g, b, a)) {
+            (Ok(p1), Ok(p2)) => prop_assert!((p1.cost - p2.cost).abs() < 1e-9),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "reachability must be symmetric"),
+        }
+    }
+
+    #[test]
+    fn path_edges_are_grid_neighbors_with_matching_costs(seed in 0u64..800) {
+        let g = random_case(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 13);
+        let a = random_free_point(&g, &mut rng);
+        let b = random_free_point(&g, &mut rng);
+        if let Ok(path) = shortest_path(&g, a, b) {
+            let mut sum = 0.0;
+            for (u, v) in path.edges() {
+                let w = g.edge_cost(u, v);
+                prop_assert!(w.is_some(), "consecutive points must be neighbors");
+                sum += w.unwrap();
+            }
+            prop_assert!((sum - path.cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reused_search_space_matches_fresh_searches(seed in 0u64..400) {
+        let g = random_case(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 21);
+        let mut space = SearchSpace::new();
+        for _ in 0..4 {
+            let a = random_free_point(&g, &mut rng);
+            let b = random_free_point(&g, &mut rng);
+            let target = g.index(b);
+            let reused = space.shortest_path_to_set(&g, &[a], |i| i == target, None);
+            let fresh = shortest_path(&g, a, b);
+            match (reused, fresh) {
+                (Ok(p1), Ok(p2)) => prop_assert!((p1.cost - p2.cost).abs() < 1e-9),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "reuse must not change reachability"),
+            }
+        }
+    }
+
+    #[test]
+    fn mst_cost_is_minimal_among_random_spanning_trees(seed in 0u64..300) {
+        // Build a random metric, compare Prim against random spanning trees.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(3..7usize);
+        let pts: Vec<(f64, f64)> = (0..n)
+            .map(|_| (rng.gen_range(0.0..10.0), rng.gen_range(0.0..10.0)))
+            .collect();
+        let mut dist = vec![0.0; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                dist[i * n + j] =
+                    (pts[i].0 - pts[j].0).abs() + (pts[i].1 - pts[j].1).abs();
+            }
+        }
+        let mst = prim_mst(&dist, n).unwrap();
+        let best = mst_cost(&mst);
+        // Random spanning trees via random edge insertion + union-find.
+        for _ in 0..10 {
+            let mut uf = UnionFind::new(n);
+            let mut cost = 0.0;
+            let mut edges = 0;
+            while edges < n - 1 {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                if a != b && uf.union(a, b) {
+                    cost += dist[a * n + b];
+                    edges += 1;
+                }
+            }
+            prop_assert!(best <= cost + 1e-9, "prim {best} vs random {cost}");
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! The actor: converting the selector's independent per-vertex
+//! probabilities into a sequential action policy (Eq. 1 of the paper).
+//!
+//! The Steiner-point selector outputs a *final selected probability*
+//! `fsp(v)` per vertex whose sum exceeds one (multiple vertices are selected
+//! at once), so it cannot directly act as an MCTS policy. The actor
+//! re-weights it along the selection-priority order: for a valid vertex `u`
+//! with the last selected point `w`,
+//!
+//! `p'(u) = fsp(u) × Π_{w < v < u, v valid} (1 − fsp(v))`
+//!
+//! — the probability that `u` is selected *and* every valid vertex between
+//! `w` and `u` is skipped — then normalizes over all valid vertices.
+
+use oarsmt_geom::{HananGraph, VertexKind};
+
+/// One action of the policy: a vertex (by linear index) and its normalized
+/// selection probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActionProb {
+    /// Linear vertex index of the action.
+    pub vertex: u32,
+    /// Normalized policy probability.
+    pub prob: f64,
+}
+
+/// Computes the action policy for a state.
+///
+/// * `fsp` — the selector's probabilities for the state (selected Steiner
+///   points already encoded as pins).
+/// * `last_selected` — linear index of the last selected Steiner point, or
+///   `None` at the root. Only vertices with a strictly larger index (lower
+///   selection priority) are valid actions.
+///
+/// Returns an empty vector when no valid action exists. Probabilities sum
+/// to 1 otherwise.
+///
+/// # Panics
+///
+/// Panics if `fsp.len() != graph.len()`.
+pub fn action_policy(
+    graph: &HananGraph,
+    fsp: &[f32],
+    last_selected: Option<u32>,
+) -> Vec<ActionProb> {
+    assert_eq!(fsp.len(), graph.len());
+    let start = last_selected.map_or(0, |w| w as usize + 1);
+    let mut weighted: Vec<ActionProb> = Vec::new();
+    // Running product of (1 - fsp(v)) over valid vertices with higher
+    // priority than the current candidate (and lower than w).
+    let mut skip_product = 1.0f64;
+    for idx in start..graph.len() {
+        if graph.kind_at(idx) != VertexKind::Empty {
+            continue;
+        }
+        let p = f64::from(fsp[idx].clamp(0.0, 1.0));
+        let w = p * skip_product;
+        if w > 0.0 {
+            weighted.push(ActionProb {
+                vertex: idx as u32,
+                prob: w,
+            });
+        }
+        skip_product *= 1.0 - p;
+    }
+    let total: f64 = weighted.iter().map(|a| a.prob).sum();
+    if total <= 0.0 {
+        // Degenerate selector (all zeros): fall back to uniform over valid
+        // vertices so the search can still progress.
+        let valid: Vec<u32> = (start..graph.len())
+            .filter(|&i| graph.kind_at(i) == VertexKind::Empty)
+            .map(|i| i as u32)
+            .collect();
+        let n = valid.len();
+        return valid
+            .into_iter()
+            .map(|vertex| ActionProb {
+                vertex,
+                prob: 1.0 / n as f64,
+            })
+            .collect();
+    }
+    for a in &mut weighted {
+        a.prob /= total;
+    }
+    weighted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oarsmt_geom::GridPoint;
+
+    fn line_graph(len: usize) -> HananGraph {
+        HananGraph::uniform(len, 1, 1, 1.0, 1.0, 3.0)
+    }
+
+    #[test]
+    fn policy_sums_to_one() {
+        let g = line_graph(6);
+        let fsp = vec![0.3, 0.9, 0.1, 0.5, 0.0, 0.7];
+        let policy = action_policy(&g, &fsp, None);
+        let sum: f64 = policy.iter().map(|a| a.prob).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn telescoping_weights_match_eq1_by_hand() {
+        let g = line_graph(3);
+        let fsp = vec![0.5, 0.5, 0.5];
+        let policy = action_policy(&g, &fsp, None);
+        // p'(0) = 0.5; p'(1) = 0.5*0.5; p'(2) = 0.5*0.25.
+        // Normalized: 4/7, 2/7, 1/7.
+        assert_eq!(policy.len(), 3);
+        assert!((policy[0].prob - 4.0 / 7.0).abs() < 1e-12);
+        assert!((policy[1].prob - 2.0 / 7.0).abs() < 1e-12);
+        assert!((policy[2].prob - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_priority_cutoff() {
+        let g = line_graph(5);
+        let fsp = vec![0.9; 5];
+        let policy = action_policy(&g, &fsp, Some(2));
+        let vertices: Vec<u32> = policy.iter().map(|a| a.vertex).collect();
+        assert_eq!(vertices, vec![3, 4]);
+    }
+
+    #[test]
+    fn pins_and_obstacles_are_invalid_and_skipped_in_the_product() {
+        let mut g = line_graph(4);
+        g.add_pin(GridPoint::new(1, 0, 0)).unwrap();
+        g.add_obstacle_vertex(GridPoint::new(2, 0, 0)).unwrap();
+        let fsp = vec![0.5, 1.0, 1.0, 0.5];
+        let policy = action_policy(&g, &fsp, None);
+        // Valid: 0 and 3. Invalid vertices must NOT contribute (1 - fsp)
+        // factors, so p'(3) = 0.5 * (1 - 0.5) = 0.25.
+        assert_eq!(policy.len(), 2);
+        assert_eq!(policy[0].vertex, 0);
+        assert_eq!(policy[1].vertex, 3);
+        assert!((policy[0].prob - 0.5 / 0.75).abs() < 1e-12);
+        assert!((policy[1].prob - 0.25 / 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_selector_falls_back_to_uniform() {
+        let g = line_graph(4);
+        let fsp = vec![0.0; 4];
+        let policy = action_policy(&g, &fsp, Some(0));
+        assert_eq!(policy.len(), 3);
+        for a in &policy {
+            assert!((a.prob - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn no_valid_action_gives_empty_policy() {
+        let g = line_graph(3);
+        let fsp = vec![0.5; 3];
+        assert!(action_policy(&g, &fsp, Some(2)).is_empty());
+    }
+
+    #[test]
+    fn certain_vertex_absorbs_following_probability() {
+        let g = line_graph(3);
+        let fsp = vec![0.2, 1.0, 0.9];
+        let policy = action_policy(&g, &fsp, None);
+        // fsp(1) = 1 makes the skip product 0 beyond it: vertex 2 gets 0.
+        assert_eq!(policy.len(), 2);
+        assert_eq!(policy[0].vertex, 0);
+        assert_eq!(policy[1].vertex, 1);
+        let sum: f64 = policy.iter().map(|a| a.prob).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,428 @@
+//! Conventional (AlphaGo-like) MCTS baseline (Section 4.2).
+//!
+//! Differences from the combinatorial search:
+//!
+//! * actions at every level may pick **any** valid vertex — different orders
+//!   of the same Steiner-point set are distinct tree paths, so the search
+//!   space is redundant;
+//! * one training sample is generated **per executed move** (the visit
+//!   distribution over the root's children), instead of one dense label per
+//!   search tree;
+//! * the trained agent is *sequential*: inference selects one Steiner point
+//!   at a time and re-runs the network with the grown pin set (`n − 2`
+//!   inferences per layout).
+
+use oarsmt::selector::Selector;
+use oarsmt::topk::steiner_budget;
+use oarsmt_geom::{GridPoint, HananGraph, VertexKind};
+use oarsmt_router::RouteError;
+
+use crate::config::MctsConfig;
+use crate::critic::Critic;
+use crate::terminal::{terminal_reason, TerminalReason};
+
+/// One per-move training sample of the conventional scheme: the state
+/// (already-selected Steiner points, to be encoded as extra pins) and the
+/// per-vertex visit distribution.
+#[derive(Debug, Clone)]
+pub struct AlphaGoSample {
+    /// Steiner points selected before this move.
+    pub state: Vec<GridPoint>,
+    /// Normalized root-visit distribution over all vertices (zeros on
+    /// invalid vertices).
+    pub label: Vec<f32>,
+}
+
+/// Result of one conventional MCTS run.
+#[derive(Debug, Clone)]
+pub struct AlphaGoOutcome {
+    /// One sample per executed move.
+    pub samples: Vec<AlphaGoSample>,
+    /// The executed Steiner points, in selection order.
+    pub executed: Vec<GridPoint>,
+    /// Routing cost of the final state.
+    pub final_cost: f64,
+    /// Pins-only routing cost `rc_{s_0}`.
+    pub initial_cost: f64,
+    /// Number of nodes materialized (for the search-size comparison against
+    /// the combinatorial scheme).
+    pub nodes_created: usize,
+    /// Number of critic evaluations.
+    pub simulations: usize,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    action: u32,
+    child: Option<u32>,
+    n: u32,
+    w: f64,
+    p: f64,
+}
+
+impl Edge {
+    fn q(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.w / self.n as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    selected: Vec<u32>,
+    cost: f64,
+    flat_run: u32,
+    terminal: TerminalReason,
+    expanded: bool,
+    edges: Vec<Edge>,
+    value: Option<f64>,
+}
+
+/// The conventional MCTS driver.
+#[derive(Debug)]
+pub struct AlphaGoMcts {
+    config: MctsConfig,
+    critic: Critic,
+}
+
+impl AlphaGoMcts {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: MctsConfig) -> Self {
+        AlphaGoMcts {
+            config,
+            critic: Critic::new(),
+        }
+    }
+
+    /// Runs the conventional search, producing one sample per executed
+    /// move.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OARMST routing failures.
+    pub fn search<S: Selector>(
+        &self,
+        graph: &HananGraph,
+        selector: &mut S,
+    ) -> Result<AlphaGoOutcome, RouteError> {
+        let budget = steiner_budget(graph.pins().len());
+        let alpha = self.config.iterations_for(graph);
+        let initial_cost = self.critic.state_cost(graph, &[])?;
+        let mut nodes = vec![Node {
+            selected: Vec::new(),
+            cost: initial_cost,
+            flat_run: 0,
+            terminal: terminal_reason(0, budget, None, initial_cost, 0, self.config.max_flat_run),
+            expanded: false,
+            edges: Vec::new(),
+            value: None,
+        }];
+        let mut samples = Vec::new();
+        let mut simulations = 0usize;
+        let mut root: u32 = 0;
+
+        while !nodes[root as usize].terminal.is_terminal() {
+            for _ in 0..alpha {
+                self.explore(
+                    graph,
+                    selector,
+                    &mut nodes,
+                    root,
+                    budget,
+                    initial_cost,
+                    &mut simulations,
+                )?;
+            }
+            let node = &nodes[root as usize];
+            if node.edges.is_empty() {
+                break;
+            }
+            // Per-move label: normalized visit counts.
+            let total: u32 = node.edges.iter().map(|e| e.n).sum();
+            if total > 0 {
+                let mut label = vec![0.0f32; graph.len()];
+                for e in &node.edges {
+                    label[e.action as usize] = e.n as f32 / total as f32;
+                }
+                samples.push(AlphaGoSample {
+                    state: node
+                        .selected
+                        .iter()
+                        .map(|&i| graph.point(i as usize))
+                        .collect(),
+                    label,
+                });
+            }
+            let best_edge = (0..node.edges.len())
+                .max_by(|&a, &b| {
+                    let ea = &node.edges[a];
+                    let eb = &node.edges[b];
+                    ea.n.cmp(&eb.n).then(ea.q().total_cmp(&eb.q()))
+                })
+                .expect("non-empty edges");
+            root = self.materialize_child(graph, &mut nodes, root, best_edge, budget)?;
+        }
+
+        Ok(AlphaGoOutcome {
+            samples,
+            executed: nodes[root as usize]
+                .selected
+                .iter()
+                .map(|&i| graph.point(i as usize))
+                .collect(),
+            final_cost: nodes[root as usize].cost,
+            initial_cost,
+            nodes_created: nodes.len(),
+            simulations,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn explore<S: Selector>(
+        &self,
+        graph: &HananGraph,
+        selector: &mut S,
+        nodes: &mut Vec<Node>,
+        root: u32,
+        budget: usize,
+        initial_cost: f64,
+        simulations: &mut usize,
+    ) -> Result<(), RouteError> {
+        let mut path: Vec<(u32, usize)> = Vec::new();
+        let mut cur = root;
+        loop {
+            let node = &nodes[cur as usize];
+            if node.terminal.is_terminal() || !node.expanded || node.edges.is_empty() {
+                break;
+            }
+            let sum_n: u32 = node.edges.iter().map(|e| e.n).sum();
+            let sqrt_sum = (sum_n as f64).sqrt();
+            let mut best = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for (i, e) in node.edges.iter().enumerate() {
+                let u = self.config.exploration * e.p * sqrt_sum / (1.0 + e.n as f64);
+                let score = e.q() + u + 1e-12 * e.p;
+                if score > best_score {
+                    best_score = score;
+                    best = i;
+                }
+            }
+            path.push((cur, best));
+            cur = self.materialize_child(graph, nodes, cur, best, budget)?;
+        }
+
+        let value = if let Some(v) = nodes[cur as usize].value {
+            v
+        } else {
+            let v = if nodes[cur as usize].terminal.is_terminal() {
+                (initial_cost - nodes[cur as usize].cost) / initial_cost
+            } else {
+                let selected_points: Vec<GridPoint> = nodes[cur as usize]
+                    .selected
+                    .iter()
+                    .map(|&i| graph.point(i as usize))
+                    .collect();
+                let fsp = selector.fsp(graph, &selected_points);
+                // Conventional prior: fsp normalized over ALL valid
+                // vertices, no priority cutoff.
+                let selected_set = &nodes[cur as usize].selected;
+                let valid: Vec<(u32, f64)> = (0..graph.len())
+                    .filter(|&i| {
+                        graph.kind_at(i) == VertexKind::Empty
+                            && !selected_set.contains(&(i as u32))
+                    })
+                    .map(|i| (i as u32, f64::from(fsp[i].clamp(0.0, 1.0))))
+                    .collect();
+                let total: f64 = valid.iter().map(|&(_, p)| p).sum();
+                if valid.is_empty() {
+                    nodes[cur as usize].terminal = TerminalReason::NoActions;
+                } else {
+                    let n = valid.len() as f64;
+                    nodes[cur as usize].edges = valid
+                        .iter()
+                        .map(|&(action, p)| Edge {
+                            action,
+                            child: None,
+                            n: 0,
+                            w: 0.0,
+                            p: if total > 0.0 { p / total } else { 1.0 / n },
+                        })
+                        .collect();
+                    nodes[cur as usize].expanded = true;
+                }
+                *simulations += 1;
+                let predicted = if self.config.use_critic {
+                    self.critic.predict_with_fsp(graph, &selected_points, &fsp)?
+                } else {
+                    nodes[cur as usize].cost
+                };
+                (initial_cost - predicted) / initial_cost
+            };
+            nodes[cur as usize].value = Some(v);
+            v
+        };
+
+        for (node_id, edge_idx) in path {
+            let e = &mut nodes[node_id as usize].edges[edge_idx];
+            e.n += 1;
+            e.w += value;
+        }
+        Ok(())
+    }
+
+    fn materialize_child(
+        &self,
+        graph: &HananGraph,
+        nodes: &mut Vec<Node>,
+        parent: u32,
+        edge_idx: usize,
+        budget: usize,
+    ) -> Result<u32, RouteError> {
+        if let Some(c) = nodes[parent as usize].edges[edge_idx].child {
+            return Ok(c);
+        }
+        let action = nodes[parent as usize].edges[edge_idx].action;
+        let mut selected = nodes[parent as usize].selected.clone();
+        selected.push(action); // selection order preserved (not sorted)
+        let selected_points: Vec<GridPoint> =
+            selected.iter().map(|&i| graph.point(i as usize)).collect();
+        let cost = self.critic.state_cost(graph, &selected_points)?;
+        let parent_cost = nodes[parent as usize].cost;
+        let flat_run = if (cost - parent_cost).abs() <= 1e-9 {
+            nodes[parent as usize].flat_run + 1
+        } else {
+            0
+        };
+        let terminal = terminal_reason(
+            selected.len(),
+            budget,
+            Some(parent_cost),
+            cost,
+            flat_run,
+            self.config.max_flat_run,
+        );
+        let id = nodes.len() as u32;
+        nodes.push(Node {
+            selected,
+            cost,
+            flat_run,
+            terminal,
+            expanded: false,
+            edges: Vec::new(),
+            value: None,
+        });
+        nodes[parent as usize].edges[edge_idx].child = Some(id);
+        Ok(id)
+    }
+}
+
+/// Sequential inference with a trained (or heuristic) selector: select one
+/// Steiner point at a time, feeding each selection back as a pin — the
+/// test-time behaviour of the AlphaGo-like and PPO baselines, requiring
+/// `n − 2` network inferences. Returns the selected points.
+pub fn sequential_select<S: Selector>(graph: &HananGraph, selector: &mut S) -> Vec<GridPoint> {
+    let budget = steiner_budget(graph.pins().len());
+    let mut selected: Vec<GridPoint> = Vec::new();
+    for _ in 0..budget {
+        let fsp = selector.fsp(graph, &selected);
+        let next = oarsmt::topk::select_top_k(graph, &fsp, 1, &selected);
+        match next.first() {
+            Some(&p) => selected.push(p),
+            None => break,
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::CombinatorialMcts;
+    use oarsmt::selector::{MedianHeuristicSelector, UniformSelector};
+
+    fn cross() -> HananGraph {
+        let mut g = HananGraph::uniform(5, 5, 1, 1.0, 1.0, 3.0);
+        for &(h, v) in &[(0, 2), (4, 2), (2, 0), (2, 4)] {
+            g.add_pin(GridPoint::new(h, v, 0)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn per_move_samples_are_distributions() {
+        let g = cross();
+        let out = AlphaGoMcts::new(MctsConfig::tiny())
+            .search(&g, &mut UniformSelector::new(0.5))
+            .unwrap();
+        for s in &out.samples {
+            let sum: f32 = s.label.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "labels are distributions");
+            for &l in &s.label {
+                assert!((0.0..=1.0).contains(&l));
+            }
+        }
+    }
+
+    #[test]
+    fn conventional_tree_is_larger_than_combinatorial() {
+        // The paper's efficiency claim: with the same iteration budget and
+        // an uncommitted (training-start) selector, the priority-ordered
+        // action space materializes fewer nodes in total.
+        use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+        let cfg = MctsConfig {
+            base_iterations: 32,
+            base_size: 6 * 6 * 1,
+            ..MctsConfig::default()
+        };
+        let mut gen = CaseGenerator::new(GeneratorConfig::tiny(6, 6, 1, (4, 6)), 17);
+        let mut sel = UniformSelector::new(0.5);
+        let (mut comb_nodes, mut conv_nodes) = (0usize, 0usize);
+        for g in gen.generate_many(6) {
+            let Ok(comb) = CombinatorialMcts::new(cfg.clone()).search(&g, &mut sel) else {
+                continue;
+            };
+            let conv = AlphaGoMcts::new(cfg.clone()).search(&g, &mut sel).unwrap();
+            comb_nodes += comb.nodes_created;
+            conv_nodes += conv.nodes_created;
+        }
+        assert!(
+            conv_nodes > comb_nodes,
+            "conventional {conv_nodes} vs combinatorial {comb_nodes}"
+        );
+    }
+
+    #[test]
+    fn executed_cost_never_exceeds_initial() {
+        let g = cross();
+        let out = AlphaGoMcts::new(MctsConfig::tiny())
+            .search(&g, &mut MedianHeuristicSelector::new())
+            .unwrap();
+        assert!(out.final_cost <= out.initial_cost + 1e-9);
+    }
+
+    #[test]
+    fn sequential_select_needs_one_inference_per_point() {
+        /// Counts selector invocations.
+        struct Counting {
+            inner: MedianHeuristicSelector,
+            calls: usize,
+        }
+        impl Selector for Counting {
+            fn fsp(&mut self, g: &HananGraph, e: &[GridPoint]) -> Vec<f32> {
+                self.calls += 1;
+                self.inner.fsp(g, e)
+            }
+        }
+        let g = cross(); // 4 pins -> budget 2
+        let mut s = Counting {
+            inner: MedianHeuristicSelector::new(),
+            calls: 0,
+        };
+        let pts = sequential_select(&g, &mut s);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(s.calls, 2, "sequential agents pay n-2 inferences");
+    }
+}

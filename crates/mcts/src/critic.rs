@@ -1,0 +1,136 @@
+//! The critic: predicting the final routing cost of a partial state
+//! (orange box of Fig. 5).
+//!
+//! For a state at level `i` (with `i` Steiner points selected), the critic
+//! queries the Steiner-point selector for the final selected probabilities,
+//! completes the state with the top `n − 2 − i` remaining valid vertices,
+//! runs the OARMST router over pins + all Steiner points, and reports the
+//! resulting cost.
+
+use oarsmt::selector::Selector;
+use oarsmt::topk::{select_top_k, steiner_budget};
+use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_router::{OarmstRouter, RouteError};
+
+/// The critic built on top of a Steiner-point selector.
+#[derive(Debug)]
+pub struct Critic {
+    oarmst: OarmstRouter,
+}
+
+impl Default for Critic {
+    fn default() -> Self {
+        Critic {
+            oarmst: OarmstRouter::new(),
+        }
+    }
+}
+
+impl Critic {
+    /// Creates a critic.
+    pub fn new() -> Self {
+        Critic::default()
+    }
+
+    /// Predicts the final routing cost of a state given the selector's
+    /// `fsp` for that state (so callers can reuse one inference for both
+    /// the actor and the critic).
+    ///
+    /// # Errors
+    ///
+    /// Propagates OARMST routing failures.
+    pub fn predict_with_fsp(
+        &self,
+        graph: &HananGraph,
+        selected: &[GridPoint],
+        fsp: &[f32],
+    ) -> Result<f64, RouteError> {
+        let budget = steiner_budget(graph.pins().len());
+        let remaining = budget.saturating_sub(selected.len());
+        let mut all = selected.to_vec();
+        all.extend(select_top_k(graph, fsp, remaining, selected));
+        Ok(self.oarmst.route(graph, &all)?.cost())
+    }
+
+    /// Predicts the final routing cost of a state, running the selector
+    /// itself.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OARMST routing failures.
+    pub fn predict<S: Selector>(
+        &self,
+        graph: &HananGraph,
+        selected: &[GridPoint],
+        selector: &mut S,
+    ) -> Result<f64, RouteError> {
+        let fsp = selector.fsp(graph, selected);
+        self.predict_with_fsp(graph, selected, &fsp)
+    }
+
+    /// The raw routing cost of a state *without* completion: pins plus the
+    /// already-selected Steiner points (unpruned). Used instead of the
+    /// prediction during early curriculum stages and for the terminal
+    /// rules.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OARMST routing failures.
+    pub fn state_cost(&self, graph: &HananGraph, selected: &[GridPoint]) -> Result<f64, RouteError> {
+        Ok(self.oarmst.route_unpruned(graph, selected)?.cost())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oarsmt::selector::{MedianHeuristicSelector, UniformSelector};
+    use oarsmt_geom::GridPoint;
+
+    fn cross() -> HananGraph {
+        let mut g = HananGraph::uniform(5, 5, 1, 1.0, 1.0, 3.0);
+        for &(h, v) in &[(0, 2), (4, 2), (2, 0), (2, 4)] {
+            g.add_pin(GridPoint::new(h, v, 0)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn critic_with_good_selector_predicts_low_cost() {
+        let g = cross();
+        let critic = Critic::new();
+        let mut good = MedianHeuristicSelector::new();
+        let predicted = critic.predict(&g, &[], &mut good).unwrap();
+        // The heuristic puts the center first; a 4-pin cross with the
+        // center costs 8.
+        assert_eq!(predicted, 8.0);
+    }
+
+    #[test]
+    fn critic_completion_respects_already_selected_points() {
+        let g = cross();
+        let critic = Critic::new();
+        let mut sel = UniformSelector::new(0.5);
+        let center = GridPoint::new(2, 2, 0);
+        // With the center already fixed, completion adds at most 1 more
+        // point; the state's final cost can't exceed the unpruned cost of
+        // center + one extra stub... but must at least span the cross.
+        let cost = critic.predict(&g, &[center], &mut sel).unwrap();
+        assert!(cost >= 8.0);
+    }
+
+    #[test]
+    fn state_cost_is_unpruned() {
+        let g = cross();
+        let critic = Critic::new();
+        let empty = critic.state_cost(&g, &[]).unwrap();
+        let with_center = critic.state_cost(&g, &[GridPoint::new(2, 2, 0)]).unwrap();
+        assert_eq!(with_center, 8.0);
+        assert!(empty >= with_center);
+        // A bad Steiner point strictly increases the unpruned cost.
+        let with_bad = critic
+            .state_cost(&g, &[GridPoint::new(4, 4, 0)])
+            .unwrap();
+        assert!(with_bad > with_center);
+    }
+}

@@ -1,0 +1,34 @@
+//! Combinatorial Monte-Carlo tree search — the paper's training-signal
+//! engine (Sections 3.4–3.5) — plus the conventional AlphaGo-like MCTS
+//! baseline (Section 4.2).
+//!
+//! The **combinatorial** MCTS explores Steiner-point *combinations*: an
+//! action may only select a vertex with lower selection priority (larger
+//! lexicographic `(h, v, m)`) than the previously selected one, so every
+//! node of the search tree is a unique combination and no permutation is
+//! searched twice. Its [`actor`] converts the Steiner-point selector's
+//! independent per-vertex probabilities into a sequential action policy
+//! (Eq. 1), its [`critic`] completes a partial state with the top remaining
+//! probabilities and prices the tree with the OARMST router, and the label
+//! statistic `L_fsp(v) = n_sel(v) / n_opp(v)` (Eq. 3) over the whole search
+//! tree becomes a dense supervised target for the selector.
+//!
+//! The **conventional** baseline in [`alphago`] searches ordered sequences
+//! (any valid vertex at every level) and emits one visit-distribution label
+//! per executed move — the scheme of \[4\]/AlphaGo that the paper compares
+//! against in Figs. 11–12.
+
+pub mod actor;
+pub mod alphago;
+pub mod config;
+pub mod critic;
+pub mod label;
+pub mod search;
+pub mod terminal;
+
+pub use actor::action_policy;
+pub use alphago::{AlphaGoMcts, AlphaGoSample};
+pub use config::MctsConfig;
+pub use critic::Critic;
+pub use label::LabelCounters;
+pub use search::{CombinatorialMcts, SearchOutcome};

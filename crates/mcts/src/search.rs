@@ -1,0 +1,454 @@
+//! The combinatorial Monte-Carlo tree search (Section 3.4, Figs. 5–7).
+
+use std::fmt;
+
+use oarsmt::selector::Selector;
+use oarsmt::topk::steiner_budget;
+use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_router::RouteError;
+
+use crate::actor::{action_policy, ActionProb};
+use crate::config::MctsConfig;
+use crate::critic::Critic;
+use crate::label::LabelCounters;
+use crate::terminal::{terminal_reason, TerminalReason};
+
+/// Result of one complete combinatorial MCTS on an initial layout.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The dense training label `L_fsp(v)` of Eq. (3), one entry per vertex.
+    pub label: Vec<f32>,
+    /// The raw `n_sel` / `n_opp` counters behind the label.
+    pub counters: LabelCounters,
+    /// The executed Steiner-point combination (the terminal root's state),
+    /// sorted by selection priority.
+    pub executed: Vec<GridPoint>,
+    /// Routing cost of the executed terminal state.
+    pub final_cost: f64,
+    /// Routing cost `rc_{s_0}` of the initial layout (pins only).
+    pub initial_cost: f64,
+    /// Number of nodes materialized in the search tree (the paper's
+    /// search-efficiency claim: combinatorial trees are smaller).
+    pub nodes_created: usize,
+    /// Number of critic evaluations (leaf simulations).
+    pub simulations: usize,
+}
+
+impl fmt::Display for SearchOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mcts: {} -> {} cost, {} steiner points, {} nodes, {} sims",
+            self.initial_cost,
+            self.final_cost,
+            self.executed.len(),
+            self.nodes_created,
+            self.simulations
+        )
+    }
+}
+
+/// An edge of the search tree: the `(s, a)` record with visit count `N`,
+/// total value `W`, mean value `Q` and prior `P` (Section 3.4).
+#[derive(Debug, Clone)]
+struct Edge {
+    action: u32,
+    child: Option<u32>,
+    n: u32,
+    w: f64,
+    p: f64,
+}
+
+impl Edge {
+    fn q(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.w / self.n as f64
+        }
+    }
+}
+
+/// A node of the search tree: a unique combination of selected vertices.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Selected vertex indices, ascending (== selection-priority order).
+    selected: Vec<u32>,
+    /// Routing cost of this state (pins + selected, unpruned OARMST).
+    cost: f64,
+    /// Consecutive cost-flat actions ending at this node.
+    flat_run: u32,
+    terminal: TerminalReason,
+    expanded: bool,
+    edges: Vec<Edge>,
+    /// Cached leaf value, so terminal nodes are simulated once.
+    value: Option<f64>,
+}
+
+/// The combinatorial MCTS driver.
+#[derive(Debug)]
+pub struct CombinatorialMcts {
+    config: MctsConfig,
+    critic: Critic,
+}
+
+impl CombinatorialMcts {
+    /// Creates a search driver with the given configuration.
+    pub fn new(config: MctsConfig) -> Self {
+        CombinatorialMcts {
+            config,
+            critic: Critic::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MctsConfig {
+        &self.config
+    }
+
+    /// Runs the full search on an initial layout: repeated `α`-iteration
+    /// exploration phases, each followed by executing the most-visited root
+    /// action, until the root is terminal (Section 3.4). Returns the label
+    /// of Eq. (3) plus the executed combination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OARMST routing failures (e.g. disconnected pins).
+    pub fn search<S: Selector>(
+        &self,
+        graph: &HananGraph,
+        selector: &mut S,
+    ) -> Result<SearchOutcome, RouteError> {
+        let budget = steiner_budget(graph.pins().len());
+        let alpha = self.config.iterations_for(graph);
+        let initial_cost = self.critic.state_cost(graph, &[])?;
+
+        let mut nodes: Vec<Node> = Vec::new();
+        nodes.push(Node {
+            selected: Vec::new(),
+            cost: initial_cost,
+            flat_run: 0,
+            terminal: terminal_reason(0, budget, None, initial_cost, 0, self.config.max_flat_run),
+            expanded: false,
+            edges: Vec::new(),
+            value: None,
+        });
+        let mut counters = LabelCounters::new(graph);
+        let mut simulations = 0usize;
+        let mut root: u32 = 0;
+
+        while !nodes[root as usize].terminal.is_terminal() {
+            for _ in 0..alpha {
+                self.explore(
+                    graph,
+                    selector,
+                    &mut nodes,
+                    root,
+                    budget,
+                    initial_cost,
+                    &mut counters,
+                    &mut simulations,
+                )?;
+            }
+            // Execute the most visited root action.
+            let best_edge = {
+                let node = &nodes[root as usize];
+                if node.edges.is_empty() {
+                    break; // expansion found no actions
+                }
+                (0..node.edges.len())
+                    .max_by(|&a, &b| {
+                        let ea = &node.edges[a];
+                        let eb = &node.edges[b];
+                        ea.n.cmp(&eb.n)
+                            .then(ea.q().total_cmp(&eb.q()))
+                            .then(eb.action.cmp(&ea.action))
+                    })
+                    .expect("non-empty edges")
+            };
+            root = self.materialize_child(graph, &mut nodes, root, best_edge, budget)?;
+        }
+
+        let executed: Vec<GridPoint> = nodes[root as usize]
+            .selected
+            .iter()
+            .map(|&i| graph.point(i as usize))
+            .collect();
+        let final_cost = nodes[root as usize].cost;
+        Ok(SearchOutcome {
+            label: counters.label(),
+            counters,
+            executed,
+            final_cost,
+            initial_cost,
+            nodes_created: nodes.len(),
+            simulations,
+        })
+    }
+
+    /// One exploration iteration: selection, expansion, simulation,
+    /// backpropagation (Fig. 6).
+    #[allow(clippy::too_many_arguments)]
+    fn explore<S: Selector>(
+        &self,
+        graph: &HananGraph,
+        selector: &mut S,
+        nodes: &mut Vec<Node>,
+        root: u32,
+        budget: usize,
+        initial_cost: f64,
+        counters: &mut LabelCounters,
+        simulations: &mut usize,
+    ) -> Result<(), RouteError> {
+        let mut path: Vec<(u32, usize)> = Vec::new();
+        let mut cur = root;
+
+        // Selection: descend by Q + U until a leaf (unexpanded or terminal).
+        loop {
+            let node = &nodes[cur as usize];
+            if node.terminal.is_terminal() || !node.expanded {
+                break;
+            }
+            if node.edges.is_empty() {
+                break;
+            }
+            let sum_n: u32 = node.edges.iter().map(|e| e.n).sum();
+            let sqrt_sum = (sum_n as f64).sqrt();
+            let mut best = 0usize;
+            let mut best_score = f64::NEG_INFINITY;
+            for (i, e) in node.edges.iter().enumerate() {
+                let u = self.config.exploration * e.p * sqrt_sum / (1.0 + e.n as f64);
+                let score = e.q() + u + 1e-12 * e.p; // prior as deterministic tie-break
+                if score > best_score {
+                    best_score = score;
+                    best = i;
+                }
+            }
+            counters.record_step(
+                node.edges[best].action,
+                node.edges.iter().map(|e| e.action),
+            );
+            path.push((cur, best));
+            cur = self.materialize_child(graph, nodes, cur, best, budget)?;
+        }
+
+        // Expansion + simulation at the leaf.
+        let value = if let Some(v) = nodes[cur as usize].value {
+            v
+        } else {
+            let v = if nodes[cur as usize].terminal.is_terminal() {
+                // Terminal: value from the state's own routing cost.
+                (initial_cost - nodes[cur as usize].cost) / initial_cost
+            } else {
+                let selected_points: Vec<GridPoint> = nodes[cur as usize]
+                    .selected
+                    .iter()
+                    .map(|&i| graph.point(i as usize))
+                    .collect();
+                let fsp = selector.fsp(graph, &selected_points);
+                let last = nodes[cur as usize].selected.last().copied();
+                let policy: Vec<ActionProb> = action_policy(graph, &fsp, last);
+                if policy.is_empty() {
+                    nodes[cur as usize].terminal = TerminalReason::NoActions;
+                } else {
+                    nodes[cur as usize].edges = policy
+                        .iter()
+                        .map(|a| Edge {
+                            action: a.vertex,
+                            child: None,
+                            n: 0,
+                            w: 0.0,
+                            p: a.prob,
+                        })
+                        .collect();
+                    nodes[cur as usize].expanded = true;
+                }
+                *simulations += 1;
+                let predicted = if self.config.use_critic {
+                    self.critic.predict_with_fsp(graph, &selected_points, &fsp)?
+                } else {
+                    nodes[cur as usize].cost
+                };
+                (initial_cost - predicted) / initial_cost
+            };
+            nodes[cur as usize].value = Some(v);
+            v
+        };
+
+        // Backpropagation: N += 1, W += v, Q = W / N along the path.
+        for (node_id, edge_idx) in path {
+            let e = &mut nodes[node_id as usize].edges[edge_idx];
+            e.n += 1;
+            e.w += value;
+        }
+        Ok(())
+    }
+
+    /// Creates (or fetches) the child node behind `edge_idx` of `parent`.
+    fn materialize_child(
+        &self,
+        graph: &HananGraph,
+        nodes: &mut Vec<Node>,
+        parent: u32,
+        edge_idx: usize,
+        budget: usize,
+    ) -> Result<u32, RouteError> {
+        if let Some(c) = nodes[parent as usize].edges[edge_idx].child {
+            return Ok(c);
+        }
+        let action = nodes[parent as usize].edges[edge_idx].action;
+        let mut selected = nodes[parent as usize].selected.clone();
+        debug_assert!(selected.last().is_none_or(|&l| l < action));
+        selected.push(action);
+        let selected_points: Vec<GridPoint> =
+            selected.iter().map(|&i| graph.point(i as usize)).collect();
+        let cost = self.critic.state_cost(graph, &selected_points)?;
+        let parent_cost = nodes[parent as usize].cost;
+        let flat_run = if (cost - parent_cost).abs() <= 1e-9 {
+            nodes[parent as usize].flat_run + 1
+        } else {
+            0
+        };
+        let terminal = terminal_reason(
+            selected.len(),
+            budget,
+            Some(parent_cost),
+            cost,
+            flat_run,
+            self.config.max_flat_run,
+        );
+        let id = nodes.len() as u32;
+        nodes.push(Node {
+            selected,
+            cost,
+            flat_run,
+            terminal,
+            expanded: false,
+            edges: Vec::new(),
+            value: None,
+        });
+        nodes[parent as usize].edges[edge_idx].child = Some(id);
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oarsmt::selector::{MedianHeuristicSelector, UniformSelector};
+    use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+    use oarsmt_geom::VertexKind;
+
+    fn cross() -> HananGraph {
+        let mut g = HananGraph::uniform(5, 5, 1, 1.0, 1.0, 3.0);
+        for &(h, v) in &[(0, 2), (4, 2), (2, 0), (2, 4)] {
+            g.add_pin(GridPoint::new(h, v, 0)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn two_pin_layout_has_trivial_search() {
+        let mut g = HananGraph::uniform(4, 4, 1, 1.0, 1.0, 3.0);
+        g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
+        g.add_pin(GridPoint::new(3, 3, 0)).unwrap();
+        let mcts = CombinatorialMcts::new(MctsConfig::tiny());
+        let out = mcts
+            .search(&g, &mut UniformSelector::new(0.5))
+            .unwrap();
+        assert!(out.executed.is_empty());
+        assert_eq!(out.final_cost, out.initial_cost);
+        assert!(out.label.iter().all(|&l| l == 0.0));
+    }
+
+    #[test]
+    fn search_never_worsens_the_executed_cost() {
+        let g = cross();
+        let mcts = CombinatorialMcts::new(MctsConfig::tiny());
+        let out = mcts
+            .search(&g, &mut MedianHeuristicSelector::new())
+            .unwrap();
+        // Terminal rule 2 stops any execution that increases cost, so the
+        // executed state can cost at most the initial cost.
+        assert!(out.final_cost <= out.initial_cost + 1e-9);
+    }
+
+    #[test]
+    fn good_selector_finds_the_cross_center() {
+        let g = cross();
+        let cfg = MctsConfig {
+            base_iterations: 64,
+            base_size: g.len(),
+            ..MctsConfig::default()
+        };
+        let out = CombinatorialMcts::new(cfg)
+            .search(&g, &mut MedianHeuristicSelector::new())
+            .unwrap();
+        assert!(
+            out.executed.contains(&GridPoint::new(2, 2, 0)),
+            "executed {:?}",
+            out.executed
+        );
+        assert_eq!(out.final_cost, 8.0);
+    }
+
+    #[test]
+    fn labels_are_probabilities_on_valid_vertices_only() {
+        let g = cross();
+        let out = CombinatorialMcts::new(MctsConfig::tiny())
+            .search(&g, &mut UniformSelector::new(0.4))
+            .unwrap();
+        for idx in 0..g.len() {
+            let l = out.label[idx];
+            assert!((0.0..=1.0).contains(&l));
+            if g.kind_at(idx) != VertexKind::Empty {
+                assert_eq!(l, 0.0, "pins/obstacles never get opportunities");
+            }
+        }
+        // n_sel <= n_opp everywhere.
+        for (s, o) in out.counters.n_sel().iter().zip(out.counters.n_opp()) {
+            assert!(s <= o);
+        }
+    }
+
+    #[test]
+    fn executed_combination_is_priority_sorted_and_unique() {
+        let mut gen = CaseGenerator::new(GeneratorConfig::tiny(6, 6, 2, (4, 6)), 2);
+        let mcts = CombinatorialMcts::new(MctsConfig::tiny());
+        let mut sel = MedianHeuristicSelector::new();
+        for g in gen.generate_many(5) {
+            let Ok(out) = mcts.search(&g, &mut sel) else {
+                continue;
+            };
+            for w in out.executed.windows(2) {
+                assert!(w[0] < w[1], "strictly increasing priority order");
+            }
+            for p in &out.executed {
+                assert_eq!(g.kind(*p), VertexKind::Empty);
+            }
+        }
+    }
+
+    #[test]
+    fn critic_free_mode_matches_early_curriculum() {
+        let g = cross();
+        let cfg = MctsConfig {
+            use_critic: false,
+            ..MctsConfig::tiny()
+        };
+        let out = CombinatorialMcts::new(cfg)
+            .search(&g, &mut UniformSelector::new(0.5))
+            .unwrap();
+        assert!(out.final_cost <= out.initial_cost + 1e-9);
+        assert!(out.simulations > 0);
+    }
+
+    #[test]
+    fn node_count_is_reported() {
+        let g = cross();
+        let out = CombinatorialMcts::new(MctsConfig::tiny())
+            .search(&g, &mut UniformSelector::new(0.5))
+            .unwrap();
+        assert!(out.nodes_created >= 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Elementwise activations: ReLU and sigmoid.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Rectified linear unit, `y = max(x, 0)`.
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("relu backward without forward");
+        let mut g = grad_out.clone();
+        for (gv, &keep) in g.data_mut().iter_mut().zip(&mask) {
+            if !keep {
+                *gv = 0.0;
+            }
+        }
+        g
+    }
+}
+
+/// Logistic sigmoid, `y = 1 / (1 + e^{-x})` — the paper's output activation
+/// ensuring every Steiner-point probability lies in `(0, 1)` (Section 3.3).
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    out: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Sigmoid::default()
+    }
+}
+
+/// The scalar sigmoid function, exposed for loss computations.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = x.map(sigmoid);
+        self.out = Some(y.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let y = self.out.take().expect("sigmoid backward without forward");
+        let mut g = grad_out.clone();
+        for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+            *gv *= yv * (1.0 - yv);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(&[4], vec![-1.0, 0.0, 0.5, 3.0]).unwrap();
+        let y = r.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 0.5, 3.0]);
+        let g = r.backward(&Tensor::from_vec(&[4], vec![1.0; 4]).unwrap());
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec(&[3], vec![-10.0, 0.0, 10.0]).unwrap();
+        let y = s.forward(&x);
+        assert!(y.data()[0] > 0.0 && y.data()[0] < 0.001);
+        assert!((y.data()[1] - 0.5).abs() < 1e-6);
+        assert!(y.data()[2] < 1.0 && y.data()[2] > 0.999);
+    }
+
+    #[test]
+    fn relu_gradcheck_away_from_kink() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(&[6], vec![-2.0, -1.0, -0.5, 0.5, 1.0, 2.0]).unwrap();
+        check_layer_gradients(&mut r, &x, 1e-3, 1e-3);
+    }
+
+    #[test]
+    fn sigmoid_gradcheck() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::from_vec(&[5], vec![-1.5, -0.3, 0.0, 0.7, 2.0]).unwrap();
+        check_layer_gradients(&mut s, &x, 1e-3, 2e-3);
+    }
+}

@@ -1,0 +1,280 @@
+//! 3D convolution with same-padding and full backpropagation.
+
+use crate::init::Initializer;
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// A 3D convolution layer: weight `[out_c, in_c, k, k, k]`, bias `[out_c]`,
+/// stride 1, zero same-padding `k / 2` (so spatial dimensions are
+/// preserved — the property that keeps the U-Net image-in-image-out for
+/// arbitrary sizes).
+///
+/// The paper's network uses `3×3×3` kernels throughout plus `1×1×1` output
+/// heads; both are supported (any odd `k`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conv3d {
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    weight: Param,
+    bias: Param,
+    cache_input: Option<Tensor>,
+}
+
+impl Conv3d {
+    /// Creates a convolution with He-uniform weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even (same-padding needs odd kernels) or a channel
+    /// count is zero.
+    pub fn new(in_c: usize, out_c: usize, k: usize, init: &mut Initializer) -> Self {
+        assert!(k % 2 == 1, "same-padding conv needs an odd kernel, got {k}");
+        assert!(in_c > 0 && out_c > 0);
+        let fan_in = in_c * k * k * k;
+        let weight = Param::new(init.he_uniform(&[out_c, in_c, k, k, k], fan_in));
+        let bias = Param::new(Tensor::zeros(&[out_c]));
+        Conv3d {
+            in_c,
+            out_c,
+            k,
+            weight,
+            bias,
+            cache_input: None,
+        }
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_c
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_c
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.k
+    }
+}
+
+/// The overlap of a length-`d` axis with a kernel tap at offset `c`
+/// (padding `p`): output indices `z` for which `z + c - p` is a valid input
+/// index. Returns `(z_start, z_end, input_start)`.
+#[inline]
+fn tap_range(d: usize, c: usize, p: usize) -> (usize, usize, usize) {
+    let z0 = p.saturating_sub(c);
+    let z1 = (d + p).saturating_sub(c).min(d);
+    let i0 = z0 + c - p;
+    (z0, z1.max(z0), i0)
+}
+
+impl Layer for Conv3d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 4, "conv3d expects [c, d1, d2, d3]");
+        assert_eq!(shape[0], self.in_c, "conv3d channel mismatch");
+        let (d1, d2, d3) = (shape[1], shape[2], shape[3]);
+        let k = self.k;
+        let p = k / 2;
+        let mut out = Tensor::zeros(&[self.out_c, d1, d2, d3]);
+        let bias = self.bias.value.data().to_vec();
+        let w = self.weight.value.data();
+        let xin = x.data();
+        let out_data = out.data_mut();
+        // The z axis is contiguous: accumulate per (oc, x, y) output row
+        // with shifted-slice AXPYs, which the compiler vectorizes.
+        for oc in 0..self.out_c {
+            for x1 in 0..d1 {
+                for y in 0..d2 {
+                    let o_base = ((oc * d1 + x1) * d2 + y) * d3;
+                    let out_row = &mut out_data[o_base..o_base + d3];
+                    out_row.fill(bias[oc]);
+                    for ic in 0..self.in_c {
+                        for a in 0..k {
+                            let sx = x1 + a;
+                            if sx < p || sx - p >= d1 {
+                                continue;
+                            }
+                            let ix = sx - p;
+                            for b in 0..k {
+                                let sy = y + b;
+                                if sy < p || sy - p >= d2 {
+                                    continue;
+                                }
+                                let iy = sy - p;
+                                let i_base = ((ic * d1 + ix) * d2 + iy) * d3;
+                                let w_base = (((oc * self.in_c + ic) * k + a) * k + b) * k;
+                                for c in 0..k {
+                                    let (z0, z1, i0) = tap_range(d3, c, p);
+                                    if z0 >= z1 {
+                                        continue;
+                                    }
+                                    let wv = w[w_base + c];
+                                    let src = &xin[i_base + i0..i_base + i0 + (z1 - z0)];
+                                    let dst = &mut out_row[z0..z1];
+                                    for (d, s) in dst.iter_mut().zip(src) {
+                                        *d += wv * s;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cache_input = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cache_input
+            .take()
+            .expect("conv3d backward without forward");
+        let shape = x.shape();
+        let (d1, d2, d3) = (shape[1], shape[2], shape[3]);
+        assert_eq!(grad_out.shape(), &[self.out_c, d1, d2, d3]);
+        let k = self.k;
+        let p = k / 2;
+        let mut grad_in = Tensor::zeros(shape);
+        let g = grad_out.data();
+        let xin = x.data();
+        let w = self.weight.value.data();
+        let gw = self.weight.grad.data_mut();
+        let gb = self.bias.grad.data_mut();
+        let gi = grad_in.data_mut();
+
+        for oc in 0..self.out_c {
+            for x1 in 0..d1 {
+                for y in 0..d2 {
+                    let o_base = ((oc * d1 + x1) * d2 + y) * d3;
+                    let g_row = &g[o_base..o_base + d3];
+                    gb[oc] += g_row.iter().sum::<f32>();
+                    for ic in 0..self.in_c {
+                        for a in 0..k {
+                            let sx = x1 + a;
+                            if sx < p || sx - p >= d1 {
+                                continue;
+                            }
+                            let ix = sx - p;
+                            for b in 0..k {
+                                let sy = y + b;
+                                if sy < p || sy - p >= d2 {
+                                    continue;
+                                }
+                                let iy = sy - p;
+                                let i_base = ((ic * d1 + ix) * d2 + iy) * d3;
+                                let w_base = (((oc * self.in_c + ic) * k + a) * k + b) * k;
+                                for c in 0..k {
+                                    let (z0, z1, i0) = tap_range(d3, c, p);
+                                    if z0 >= z1 {
+                                        continue;
+                                    }
+                                    let len = z1 - z0;
+                                    let g_slice = &g_row[z0..z1];
+                                    let x_slice = &xin[i_base + i0..i_base + i0 + len];
+                                    // dL/dw: dot(g_row, x_row shifted).
+                                    let mut dot = 0.0f32;
+                                    for (gv, xv) in g_slice.iter().zip(x_slice) {
+                                        dot += gv * xv;
+                                    }
+                                    gw[w_base + c] += dot;
+                                    // dL/dx: shifted AXPY of g_row by w.
+                                    let wv = w[w_base + c];
+                                    let gi_slice = &mut gi[i_base + i0..i_base + i0 + len];
+                                    for (d, gv) in gi_slice.iter_mut().zip(g_slice) {
+                                        *d += wv * gv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    fn conv(in_c: usize, out_c: usize, k: usize, seed: u64) -> Conv3d {
+        Conv3d::new(in_c, out_c, k, &mut Initializer::new(seed))
+    }
+
+    #[test]
+    fn output_shape_preserves_spatial_dims() {
+        let mut c = conv(2, 5, 3, 0);
+        let x = Tensor::zeros(&[2, 4, 6, 3]);
+        assert_eq!(c.forward(&x).shape(), &[5, 4, 6, 3]);
+        // Also for 1x1x1 kernels and odd sizes.
+        let mut c1 = conv(2, 1, 1, 0);
+        assert_eq!(c1.forward(&x).shape(), &[1, 4, 6, 3]);
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // One input channel, one output channel, 3x3x3 kernel with a 1 at
+        // the center: convolution must be the identity.
+        let mut c = conv(1, 1, 3, 0);
+        c.params_mut()[0].value.fill(0.0);
+        let center = ((0 * 3 + 1) * 3 + 1) * 3 + 1;
+        c.weight.value.data_mut()[center] = 1.0;
+        c.bias.value.fill(0.0);
+        let x = Tensor::from_fn4(&[1, 3, 3, 2], |_, a, b, d| (a * 100 + b * 10 + d) as f32);
+        let y = c.forward(&x);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let mut c = conv(1, 1, 1, 0);
+        c.weight.value.fill(0.0);
+        c.bias.value.fill(2.5);
+        let x = Tensor::zeros(&[1, 2, 2, 2]);
+        let y = c.forward(&x);
+        assert!(y.data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn zero_padding_at_borders() {
+        // Kernel of all ones sums the 3x3x1 neighborhood; at a corner of a
+        // 2x2x1 input only 4 cells exist.
+        let mut c = conv(1, 1, 3, 0);
+        c.weight.value.fill(1.0);
+        c.bias.value.fill(0.0);
+        let x = Tensor::from_vec(&[1, 2, 2, 1], vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let y = c.forward(&x);
+        assert!(y.data().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut c = conv(2, 3, 3, 7);
+        let x = Initializer::new(3).uniform(&[2, 3, 2, 2], 1.0);
+        check_layer_gradients(&mut c, &x, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn gradients_match_for_1x1_kernels() {
+        let mut c = conv(3, 2, 1, 9);
+        let x = Initializer::new(4).uniform(&[3, 2, 3, 2], 1.0);
+        check_layer_gradients(&mut c, &x, 1e-2, 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn even_kernel_panics() {
+        conv(1, 1, 2, 0);
+    }
+}

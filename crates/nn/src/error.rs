@@ -1,0 +1,70 @@
+//! Error types for the neural-network substrate.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by the neural-network substrate.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum NnError {
+    /// Two tensors (or a tensor and an expectation) disagree on shape.
+    ShapeMismatch {
+        /// The shape that was expected.
+        expected: Vec<usize>,
+        /// The shape that was found.
+        found: Vec<usize>,
+    },
+    /// Weight (de)serialization failed at the I/O level.
+    Io(io::Error),
+    /// A serialized model file is malformed or from an incompatible version.
+    BadModelFile(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected:?}, found {found:?}")
+            }
+            NnError::Io(e) => write!(f, "model i/o failed: {e}"),
+            NnError::BadModelFile(why) => write!(f, "bad model file: {why}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NnError {
+    fn from(e: io::Error) -> Self {
+        NnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_shapes() {
+        let e = NnError::ShapeMismatch {
+            expected: vec![1, 2],
+            found: vec![2, 1],
+        };
+        assert!(e.to_string().contains("[1, 2]"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let e = NnError::from(io::Error::new(io::ErrorKind::NotFound, "x"));
+        assert!(matches!(e, NnError::Io(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,68 @@
+//! Weight initialization.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// A seeded weight initializer (He/Kaiming-style uniform).
+#[derive(Debug)]
+pub struct Initializer {
+    rng: StdRng,
+}
+
+impl Initializer {
+    /// Creates an initializer from a seed.
+    pub fn new(seed: u64) -> Self {
+        Initializer {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// He-uniform initialization for a convolution weight of the given
+    /// shape, using `fan_in` input connections per output.
+    pub fn he_uniform(&mut self, shape: &[usize], fan_in: usize) -> Tensor {
+        let bound = (6.0 / fan_in.max(1) as f32).sqrt();
+        let mut t = Tensor::zeros(shape);
+        for v in t.data_mut() {
+            *v = self.rng.gen_range(-bound..bound);
+        }
+        t
+    }
+
+    /// Uniform initialization in `[-bound, bound]`.
+    pub fn uniform(&mut self, shape: &[usize], bound: f32) -> Tensor {
+        let mut t = Tensor::zeros(shape);
+        for v in t.data_mut() {
+            *v = self.rng.gen_range(-bound..=bound);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_uniform_is_bounded_and_seeded() {
+        let mut a = Initializer::new(1);
+        let mut b = Initializer::new(1);
+        let ta = a.he_uniform(&[4, 4], 16);
+        let tb = b.he_uniform(&[4, 4], 16);
+        assert_eq!(ta, tb, "same seed gives same weights");
+        let bound = (6.0f32 / 16.0).sqrt();
+        for &v in ta.data() {
+            assert!(v.abs() <= bound);
+        }
+        // Not all identical.
+        assert!(ta.data().iter().any(|&v| v != ta.data()[0]));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let ta = Initializer::new(1).he_uniform(&[8], 8);
+        let tb = Initializer::new(2).he_uniform(&[8], 8);
+        assert_ne!(ta, tb);
+    }
+}

@@ -1,0 +1,84 @@
+//! The [`Layer`] trait and trainable [`Param`]eters.
+
+use std::fmt;
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter: the value tensor and its accumulated gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zero gradient of matching shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+}
+
+impl fmt::Display for Param {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "param {:?}", self.value.shape())
+    }
+}
+
+/// A differentiable layer with cached activations.
+///
+/// The substrate uses define-by-run style with explicit caches: `forward`
+/// stores whatever `backward` needs, and `backward` consumes the most recent
+/// forward pass. Layers are therefore stateful and a `forward`/`backward`
+/// pair must not interleave with other passes through the same layer.
+pub trait Layer {
+    /// Computes the layer output, caching intermediates for `backward`.
+    fn forward(&mut self, x: &Tensor) -> Tensor;
+
+    /// Propagates the output gradient to the input gradient, accumulating
+    /// parameter gradients along the way.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `backward` is called without a matching
+    /// preceding `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// The layer's trainable parameters (empty for activations and pooling).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of trainable scalars.
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.value.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_tracks_matching_grad_shape() {
+        let mut p = Param::new(Tensor::zeros(&[3, 2]));
+        assert_eq!(p.grad.shape(), &[3, 2]);
+        p.grad.fill(1.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Pure-Rust 3D convolutional neural-network substrate.
+//!
+//! The paper trains its Steiner-point selector — a 3D Residual U-Net
+//! (Section 3.3, Fig. 4) — with PyTorch on GPUs. That stack is not
+//! available in this offline pure-Rust reproduction, so this crate
+//! implements the required pieces from scratch (DESIGN.md §5,
+//! substitution 1):
+//!
+//! * dense [`Tensor`]s with dynamic shapes ([`tensor`]),
+//! * [`Conv3d`](conv3d::Conv3d) with same-padding and full backprop,
+//! * ReLU / sigmoid activations ([`activation`]),
+//! * ceil-mode 3D max pooling and nearest-neighbor upsampling to arbitrary
+//!   target shapes ([`pool`], [`upsample`]) — the pair that lets the U-Net
+//!   accept **any** `H × V × M` input,
+//! * residual blocks ([`residual`], optionally group-normalized via
+//!   [`norm`]) and the full 3D Residual U-Net ([`unet`]),
+//! * binary cross-entropy with logits ([`loss`]), SGD and Adam ([`optim`]),
+//! * weight (de)serialization ([`serialize`]) and finite-difference
+//!   gradient checking ([`gradcheck`]).
+//!
+//! Everything is `f32`, single-sample (mini-batches are gradient
+//! accumulation), and CPU-only — appropriate for the laptop-scale
+//! experiments of this reproduction.
+//!
+//! # Example
+//!
+//! ```
+//! use oarsmt_nn::layer::Layer;
+//! use oarsmt_nn::tensor::Tensor;
+//! use oarsmt_nn::unet::{UNet3d, UNetConfig};
+//!
+//! let mut net = UNet3d::new(UNetConfig {
+//!     in_channels: 7,
+//!     base_channels: 4,
+//!     levels: 2,
+//!     seed: 0,
+//! });
+//! // Arbitrary spatial size: 5 x 9 x 3.
+//! let x = Tensor::zeros(&[7, 5, 9, 3]);
+//! let y = net.forward(&x);
+//! assert_eq!(y.shape(), &[1, 5, 9, 3]);
+//! ```
+
+pub mod activation;
+pub mod conv3d;
+pub mod error;
+pub mod gradcheck;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod norm;
+pub mod optim;
+pub mod pool;
+pub mod residual;
+pub mod serialize;
+pub mod tensor;
+pub mod unet;
+pub mod upsample;
+
+pub use error::NnError;
+pub use layer::{Layer, Param};
+pub use tensor::Tensor;
+pub use unet::{UNet3d, UNetConfig};

@@ -1,0 +1,136 @@
+//! Binary cross-entropy with logits — the paper's training loss
+//! (Section 3.5: the selector "is directly fitted with the collected
+//! training samples using binary cross-entropy loss").
+
+use crate::activation::sigmoid;
+use crate::tensor::Tensor;
+
+/// Result of a loss evaluation: the scalar loss and the gradient with
+/// respect to the logits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the *unmasked* elements.
+    pub loss: f32,
+    /// Gradient of the mean loss with respect to each logit.
+    pub grad: Tensor,
+}
+
+/// Numerically stable binary cross-entropy on logits with an optional
+/// per-element mask.
+///
+/// For each element with logit `z`, target `t ∈ [0, 1]` and mask weight
+/// `w ≥ 0`:
+///
+/// `loss = w * (max(z, 0) − z·t + ln(1 + e^{−|z|}))`
+///
+/// The reported loss and gradient are normalized by the total mask weight
+/// (or element count when `mask` is `None`). Masking excludes pins and
+/// obstacle vertices, whose "final selected probability" is undefined.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or the mask weight sums to zero.
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor, mask: Option<&Tensor>) -> LossOutput {
+    assert_eq!(logits.shape(), targets.shape(), "logits/targets mismatch");
+    if let Some(m) = mask {
+        assert_eq!(m.shape(), logits.shape(), "mask shape mismatch");
+    }
+    let n = logits.len();
+    let total_w: f32 = match mask {
+        Some(m) => m.data().iter().sum(),
+        None => n as f32,
+    };
+    assert!(total_w > 0.0, "mask must select at least one element");
+
+    let mut grad = Tensor::zeros(logits.shape());
+    let mut loss = 0.0f64;
+    for i in 0..n {
+        let w = mask.map_or(1.0, |m| m.data()[i]);
+        if w == 0.0 {
+            continue;
+        }
+        let z = logits.data()[i];
+        let t = targets.data()[i];
+        debug_assert!((0.0..=1.0).contains(&t), "targets must be probabilities");
+        let l = z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+        loss += (w * l) as f64;
+        grad.data_mut()[i] = w * (sigmoid(z) - t) / total_w;
+    }
+    LossOutput {
+        loss: (loss / total_w as f64) as f32,
+        grad,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_confident_predictions_have_near_zero_loss() {
+        let logits = Tensor::from_vec(&[4], vec![20.0, -20.0, 20.0, -20.0]).unwrap();
+        let targets = Tensor::from_vec(&[4], vec![1.0, 0.0, 1.0, 0.0]).unwrap();
+        let out = bce_with_logits(&logits, &targets, None);
+        assert!(out.loss < 1e-6);
+        assert!(out.grad.max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn uniform_logit_zero_gives_ln2() {
+        let logits = Tensor::from_vec(&[2], vec![0.0, 0.0]).unwrap();
+        let targets = Tensor::from_vec(&[2], vec![1.0, 0.0]).unwrap();
+        let out = bce_with_logits(&logits, &targets, None);
+        assert!((out.loss - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(&[3], vec![0.3, -1.2, 2.0]).unwrap();
+        let targets = Tensor::from_vec(&[3], vec![0.9, 0.1, 0.5]).unwrap();
+        let out = bce_with_logits(&logits, &targets, None);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let num = (bce_with_logits(&lp, &targets, None).loss
+                - bce_with_logits(&lm, &targets, None).loss)
+                / (2.0 * eps);
+            assert!((num - out.grad.data()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn masked_elements_contribute_nothing() {
+        let logits = Tensor::from_vec(&[2], vec![5.0, -3.0]).unwrap();
+        let targets = Tensor::from_vec(&[2], vec![0.0, 0.0]).unwrap();
+        let mask = Tensor::from_vec(&[2], vec![0.0, 1.0]).unwrap();
+        let out = bce_with_logits(&logits, &targets, Some(&mask));
+        assert_eq!(out.grad.data()[0], 0.0);
+        // Loss is just the second element's BCE.
+        let unmasked = bce_with_logits(
+            &Tensor::from_vec(&[1], vec![-3.0]).unwrap(),
+            &Tensor::from_vec(&[1], vec![0.0]).unwrap(),
+            None,
+        );
+        assert!((out.loss - unmasked.loss).abs() < 1e-6);
+    }
+
+    #[test]
+    fn extreme_logits_stay_finite() {
+        let logits = Tensor::from_vec(&[2], vec![500.0, -500.0]).unwrap();
+        let targets = Tensor::from_vec(&[2], vec![0.0, 1.0]).unwrap();
+        let out = bce_with_logits(&logits, &targets, None);
+        assert!(out.loss.is_finite());
+        assert!(out.grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one element")]
+    fn all_zero_mask_panics() {
+        let t = Tensor::from_vec(&[1], vec![0.0]).unwrap();
+        let mask = Tensor::from_vec(&[1], vec![0.0]).unwrap();
+        bce_with_logits(&t, &t, Some(&mask));
+    }
+}

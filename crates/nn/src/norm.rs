@@ -1,0 +1,215 @@
+//! Group normalization (Wu & He) with full backpropagation.
+//!
+//! Batch normalization is useless at batch size 1 (this substrate trains
+//! sample-by-sample with gradient accumulation), so the normalization
+//! option for the U-Net is GroupNorm: channels are split into groups and
+//! each group is normalized over its channels and all spatial positions,
+//! with learned per-channel scale and shift.
+
+use crate::layer::{Layer, Param};
+use crate::tensor::Tensor;
+
+/// Group normalization over `[C, D1, D2, D3]` tensors.
+#[derive(Debug, Clone)]
+pub struct GroupNorm {
+    channels: usize,
+    groups: usize,
+    eps: f32,
+    gamma: Param,
+    beta: Param,
+    cache: Option<NormCache>,
+}
+
+#[derive(Debug, Clone)]
+struct NormCache {
+    /// Normalized activations `x_hat`.
+    x_hat: Tensor,
+    /// Per-group `1 / sqrt(var + eps)`.
+    inv_std: Vec<f32>,
+}
+
+impl GroupNorm {
+    /// Creates a GroupNorm layer with `groups` groups over `channels`
+    /// channels; `gamma` starts at 1, `beta` at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not divide `channels` or either is zero.
+    pub fn new(channels: usize, groups: usize) -> Self {
+        assert!(
+            groups > 0 && channels > 0 && channels % groups == 0,
+            "groups ({groups}) must divide channels ({channels})"
+        );
+        let mut gamma = Tensor::zeros(&[channels]);
+        gamma.fill(1.0);
+        GroupNorm {
+            channels,
+            groups,
+            eps: 1e-5,
+            gamma: Param::new(gamma),
+            beta: Param::new(Tensor::zeros(&[channels])),
+            cache: None,
+        }
+    }
+
+    /// Number of channel groups.
+    pub fn groups(&self) -> usize {
+        self.groups
+    }
+}
+
+impl Layer for GroupNorm {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "groupnorm expects [c, d1, d2, d3]");
+        assert_eq!(s[0], self.channels, "groupnorm channel mismatch");
+        let spatial: usize = s[1..].iter().product();
+        let per_group = self.channels / self.groups;
+        let group_len = per_group * spatial;
+
+        let mut x_hat = Tensor::zeros(s);
+        let mut inv_std = vec![0.0f32; self.groups];
+        let data = x.data();
+        for g in 0..self.groups {
+            let start = g * group_len;
+            let slice = &data[start..start + group_len];
+            let mean: f32 = slice.iter().sum::<f32>() / group_len as f32;
+            let var: f32 =
+                slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / group_len as f32;
+            let is = 1.0 / (var + self.eps).sqrt();
+            inv_std[g] = is;
+            for (i, &v) in slice.iter().enumerate() {
+                x_hat.data_mut()[start + i] = (v - mean) * is;
+            }
+        }
+        // y = gamma[c] * x_hat + beta[c].
+        let mut y = x_hat.clone();
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+        for c in 0..self.channels {
+            let base = c * spatial;
+            for i in 0..spatial {
+                let v = y.data()[base + i];
+                y.data_mut()[base + i] = gamma[c] * v + beta[c];
+            }
+        }
+        self.cache = Some(NormCache { x_hat, inv_std });
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("groupnorm backward without forward");
+        let s = grad_out.shape().to_vec();
+        let spatial: usize = s[1..].iter().product();
+        let per_group = self.channels / self.groups;
+        let group_len = per_group * spatial;
+
+        // Parameter gradients.
+        let g_out = grad_out.data();
+        let x_hat = cache.x_hat.data();
+        for c in 0..self.channels {
+            let base = c * spatial;
+            let mut dg = 0.0f32;
+            let mut db = 0.0f32;
+            for i in 0..spatial {
+                dg += g_out[base + i] * x_hat[base + i];
+                db += g_out[base + i];
+            }
+            self.gamma.grad.data_mut()[c] += dg;
+            self.beta.grad.data_mut()[c] += db;
+        }
+
+        // Input gradient: for each group,
+        // dx = (inv_std / N) * (N * dxhat - sum(dxhat) - x_hat * sum(dxhat * x_hat))
+        // where dxhat = g_out * gamma[c].
+        let gamma = self.gamma.value.data();
+        let mut grad_in = Tensor::zeros(&s);
+        for g in 0..self.groups {
+            let start = g * group_len;
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            let mut dxhat = vec![0.0f32; group_len];
+            for i in 0..group_len {
+                let c = (start + i) / spatial;
+                let d = g_out[start + i] * gamma[c];
+                dxhat[i] = d;
+                sum_dxhat += d;
+                sum_dxhat_xhat += d * x_hat[start + i];
+            }
+            let n = group_len as f32;
+            let is = cache.inv_std[g];
+            for i in 0..group_len {
+                grad_in.data_mut()[start + i] = (is / n)
+                    * (n * dxhat[i] - sum_dxhat - x_hat[start + i] * sum_dxhat_xhat);
+            }
+        }
+        grad_in
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::init::Initializer;
+
+    #[test]
+    fn output_is_normalized_per_group() {
+        let mut gn = GroupNorm::new(4, 2);
+        let x = Initializer::new(1).uniform(&[4, 3, 2, 1], 5.0);
+        let y = gn.forward(&x);
+        // Each group of 2 channels x 6 positions has ~zero mean, ~unit var.
+        let spatial = 6;
+        for g in 0..2 {
+            let slice = &y.data()[g * 2 * spatial..(g + 1) * 2 * spatial];
+            let mean: f32 = slice.iter().sum::<f32>() / slice.len() as f32;
+            let var: f32 =
+                slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / slice.len() as f32;
+            assert!(mean.abs() < 1e-4, "group {g} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "group {g} var {var}");
+        }
+    }
+
+    #[test]
+    fn scale_and_shift_apply_per_channel() {
+        let mut gn = GroupNorm::new(2, 1);
+        gn.gamma.value.data_mut()[0] = 2.0;
+        gn.gamma.value.data_mut()[1] = 0.5;
+        gn.beta.value.data_mut()[1] = 3.0;
+        let x = Initializer::new(2).uniform(&[2, 2, 2, 1], 1.0);
+        let y = gn.forward(&x);
+        // Channel 1 (spatial size 4) values cluster around beta = 3.
+        let c1: f32 = y.data()[4..8].iter().sum::<f32>() / 4.0;
+        assert!((c1 - 3.0).abs() < 1.0, "channel-1 mean {c1}");
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut gn = GroupNorm::new(4, 2);
+        // Non-trivial gamma/beta so their gradients are exercised.
+        for (i, v) in gn.gamma.value.data_mut().iter_mut().enumerate() {
+            *v = 0.5 + 0.3 * i as f32;
+        }
+        let x = Initializer::new(3).uniform(&[4, 2, 2, 1], 1.0);
+        check_layer_gradients(&mut gn, &x, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn single_group_is_layer_norm() {
+        let mut gn = GroupNorm::new(3, 1);
+        let x = Initializer::new(4).uniform(&[3, 2, 1, 1], 2.0);
+        let y = gn.forward(&x);
+        let mean: f32 = y.data().iter().sum::<f32>() / y.len() as f32;
+        assert!(mean.abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn invalid_group_count_panics() {
+        GroupNorm::new(5, 2);
+    }
+}

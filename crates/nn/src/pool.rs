@@ -1,0 +1,151 @@
+//! Ceil-mode 3D max pooling.
+//!
+//! The U-Net downsamples with window-2, stride-2 max pooling in **ceil
+//! mode**: an axis of size `d` pools to `ceil(d / 2)`, so odd and even (and
+//! even size-1) axes all work. Together with
+//! [`upsample`](crate::upsample)-to-target-shape on the decoder side, this
+//! is what lets the network consume Hanan graphs of any `H × V × M`.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Window-2, stride-2, ceil-mode 3D max pooling.
+#[derive(Debug, Clone, Default)]
+pub struct MaxPool3d {
+    cache: Option<PoolCache>,
+}
+
+#[derive(Debug, Clone)]
+struct PoolCache {
+    in_shape: Vec<usize>,
+    /// For each output element, the linear input index of its maximum.
+    argmax: Vec<u32>,
+}
+
+/// Pooled size of one axis.
+#[inline]
+pub fn pooled(d: usize) -> usize {
+    d.div_ceil(2)
+}
+
+impl MaxPool3d {
+    /// Creates a pooling layer.
+    pub fn new() -> Self {
+        MaxPool3d::default()
+    }
+}
+
+impl Layer for MaxPool3d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "maxpool expects [c, d1, d2, d3]");
+        let (c, d1, d2, d3) = (s[0], s[1], s[2], s[3]);
+        let (o1, o2, o3) = (pooled(d1), pooled(d2), pooled(d3));
+        let mut out = Tensor::zeros(&[c, o1, o2, o3]);
+        let mut argmax = vec![0u32; out.len()];
+        let mut oi = 0;
+        for ci in 0..c {
+            for x1 in 0..o1 {
+                for y in 0..o2 {
+                    for z in 0..o3 {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for dx in 0..2 {
+                            let ix = x1 * 2 + dx;
+                            if ix >= d1 {
+                                continue;
+                            }
+                            for dy in 0..2 {
+                                let iy = y * 2 + dy;
+                                if iy >= d2 {
+                                    continue;
+                                }
+                                for dz in 0..2 {
+                                    let iz = z * 2 + dz;
+                                    if iz >= d3 {
+                                        continue;
+                                    }
+                                    let idx = x.idx4(ci, ix, iy, iz);
+                                    let v = x.data()[idx];
+                                    if v > best {
+                                        best = v;
+                                        best_idx = idx;
+                                    }
+                                }
+                            }
+                        }
+                        out.data_mut()[oi] = best;
+                        argmax[oi] = best_idx as u32;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        self.cache = Some(PoolCache {
+            in_shape: s.to_vec(),
+            argmax,
+        });
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.take().expect("maxpool backward without forward");
+        assert_eq!(grad_out.len(), cache.argmax.len());
+        let mut grad_in = Tensor::zeros(&cache.in_shape);
+        for (oi, &src) in cache.argmax.iter().enumerate() {
+            grad_in.data_mut()[src as usize] += grad_out.data()[oi];
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooled_sizes_use_ceil() {
+        assert_eq!(pooled(1), 1);
+        assert_eq!(pooled(2), 1);
+        assert_eq!(pooled(3), 2);
+        assert_eq!(pooled(5), 3);
+        assert_eq!(pooled(8), 4);
+    }
+
+    #[test]
+    fn pools_maxima_per_window() {
+        let x = Tensor::from_fn4(&[1, 2, 2, 2], |_, a, b, c| (a * 4 + b * 2 + c) as f32);
+        let mut p = MaxPool3d::new();
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 7.0);
+    }
+
+    #[test]
+    fn odd_axes_keep_tail_windows() {
+        let x = Tensor::from_fn4(&[1, 3, 1, 1], |_, a, _, _| a as f32);
+        let mut p = MaxPool3d::new();
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), &[1, 2, 1, 1]);
+        assert_eq!(y.data(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_routes_gradient_to_argmax() {
+        let x = Tensor::from_vec(&[1, 2, 1, 1], vec![3.0, 5.0]).unwrap();
+        let mut p = MaxPool3d::new();
+        let y = p.forward(&x);
+        assert_eq!(y.data(), &[5.0]);
+        let g = p.backward(&Tensor::from_vec(&[1, 1, 1, 1], vec![2.0]).unwrap());
+        assert_eq!(g.data(), &[0.0, 2.0]);
+    }
+
+    #[test]
+    fn size_one_axes_pass_through() {
+        let x = Tensor::from_fn4(&[2, 1, 1, 1], |c, _, _, _| c as f32);
+        let mut p = MaxPool3d::new();
+        let y = p.forward(&x);
+        assert_eq!(y.shape(), &[2, 1, 1, 1]);
+        assert_eq!(y.data(), x.data());
+    }
+}

@@ -1,0 +1,186 @@
+//! 3D convolutional residual blocks (He et al., as adopted by the paper's
+//! architecture: "3D convolutional residual blocks", Section 3.3).
+
+use crate::activation::Relu;
+use crate::conv3d::Conv3d;
+use crate::init::Initializer;
+use crate::layer::{Layer, Param};
+use crate::norm::GroupNorm;
+use crate::tensor::Tensor;
+
+/// A pre-activation-free residual block:
+/// `y = relu(conv2(norm?(relu(norm?(conv1(x))))) + proj(x))`,
+/// where `proj` is the identity when channel counts match and a `1×1×1`
+/// convolution otherwise, and the optional [`GroupNorm`]s are inserted by
+/// [`ResidualBlock::new_normed`].
+#[derive(Debug)]
+pub struct ResidualBlock {
+    conv1: Conv3d,
+    norm1: Option<GroupNorm>,
+    relu1: Relu,
+    conv2: Conv3d,
+    norm2: Option<GroupNorm>,
+    relu_out: Relu,
+    projection: Option<Conv3d>,
+    cache_x: Option<Tensor>,
+}
+
+impl ResidualBlock {
+    /// Creates a residual block mapping `in_c` to `out_c` channels with
+    /// `k × k × k` kernels (the paper uses `k = 3`).
+    pub fn new(in_c: usize, out_c: usize, k: usize, init: &mut Initializer) -> Self {
+        ResidualBlock {
+            conv1: Conv3d::new(in_c, out_c, k, init),
+            norm1: None,
+            relu1: Relu::new(),
+            conv2: Conv3d::new(out_c, out_c, k, init),
+            norm2: None,
+            relu_out: Relu::new(),
+            projection: (in_c != out_c).then(|| Conv3d::new(in_c, out_c, 1, init)),
+            cache_x: None,
+        }
+    }
+
+    /// Creates a residual block with a [`GroupNorm`] after each convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `groups` does not divide `out_c`.
+    pub fn new_normed(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        groups: usize,
+        init: &mut Initializer,
+    ) -> Self {
+        ResidualBlock {
+            norm1: Some(GroupNorm::new(out_c, groups)),
+            norm2: Some(GroupNorm::new(out_c, groups)),
+            ..ResidualBlock::new(in_c, out_c, k, init)
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.conv2.out_channels()
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut h = self.conv1.forward(x);
+        if let Some(n) = &mut self.norm1 {
+            h = n.forward(&h);
+        }
+        h = self.relu1.forward(&h);
+        h = self.conv2.forward(&h);
+        if let Some(n) = &mut self.norm2 {
+            h = n.forward(&h);
+        }
+        let main = h;
+        let skip = match &mut self.projection {
+            Some(proj) => proj.forward(x),
+            None => x.clone(),
+        };
+        let mut sum = main;
+        sum.add_assign(&skip);
+        self.cache_x = Some(x.clone());
+        self.relu_out.forward(&sum)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.cache_x.take().expect("residual backward without forward");
+        let grad_sum = self.relu_out.backward(grad_out);
+        // Main branch.
+        let mut g = grad_sum.clone();
+        if let Some(n) = &mut self.norm2 {
+            g = n.backward(&g);
+        }
+        g = self.conv2.backward(&g);
+        g = self.relu1.backward(&g);
+        if let Some(n) = &mut self.norm1 {
+            g = n.backward(&g);
+        }
+        let g_main = self.conv1.backward(&g);
+        // Skip branch.
+        let g_skip = match &mut self.projection {
+            Some(proj) => proj.backward(&grad_sum),
+            None => grad_sum,
+        };
+        let mut g = g_main;
+        g.add_assign(&g_skip);
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = self.conv1.params_mut();
+        if let Some(n) = &mut self.norm1 {
+            ps.extend(n.params_mut());
+        }
+        ps.extend(self.conv2.params_mut());
+        if let Some(n) = &mut self.norm2 {
+            ps.extend(n.params_mut());
+        }
+        if let Some(proj) = &mut self.projection {
+            ps.extend(proj.params_mut());
+        }
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    #[test]
+    fn same_channel_block_has_no_projection() {
+        let mut b = ResidualBlock::new(3, 3, 3, &mut Initializer::new(0));
+        assert_eq!(b.params_mut().len(), 4); // two convs x (w, b)
+        let x = Tensor::zeros(&[3, 2, 2, 2]);
+        assert_eq!(b.forward(&x).shape(), &[3, 2, 2, 2]);
+    }
+
+    #[test]
+    fn channel_change_uses_projection() {
+        let mut b = ResidualBlock::new(2, 5, 3, &mut Initializer::new(0));
+        assert_eq!(b.params_mut().len(), 6);
+        let x = Tensor::zeros(&[2, 3, 2, 1]);
+        assert_eq!(b.forward(&x).shape(), &[5, 3, 2, 1]);
+    }
+
+    #[test]
+    fn zero_weights_pass_skip_through_relu() {
+        let mut b = ResidualBlock::new(2, 2, 3, &mut Initializer::new(0));
+        for p in b.params_mut() {
+            p.value.fill(0.0);
+        }
+        let x = Tensor::from_fn4(&[2, 2, 2, 1], |c, a, bb, _| (c + a + bb) as f32 - 1.0);
+        let y = b.forward(&x);
+        // With zero main branch and identity skip, y = relu(x).
+        for (yv, xv) in y.data().iter().zip(x.data()) {
+            assert_eq!(*yv, xv.max(0.0));
+        }
+    }
+
+    #[test]
+    fn gradcheck_identity_skip() {
+        let mut b = ResidualBlock::new(2, 2, 3, &mut Initializer::new(5));
+        let x = Initializer::new(6).uniform(&[2, 2, 2, 2], 1.0);
+        check_layer_gradients(&mut b, &x, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn gradcheck_normed_block() {
+        let mut b = ResidualBlock::new_normed(2, 4, 3, 2, &mut Initializer::new(11));
+        let x = Initializer::new(12).uniform(&[2, 2, 2, 1], 1.0);
+        check_layer_gradients(&mut b, &x, 1e-2, 4e-2);
+    }
+
+    #[test]
+    fn gradcheck_projected_skip() {
+        let mut b = ResidualBlock::new(2, 3, 1, &mut Initializer::new(8));
+        let x = Initializer::new(9).uniform(&[2, 2, 2, 1], 1.0);
+        check_layer_gradients(&mut b, &x, 1e-2, 3e-2);
+    }
+}

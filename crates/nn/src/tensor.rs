@@ -1,0 +1,295 @@
+//! Dense row-major `f32` tensors with dynamic shapes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+
+/// A dense row-major tensor of `f32` values.
+///
+/// The network code works mostly with 4-D tensors shaped
+/// `[channels, d1, d2, d3]` where the spatial axes map to the Hanan graph's
+/// `H`, `V` and `M` dimensions; the type itself supports any rank.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape has a zero dimension (empty tensors are a bug in
+    /// this codebase, not a use case).
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n: usize = shape.iter().product();
+        assert!(
+            n > 0 && !shape.is_empty(),
+            "tensor shapes must be non-empty and positive, got {shape:?}"
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor from raw data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `data.len()` does not equal the
+    /// product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Result<Self, NnError> {
+        let n: usize = shape.iter().product();
+        if n != data.len() || shape.is_empty() {
+            return Err(NnError::ShapeMismatch {
+                expected: shape.to_vec(),
+                found: vec![data.len()],
+            });
+        }
+        Ok(Tensor {
+            shape: shape.to_vec(),
+            data,
+        })
+    }
+
+    /// Creates a 4-D tensor filled by an index function `(c, x, y, z) -> v`.
+    pub fn from_fn4<F: FnMut(usize, usize, usize, usize) -> f32>(
+        shape: &[usize; 4],
+        mut f: F,
+    ) -> Self {
+        let mut t = Tensor::zeros(shape);
+        let [c, d1, d2, d3] = *shape;
+        let mut i = 0;
+        for ci in 0..c {
+            for x in 0..d1 {
+                for y in 0..d2 {
+                    for z in 0..d3 {
+                        t.data[i] = f(ci, x, y, z);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data slice.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, yielding its raw data.
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Linear index of a 4-D position. The tensor must be 4-D.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on out-of-range indices or wrong rank.
+    #[inline]
+    pub fn idx4(&self, c: usize, x: usize, y: usize, z: usize) -> usize {
+        debug_assert_eq!(self.shape.len(), 4);
+        debug_assert!(
+            c < self.shape[0] && x < self.shape[1] && y < self.shape[2] && z < self.shape[3]
+        );
+        ((c * self.shape[1] + x) * self.shape[2] + y) * self.shape[3] + z
+    }
+
+    /// Reads a 4-D element.
+    #[inline]
+    pub fn at4(&self, c: usize, x: usize, y: usize, z: usize) -> f32 {
+        self.data[self.idx4(c, x, y, z)]
+    }
+
+    /// Writes a 4-D element.
+    #[inline]
+    pub fn set4(&mut self, c: usize, x: usize, y: usize, z: usize, v: f32) {
+        let i = self.idx4(c, x, y, z);
+        self.data[i] = v;
+    }
+
+    /// Fills the tensor with a constant.
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// Elementwise in-place addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// In-place scaling.
+    pub fn scale(&mut self, k: f32) {
+        for a in &mut self.data {
+            *a *= k;
+        }
+    }
+
+    /// Elementwise map into a new tensor.
+    pub fn map<F: FnMut(f32) -> f32>(&self, mut f: F) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum absolute element (0 for all-zero tensors).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Concatenates two 4-D tensors along the channel axis; the spatial
+    /// shapes must agree.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank or spatial-shape mismatch.
+    pub fn concat_channels(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 4);
+        assert_eq!(&self.shape[1..], &other.shape[1..], "spatial mismatch");
+        let mut out = Tensor::zeros(&[
+            self.shape[0] + other.shape[0],
+            self.shape[1],
+            self.shape[2],
+            self.shape[3],
+        ]);
+        out.data[..self.data.len()].copy_from_slice(&self.data);
+        out.data[self.data.len()..].copy_from_slice(&other.data);
+        out
+    }
+
+    /// Splits a 4-D tensor along the channel axis into `(first, rest)` where
+    /// `first` has `c0` channels — the inverse of
+    /// [`Tensor::concat_channels`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c0` exceeds the channel count.
+    pub fn split_channels(&self, c0: usize) -> (Tensor, Tensor) {
+        assert_eq!(self.shape.len(), 4);
+        assert!(c0 < self.shape[0], "split point must leave both halves");
+        let spatial: usize = self.shape[1..].iter().product();
+        let first = Tensor {
+            shape: vec![c0, self.shape[1], self.shape[2], self.shape[3]],
+            data: self.data[..c0 * spatial].to_vec(),
+        };
+        let rest = Tensor {
+            shape: vec![
+                self.shape[0] - c0,
+                self.shape[1],
+                self.shape[2],
+                self.shape[3],
+            ],
+            data: self.data[c0 * spatial..].to_vec(),
+        };
+        (first, rest)
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tensor {:?} ({} elements)", self.shape, self.data.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4, 5]);
+        assert_eq!(t.shape(), &[2, 3, 4, 5]);
+        assert_eq!(t.len(), 120);
+        assert_eq!(t.sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_dim_panics() {
+        Tensor::zeros(&[2, 0, 3]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(&[2, 2], vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Tensor::from_vec(&[2, 2], vec![1.0; 5]),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn idx4_is_row_major() {
+        let t = Tensor::from_fn4(&[2, 2, 2, 2], |c, x, y, z| {
+            (c * 1000 + x * 100 + y * 10 + z) as f32
+        });
+        assert_eq!(t.at4(0, 0, 0, 1), 1.0);
+        assert_eq!(t.at4(0, 0, 1, 0), 10.0);
+        assert_eq!(t.at4(1, 1, 1, 1), 1111.0);
+        // Row-major: last axis contiguous.
+        assert_eq!(t.data()[1], 1.0);
+    }
+
+    #[test]
+    fn concat_then_split_round_trips() {
+        let a = Tensor::from_fn4(&[2, 2, 3, 1], |c, x, y, _| (c + x + y) as f32);
+        let b = Tensor::from_fn4(&[3, 2, 3, 1], |c, x, y, _| (10 * (c + 1) + x + y) as f32);
+        let cat = a.concat_channels(&b);
+        assert_eq!(cat.shape(), &[5, 2, 3, 1]);
+        let (a2, b2) = cat.split_channels(2);
+        assert_eq!(a, a2);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn arithmetic_helpers() {
+        let mut t = Tensor::from_vec(&[3], vec![1.0, -2.0, 3.0]).unwrap();
+        let u = Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]).unwrap();
+        t.add_assign(&u);
+        assert_eq!(t.data(), &[2.0, -1.0, 4.0]);
+        t.scale(0.5);
+        assert_eq!(t.data(), &[1.0, -0.5, 2.0]);
+        assert_eq!(t.max_abs(), 2.0);
+        let m = t.map(|v| v * v);
+        assert_eq!(m.data(), &[1.0, 0.25, 4.0]);
+    }
+}

@@ -1,0 +1,289 @@
+//! The 3D Residual U-Net — the paper's Steiner-point selector architecture
+//! (Section 3.3, Fig. 4).
+//!
+//! The network is image-in-image-out: a `[in_channels, H, V, M]` feature
+//! volume maps to a `[1, H, V, M]` logit volume for **any** spatial shape.
+//! Encoder levels apply a residual block then ceil-mode max pooling;
+//! the decoder upsamples back to each skip connection's exact shape,
+//! concatenates, and applies another residual block; a `1×1×1` convolution
+//! head produces per-vertex logits. Apply [`UNet3d::predict`] (sigmoid) to
+//! obtain the final selected probabilities of the paper.
+
+use crate::activation::sigmoid;
+use crate::conv3d::Conv3d;
+use crate::init::Initializer;
+use crate::layer::{Layer, Param};
+use crate::pool::MaxPool3d;
+use crate::residual::ResidualBlock;
+use crate::tensor::Tensor;
+use crate::upsample::Upsample3d;
+
+/// Configuration of a [`UNet3d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UNetConfig {
+    /// Input feature channels (the paper's encoding uses 7).
+    pub in_channels: usize,
+    /// Channels of the first encoder level; level `i` uses
+    /// `base_channels * 2^i`.
+    pub base_channels: usize,
+    /// Number of encoder/decoder levels (the bottleneck adds one more
+    /// resolution).
+    pub levels: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for UNetConfig {
+    fn default() -> Self {
+        UNetConfig {
+            in_channels: 7,
+            base_channels: 8,
+            levels: 2,
+            seed: 0,
+        }
+    }
+}
+
+/// The 3D Residual U-Net.
+#[derive(Debug)]
+pub struct UNet3d {
+    config: UNetConfig,
+    enc: Vec<ResidualBlock>,
+    pools: Vec<MaxPool3d>,
+    bottleneck: ResidualBlock,
+    ups: Vec<Upsample3d>,
+    dec: Vec<ResidualBlock>,
+    head: Conv3d,
+    /// Channel count entering decoder level `i` from below (what gets
+    /// upsampled).
+    up_channels: Vec<usize>,
+    /// Skip tensors of the most recent forward pass.
+    skips: Option<Vec<Tensor>>,
+}
+
+impl UNet3d {
+    /// Builds the network from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels == 0`, `base_channels == 0` or
+    /// `in_channels == 0`.
+    pub fn new(config: UNetConfig) -> Self {
+        assert!(config.levels > 0 && config.base_channels > 0 && config.in_channels > 0);
+        let mut init = Initializer::new(config.seed);
+        let c = |i: usize| config.base_channels << i;
+        let mut enc = Vec::new();
+        let mut pools = Vec::new();
+        for i in 0..config.levels {
+            let in_c = if i == 0 { config.in_channels } else { c(i - 1) };
+            enc.push(ResidualBlock::new(in_c, c(i), 3, &mut init));
+            pools.push(MaxPool3d::new());
+        }
+        let bottleneck = ResidualBlock::new(c(config.levels - 1), c(config.levels), 3, &mut init);
+        let mut ups = Vec::new();
+        let mut dec = Vec::new();
+        let mut up_channels = Vec::new();
+        for i in 0..config.levels {
+            // Decoder level i receives (from below) the output of decoder
+            // level i+1 (c(i+1) channels) or the bottleneck (c(levels)).
+            let from_below = if i + 1 == config.levels {
+                c(config.levels)
+            } else {
+                c(i + 1)
+            };
+            ups.push(Upsample3d::to_shape([1, 1, 1]));
+            dec.push(ResidualBlock::new(from_below + c(i), c(i), 3, &mut init));
+            up_channels.push(from_below);
+        }
+        let head = Conv3d::new(config.base_channels, 1, 1, &mut init);
+        UNet3d {
+            config,
+            enc,
+            pools,
+            bottleneck,
+            ups,
+            dec,
+            head,
+            up_channels,
+            skips: None,
+        }
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> &UNetConfig {
+        &self.config
+    }
+
+    /// Sets the output head's bias so a freshly initialized network emits
+    /// probabilities around `sigmoid(bias)` instead of `0.5`. Steiner-point
+    /// labels are sparse, and the combinatorial-MCTS actor's telescoping
+    /// product (Eq. 1 of the paper) degenerates when every probability is
+    /// large, so selectors initialize the head bias negative.
+    pub fn init_output_bias(&mut self, bias: f32) {
+        let mut params = self.head.params_mut();
+        params
+            .last_mut()
+            .expect("head has weight and bias")
+            .value
+            .fill(bias);
+    }
+
+    /// Inference: per-vertex probabilities in `(0, 1)` — the "final selected
+    /// probability" array of the paper. Shape `[1, H, V, M]`.
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        let logits = self.forward(x);
+        self.skips = None; // inference does not need the caches
+        logits.map(sigmoid)
+    }
+}
+
+impl Layer for UNet3d {
+    /// Forward pass producing **logits** of shape `[1, H, V, M]`.
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 4);
+        assert_eq!(x.shape()[0], self.config.in_channels, "channel mismatch");
+        let mut skips = Vec::with_capacity(self.config.levels);
+        let mut cur = x.clone();
+        for i in 0..self.config.levels {
+            cur = self.enc[i].forward(&cur);
+            skips.push(cur.clone());
+            cur = self.pools[i].forward(&cur);
+        }
+        cur = self.bottleneck.forward(&cur);
+        for i in (0..self.config.levels).rev() {
+            let s = skips[i].shape();
+            self.ups[i].set_target([s[1], s[2], s[3]]);
+            cur = self.ups[i].forward(&cur);
+            cur = cur.concat_channels(&skips[i]);
+            cur = self.dec[i].forward(&cur);
+        }
+        self.skips = Some(skips);
+        self.head.forward(&cur)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let _skips = self.skips.take().expect("unet backward without forward");
+        let mut grad = self.head.backward(grad_out);
+        let mut skip_grads: Vec<Option<Tensor>> = vec![None; self.config.levels];
+        for i in 0..self.config.levels {
+            grad = self.dec[i].backward(&grad);
+            let (g_up, g_skip) = grad.split_channels(self.up_channels[i]);
+            skip_grads[i] = Some(g_skip);
+            grad = self.ups[i].backward(&g_up);
+        }
+        grad = self.bottleneck.backward(&grad);
+        for i in (0..self.config.levels).rev() {
+            grad = self.pools[i].backward(&grad);
+            let g_skip = skip_grads[i].take().expect("one skip gradient per level");
+            grad.add_assign(&g_skip);
+            grad = self.enc[i].backward(&grad);
+        }
+        grad
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut ps = Vec::new();
+        for b in &mut self.enc {
+            ps.extend(b.params_mut());
+        }
+        ps.extend(self.bottleneck.params_mut());
+        for b in &mut self.dec {
+            ps.extend(b.params_mut());
+        }
+        ps.extend(self.head.params_mut());
+        ps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+
+    fn tiny_net(seed: u64) -> UNet3d {
+        UNet3d::new(UNetConfig {
+            in_channels: 2,
+            base_channels: 2,
+            levels: 2,
+            seed,
+        })
+    }
+
+    #[test]
+    fn output_is_single_channel_same_spatial_shape() {
+        let mut net = tiny_net(0);
+        for dims in [[4, 4, 2], [5, 3, 1], [7, 2, 3], [1, 1, 1], [9, 9, 4]] {
+            let x = Tensor::zeros(&[2, dims[0], dims[1], dims[2]]);
+            let y = net.forward(&x);
+            assert_eq!(y.shape(), &[1, dims[0], dims[1], dims[2]], "dims {dims:?}");
+            net.skips = None;
+        }
+    }
+
+    #[test]
+    fn predict_outputs_probabilities() {
+        let mut net = tiny_net(1);
+        let x = Initializer::new(2).uniform(&[2, 4, 5, 2], 1.0);
+        let p = net.predict(&x);
+        for &v in p.data() {
+            assert!(v > 0.0 && v < 1.0);
+        }
+    }
+
+    #[test]
+    fn deeper_nets_still_handle_tiny_inputs() {
+        let mut net = UNet3d::new(UNetConfig {
+            in_channels: 3,
+            base_channels: 2,
+            levels: 3,
+            seed: 4,
+        });
+        let x = Tensor::zeros(&[3, 3, 2, 1]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[1, 3, 2, 1]);
+    }
+
+    #[test]
+    fn same_seed_same_output() {
+        let x = Initializer::new(11).uniform(&[2, 4, 4, 2], 1.0);
+        let ya = tiny_net(42).forward(&x);
+        let yb = tiny_net(42).forward(&x);
+        let yc = tiny_net(43).forward(&x);
+        assert_eq!(ya, yb);
+        assert_ne!(ya, yc);
+    }
+
+    #[test]
+    fn gradcheck_whole_network() {
+        // Small input to keep the finite-difference loop cheap.
+        let mut net = UNet3d::new(UNetConfig {
+            in_channels: 2,
+            base_channels: 1,
+            levels: 1,
+            seed: 3,
+        });
+        let x = Initializer::new(5).uniform(&[2, 2, 2, 1], 1.0);
+        check_layer_gradients(&mut net, &x, 1e-2, 5e-2);
+    }
+
+    #[test]
+    fn param_count_grows_with_width() {
+        let mut small = tiny_net(0);
+        let mut big = UNet3d::new(UNetConfig {
+            in_channels: 2,
+            base_channels: 4,
+            levels: 2,
+            seed: 0,
+        });
+        assert!(big.param_count() > small.param_count());
+    }
+
+    #[test]
+    fn backward_returns_input_shaped_gradient() {
+        let mut net = tiny_net(9);
+        let x = Initializer::new(10).uniform(&[2, 5, 4, 2], 1.0);
+        let y = net.forward(&x);
+        let g = net.backward(&y);
+        assert_eq!(g.shape(), x.shape());
+    }
+}

@@ -1,0 +1,129 @@
+//! Nearest-neighbor 3D upsampling to an arbitrary target shape.
+//!
+//! The decoder path of the U-Net must restore whatever spatial shape the
+//! matching encoder level had — which, with ceil-mode pooling of arbitrary
+//! inputs, is not always exactly double. [`Upsample3d`] therefore maps to an
+//! explicit target shape using nearest-neighbor indexing, and its backward
+//! pass accumulates gradients onto the source cells.
+
+use crate::layer::Layer;
+use crate::tensor::Tensor;
+
+/// Nearest-neighbor upsampling to a fixed target spatial shape.
+#[derive(Debug, Clone)]
+pub struct Upsample3d {
+    target: [usize; 3],
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Upsample3d {
+    /// Creates an upsampler producing `[c, target[0], target[1], target[2]]`
+    /// outputs.
+    pub fn to_shape(target: [usize; 3]) -> Self {
+        Upsample3d {
+            target,
+            in_shape: None,
+        }
+    }
+
+    /// Changes the target shape (the U-Net reuses one upsampler per level
+    /// across inputs of different sizes).
+    pub fn set_target(&mut self, target: [usize; 3]) {
+        self.target = target;
+    }
+
+    /// Source index for an output index along one axis.
+    #[inline]
+    fn src(i: usize, in_d: usize, out_d: usize) -> usize {
+        (i * in_d / out_d).min(in_d - 1)
+    }
+}
+
+impl Layer for Upsample3d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "upsample expects [c, d1, d2, d3]");
+        let (c, d1, d2, d3) = (s[0], s[1], s[2], s[3]);
+        let [o1, o2, o3] = self.target;
+        let mut out = Tensor::zeros(&[c, o1, o2, o3]);
+        for ci in 0..c {
+            for x1 in 0..o1 {
+                let ix = Self::src(x1, d1, o1);
+                for y in 0..o2 {
+                    let iy = Self::src(y, d2, o2);
+                    for z in 0..o3 {
+                        let iz = Self::src(z, d3, o3);
+                        out.set4(ci, x1, y, z, x.at4(ci, ix, iy, iz));
+                    }
+                }
+            }
+        }
+        self.in_shape = Some(s.to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let in_shape = self
+            .in_shape
+            .take()
+            .expect("upsample backward without forward");
+        let (c, d1, d2, d3) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let [o1, o2, o3] = self.target;
+        assert_eq!(grad_out.shape(), &[c, o1, o2, o3]);
+        let mut grad_in = Tensor::zeros(&in_shape);
+        for ci in 0..c {
+            for x1 in 0..o1 {
+                let ix = Self::src(x1, d1, o1);
+                for y in 0..o2 {
+                    let iy = Self::src(y, d2, o2);
+                    for z in 0..o3 {
+                        let iz = Self::src(z, d3, o3);
+                        let gi = grad_in.idx4(ci, ix, iy, iz);
+                        grad_in.data_mut()[gi] += grad_out.at4(ci, x1, y, z);
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_replicates_each_cell() {
+        let x = Tensor::from_vec(&[1, 2, 1, 1], vec![1.0, 2.0]).unwrap();
+        let mut u = Upsample3d::to_shape([4, 1, 1]);
+        let y = u.forward(&x);
+        assert_eq!(y.data(), &[1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn restores_odd_shapes_after_ceil_pooling() {
+        // 5 pooled (ceil) -> 3; upsample back to 5.
+        let x = Tensor::from_vec(&[1, 3, 1, 1], vec![10.0, 20.0, 30.0]).unwrap();
+        let mut u = Upsample3d::to_shape([5, 1, 1]);
+        let y = u.forward(&x);
+        assert_eq!(y.shape(), &[1, 5, 1, 1]);
+        // floor(i * 3 / 5): 0,0,1,1,2
+        assert_eq!(y.data(), &[10.0, 10.0, 20.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn backward_accumulates_replicated_gradients() {
+        let x = Tensor::from_vec(&[1, 2, 1, 1], vec![0.0, 0.0]).unwrap();
+        let mut u = Upsample3d::to_shape([4, 1, 1]);
+        u.forward(&x);
+        let g = u.backward(&Tensor::from_vec(&[1, 4, 1, 1], vec![1.0, 2.0, 3.0, 4.0]).unwrap());
+        assert_eq!(g.data(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn identity_when_shapes_match() {
+        let x = Tensor::from_fn4(&[2, 2, 3, 1], |c, a, b, _| (c * 10 + a + b) as f32);
+        let mut u = Upsample3d::to_shape([2, 3, 1]);
+        assert_eq!(u.forward(&x), x);
+    }
+}

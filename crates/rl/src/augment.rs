@@ -1,0 +1,234 @@
+//! The paper's 16-fold data augmentation (Section 3.6): rotations of 0°,
+//! 90°, 180°, 270° in the H–V plane, combined with reflections across the
+//! y axis and across the z (layer) axis — `4 × 2 × 2 = 16` variants per
+//! generated sample.
+//!
+//! Transforms act on the *layout level* (the Hanan graph's costs, pins and
+//! obstacles all move together) and the label array is permuted with the
+//! same vertex mapping, so augmented samples are exactly as consistent as
+//! the originals.
+
+use oarsmt_geom::{GridPoint, HananGraph};
+
+use crate::sample::TrainingSample;
+
+/// One symmetry of the augmentation group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Symmetry {
+    /// Number of 90° counter-clockwise rotations (0–3).
+    pub rotations: u8,
+    /// Reflect across the y axis (reverse rows) after rotating.
+    pub reflect_v: bool,
+    /// Reflect across the z axis (reverse layers) after rotating.
+    pub reflect_m: bool,
+}
+
+impl Symmetry {
+    /// All 16 group elements.
+    pub fn all() -> Vec<Symmetry> {
+        let mut out = Vec::with_capacity(16);
+        for rotations in 0..4 {
+            for reflect_v in [false, true] {
+                for reflect_m in [false, true] {
+                    out.push(Symmetry {
+                        rotations,
+                        reflect_v,
+                        reflect_m,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// The identity element.
+    pub fn identity() -> Symmetry {
+        Symmetry {
+            rotations: 0,
+            reflect_v: false,
+            reflect_m: false,
+        }
+    }
+
+    /// Maps a point of the original graph to its image. `dims` are the
+    /// dimensions of the graph *before* the transform.
+    pub fn map_point(&self, dims: (usize, usize, usize), p: GridPoint) -> GridPoint {
+        let (mut h, mut v, m) = dims;
+        let mut q = p;
+        for _ in 0..self.rotations {
+            q = GridPoint::new(q.v, h - 1 - q.h, q.m);
+            std::mem::swap(&mut h, &mut v);
+        }
+        if self.reflect_v {
+            q = GridPoint::new(q.h, v - 1 - q.v, q.m);
+        }
+        if self.reflect_m {
+            q = GridPoint::new(q.h, q.v, m - 1 - q.m);
+        }
+        q
+    }
+
+    /// Applies the symmetry to a graph.
+    pub fn apply_graph(&self, graph: &HananGraph) -> HananGraph {
+        let mut g = graph.clone();
+        for _ in 0..self.rotations {
+            g = g.rotate90();
+        }
+        if self.reflect_v {
+            g = g.reflect_v();
+        }
+        if self.reflect_m {
+            g = g.reflect_m();
+        }
+        g
+    }
+}
+
+/// Applies one symmetry to a whole training sample.
+pub fn transform_sample(sample: &TrainingSample, sym: Symmetry) -> TrainingSample {
+    let dims = sample.graph.dims();
+    let graph = sym.apply_graph(&sample.graph);
+    let state = sample
+        .state
+        .iter()
+        .map(|&p| sym.map_point(dims, p))
+        .collect();
+    let mut label = vec![0.0f32; graph.len()];
+    for idx in 0..sample.graph.len() {
+        let p = sample.graph.point(idx);
+        let q = sym.map_point(dims, p);
+        label[graph.index(q)] = sample.label[idx];
+    }
+    TrainingSample::new(graph, state, label)
+}
+
+/// Produces the 16 augmented variants of a sample (the identity included).
+pub fn augment_16(sample: &TrainingSample) -> Vec<TrainingSample> {
+    Symmetry::all()
+        .into_iter()
+        .map(|sym| transform_sample(sample, sym))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrainingSample {
+        let mut g = HananGraph::with_costs(
+            3,
+            4,
+            2,
+            vec![1.0, 5.0],
+            vec![2.0, 3.0, 4.0],
+            3.0,
+        )
+        .unwrap();
+        g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
+        g.add_pin(GridPoint::new(2, 3, 1)).unwrap();
+        g.add_obstacle_vertex(GridPoint::new(1, 2, 0)).unwrap();
+        let mut label = vec![0.0; g.len()];
+        label[g.index(GridPoint::new(1, 1, 1))] = 0.8;
+        label[g.index(GridPoint::new(2, 0, 0))] = 0.3;
+        TrainingSample::new(g, vec![GridPoint::new(0, 3, 0)], label)
+    }
+
+    #[test]
+    fn there_are_sixteen_distinct_symmetries() {
+        let all = Symmetry::all();
+        assert_eq!(all.len(), 16);
+        for i in 0..16 {
+            for j in (i + 1)..16 {
+                assert_ne!(all[i], all[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn identity_preserves_the_sample() {
+        let s = sample();
+        let t = transform_sample(&s, Symmetry::identity());
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn augmentation_yields_16_valid_samples() {
+        let s = sample();
+        let augmented = augment_16(&s);
+        assert_eq!(augmented.len(), 16);
+        for a in &augmented {
+            // Label mass is preserved by permutation.
+            let mass: f32 = a.label.iter().sum();
+            assert!((mass - 1.1).abs() < 1e-6);
+            // Pins/obstacle counts preserved.
+            assert_eq!(a.graph.pins().len(), 2);
+            assert_eq!(a.graph.obstacle_count(), 1);
+        }
+    }
+
+    #[test]
+    fn label_follows_vertices_under_rotation() {
+        let s = sample();
+        let sym = Symmetry {
+            rotations: 1,
+            reflect_v: false,
+            reflect_m: false,
+        };
+        let t = transform_sample(&s, sym);
+        let dims = s.graph.dims();
+        let src = GridPoint::new(1, 1, 1);
+        let dst = sym.map_point(dims, src);
+        assert_eq!(t.label[t.graph.index(dst)], 0.8);
+        // Kind follows too.
+        let ob_dst = sym.map_point(dims, GridPoint::new(1, 2, 0));
+        assert_eq!(
+            t.graph.kind(ob_dst),
+            oarsmt_geom::VertexKind::Obstacle
+        );
+    }
+
+    #[test]
+    fn double_v_reflection_is_identity() {
+        let s = sample();
+        let refl = Symmetry {
+            rotations: 0,
+            reflect_v: true,
+            reflect_m: false,
+        };
+        let once = transform_sample(&s, refl);
+        let twice = transform_sample(&once, refl);
+        assert_eq!(s.label, twice.label);
+        assert_eq!(s.state, twice.state);
+    }
+
+    #[test]
+    fn four_rotations_compose_to_identity() {
+        let s = sample();
+        let rot = Symmetry {
+            rotations: 1,
+            reflect_v: false,
+            reflect_m: false,
+        };
+        let mut t = s.clone();
+        for _ in 0..4 {
+            t = transform_sample(&t, rot);
+        }
+        assert_eq!(s.label, t.label);
+        assert_eq!(s.graph.dims(), t.graph.dims());
+    }
+
+    #[test]
+    fn map_point_matches_graph_transform_for_pins() {
+        let s = sample();
+        for sym in Symmetry::all() {
+            let g2 = sym.apply_graph(&s.graph);
+            let mapped: Vec<GridPoint> = s
+                .graph
+                .pins()
+                .iter()
+                .map(|&p| sym.map_point(s.graph.dims(), p))
+                .collect();
+            assert_eq!(g2.pins(), mapped.as_slice(), "symmetry {sym:?}");
+        }
+    }
+}

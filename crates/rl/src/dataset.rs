@@ -1,0 +1,149 @@
+//! Same-size batching of training samples (Fig. 9 of the paper).
+//!
+//! A GPU (and our CPU loops) process a batch efficiently only when all
+//! samples share one layout size, so the dataset groups samples by their
+//! `(H, V, M)` dimensions, shuffles within groups, and emits size-
+//! homogeneous batches; an epoch ends when every sample has appeared in a
+//! batch.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::sample::TrainingSample;
+
+/// A shuffled, size-grouped dataset of training samples.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    samples: Vec<TrainingSample>,
+    rng: StdRng,
+}
+
+impl Dataset {
+    /// Creates a dataset with a shuffle seed.
+    pub fn new(samples: Vec<TrainingSample>, seed: u64) -> Self {
+        Dataset {
+            samples,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Adds more samples.
+    pub fn extend<I: IntoIterator<Item = TrainingSample>>(&mut self, iter: I) {
+        self.samples.extend(iter);
+    }
+
+    /// One epoch of size-homogeneous batches: every sample appears exactly
+    /// once; batch order and in-group order are reshuffled per call. The
+    /// final batch of a size group may be smaller than `batch_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn epoch_batches(&mut self, batch_size: usize) -> Vec<Vec<&TrainingSample>> {
+        assert!(batch_size > 0, "batch size must be positive");
+        // Group indices by dims.
+        let mut groups: Vec<((usize, usize, usize), Vec<usize>)> = Vec::new();
+        for (i, s) in self.samples.iter().enumerate() {
+            let d = s.dims();
+            match groups.iter_mut().find(|(gd, _)| *gd == d) {
+                Some((_, v)) => v.push(i),
+                None => groups.push((d, vec![i])),
+            }
+        }
+        let mut batches: Vec<Vec<usize>> = Vec::new();
+        for (_, mut idxs) in groups {
+            idxs.shuffle(&mut self.rng);
+            for chunk in idxs.chunks(batch_size) {
+                batches.push(chunk.to_vec());
+            }
+        }
+        batches.shuffle(&mut self.rng);
+        batches
+            .into_iter()
+            .map(|b| b.into_iter().map(|i| &self.samples[i]).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oarsmt_geom::HananGraph;
+
+    fn sample(h: usize, v: usize, m: usize) -> TrainingSample {
+        let g = HananGraph::uniform(h, v, m, 1.0, 1.0, 3.0);
+        let label = vec![0.0; g.len()];
+        TrainingSample::new(g, vec![], label)
+    }
+
+    #[test]
+    fn batches_are_size_homogeneous() {
+        let mut ds = Dataset::new(
+            vec![
+                sample(4, 4, 1),
+                sample(6, 6, 2),
+                sample(4, 4, 1),
+                sample(6, 6, 2),
+                sample(4, 4, 1),
+            ],
+            0,
+        );
+        for batch in ds.epoch_batches(2) {
+            let d = batch[0].dims();
+            assert!(batch.iter().all(|s| s.dims() == d));
+        }
+    }
+
+    #[test]
+    fn epoch_covers_every_sample_once() {
+        let mut ds = Dataset::new(
+            (0..7).map(|_| sample(4, 4, 1)).collect::<Vec<_>>(),
+            1,
+        );
+        let batches = ds.epoch_batches(3);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 7);
+        // 3 + 3 + 1.
+        assert_eq!(batches.len(), 3);
+    }
+
+    #[test]
+    fn shuffling_changes_between_epochs() {
+        let mut ds = Dataset::new(
+            (0..16)
+                .map(|i| {
+                    let mut s = sample(3, 3, 1);
+                    s.label[0] = i as f32 / 16.0;
+                    s
+                })
+                .collect::<Vec<_>>(),
+            2,
+        );
+        let order = |batches: Vec<Vec<&TrainingSample>>| -> Vec<u32> {
+            batches
+                .iter()
+                .flat_map(|b| b.iter().map(|s| (s.label[0] * 16.0) as u32))
+                .collect()
+        };
+        let e1 = order(ds.epoch_batches(4));
+        let e2 = order(ds.epoch_batches(4));
+        assert_ne!(e1, e2, "epochs reshuffle");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_batch_size_panics() {
+        Dataset::new(vec![sample(3, 3, 1)], 0).epoch_batches(0);
+    }
+}

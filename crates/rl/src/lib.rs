@@ -1,0 +1,28 @@
+//! Training loops for the Steiner-point selector.
+//!
+//! * [`sample`] — training samples (a layout plus a dense probability
+//!   label) and their tensor encoding,
+//! * [`augment`] — the paper's 16-fold data augmentation: 4 rotations × 2
+//!   y-reflections × 2 layer-reflections (Section 3.6),
+//! * [`dataset`] — same-size batching ("placing samples with the same
+//!   layout size in a batch", Fig. 9),
+//! * [`trainer`] — the stage loop of Fig. 8: combinatorial MCTS generates
+//!   samples, the selector is fitted with BCE, and the upgraded selector
+//!   powers the next stage's actor and critic; includes the curriculum of
+//!   Section 3.6 and an AlphaGo-like baseline trainer,
+//! * [`ppo`] — the PPO baseline router-trainer of Section 4.2,
+//! * [`schedule`] — the paper's training-schedule constants and the scaled
+//!   laptop defaults used by this reproduction.
+
+pub mod augment;
+pub mod dataset;
+pub mod ppo;
+pub mod sample;
+pub mod schedule;
+pub mod trainer;
+
+pub use augment::augment_16;
+pub use dataset::Dataset;
+pub use ppo::{PpoConfig, PpoTrainer};
+pub use sample::TrainingSample;
+pub use trainer::{StageReport, Trainer, TrainerConfig};

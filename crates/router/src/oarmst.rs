@@ -1,0 +1,457 @@
+//! Obstacle-avoiding rectilinear minimum spanning tree (OARMST)
+//! construction: maze-router-based Prim's algorithm with redundant
+//! Steiner-point removal, following \[14\] as used by the paper (Fig. 2).
+//!
+//! Given a Hanan graph and a set of Steiner candidates, the router:
+//!
+//! 1. runs Prim's algorithm where "expanding the tree" is a multi-source
+//!    maze-routing (Dijkstra) query from the current tree to the nearest
+//!    unconnected terminal,
+//! 2. removes **redundant** Steiner candidates — those with tree degree
+//!    less than 3 (Section 2.1: such a point "cannot act as an effective
+//!    intermediate vertex"),
+//! 3. reconstructs the spanning tree over pins plus the surviving
+//!    irredundant candidates, repeating until no candidate is redundant.
+
+use std::collections::HashSet;
+
+use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_graph::dijkstra::{SearchBounds, SearchSpace};
+
+use crate::error::RouteError;
+use crate::prune::redundant_candidates;
+use crate::tree::RouteTree;
+
+/// The OARMST router (maze-router-based Prim plus pruning).
+///
+/// Construction parameters:
+///
+/// * `max_prune_rounds` — upper bound on prune/reconstruct iterations
+///   (each round removes at least one candidate, so the loop always
+///   terminates; the bound is a safety valve, default 8),
+/// * `bounds_margin` — optional bounded-exploration margin in grid steps:
+///   when set, every maze query is restricted to the bounding box of the
+///   remaining terminals expanded by the margin (used by the \[14\]
+///   baseline; `None` searches the whole grid).
+#[derive(Debug, Clone)]
+pub struct OarmstRouter {
+    max_prune_rounds: Option<usize>,
+    bounds_margin: Option<usize>,
+    start: usize,
+    polish_rounds: usize,
+}
+
+impl Default for OarmstRouter {
+    fn default() -> Self {
+        OarmstRouter {
+            max_prune_rounds: None,
+            bounds_margin: None,
+            start: 0,
+            polish_rounds: 1,
+        }
+    }
+}
+
+impl OarmstRouter {
+    /// Creates a router with default settings (unbounded search, up to 8
+    /// prune rounds, one path-assessed polish round).
+    pub fn new() -> Self {
+        OarmstRouter::default()
+    }
+
+    /// Sets the number of path-assessed polish rounds run after pruning
+    /// (builder style; 0 disables polishing).
+    #[must_use]
+    pub fn with_polish_rounds(mut self, rounds: usize) -> Self {
+        self.polish_rounds = rounds;
+        self
+    }
+
+    /// Limits prune/reconstruct rounds (builder style).
+    #[must_use]
+    pub fn with_max_prune_rounds(mut self, rounds: usize) -> Self {
+        self.max_prune_rounds = Some(rounds);
+        self
+    }
+
+    /// Enables bounded exploration with the given margin (builder style).
+    #[must_use]
+    pub fn with_bounds_margin(mut self, margin: usize) -> Self {
+        self.bounds_margin = Some(margin);
+        self
+    }
+
+    /// Starts Prim's construction from the `start`-th terminal (modulo the
+    /// terminal count) instead of the first. Different insertion orders
+    /// yield different trees; the \[14\] baseline assesses several
+    /// (builder style).
+    #[must_use]
+    pub fn with_start(mut self, start: usize) -> Self {
+        self.start = start;
+        self
+    }
+
+    /// Builds the OARMST connecting `graph.pins()` plus the given Steiner
+    /// `candidates`, pruning redundant candidates.
+    ///
+    /// Candidates that duplicate a pin or sit on an obstacle are ignored.
+    ///
+    /// # Errors
+    ///
+    /// * [`RouteError::TooFewTerminals`] if the graph has fewer than two
+    ///   pins.
+    /// * [`RouteError::BlockedTerminal`] if a pin is blocked.
+    /// * [`RouteError::Disconnected`] if the pins cannot all be connected.
+    pub fn route(
+        &self,
+        graph: &HananGraph,
+        candidates: &[GridPoint],
+    ) -> Result<RouteTree, RouteError> {
+        let pins = graph.pins();
+        if pins.len() < 2 {
+            return Err(RouteError::TooFewTerminals(pins.len()));
+        }
+        let mut space = SearchSpace::new();
+        let mut kept: Vec<GridPoint> = dedup_candidates(graph, candidates);
+        let max_rounds = self.max_prune_rounds.unwrap_or(8);
+        let mut tree = self.build_once(graph, pins, &kept, &mut space)?;
+        for _ in 0..max_rounds {
+            let redundant = redundant_candidates(graph, &tree, &kept);
+            if redundant.is_empty() {
+                break;
+            }
+            let redundant: HashSet<GridPoint> = redundant.into_iter().collect();
+            kept.retain(|p| !redundant.contains(p));
+            tree = self.build_once(graph, pins, &kept, &mut space)?;
+        }
+        // Path-assessed polish (following [14]'s OARMST step): reassess the
+        // branch of every terminal once per round, keeping improvements.
+        let mut terminals: Vec<GridPoint> = pins.to_vec();
+        terminals.extend(kept.iter().copied());
+        for _ in 0..self.polish_rounds {
+            let (polished, improved) = crate::retrace::polish_round(graph, tree, &terminals)?;
+            tree = polished;
+            if !improved {
+                break;
+            }
+        }
+        Ok(tree)
+    }
+
+    /// Builds the OARMST once, without pruning. Exposed so callers (e.g.
+    /// MCTS critics) can price intermediate states cheaply.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OarmstRouter::route`].
+    pub fn route_unpruned(
+        &self,
+        graph: &HananGraph,
+        candidates: &[GridPoint],
+    ) -> Result<RouteTree, RouteError> {
+        let pins = graph.pins();
+        if pins.len() < 2 {
+            return Err(RouteError::TooFewTerminals(pins.len()));
+        }
+        let kept = dedup_candidates(graph, candidates);
+        self.build_once(graph, pins, &kept, &mut SearchSpace::new())
+    }
+
+    /// One maze-based Prim pass over `pins + candidates`.
+    fn build_once(
+        &self,
+        graph: &HananGraph,
+        pins: &[GridPoint],
+        candidates: &[GridPoint],
+        space: &mut SearchSpace,
+    ) -> Result<RouteTree, RouteError> {
+        let mut terminals: Vec<GridPoint> = Vec::with_capacity(pins.len() + candidates.len());
+        terminals.extend_from_slice(pins);
+        terminals.extend_from_slice(candidates);
+
+        for &t in pins {
+            if graph.is_blocked(t) {
+                return Err(RouteError::BlockedTerminal(t));
+            }
+        }
+
+        let bounds = self
+            .bounds_margin
+            .map(|m| SearchBounds::around(graph, terminals.iter().copied(), m));
+
+        let first = terminals[self.start % terminals.len()];
+        let mut tree = RouteTree::new();
+        let mut tree_vertices: Vec<GridPoint> = vec![first];
+        let mut in_tree: HashSet<u32> = HashSet::new();
+        in_tree.insert(graph.index(first) as u32);
+        let mut unconnected: HashSet<u32> = terminals
+            .iter()
+            .map(|&t| graph.index(t) as u32)
+            .collect();
+        unconnected.remove(&(graph.index(first) as u32));
+
+        let pin_set: HashSet<u32> = pins.iter().map(|&p| graph.index(p) as u32).collect();
+        while !unconnected.is_empty() {
+            let path = match space.shortest_path_to_set(
+                graph,
+                &tree_vertices,
+                |i| unconnected.contains(&(i as u32)),
+                bounds,
+            ) {
+                Ok(p) => p,
+                Err(e) => {
+                    // Candidates sitting in walled-off pockets are simply
+                    // dropped; only unreachable *pins* are fatal.
+                    if unconnected.iter().any(|t| pin_set.contains(t)) {
+                        return Err(RouteError::from(e));
+                    }
+                    break;
+                }
+            };
+            for (a, b) in path.edges() {
+                tree.add_edge(graph, a, b);
+            }
+            for &p in &path.points {
+                let idx = graph.index(p) as u32;
+                if in_tree.insert(idx) {
+                    tree_vertices.push(p);
+                }
+                unconnected.remove(&idx);
+            }
+        }
+        Ok(tree)
+    }
+}
+
+/// Drops candidates that are out of bounds, blocked, or duplicate a
+/// pin/another candidate, preserving order.
+fn dedup_candidates(graph: &HananGraph, candidates: &[GridPoint]) -> Vec<GridPoint> {
+    let mut seen: HashSet<u32> = graph
+        .pins()
+        .iter()
+        .map(|&p| graph.index(p) as u32)
+        .collect();
+    let mut out = Vec::with_capacity(candidates.len());
+    for &c in candidates {
+        if !graph.in_bounds(c) || graph.is_blocked(c) {
+            continue;
+        }
+        if seen.insert(graph.index(c) as u32) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oarsmt_geom::GeomError;
+
+    fn grid_with_pins(h: usize, v: usize, m: usize, pins: &[(usize, usize, usize)]) -> HananGraph {
+        let mut g = HananGraph::uniform(h, v, m, 1.0, 1.0, 3.0);
+        for &(a, b, c) in pins {
+            g.add_pin(GridPoint::new(a, b, c)).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn two_pin_route_is_shortest_path() {
+        let g = grid_with_pins(6, 6, 1, &[(0, 0, 0), (5, 3, 0)]);
+        let tree = OarmstRouter::new().route(&g, &[]).unwrap();
+        assert_eq!(tree.cost(), 8.0);
+        assert!(tree.is_tree());
+        assert!(tree.spans_in(&g, g.pins()));
+    }
+
+    #[test]
+    fn steiner_candidate_reduces_three_pin_cost() {
+        // Pins at three arms of a cross; the center is the optimal Steiner
+        // point.
+        let g = grid_with_pins(5, 5, 1, &[(0, 2, 0), (4, 2, 0), (2, 0, 0)]);
+        let no_steiner = OarmstRouter::new().route(&g, &[]).unwrap();
+        let with_steiner = OarmstRouter::new()
+            .route(&g, &[GridPoint::new(2, 2, 0)])
+            .unwrap();
+        // Both span; with the center the tree is a perfect cross of cost 6.
+        assert!(with_steiner.cost() <= no_steiner.cost());
+        assert_eq!(with_steiner.cost(), 6.0);
+        assert!(with_steiner.is_tree());
+    }
+
+    #[test]
+    fn redundant_candidate_is_pruned_away() {
+        let g = grid_with_pins(6, 1, 1, &[(0, 0, 0), (5, 0, 0)]);
+        // A candidate on the straight path has degree 2 -> redundant; one
+        // far off the path has degree 1 after routing -> redundant.
+        let tree = OarmstRouter::new()
+            .route(&g, &[GridPoint::new(2, 0, 0)])
+            .unwrap();
+        assert_eq!(tree.cost(), 5.0);
+        // No degree>=3 vertices at all.
+        assert!(tree.steiner_vertices(&g, g.pins()).is_empty());
+    }
+
+    #[test]
+    fn detour_candidate_does_not_inflate_final_tree() {
+        let g = grid_with_pins(6, 6, 1, &[(0, 0, 0), (5, 0, 0)]);
+        // A candidate far off the straight path would add a degree-1 stub;
+        // pruning must remove it and return the straight route.
+        let tree = OarmstRouter::new()
+            .route(&g, &[GridPoint::new(2, 5, 0)])
+            .unwrap();
+        assert_eq!(tree.cost(), 5.0);
+    }
+
+    #[test]
+    fn route_avoids_obstacles() {
+        let mut g = grid_with_pins(5, 3, 1, &[(0, 1, 0), (4, 1, 0)]);
+        for v in 0..2 {
+            g.add_obstacle_vertex(GridPoint::new(2, v, 0)).unwrap();
+        }
+        let tree = OarmstRouter::new().route(&g, &[]).unwrap();
+        for &(a, b) in tree.edges() {
+            assert!(!g.is_blocked(g.point(a as usize)));
+            assert!(!g.is_blocked(g.point(b as usize)));
+        }
+        // Detour over row 2: 2 right, up, 2 right... cost 6 (4 + 2 vertical).
+        assert_eq!(tree.cost(), 6.0);
+    }
+
+    #[test]
+    fn multilayer_route_uses_vias() {
+        let g = grid_with_pins(3, 1, 2, &[(0, 0, 0), (2, 0, 1)]);
+        let tree = OarmstRouter::new().route(&g, &[]).unwrap();
+        assert_eq!(tree.via_count(&g), 1);
+        assert_eq!(tree.cost(), 5.0); // 2 horizontal + via 3
+    }
+
+    #[test]
+    fn too_few_pins_is_an_error() {
+        let mut g = HananGraph::uniform(3, 3, 1, 1.0, 1.0, 3.0);
+        g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
+        assert_eq!(
+            OarmstRouter::new().route(&g, &[]),
+            Err(RouteError::TooFewTerminals(1))
+        );
+    }
+
+    #[test]
+    fn disconnected_pins_is_an_error() {
+        let mut g = HananGraph::uniform(3, 3, 1, 1.0, 1.0, 3.0);
+        for v in 0..3 {
+            g.add_obstacle_vertex(GridPoint::new(1, v, 0)).unwrap();
+        }
+        g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
+        g.add_pin(GridPoint::new(2, 2, 0)).unwrap();
+        assert!(matches!(
+            OarmstRouter::new().route(&g, &[]),
+            Err(RouteError::Disconnected { .. })
+        ));
+    }
+
+    #[test]
+    fn candidates_on_pins_or_obstacles_are_ignored() {
+        let mut g = grid_with_pins(5, 5, 1, &[(0, 0, 0), (4, 4, 0)]);
+        g.add_obstacle_vertex(GridPoint::new(2, 3, 0)).unwrap();
+        let tree = OarmstRouter::new()
+            .route(
+                &g,
+                &[
+                    GridPoint::new(0, 0, 0), // pin
+                    GridPoint::new(2, 3, 0), // obstacle
+                    GridPoint::new(9, 9, 9), // out of bounds
+                ],
+            )
+            .unwrap();
+        assert_eq!(tree.cost(), 8.0);
+    }
+
+    #[test]
+    fn route_unpruned_keeps_degree_stubs() {
+        let g = grid_with_pins(6, 6, 1, &[(0, 0, 0), (5, 0, 0)]);
+        let unpruned = OarmstRouter::new()
+            .route_unpruned(&g, &[GridPoint::new(2, 3, 0)])
+            .unwrap();
+        // The stub to the off-path candidate is kept.
+        assert!(unpruned.cost() > 5.0);
+        assert!(unpruned.spans_in(&g, &[GridPoint::new(2, 3, 0)]));
+    }
+
+    #[test]
+    fn bounded_margin_still_routes_simple_cases() {
+        let g = grid_with_pins(8, 8, 1, &[(0, 0, 0), (7, 7, 0), (0, 7, 0)]);
+        let tree = OarmstRouter::new()
+            .with_bounds_margin(2)
+            .route(&g, &[])
+            .unwrap();
+        assert!(tree.spans_in(&g, g.pins()));
+        assert!(tree.is_tree());
+    }
+
+    #[test]
+    fn random_cases_yield_valid_trees() {
+        use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+        let mut gen = CaseGenerator::new(GeneratorConfig::tiny(8, 8, 2, (3, 6)), 11);
+        let router = OarmstRouter::new();
+        let mut routed = 0;
+        for g in gen.generate_many(15) {
+            match router.route(&g, &[]) {
+                Ok(tree) => {
+                    assert!(tree.is_tree());
+                    assert!(tree.spans_in(&g, g.pins()));
+                    routed += 1;
+                }
+                Err(RouteError::Disconnected { .. }) => {} // obstacles may wall off pins
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(routed >= 10, "most random cases should route");
+    }
+
+    #[test]
+    fn pin_on_obstacle_cannot_be_constructed() {
+        let mut g = HananGraph::uniform(3, 3, 1, 1.0, 1.0, 3.0);
+        g.add_obstacle_vertex(GridPoint::new(0, 0, 0)).unwrap();
+        assert_eq!(
+            g.add_pin(GridPoint::new(0, 0, 0)),
+            Err(GeomError::PinOnObstacle(GridPoint::new(0, 0, 0)))
+        );
+    }
+}
+
+#[cfg(test)]
+mod pocket_tests {
+    use super::*;
+
+    #[test]
+    fn unreachable_candidates_are_dropped_not_fatal() {
+        // A walled-off pocket in the corner: pins route fine, but a
+        // candidate inside the pocket cannot be reached.
+        let mut g = HananGraph::uniform(6, 6, 1, 1.0, 1.0, 3.0);
+        g.add_obstacle_vertex(GridPoint::new(4, 5, 0)).unwrap();
+        g.add_obstacle_vertex(GridPoint::new(4, 4, 0)).unwrap();
+        g.add_obstacle_vertex(GridPoint::new(5, 4, 0)).unwrap();
+        g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
+        g.add_pin(GridPoint::new(0, 5, 0)).unwrap();
+        let pocket = GridPoint::new(5, 5, 0);
+        let tree = OarmstRouter::new().route(&g, &[pocket]).unwrap();
+        assert!(tree.spans_in(&g, g.pins()));
+        assert!(!tree.contains_vertex(&g, pocket));
+    }
+
+    #[test]
+    fn unreachable_pins_are_still_fatal() {
+        let mut g = HananGraph::uniform(6, 6, 1, 1.0, 1.0, 3.0);
+        g.add_obstacle_vertex(GridPoint::new(4, 5, 0)).unwrap();
+        g.add_obstacle_vertex(GridPoint::new(4, 4, 0)).unwrap();
+        g.add_obstacle_vertex(GridPoint::new(5, 4, 0)).unwrap();
+        g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
+        g.add_pin(GridPoint::new(5, 5, 0)).unwrap(); // inside the pocket
+        assert!(matches!(
+            OarmstRouter::new().route(&g, &[]),
+            Err(RouteError::Disconnected { .. })
+        ));
+    }
+}

@@ -1,0 +1,154 @@
+//! Path-assessed retracing: rip up one terminal's branch and reroute it
+//! against the remaining tree (\[14\]'s tree-improvement move, used both by
+//! the shared OARMST construction's polish pass and by the \[14\] baseline's
+//! iterated reassessment).
+
+use std::collections::HashSet;
+
+use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_graph::dijkstra::SearchSpace;
+
+use crate::error::RouteError;
+use crate::tree::RouteTree;
+
+/// Rips up `terminal`'s branch — the degree-≤2 chain from the terminal to
+/// the first branch vertex or other terminal — and reroutes the terminal
+/// against the remaining tree.
+///
+/// Returns `None` when the terminal is an interior vertex (tree degree ≠ 1)
+/// or the stripped tree would be empty; the returned tree is never more
+/// expensive than the input by more than floating-point noise (the reroute
+/// finds a shortest path where the original branch is one candidate).
+///
+/// # Errors
+///
+/// Propagates graph-search failures (cannot normally occur: the original
+/// branch is always a valid route back).
+pub fn reroute_terminal(
+    graph: &HananGraph,
+    tree: &RouteTree,
+    terminals: &[GridPoint],
+    terminal_idx: usize,
+) -> Result<Option<RouteTree>, RouteError> {
+    let terminal = terminals[terminal_idx];
+    let term_v = graph.index(terminal) as u32;
+    let adj = tree.adjacency();
+    let Some(neighbors) = adj.get(&term_v) else {
+        return Ok(None);
+    };
+    if neighbors.len() != 1 {
+        return Ok(None);
+    }
+    let terminal_set: HashSet<u32> = terminals.iter().map(|&p| graph.index(p) as u32).collect();
+
+    // Strip the degree-2 chain hanging off the terminal.
+    let mut stripped = tree.clone();
+    let mut prev = term_v;
+    let mut cur = neighbors[0];
+    stripped.remove_edge(graph, prev, cur);
+    while !terminal_set.contains(&cur) {
+        let Some(next) = adj
+            .get(&cur)
+            .filter(|n| n.len() == 2)
+            .and_then(|n| n.iter().copied().find(|&x| x != prev))
+        else {
+            break;
+        };
+        stripped.remove_edge(graph, cur, next);
+        prev = cur;
+        cur = next;
+    }
+
+    let remaining: Vec<GridPoint> = stripped
+        .vertices()
+        .into_iter()
+        .map(|i| graph.point(i as usize))
+        .collect();
+    if remaining.is_empty() {
+        return Ok(None);
+    }
+    let target = graph.index(terminal);
+    let path = SearchSpace::new()
+        .shortest_path_to_set(graph, &remaining, |i| i == target, None)
+        .map_err(RouteError::from)?;
+    for (a, b) in path.edges() {
+        stripped.add_edge(graph, a, b);
+    }
+    Ok(Some(stripped))
+}
+
+/// One polish round: reassess every terminal's branch once, keeping
+/// improvements. Returns the (possibly unchanged) best tree and whether any
+/// reroute improved it.
+///
+/// # Errors
+///
+/// See [`reroute_terminal`].
+pub fn polish_round(
+    graph: &HananGraph,
+    tree: RouteTree,
+    terminals: &[GridPoint],
+) -> Result<(RouteTree, bool), RouteError> {
+    let mut best = tree;
+    let mut improved = false;
+    for idx in 0..terminals.len() {
+        if let Some(candidate) = reroute_terminal(graph, &best, terminals, idx)? {
+            if candidate.cost() + 1e-9 < best.cost() {
+                best = candidate;
+                improved = true;
+            }
+        }
+    }
+    Ok((best, improved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oarmst::OarmstRouter;
+
+    #[test]
+    fn reroute_preserves_spanning_and_never_worsens() {
+        let mut g = HananGraph::uniform(8, 8, 1, 1.0, 1.0, 3.0);
+        for &(h, v) in &[(0, 0), (7, 0), (0, 7), (7, 7), (3, 4)] {
+            g.add_pin(GridPoint::new(h, v, 0)).unwrap();
+        }
+        let tree = OarmstRouter::new().route(&g, &[]).unwrap();
+        let pins = g.pins().to_vec();
+        for idx in 0..pins.len() {
+            if let Some(t) = reroute_terminal(&g, &tree, &pins, idx).unwrap() {
+                assert!(t.spans_in(&g, &pins), "terminal {idx}");
+                assert!(t.cost() <= tree.cost() + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn polish_round_is_idempotent_at_fixpoint() {
+        let mut g = HananGraph::uniform(6, 6, 2, 1.0, 1.0, 3.0);
+        for &(h, v, m) in &[(0, 0, 0), (5, 5, 1), (0, 5, 0), (5, 0, 1)] {
+            g.add_pin(GridPoint::new(h, v, m)).unwrap();
+        }
+        let tree = OarmstRouter::new().route(&g, &[]).unwrap();
+        let pins = g.pins().to_vec();
+        let (t1, _) = polish_round(&g, tree, &pins).unwrap();
+        let (t2, improved2) = polish_round(&g, t1.clone(), &pins).unwrap();
+        if !improved2 {
+            assert_eq!(t1.cost(), t2.cost());
+        }
+        assert!(t2.cost() <= t1.cost() + 1e-9);
+    }
+
+    #[test]
+    fn interior_terminals_are_skipped() {
+        // A straight 3-pin line: the middle pin has degree 2.
+        let mut g = HananGraph::uniform(5, 1, 1, 1.0, 1.0, 3.0);
+        for h in [0, 2, 4] {
+            g.add_pin(GridPoint::new(h, 0, 0)).unwrap();
+        }
+        let tree = OarmstRouter::new().route(&g, &[]).unwrap();
+        let pins = g.pins().to_vec();
+        // Middle pin (index 1) is interior.
+        assert!(reroute_terminal(&g, &tree, &pins, 1).unwrap().is_none());
+    }
+}

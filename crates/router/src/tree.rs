@@ -1,0 +1,308 @@
+//! Routing trees over Hanan grid graphs.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_graph::UnionFind;
+use serde::{Deserialize, Serialize};
+
+/// A rectilinear routing tree embedded in a Hanan grid graph: a set of grid
+/// edges (each between adjacent vertices) plus the total routing cost.
+///
+/// The tree is built by routers in this crate; its invariants (acyclicity,
+/// connectivity, spanning the terminals) can be checked with
+/// [`RouteTree::is_tree`] and [`RouteTree::spans`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RouteTree {
+    /// Grid edges as `(min_index, max_index)` pairs of linear vertex
+    /// indices; each pair appears once.
+    edges: Vec<(u32, u32)>,
+    edge_set: HashSet<(u32, u32)>,
+    cost: f64,
+}
+
+impl RouteTree {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        RouteTree::default()
+    }
+
+    /// Total routing cost (each shared grid edge counted once).
+    pub fn cost(&self) -> f64 {
+        self.cost
+    }
+
+    /// Number of grid edges in the tree.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the tree contains no edges.
+    pub fn is_edgeless(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The edges as linear-index pairs.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Adds a grid edge between adjacent vertices `a` and `b` if not already
+    /// present, accumulating its cost. Returns `true` if the edge was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` are not grid neighbors.
+    pub fn add_edge(&mut self, graph: &HananGraph, a: GridPoint, b: GridPoint) -> bool {
+        let w = graph
+            .edge_cost(a, b)
+            .expect("route tree edges must connect grid neighbors");
+        let ai = graph.index(a) as u32;
+        let bi = graph.index(b) as u32;
+        let key = (ai.min(bi), ai.max(bi));
+        if self.edge_set.insert(key) {
+            self.edges.push(key);
+            self.cost += w;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a grid edge (given as a vertex-index pair in either order),
+    /// subtracting its cost. Returns `true` if the edge was present.
+    pub fn remove_edge(&mut self, graph: &HananGraph, a: u32, b: u32) -> bool {
+        let key = (a.min(b), a.max(b));
+        if self.edge_set.remove(&key) {
+            self.edges.retain(|&e| e != key);
+            let pa = graph.point(key.0 as usize);
+            let pb = graph.point(key.1 as usize);
+            self.cost -= graph
+                .edge_cost(pa, pb)
+                .expect("stored edges connect grid neighbors");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adjacency lists of the tree (vertex index → neighbor indices).
+    pub fn adjacency(&self) -> HashMap<u32, Vec<u32>> {
+        let mut adj: HashMap<u32, Vec<u32>> = HashMap::with_capacity(self.edges.len() + 1);
+        for &(a, b) in &self.edges {
+            adj.entry(a).or_default().push(b);
+            adj.entry(b).or_default().push(a);
+        }
+        adj
+    }
+
+    /// Whether the tree uses the given vertex.
+    pub fn contains_vertex(&self, graph: &HananGraph, p: GridPoint) -> bool {
+        let i = graph.index(p) as u32;
+        self.edges.iter().any(|&(a, b)| a == i || b == i)
+    }
+
+    /// The set of vertices used by the tree (linear indices).
+    pub fn vertices(&self) -> HashSet<u32> {
+        let mut s = HashSet::with_capacity(self.edges.len() + 1);
+        for &(a, b) in &self.edges {
+            s.insert(a);
+            s.insert(b);
+        }
+        s
+    }
+
+    /// Degree of every used vertex (linear index → degree).
+    pub fn degrees(&self) -> HashMap<u32, u32> {
+        let mut d: HashMap<u32, u32> = HashMap::with_capacity(self.edges.len() + 1);
+        for &(a, b) in &self.edges {
+            *d.entry(a).or_insert(0) += 1;
+            *d.entry(b).or_insert(0) += 1;
+        }
+        d
+    }
+
+    /// Degree of one vertex in the tree.
+    pub fn degree_of(&self, graph: &HananGraph, p: GridPoint) -> u32 {
+        let i = graph.index(p) as u32;
+        self.edges
+            .iter()
+            .map(|&(a, b)| (a == i) as u32 + (b == i) as u32)
+            .sum()
+    }
+
+    /// Whether the edge set forms a single tree: connected and acyclic
+    /// (`|E| = |V| - 1` with all unions succeeding).
+    pub fn is_tree(&self) -> bool {
+        if self.edges.is_empty() {
+            return true; // empty or single-vertex tree
+        }
+        let verts: Vec<u32> = {
+            let mut v: Vec<u32> = self.vertices().into_iter().collect();
+            v.sort_unstable();
+            v
+        };
+        let index_of: HashMap<u32, usize> =
+            verts.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        let mut uf = UnionFind::new(verts.len());
+        for &(a, b) in &self.edges {
+            if !uf.union(index_of[&a], index_of[&b]) {
+                return false; // cycle
+            }
+        }
+        uf.components() == 1
+    }
+
+    /// Whether every terminal is a vertex of the tree, resolving indices
+    /// through `graph`.
+    pub fn spans_in(&self, graph: &HananGraph, terminals: &[GridPoint]) -> bool {
+        if terminals.len() <= 1 && self.edges.is_empty() {
+            return true;
+        }
+        let verts = self.vertices();
+        terminals
+            .iter()
+            .all(|&t| verts.contains(&(graph.index(t) as u32)))
+    }
+
+    /// Grid vertices acting as Steiner vertices of the tree: degree ≥ 3 and
+    /// not one of `exclude` (typically the pins).
+    pub fn steiner_vertices(&self, graph: &HananGraph, exclude: &[GridPoint]) -> Vec<GridPoint> {
+        let excl: HashSet<u32> = exclude.iter().map(|&p| graph.index(p) as u32).collect();
+        let mut out: Vec<GridPoint> = self
+            .degrees()
+            .into_iter()
+            .filter(|&(v, d)| d >= 3 && !excl.contains(&v))
+            .map(|(v, _)| graph.point(v as usize))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of via edges (layer changes) in the tree.
+    pub fn via_count(&self, graph: &HananGraph) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| {
+                let pa = graph.point(a as usize);
+                let pb = graph.point(b as usize);
+                pa.m != pb.m
+            })
+            .count()
+    }
+}
+
+impl PartialEq for RouteTree {
+    fn eq(&self, other: &Self) -> bool {
+        self.edge_set == other.edge_set
+    }
+}
+
+impl fmt::Display for RouteTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "route tree: {} edges, cost {}",
+            self.edges.len(),
+            self.cost
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> HananGraph {
+        HananGraph::uniform(4, 4, 2, 1.0, 1.0, 3.0)
+    }
+
+    #[test]
+    fn add_edge_dedups_and_accumulates_cost() {
+        let g = grid();
+        let mut t = RouteTree::new();
+        let a = GridPoint::new(0, 0, 0);
+        let b = GridPoint::new(1, 0, 0);
+        assert!(t.add_edge(&g, a, b));
+        assert!(!t.add_edge(&g, b, a), "reversed duplicate is rejected");
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.cost(), 1.0);
+        assert!(t.add_edge(&g, b, GridPoint::new(1, 0, 1)));
+        assert_eq!(t.cost(), 4.0); // via costs 3
+    }
+
+    #[test]
+    #[should_panic(expected = "grid neighbors")]
+    fn add_edge_rejects_non_neighbors() {
+        let g = grid();
+        let mut t = RouteTree::new();
+        t.add_edge(&g, GridPoint::new(0, 0, 0), GridPoint::new(2, 0, 0));
+    }
+
+    #[test]
+    fn is_tree_detects_cycles_and_disconnection() {
+        let g = grid();
+        let mut t = RouteTree::new();
+        let p = |h, v| GridPoint::new(h, v, 0);
+        t.add_edge(&g, p(0, 0), p(1, 0));
+        t.add_edge(&g, p(1, 0), p(1, 1));
+        assert!(t.is_tree());
+        // Disconnect: add a far-away edge.
+        t.add_edge(&g, p(3, 3), p(2, 3));
+        assert!(!t.is_tree());
+        // Close a cycle instead.
+        let mut t2 = RouteTree::new();
+        t2.add_edge(&g, p(0, 0), p(1, 0));
+        t2.add_edge(&g, p(1, 0), p(1, 1));
+        t2.add_edge(&g, p(1, 1), p(0, 1));
+        t2.add_edge(&g, p(0, 1), p(0, 0));
+        assert!(!t2.is_tree());
+    }
+
+    #[test]
+    fn degrees_and_steiner_vertices() {
+        let g = grid();
+        let mut t = RouteTree::new();
+        let c = GridPoint::new(1, 1, 0);
+        t.add_edge(&g, c, GridPoint::new(0, 1, 0));
+        t.add_edge(&g, c, GridPoint::new(2, 1, 0));
+        t.add_edge(&g, c, GridPoint::new(1, 0, 0));
+        assert_eq!(t.degree_of(&g, c), 3);
+        assert_eq!(t.steiner_vertices(&g, &[]), vec![c]);
+        assert!(t.steiner_vertices(&g, &[c]).is_empty());
+    }
+
+    #[test]
+    fn spans_in_checks_all_terminals() {
+        let g = grid();
+        let mut t = RouteTree::new();
+        let a = GridPoint::new(0, 0, 0);
+        let b = GridPoint::new(1, 0, 0);
+        t.add_edge(&g, a, b);
+        assert!(t.spans_in(&g, &[a, b]));
+        assert!(!t.spans_in(&g, &[a, b, GridPoint::new(3, 3, 0)]));
+    }
+
+    #[test]
+    fn via_count_counts_layer_changes() {
+        let g = grid();
+        let mut t = RouteTree::new();
+        t.add_edge(&g, GridPoint::new(0, 0, 0), GridPoint::new(0, 0, 1));
+        t.add_edge(&g, GridPoint::new(0, 0, 1), GridPoint::new(1, 0, 1));
+        assert_eq!(t.via_count(&g), 1);
+    }
+
+    #[test]
+    fn equality_ignores_edge_insertion_order() {
+        let g = grid();
+        let p = |h, v| GridPoint::new(h, v, 0);
+        let mut t1 = RouteTree::new();
+        t1.add_edge(&g, p(0, 0), p(1, 0));
+        t1.add_edge(&g, p(1, 0), p(1, 1));
+        let mut t2 = RouteTree::new();
+        t2.add_edge(&g, p(1, 0), p(1, 1));
+        t2.add_edge(&g, p(0, 0), p(1, 0));
+        assert_eq!(t1, t2);
+    }
+}

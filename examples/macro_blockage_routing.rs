@@ -1,0 +1,64 @@
+//! Routing a physical layout with macros and routing blockages — the
+//! scenario the paper's introduction motivates: "macros, routing blockages,
+//! or pre-routed wires are often encountered and multiple routing layers
+//! are in use."
+//!
+//! Starts from *physical coordinates* (database units), reduces to a 3D
+//! Hanan grid graph, and compares the RL router against the three
+//! algorithmic baselines on the same layout.
+//!
+//! Run with `cargo run --release --example macro_blockage_routing`.
+
+use oarsmt::rl_router::RlRouter;
+use oarsmt::selector::MedianHeuristicSelector;
+use oarsmt_geom::{Coord, HananGraph, Layout, Obstacle, Pin, Rect};
+use oarsmt_router::{Lin18Router, Liu14Router, SpanningRouter};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 200x160 um block with three routing layers. Two macros block the
+    // lower layers, a pre-routed power strap blocks a thin channel, and six
+    // pins of one net must be connected.
+    let layout = Layout::new(3)
+        .with_pin(Pin::new(Coord::new(10, 20), 0))
+        .with_pin(Pin::new(Coord::new(180, 30), 0))
+        .with_pin(Pin::new(Coord::new(20, 140), 1))
+        .with_pin(Pin::new(Coord::new(190, 150), 0))
+        .with_pin(Pin::new(Coord::new(100, 10), 2))
+        .with_pin(Pin::new(Coord::new(110, 150), 1))
+        // Macro A blocks layers 0 and 1.
+        .with_obstacle(Obstacle::new(Rect::new(40, 40, 90, 110), 0))
+        .with_obstacle(Obstacle::new(Rect::new(40, 40, 90, 110), 1))
+        // Macro B blocks layer 0 only.
+        .with_obstacle(Obstacle::new(Rect::new(120, 60, 170, 120), 0))
+        // A pre-routed strap: a thin blockage on layer 1.
+        .with_obstacle(Obstacle::new(Rect::new(0, 125, 200, 128), 1))
+        .with_via_cost(4.0);
+
+    let graph = HananGraph::from_layout(&layout)?;
+    println!("physical layout reduced to {graph}");
+    println!(
+        "hanan reduction: {} vertices instead of a {}x{}x3 uniform grid",
+        graph.len(),
+        201,
+        161
+    );
+
+    let spanning = SpanningRouter::new().route(&graph)?;
+    let liu14 = Liu14Router::new().route(&graph)?;
+    let lin18 = Lin18Router::new().route(&graph)?;
+    let mut rl = RlRouter::new(MedianHeuristicSelector::new());
+    let ours = rl.route(&graph)?;
+
+    println!("spanning-graph [12]-style : cost {:.0}", spanning.cost());
+    println!("geometric-red. [16]-style : cost {:.0}", liu14.cost());
+    println!("maze+retrace   [14]-style : cost {:.0}", lin18.cost());
+    println!(
+        "RL router (ours)          : cost {:.0} ({} steiner candidates, {} vias)",
+        ours.tree.cost(),
+        ours.steiner_points.len(),
+        ours.tree.via_count(&graph)
+    );
+    assert!(ours.tree.spans_in(&graph, graph.pins()));
+    assert!(ours.tree.cost() <= spanning.cost());
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Multi-net routing of a small SoC-like block: several nets share three
+//! routing layers; each routed net becomes a pre-routed wire (an obstacle)
+//! for the nets that follow — the production scenario the paper's
+//! introduction motivates.
+//!
+//! Also demonstrates the physical-geometry export and the ASCII renderer.
+//!
+//! Run with `cargo run --release --example multi_net_soc`.
+
+use oarsmt::multi_net::{MultiNetRouter, Net};
+use oarsmt::selector::MedianHeuristicSelector;
+use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_router::segments::{render_layer, RouteGeometry};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 14x10 block with 3 routing layers; a macro blocks layers 0-1 in the
+    // middle.
+    let mut template = HananGraph::uniform(14, 10, 3, 1.0, 1.0, 3.0);
+    for h in 5..9 {
+        for v in 3..7 {
+            for m in 0..2 {
+                template.add_obstacle_vertex(GridPoint::new(h, v, m))?;
+            }
+        }
+    }
+
+    let p = GridPoint::new;
+    let nets = vec![
+        Net::new("clk", vec![p(0, 0, 0), p(13, 0, 0), p(13, 9, 0), p(0, 9, 0)]),
+        Net::new("data0", vec![p(1, 2, 0), p(12, 2, 0), p(6, 8, 2)]),
+        Net::new("data1", vec![p(1, 7, 0), p(12, 7, 0)]),
+        Net::new("irq", vec![p(3, 0, 1), p(3, 9, 1)]),
+        Net::new("rst", vec![p(10, 0, 1), p(10, 9, 1)]),
+    ];
+
+    let mut router = MultiNetRouter::new(MedianHeuristicSelector::new());
+    let outcome = router.route_nets(&template, &nets)?;
+    println!("{outcome}");
+
+    for net in &outcome.nets {
+        match &net.tree {
+            Some(tree) => {
+                let geometry = RouteGeometry::extract(&template, tree);
+                println!(
+                    "  {:>6}: cost {:>5.0}, {}",
+                    net.name,
+                    tree.cost(),
+                    geometry
+                );
+            }
+            None => println!("  {:>6}: FAILED (congested)", net.name),
+        }
+    }
+
+    // Render the first routed net's layer 0 as ASCII art.
+    if let Some(tree) = outcome.nets.first().and_then(|n| n.tree.as_ref()) {
+        println!("\n{} on layer 0:", outcome.nets[0].name);
+        print!("{}", render_layer(&template, tree, 0));
+    }
+    assert!(outcome.failed <= 1, "this floorplan has plenty of room");
+    Ok(())
+}

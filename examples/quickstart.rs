@@ -1,0 +1,46 @@
+//! Quickstart: build a multi-layer layout, route it with the RL router, and
+//! inspect the resulting ML-OARSMT.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use oarsmt::rl_router::RlRouter;
+use oarsmt::selector::MedianHeuristicSelector;
+use oarsmt_geom::{GridPoint, HananGraph};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 9x9 Hanan grid with two routing layers: unit horizontal cost,
+    // doubled vertical cost, via cost 3.
+    let mut graph = HananGraph::uniform(9, 9, 2, 1.0, 2.0, 3.0);
+
+    // Five pins spread over both layers.
+    for (h, v, m) in [(0, 4, 0), (8, 4, 0), (4, 0, 1), (4, 8, 1), (7, 7, 0)] {
+        graph.add_pin(GridPoint::new(h, v, m))?;
+    }
+
+    // A wall of obstacles on layer 0 that forces detours or layer changes.
+    for v in 2..7 {
+        graph.add_obstacle_vertex(GridPoint::new(5, v, 0))?;
+    }
+
+    // Route. The median-heuristic selector needs no training; swap in
+    // `NeuralSelector` + `oarsmt_rl::Trainer` for the paper's learned agent.
+    let mut router = RlRouter::new(MedianHeuristicSelector::new());
+    let outcome = router.route(&graph)?;
+
+    println!("{graph}");
+    println!("selected steiner candidates: {:?}", outcome.steiner_points);
+    println!(
+        "routed tree: cost {}, {} edges, {} vias",
+        outcome.tree.cost(),
+        outcome.tree.edge_count(),
+        outcome.tree.via_count(&graph)
+    );
+    println!(
+        "selection took {:?}, total {:?}",
+        outcome.select_time, outcome.total_time
+    );
+    assert!(outcome.tree.spans_in(&graph, graph.pins()));
+    assert!(outcome.tree.is_tree());
+    println!("tree spans all pins and is cycle-free");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Training the Steiner-point selector with combinatorial MCTS — a small
+//! end-to-end run of the paper's Fig. 8 loop: search generates labels, the
+//! selector fits them, and the improved selector powers the next stage.
+//!
+//! Run with `cargo run --release --example train_selector`. Pass a stage
+//! count to train longer: `cargo run --release --example train_selector 6`.
+
+use oarsmt::selector::NeuralSelector;
+use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+use oarsmt_nn::unet::UNetConfig;
+use oarsmt_rl::schedule::smoke_schedule;
+use oarsmt_rl::trainer::{st_to_mst_over_cases, InferenceMode, Trainer, TrainerConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let stages: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let config = TrainerConfig {
+        stages,
+        ..smoke_schedule(42)
+    };
+    println!(
+        "training a selector for {stages} stages on {:?} layouts",
+        config.sizes
+    );
+
+    let mut selector = NeuralSelector::with_config(UNetConfig {
+        in_channels: 7,
+        base_channels: 4,
+        levels: 2,
+        seed: 42,
+    });
+    let eval_cases =
+        CaseGenerator::new(GeneratorConfig::tiny(6, 6, 1, (4, 5)), 777).generate_many(20);
+    let before = st_to_mst_over_cases(&mut selector, InferenceMode::OneShot, &eval_cases);
+
+    let mut trainer = Trainer::new(config);
+    for report in trainer.run(&mut selector)? {
+        println!("  {report}");
+    }
+
+    let after = st_to_mst_over_cases(&mut selector, InferenceMode::OneShot, &eval_cases);
+    println!("avg ST-to-MST ratio: {before:.4} before -> {after:.4} after");
+    println!("(lower is better; 1.0 means the selected Steiner points bought nothing)");
+
+    // Persist the weights for later reuse.
+    let path = std::env::temp_dir().join("oarsmt_trained_selector.bin");
+    selector.save(&path)?;
+    println!("weights saved to {path:?}");
+    Ok(())
+}

@@ -1,0 +1,151 @@
+//! `oarsmt` — command-line interface to the RL ML-OARSMT router.
+//!
+//! ```text
+//! oarsmt gen H V M PINS SEED [FILE]   generate a random case (stdout or FILE)
+//! oarsmt route FILE [--selector W]    route a case, print stats + ASCII art
+//! oarsmt compare FILE                 run all routers on a case
+//! oarsmt train OUT.bin [STAGES]       train a selector, save weights
+//! ```
+//!
+//! Case files use the text format of [`oarsmt_geom::io`].
+
+use std::process::ExitCode;
+
+use oarsmt::rl_router::RlRouter;
+use oarsmt::selector::{MedianHeuristicSelector, NeuralSelector};
+use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+use oarsmt_geom::io::{parse_case, write_case};
+use oarsmt_geom::HananGraph;
+use oarsmt_nn::unet::UNetConfig;
+use oarsmt_router::segments::{render_layer, RouteGeometry};
+use oarsmt_router::{Lin18Router, Liu14Router, SpanningRouter};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("route") => cmd_route(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  oarsmt gen H V M PINS SEED [FILE]\n  oarsmt route FILE [--selector WEIGHTS.bin]\n  oarsmt compare FILE\n  oarsmt train OUT.bin [STAGES]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn load_case(path: &str) -> Result<HananGraph, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_case(&text)?)
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let nums: Vec<usize> = args
+        .iter()
+        .take(5)
+        .map(|s| s.parse())
+        .collect::<Result<_, _>>()
+        .map_err(|_| "gen expects: H V M PINS SEED [FILE]")?;
+    let [h, v, m, pins, seed] = nums[..] else {
+        return Err("gen expects: H V M PINS SEED [FILE]".into());
+    };
+    let mut gen = CaseGenerator::new(
+        GeneratorConfig::paper_costs(h, v, m, (pins, pins)),
+        seed as u64,
+    );
+    let text = write_case(&gen.generate());
+    match args.get(5) {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_route(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("route expects a case file")?;
+    let graph = load_case(path)?;
+    let weights = args
+        .iter()
+        .position(|a| a == "--selector")
+        .and_then(|i| args.get(i + 1));
+
+    let outcome = match weights {
+        Some(w) => {
+            let mut selector = NeuralSelector::with_config(UNetConfig {
+                in_channels: 7,
+                base_channels: 4,
+                levels: 2,
+                seed: 0,
+            });
+            selector.load(w)?;
+            RlRouter::new(selector).route(&graph)?
+        }
+        None => RlRouter::new(MedianHeuristicSelector::new()).route(&graph)?,
+    };
+    println!("{graph}");
+    println!("{outcome}");
+    let geometry = RouteGeometry::extract(&graph, &outcome.tree);
+    println!("{geometry}");
+    for layer in 0..graph.m() {
+        println!("layer {layer}:");
+        print!("{}", render_layer(&graph, &outcome.tree, layer));
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("compare expects a case file")?;
+    let graph = load_case(path)?;
+    println!("{graph}");
+    let span = SpanningRouter::new().route(&graph)?;
+    println!("spanning  [12]-style: cost {:.0}", span.cost());
+    let liu = Liu14Router::new().route(&graph)?;
+    println!("geo-red.  [16]-style: cost {:.0}", liu.cost());
+    let lin = Lin18Router::new().route(&graph)?;
+    println!("maze+retr [14]-style: cost {:.0}", lin.cost());
+    let ours = RlRouter::new(MedianHeuristicSelector::new()).route(&graph)?;
+    println!("rl router (median)  : cost {:.0}", ours.tree.cost());
+    if graph.pins().len() <= oarsmt_router::exact::MAX_EXACT_PINS {
+        match oarsmt_router::exact::steiner_exact_cost(&graph) {
+            Ok(opt) => println!("exact optimum       : cost {opt:.0}"),
+            Err(e) => println!("exact optimum       : {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> CliResult {
+    let out = args.first().ok_or("train expects an output path")?;
+    let stages: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let config = oarsmt_rl::trainer::TrainerConfig {
+        stages,
+        ..oarsmt_rl::schedule::laptop_schedule(1)
+    };
+    let mut selector = NeuralSelector::with_config(UNetConfig {
+        in_channels: 7,
+        base_channels: 4,
+        levels: 2,
+        seed: 1,
+    });
+    let mut trainer = oarsmt_rl::Trainer::new(config);
+    for report in trainer.run(&mut selector)? {
+        println!("{report}");
+    }
+    selector.save(out)?;
+    println!("weights saved to {out}");
+    Ok(())
+}

@@ -1,0 +1,10 @@
+//! Workspace facade crate: re-exports the public API of every crate in the
+//! OARSMT RL router reproduction so examples and integration tests can use a
+//! single dependency.
+pub use oarsmt as core;
+pub use oarsmt_geom as geom;
+pub use oarsmt_graph as graph;
+pub use oarsmt_mcts as mcts;
+pub use oarsmt_nn as nn;
+pub use oarsmt_rl as rl;
+pub use oarsmt_router as router;
