@@ -13,10 +13,12 @@ fn random_layout(pins: usize, obstacles: usize, span: i64, seed: u64) -> Layout 
     for _ in 0..obstacles {
         let x = rng.gen_range(0..span - 6);
         let y = rng.gen_range(0..span - 6);
-        let w = rng.gen_range(1..6);
-        let h = rng.gen_range(1..6);
-        layout = layout
-            .with_obstacle(Obstacle::new(Rect::new(x, y, x + w, y + h), rng.gen_range(0..3)));
+        let w = rng.gen_range(1..6i64);
+        let h = rng.gen_range(1..6i64);
+        layout = layout.with_obstacle(Obstacle::new(
+            Rect::new(x, y, x + w, y + h),
+            rng.gen_range(0..3),
+        ));
     }
     let mut placed = 0;
     while placed < pins {
@@ -34,7 +36,9 @@ fn random_layout(pins: usize, obstacles: usize, span: i64, seed: u64) -> Layout 
             placed += 1;
         }
     }
-    layout.validate().expect("generated benchmark layout is valid");
+    layout
+        .validate()
+        .expect("generated benchmark layout is valid");
     layout
 }
 
@@ -72,5 +76,9 @@ fn bench_hanan_neighbor_sweep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_hanan_construction, bench_hanan_neighbor_sweep);
+criterion_group!(
+    benches,
+    bench_hanan_construction,
+    bench_hanan_neighbor_sweep
+);
 criterion_main!(benches);

@@ -68,5 +68,9 @@ fn bench_terminal_rule_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sample_generation, bench_terminal_rule_ablation);
+criterion_group!(
+    benches,
+    bench_sample_generation,
+    bench_terminal_rule_ablation
+);
 criterion_main!(benches);

@@ -17,7 +17,11 @@ fn case(h: usize, v: usize, m: usize, pins: usize, seed: u64) -> HananGraph {
 }
 
 fn bench_routers_across_sizes(c: &mut Criterion) {
-    let sizes = [(8usize, 8usize, 2usize, 4usize), (16, 16, 2, 8), (24, 24, 3, 16)];
+    let sizes = [
+        (8usize, 8usize, 2usize, 4usize),
+        (16, 16, 2, 8),
+        (24, 24, 3, 16),
+    ];
     let mut group = c.benchmark_group("routers");
     group.sample_size(15);
     for &(h, v, m, pins) in &sizes {

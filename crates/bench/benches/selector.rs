@@ -23,7 +23,12 @@ fn bench_inference_scaling(c: &mut Criterion) {
     let mut sel = selector();
     let mut group = c.benchmark_group("selector_inference");
     group.sample_size(15);
-    for &(h, v, m) in &[(8usize, 8usize, 2usize), (16, 16, 2), (24, 24, 3), (32, 32, 3)] {
+    for &(h, v, m) in &[
+        (8usize, 8usize, 2usize),
+        (16, 16, 2),
+        (24, 24, 3),
+        (32, 32, 3),
+    ] {
         let g = CaseGenerator::new(GeneratorConfig::tiny(h, v, m, (4, 6)), 1).generate();
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{h}x{v}x{m}")),
@@ -57,5 +62,9 @@ fn bench_one_shot_vs_sequential(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inference_scaling, bench_one_shot_vs_sequential);
+criterion_group!(
+    benches,
+    bench_inference_scaling,
+    bench_one_shot_vs_sequential
+);
 criterion_main!(benches);

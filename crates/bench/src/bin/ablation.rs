@@ -85,7 +85,13 @@ fn main() {
         "lin18 (no reassess)",
         cases
             .iter()
-            .map(|g| Lin18Router::new().without_reassess().route(g).unwrap().cost())
+            .map(|g| {
+                Lin18Router::new()
+                    .without_reassess()
+                    .route(g)
+                    .unwrap()
+                    .cost()
+            })
             .collect(),
     );
     row(

@@ -7,7 +7,11 @@ use oarsmt_router::exact::steiner_exact_cost;
 use oarsmt_router::OarmstRouter;
 
 fn main() {
-    for (h, v, m, pins) in [(8, 8, 2, (3usize, 5usize)), (8, 8, 2, (6, 8)), (12, 12, 2, (4, 6))] {
+    for (h, v, m, pins) in [
+        (8, 8, 2, (3usize, 5usize)),
+        (8, 8, 2, (6, 8)),
+        (12, 12, 2, (4, 6)),
+    ] {
         let mut gen = CaseGenerator::new(GeneratorConfig::paper_costs(h, v, m, pins), 0xCE11);
         let plain = OarmstRouter::new().with_polish_rounds(0);
         let polished = OarmstRouter::new();
@@ -15,9 +19,15 @@ fn main() {
         let mut sum_polished_over_mst = 0.0;
         let mut n = 0;
         for g in gen.generate_many(25) {
-            let Ok(exact) = steiner_exact_cost(&g) else { continue };
-            let Ok(mst) = plain.route(&g, &[]) else { continue };
-            let Ok(pol) = polished.route(&g, &[]) else { continue };
+            let Ok(exact) = steiner_exact_cost(&g) else {
+                continue;
+            };
+            let Ok(mst) = plain.route(&g, &[]) else {
+                continue;
+            };
+            let Ok(pol) = polished.route(&g, &[]) else {
+                continue;
+            };
             sum_exact_over_mst += exact / mst.cost();
             sum_polished_over_mst += pol.cost() / mst.cost();
             n += 1;

@@ -7,15 +7,22 @@
 //! advantage grows as layouts get harder to route.
 
 use oarsmt::eval::ObstacleRatioCurve;
+use oarsmt::parallel;
 use oarsmt_bench::{harness, Table};
 use oarsmt_geom::gen::TestSubsetSpec;
 
 fn main() {
-    println!("Fig. 10: avg improvement ratio vs obstacle ratio, per subset\n");
-    let mut selector = harness::pretrained_selector();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = parallel::take_threads_flag(&mut args).unwrap_or_else(|e| {
+        eprintln!("{e}\nusage: fig10 [--threads N]   (or OARSMT_THREADS=N)");
+        std::process::exit(2);
+    });
+    let threads = parallel::thread_count(flag);
+    println!("Fig. 10: avg improvement ratio vs obstacle ratio, per subset ({threads} threads)\n");
+    let selector = harness::pretrained_selector();
     for spec in TestSubsetSpec::ladder() {
         let result =
-            harness::run_subset(&spec, &mut selector, 0xF160).expect("subset must route");
+            harness::run_subset(&spec, &selector, 0xF160, threads).expect("subset must route");
         let max_ratio = result
             .obstacle_points
             .iter()

@@ -30,7 +30,10 @@ fn main() {
         .map(|i| (out.label[i], g.point(i)))
         .collect();
     ranked.sort_by(|a, b| b.0.total_cmp(&a.0));
-    println!("cross layout: executed {:?}, cost {} -> {}", out.executed, out.initial_cost, out.final_cost);
+    println!(
+        "cross layout: executed {:?}, cost {} -> {}",
+        out.executed, out.initial_cost, out.final_cost
+    );
     println!("top-5 label vertices (want (3,3,0) first):");
     for (l, p) in ranked.iter().take(5) {
         println!("  {p}  label {l:.3}");
@@ -54,14 +57,20 @@ fn main() {
             samples.push(TrainingSample::new(graph, vec![], out.label));
         }
     }
-    let mass: f32 = samples.iter().map(|s| s.label.iter().sum::<f32>()).sum::<f32>()
+    let mass: f32 = samples
+        .iter()
+        .map(|s| s.label.iter().sum::<f32>())
+        .sum::<f32>()
         / samples.len() as f32;
     let peak: f32 = samples
         .iter()
         .map(|s| s.label.iter().cloned().fold(0.0f32, f32::max))
         .sum::<f32>()
         / samples.len() as f32;
-    println!("\n{} samples, avg label mass {mass:.3}, avg peak label {peak:.3}", samples.len());
+    println!(
+        "\n{} samples, avg label mass {mass:.3}, avg peak label {peak:.3}",
+        samples.len()
+    );
 
     let mut selector = NeuralSelector::with_config(experiment_net_config());
     let mut opt = Adam::new(2e-3);
@@ -78,7 +87,10 @@ fn main() {
             opt.step(net);
         }
         if epoch % 10 == 0 || epoch == 39 {
-            println!("epoch {epoch}: avg loss {:.4}", loss_sum / samples.len() as f32);
+            println!(
+                "epoch {epoch}: avg loss {:.4}",
+                loss_sum / samples.len() as f32
+            );
         }
     }
     // Correlation between prediction and label on the training samples.
@@ -90,9 +102,9 @@ fn main() {
         let n = fsp.len() as f64;
         let mp = fsp.iter().map(|&p| p as f64).sum::<f64>() / n;
         let ml = s.label.iter().map(|&l| l as f64).sum::<f64>() / n;
-        for i in 0..fsp.len() {
-            let dp = fsp[i] as f64 - mp;
-            let dl = s.label[i] as f64 - ml;
+        for (&p, &l) in fsp.iter().zip(&s.label) {
+            let dp = p as f64 - mp;
+            let dl = l as f64 - ml;
             num += dp * dl;
             den_p += dp * dp;
             den_l += dl * dl;

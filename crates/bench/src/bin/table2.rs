@@ -5,12 +5,19 @@
 //! every subset (≈2.3–2.7% in the paper), the average improvement ratio
 //! tracks the difference ratio, and the win rate grows with layout size.
 
+use oarsmt::parallel;
 use oarsmt_bench::{harness, Table};
 use oarsmt_geom::gen::TestSubsetSpec;
 
 fn main() {
-    println!("Table 2: routing-cost comparison between [14] and our router\n");
-    let mut selector = harness::pretrained_selector();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = parallel::take_threads_flag(&mut args).unwrap_or_else(|e| {
+        eprintln!("{e}\nusage: table2 [--threads N]   (or OARSMT_THREADS=N)");
+        std::process::exit(2);
+    });
+    let threads = parallel::thread_count(flag);
+    println!("Table 2: routing-cost comparison between [14] and our router ({threads} threads)\n");
+    let selector = harness::pretrained_selector();
     let mut table = Table::new([
         "subset",
         "layouts",
@@ -23,7 +30,7 @@ fn main() {
     ]);
     for spec in TestSubsetSpec::ladder() {
         let result =
-            harness::run_subset(&spec, &mut selector, 0xDAC2024).expect("subset must route");
+            harness::run_subset(&spec, &selector, 0xDAC2024, threads).expect("subset must route");
         let c = &result.comparison;
         table.row([
             result.name.to_string(),

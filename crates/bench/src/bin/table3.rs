@@ -7,32 +7,42 @@
 //! selection time grows mildly (one inference per layout regardless of the
 //! pin count).
 
+use oarsmt::parallel;
 use oarsmt_bench::{harness, Table};
 use oarsmt_geom::gen::TestSubsetSpec;
 
 fn main() {
-    println!("Table 3: runtime comparison between [14] and our router\n");
-    let mut selector = harness::pretrained_selector();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = parallel::take_threads_flag(&mut args).unwrap_or_else(|e| {
+        eprintln!("{e}\nusage: table3 [--threads N]   (or OARSMT_THREADS=N)");
+        std::process::exit(2);
+    });
+    let threads = parallel::thread_count(flag);
+    println!("Table 3: runtime comparison between [14] and our router ({threads} threads)\n");
+    let selector = harness::pretrained_selector();
     let mut table = Table::new([
         "subset",
         "layouts",
         "[14] avg s (a)",
         "Spoint select",
+        "route",
         "ours total (b)",
         "speedup (a/b)",
     ]);
     for spec in TestSubsetSpec::ladder() {
         let result =
-            harness::run_subset(&spec, &mut selector, 0xDAC2024).expect("subset must route");
+            harness::run_subset(&spec, &selector, 0xDAC2024, threads).expect("subset must route");
         let n = result.comparison.count().max(1) as f64;
-        let base = result.baseline_time.as_secs_f64() / n;
-        let select = result.select_time.as_secs_f64() / n;
-        let total = result.ours_time.as_secs_f64() / n;
+        let base = result.times.baseline.as_secs_f64() / n;
+        let select = result.times.select.as_secs_f64() / n;
+        let route = result.times.route.as_secs_f64() / n;
+        let total = result.times.ours().as_secs_f64() / n;
         table.row([
             result.name.to_string(),
             result.comparison.count().to_string(),
             format!("{base:.5}"),
             format!("{select:.5}"),
+            format!("{route:.5}"),
             format!("{total:.5}"),
             format!("{:.1}x", base / total),
         ]);

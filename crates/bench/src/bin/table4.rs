@@ -22,8 +22,8 @@ fn main() {
     let lin = Lin18Router::new();
 
     let mut table = Table::new([
-        "case", "HxVxM", "pins", "obst", "[12] (a)", "[16] (b)", "[14] (c)", "ours (d)",
-        "(a-d)/a", "(b-d)/b", "(c-d)/c",
+        "case", "HxVxM", "pins", "obst", "[12] (a)", "[16] (b)", "[14] (c)", "ours (d)", "(a-d)/a",
+        "(b-d)/b", "(c-d)/c",
     ]);
     let mut sums = [0.0f64; 3];
     let mut count = 0usize;

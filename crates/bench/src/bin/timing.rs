@@ -11,7 +11,14 @@ use oarsmt_router::{Lin18Router, OarmstRouter};
 
 fn main() {
     let mut selector = NeuralSelector::with_config(experiment_net_config());
-    for (h, v, m) in [(6, 6, 1), (8, 8, 2), (12, 12, 2), (16, 16, 3), (24, 24, 3), (32, 32, 3)] {
+    for (h, v, m) in [
+        (6, 6, 1),
+        (8, 8, 2),
+        (12, 12, 2),
+        (16, 16, 3),
+        (24, 24, 3),
+        (32, 32, 3),
+    ] {
         let mut gen = CaseGenerator::new(GeneratorConfig::tiny(h, v, m, (4, 6)), 1);
         let g = gen.generate();
         let t0 = Instant::now();

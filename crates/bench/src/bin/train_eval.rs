@@ -43,15 +43,12 @@ fn main() {
         CaseGenerator::new(GeneratorConfig::tiny(8, 8, 2, (4, 6)), 0xE7A2).generate_many(40);
     let t32 = &TestSubsetSpec::ladder()[0];
 
-    let base_ratio =
-        st_to_mst_over_cases(&mut selector, InferenceMode::OneShot, &eval_cases);
+    let base_ratio = st_to_mst_over_cases(&mut selector, InferenceMode::OneShot, &eval_cases);
     println!("stage -1 (untrained): st/mst {base_ratio:.4}");
     for stage in 0..stages {
         let report = trainer.run_stage(&mut selector, stage).expect("stage");
         let ratio = st_to_mst_over_cases(&mut selector, InferenceMode::OneShot, &eval_cases);
         let cmp = eval_vs_lin18(&mut selector, t32);
-        println!(
-            "stage {stage}: {report}\n         st/mst {ratio:.4} | vs lin18: {cmp}"
-        );
+        println!("stage {stage}: {report}\n         st/mst {ratio:.4} | vs lin18: {cmp}");
     }
 }

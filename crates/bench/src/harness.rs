@@ -2,9 +2,9 @@
 //! comparison runner behind Tables 2–3 and Fig. 10.
 
 use std::path::PathBuf;
-use std::time::Duration;
 
 use oarsmt::eval::CostComparison;
+use oarsmt::parallel::{self, PhaseTimes};
 use oarsmt::rl_router::RlRouter;
 use oarsmt::selector::NeuralSelector;
 use oarsmt_geom::gen::TestSubsetSpec;
@@ -64,21 +64,37 @@ pub struct SubsetResult {
     pub name: &'static str,
     /// Cost statistics (baseline = \[14\], ours = RL router).
     pub comparison: CostComparison,
-    /// Total \[14\] routing time.
-    pub baseline_time: Duration,
-    /// Total Steiner-point selection time of our router.
-    pub select_time: Duration,
-    /// Total routing time of our router.
-    pub ours_time: Duration,
+    /// Per-phase wall-clock totals, summed over layouts (and therefore over
+    /// workers when the subset ran on a pool).
+    pub times: PhaseTimes,
     /// Per-layout `(obstacle_ratio, improvement_ratio)` points (Fig. 10).
     pub obstacle_points: Vec<(f64, f64)>,
     /// Layouts skipped because their pins were walled off.
     pub skipped: usize,
 }
 
+/// Outcome of one layout inside [`run_subset`]'s fan-out.
+enum LayoutOutcome {
+    /// Pins walled off by obstacles — counted, not an error.
+    Skipped,
+    /// Both routers succeeded.
+    Row {
+        base_cost: f64,
+        ours_cost: f64,
+        times: PhaseTimes,
+        obstacle_point: (f64, f64),
+    },
+}
+
 /// Runs one subset: generates its layouts, routes each with the \[14\]
-/// baseline and with our RL router, and accumulates cost, runtime and
-/// obstacle-ratio statistics.
+/// baseline and with our RL router on a pool of `threads` workers, and
+/// accumulates cost, runtime and obstacle-ratio statistics.
+///
+/// Layout `i` is generated from `parallel::derive_seed(seed, i)` and the
+/// per-layout results are folded in index order, so costs, win/loss tallies
+/// and obstacle points are **bit-identical for every thread count**; only
+/// the measured times vary. Each worker routes with its own clone of
+/// `selector`.
 ///
 /// # Errors
 ///
@@ -86,54 +102,75 @@ pub struct SubsetResult {
 /// disconnected by obstacles are counted in `skipped`.
 pub fn run_subset(
     spec: &TestSubsetSpec,
-    selector: &mut NeuralSelector,
+    selector: &NeuralSelector,
     seed: u64,
+    threads: usize,
 ) -> Result<SubsetResult, RouteError> {
     let lin18 = Lin18Router::new();
+    let outcomes = parallel::run_seeded_with(
+        spec.layouts,
+        seed,
+        threads,
+        || RlRouter::new(selector.clone()),
+        |router, _idx, layout_seed| -> Result<LayoutOutcome, RouteError> {
+            let graph = spec.generator(layout_seed).generate();
+            let t0 = std::time::Instant::now();
+            let base = match lin18.route(&graph) {
+                Ok(t) => t,
+                Err(RouteError::Disconnected { .. }) | Err(RouteError::BlockedTerminal(_)) => {
+                    return Ok(LayoutOutcome::Skipped);
+                }
+                Err(e) => return Err(e),
+            };
+            let baseline = t0.elapsed();
+
+            let outcome = match router.route(&graph) {
+                Ok(o) => o,
+                Err(oarsmt::CoreError::Route(RouteError::Disconnected { .. })) => {
+                    return Ok(LayoutOutcome::Skipped);
+                }
+                Err(oarsmt::CoreError::Route(e)) => return Err(e),
+                Err(e) => panic!("unexpected selector error: {e}"),
+            };
+            let base_cost = base.cost();
+            let ours_cost = outcome.tree.cost();
+            Ok(LayoutOutcome::Row {
+                base_cost,
+                ours_cost,
+                times: PhaseTimes {
+                    baseline,
+                    select: outcome.select_time,
+                    route: outcome.total_time.saturating_sub(outcome.select_time),
+                },
+                obstacle_point: (graph.obstacle_ratio(), (base_cost - ours_cost) / base_cost),
+            })
+        },
+    );
+
+    // Fold in submission order: f64 accumulation sees a fixed visit order.
     let mut comparison = CostComparison::new();
-    let mut baseline_time = Duration::ZERO;
-    let mut select_time = Duration::ZERO;
-    let mut ours_time = Duration::ZERO;
+    let mut times = PhaseTimes::default();
     let mut obstacle_points = Vec::new();
     let mut skipped = 0usize;
-    let mut gen = spec.generator(seed);
-
-    // Borrow the caller's selector inside a router for this subset.
-    let mut router = RlRouter::new(&mut *selector);
-    for graph in gen.generate_many(spec.layouts) {
-        let t0 = std::time::Instant::now();
-        let base = match lin18.route(&graph) {
-            Ok(t) => t,
-            Err(RouteError::Disconnected { .. }) | Err(RouteError::BlockedTerminal(_)) => {
-                skipped += 1;
-                continue;
+    for outcome in outcomes {
+        match outcome? {
+            LayoutOutcome::Skipped => skipped += 1,
+            LayoutOutcome::Row {
+                base_cost,
+                ours_cost,
+                times: t,
+                obstacle_point,
+            } => {
+                comparison.record(base_cost, ours_cost);
+                times.absorb(&t);
+                obstacle_points.push(obstacle_point);
             }
-            Err(e) => return Err(e),
-        };
-        baseline_time += t0.elapsed();
-
-        let outcome = match router.route(&graph) {
-            Ok(o) => o,
-            Err(oarsmt::CoreError::Route(RouteError::Disconnected { .. })) => {
-                skipped += 1;
-                continue;
-            }
-            Err(oarsmt::CoreError::Route(e)) => return Err(e),
-            Err(e) => panic!("unexpected selector error: {e}"),
-        };
-        select_time += outcome.select_time;
-        ours_time += outcome.total_time;
-
-        comparison.record(base.cost(), outcome.tree.cost());
-        let improvement = (base.cost() - outcome.tree.cost()) / base.cost();
-        obstacle_points.push((graph.obstacle_ratio(), improvement));
+        }
     }
     Ok(SubsetResult {
         name: spec.name,
         comparison,
-        baseline_time,
-        select_time,
-        ours_time,
+        times,
         obstacle_points,
         skipped,
     })
@@ -193,12 +230,16 @@ pub fn training_curve(
     use std::time::Instant;
 
     let (h, v, m) = size;
-    let small_cases =
-        CaseGenerator::new(GeneratorConfig::paper_costs(h, v, m, pin_train), seed ^ 0xCAFE)
-            .generate_many(40);
-    let large_cases =
-        CaseGenerator::new(GeneratorConfig::paper_costs(h, v, m, pin_beyond), seed ^ 0xBEEF)
-            .generate_many(40);
+    let small_cases = CaseGenerator::new(
+        GeneratorConfig::paper_costs(h, v, m, pin_train),
+        seed ^ 0xCAFE,
+    )
+    .generate_many(40);
+    let large_cases = CaseGenerator::new(
+        GeneratorConfig::paper_costs(h, v, m, pin_beyond),
+        seed ^ 0xBEEF,
+    )
+    .generate_many(40);
 
     let trainer_config = TrainerConfig {
         sizes: vec![size],
@@ -216,6 +257,7 @@ pub fn training_curve(
             ..MctsConfig::default()
         },
         seed,
+        threads: 0,
     };
     let mut rows = Vec::with_capacity(stages);
     let mut elapsed = 0.0f64;
@@ -329,18 +371,41 @@ mod tests {
             obstacles: (4, 8),
             layouts: 4,
         };
-        let mut selector = NeuralSelector::with_config(UNetConfig {
+        let selector = NeuralSelector::with_config(UNetConfig {
             in_channels: 7,
             base_channels: 2,
             levels: 1,
             seed: 0,
         });
-        let result = run_subset(&spec, &mut selector, 99).unwrap();
+        let result = run_subset(&spec, &selector, 99, 1).unwrap();
         assert!(result.comparison.count() + result.skipped == 4);
         assert!(result.comparison.count() > 0);
-        assert_eq!(
-            result.obstacle_points.len(),
-            result.comparison.count()
-        );
+        assert_eq!(result.obstacle_points.len(), result.comparison.count());
+    }
+
+    #[test]
+    fn run_subset_is_thread_count_invariant() {
+        let spec = TestSubsetSpec {
+            name: "tiny",
+            paper_dims: (32, 32, (4, 10)),
+            paper_layouts: 0,
+            h: 7,
+            v: 7,
+            m: (2, 2),
+            pins: (3, 5),
+            obstacles: (4, 8),
+            layouts: 8,
+        };
+        let selector = NeuralSelector::with_config(UNetConfig {
+            in_channels: 7,
+            base_channels: 2,
+            levels: 1,
+            seed: 3,
+        });
+        let one = run_subset(&spec, &selector, 7, 1).unwrap();
+        let four = run_subset(&spec, &selector, 7, 4).unwrap();
+        assert_eq!(one.comparison, four.comparison);
+        assert_eq!(one.obstacle_points, four.obstacle_points);
+        assert_eq!(one.skipped, four.skipped);
     }
 }

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 
 /// Accumulator comparing a baseline cost `a` against our cost `b` across
 /// layouts (Table 2 semantics: improvement is `(a − b) / a`).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CostComparison {
     count: usize,
     sum_a: f64,

@@ -143,8 +143,7 @@ mod tests {
     use super::*;
 
     fn sample_graph() -> HananGraph {
-        let mut g =
-            HananGraph::with_costs(3, 3, 2, vec![2.0, 4.0], vec![1.0, 8.0], 3.0).unwrap();
+        let mut g = HananGraph::with_costs(3, 3, 2, vec![2.0, 4.0], vec![1.0, 8.0], 3.0).unwrap();
         g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
         g.add_pin(GridPoint::new(2, 2, 1)).unwrap();
         g.add_obstacle_vertex(GridPoint::new(1, 1, 0)).unwrap();
@@ -156,7 +155,7 @@ mod tests {
         let g = sample_graph();
         let t = encode_features(&g, &[]);
         assert_eq!(t.shape(), &[7, 2, 3, 3]); // [C, M, H, V]
-        // Pin channel (indexed as c, m, h, v).
+                                              // Pin channel (indexed as c, m, h, v).
         assert_eq!(t.at4(0, 0, 0, 0), 1.0);
         assert_eq!(t.at4(0, 1, 2, 2), 1.0);
         assert_eq!(t.at4(0, 0, 1, 1), 0.0);

@@ -6,7 +6,7 @@
 //! 1. [`features`] encodes a 3D Hanan grid graph into the 7-channel feature
 //!    volume of Section 3.3 (Fig. 3),
 //! 2. a [`selector`] — usually the neural
-//!    [`NeuralSelector`](selector::NeuralSelector) wrapping the 3D Residual
+//!    [`NeuralSelector`] wrapping the 3D Residual
 //!    U-Net — produces the *final selected probability* of every vertex in
 //!    **one inference**, and [`topk`] picks the `n − 2` most probable valid
 //!    vertices as Steiner points,
@@ -42,6 +42,7 @@ pub mod error;
 pub mod eval;
 pub mod features;
 pub mod multi_net;
+pub mod parallel;
 pub mod rl_router;
 pub mod selector;
 pub mod topk;

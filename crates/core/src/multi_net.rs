@@ -181,6 +181,153 @@ impl<S: Selector> MultiNetRouter<S> {
     }
 }
 
+impl<S: Selector + Clone + Send + Sync> MultiNetRouter<S> {
+    /// Routes all nets like [`MultiNetRouter::route_nets`], but scores
+    /// independent nets concurrently on `threads` workers.
+    ///
+    /// Nets are taken in (HPWL-)order and grouped into *waves* of nets
+    /// whose pin bounding boxes are pairwise disjoint; each wave routes in
+    /// parallel against a snapshot of the committed graph, then commits in
+    /// wave order. A tree that turns out to cross a wire committed earlier
+    /// in its own wave (trees may stray outside their net's bounding box)
+    /// is re-routed sequentially against the up-to-date graph, so the final
+    /// layout is always conflict-free.
+    ///
+    /// Wave composition, per-wave routing and commit order depend only on
+    /// the input — **results are bit-identical for every `threads` value**.
+    /// They may differ from [`MultiNetRouter::route_nets`], which commits
+    /// after every net instead of after every wave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Route`] only for *structural* failures, exactly
+    /// like [`MultiNetRouter::route_nets`].
+    pub fn route_nets_parallel(
+        &mut self,
+        template: &HananGraph,
+        nets: &[Net],
+        threads: usize,
+    ) -> Result<MultiNetOutcome, CoreError> {
+        let mut pending: Vec<usize> = (0..nets.len()).collect();
+        if self.order_by_hpwl {
+            pending.sort_by_key(|&i| (nets[i].hpwl(), nets[i].pins.len()));
+        }
+        let mut base = strip_pins(template);
+        let mut results = Vec::with_capacity(nets.len());
+        let mut total_cost = 0.0;
+        let mut failed = 0usize;
+
+        while !pending.is_empty() {
+            // Greedy wave: the longest prefix-respecting set of nets whose
+            // pin bounding boxes are pairwise disjoint.
+            let mut wave: Vec<usize> = Vec::new();
+            let mut boxes: Vec<(usize, usize, usize, usize)> = Vec::new();
+            let mut rest: Vec<usize> = Vec::new();
+            for &i in &pending {
+                let b = pin_bbox(&nets[i]);
+                if boxes.iter().all(|&o| !bboxes_intersect(b, o)) {
+                    wave.push(i);
+                    boxes.push(b);
+                } else {
+                    rest.push(i);
+                }
+            }
+            pending = rest;
+
+            // Route the wave against a snapshot of the committed graph.
+            // The routers are deterministic, so the per-net trees do not
+            // depend on the worker partition (the seed goes unused).
+            let proto = self.router.clone();
+            let routed = crate::parallel::run_seeded_with(
+                wave.len(),
+                0,
+                threads,
+                || proto.clone(),
+                |router, w, _seed| -> Result<Option<RouteTree>, CoreError> {
+                    route_one(router, &base, &nets[wave[w]])
+                },
+            );
+
+            // Commit in wave order; trees invalidated by an earlier commit
+            // of this wave are re-routed against the up-to-date graph.
+            for (w, outcome) in routed.into_iter().enumerate() {
+                let net = &nets[wave[w]];
+                let mut tree = outcome?;
+                if let Some(t) = &tree {
+                    let crosses_committed_wire = t
+                        .vertices()
+                        .iter()
+                        .any(|&v| base.kind_at(v as usize) == VertexKind::Obstacle);
+                    if crosses_committed_wire {
+                        tree = route_one(&mut self.router, &base, net)?;
+                    }
+                }
+                match tree {
+                    Some(t) => {
+                        total_cost += t.cost();
+                        for v in t.vertices() {
+                            let _ = base.add_obstacle_vertex(base.point(v as usize));
+                        }
+                        results.push(NetResult {
+                            name: net.name.clone(),
+                            tree: Some(t),
+                        });
+                    }
+                    None => {
+                        failed += 1;
+                        results.push(NetResult {
+                            name: net.name.clone(),
+                            tree: None,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(MultiNetOutcome {
+            nets: results,
+            total_cost,
+            failed,
+        })
+    }
+}
+
+/// Routes one net on a pin-less committed graph. `Ok(None)` means the net
+/// is unroutable under congestion (pins blocked or disconnected);
+/// structural failures propagate.
+fn route_one<S: Selector>(
+    router: &mut RlRouter<S>,
+    base: &HananGraph,
+    net: &Net,
+) -> Result<Option<RouteTree>, CoreError> {
+    let mut graph = base.clone();
+    for &p in &net.pins {
+        if graph.add_pin(p).is_err() {
+            return Ok(None);
+        }
+    }
+    match router.route(&graph) {
+        Ok(out) => Ok(Some(out.tree)),
+        Err(CoreError::Route(_)) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Inclusive `(h0, h1, v0, v1)` bounding box of a net's pins.
+fn pin_bbox(net: &Net) -> (usize, usize, usize, usize) {
+    let (mut h0, mut h1, mut v0, mut v1) = (usize::MAX, 0, usize::MAX, 0);
+    for p in &net.pins {
+        h0 = h0.min(p.h);
+        h1 = h1.max(p.h);
+        v0 = v0.min(p.v);
+        v1 = v1.max(p.v);
+    }
+    (h0, h1, v0, v1)
+}
+
+fn bboxes_intersect(a: (usize, usize, usize, usize), b: (usize, usize, usize, usize)) -> bool {
+    a.0 <= b.1 && b.0 <= a.1 && a.2 <= b.3 && b.2 <= a.3
+}
+
 /// Clones a graph with all pins removed (kinds reset to empty).
 fn strip_pins(graph: &HananGraph) -> HananGraph {
     let (h, v, m) = graph.dims();
@@ -278,6 +425,46 @@ mod tests {
         assert_eq!(out.nets[1].name, "big");
         assert_eq!(big.hpwl(), 18);
         assert_eq!(small.hpwl(), 1);
+    }
+
+    #[test]
+    fn parallel_routing_is_thread_count_invariant_and_conflict_free() {
+        let template = open_grid();
+        let nets = vec![
+            Net::new("a", vec![p(0, 0, 0), p(3, 1, 0)]),
+            Net::new("b", vec![p(0, 5, 0), p(3, 6, 0), p(1, 8, 0)]),
+            Net::new("c", vec![p(6, 0, 0), p(9, 2, 0)]),
+            Net::new("d", vec![p(6, 6, 0), p(9, 9, 1)]),
+            Net::new("e", vec![p(4, 3, 1), p(5, 5, 1)]),
+        ];
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 4] {
+            let mut router = MultiNetRouter::new(MedianHeuristicSelector::new());
+            outcomes.push(
+                router
+                    .route_nets_parallel(&template, &nets, threads)
+                    .unwrap(),
+            );
+        }
+        let (one, four) = (&outcomes[0], &outcomes[1]);
+        assert_eq!(one.total_cost.to_bits(), four.total_cost.to_bits());
+        assert_eq!(one.failed, four.failed);
+        assert_eq!(one.nets.len(), four.nets.len());
+        for (a, b) in one.nets.iter().zip(&four.nets) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(
+                a.tree.as_ref().map(RouteTree::vertices),
+                b.tree.as_ref().map(RouteTree::vertices)
+            );
+        }
+        // Committed trees are pairwise vertex-disjoint (no overlooked
+        // conflicts between wave members).
+        let trees: Vec<&RouteTree> = four.nets.iter().filter_map(|n| n.tree.as_ref()).collect();
+        for (i, a) in trees.iter().enumerate() {
+            for b in &trees[i + 1..] {
+                assert!(a.vertices().is_disjoint(&b.vertices()));
+            }
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl fmt::Display for RouteOutcome {
 /// trained selector can never make the result worse than no Steiner points
 /// at all. Disable it with [`RlRouter::without_safeguard`] to measure the
 /// raw selector quality (as the ST-to-MST experiments of Figs. 11–12 do).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RlRouter<S> {
     selector: S,
     oarmst: OarmstRouter,
@@ -89,6 +89,12 @@ impl<S: Selector> RlRouter<S> {
     /// Access to the wrapped selector.
     pub fn selector_mut(&mut self) -> &mut S {
         &mut self.selector
+    }
+
+    /// Read-only access to the wrapped selector (used by the parallel
+    /// multi-net path to clone per-worker routers).
+    pub fn selector(&self) -> &S {
+        &self.selector
     }
 
     /// Routes a layout: one selector inference, top `n − 2` Steiner points,

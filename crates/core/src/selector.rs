@@ -31,7 +31,11 @@ impl<S: Selector + ?Sized> Selector for &mut S {
 }
 
 /// The neural selector: the 3D Residual U-Net of Section 3.3.
-#[derive(Debug)]
+///
+/// Cloning a `NeuralSelector` copies the full weight set; the parallel
+/// evaluation paths (see [`crate::parallel`]) clone one prototype selector
+/// per worker thread so inference needs no locking.
+#[derive(Debug, Clone)]
 pub struct NeuralSelector {
     net: UNet3d,
 }
@@ -230,8 +234,8 @@ mod tests {
         let fsp = s.fsp(&g, &[]);
         // Median of pins (0,2,0),(4,2,0),(2,0,0) is (2,2,0).
         let at_median = fsp[g.index(GridPoint::new(2, 2, 0))];
-        for idx in 0..g.len() {
-            assert!(fsp[idx] <= at_median + 1e-6);
+        for &p in &fsp {
+            assert!(p <= at_median + 1e-6);
         }
     }
 

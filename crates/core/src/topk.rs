@@ -74,10 +74,7 @@ mod tests {
         fsp[g.index(GridPoint::new(0, 0, 0))] = 1.0; // pin
         fsp[g.index(GridPoint::new(2, 2, 0))] = 1.0; // obstacle
         let sel = select_top_k(&g, &fsp, 2, &[]);
-        assert_eq!(
-            sel,
-            vec![GridPoint::new(1, 1, 0), GridPoint::new(2, 0, 0)]
-        );
+        assert_eq!(sel, vec![GridPoint::new(1, 1, 0), GridPoint::new(2, 0, 0)]);
     }
 
     #[test]
@@ -97,10 +94,7 @@ mod tests {
         let fsp = vec![0.5f32; g.len()];
         let sel = select_top_k(&g, &fsp, 2, &[]);
         // First two valid vertices in priority order: (0,1,0) then (0,2,0).
-        assert_eq!(
-            sel,
-            vec![GridPoint::new(0, 1, 0), GridPoint::new(0, 2, 0)]
-        );
+        assert_eq!(sel, vec![GridPoint::new(0, 1, 0), GridPoint::new(0, 2, 0)]);
     }
 
     #[test]
@@ -134,9 +128,6 @@ mod tests {
         fsp[g.index(GridPoint::new(2, 1, 0))] = 0.9;
         fsp[g.index(GridPoint::new(0, 1, 0))] = 0.5;
         let sel = select_top_k(&g, &fsp, 2, &[]);
-        assert_eq!(
-            sel,
-            vec![GridPoint::new(0, 1, 0), GridPoint::new(2, 1, 0)]
-        );
+        assert_eq!(sel, vec![GridPoint::new(0, 1, 0), GridPoint::new(2, 1, 0)]);
     }
 }

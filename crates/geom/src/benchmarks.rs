@@ -2,7 +2,7 @@
 //!
 //! The paper's Table 4 evaluates on eight public benchmarks (rt1–rt5 from
 //! the OARSMT literature, ind1–ind3 industrial cases) whose original files
-//! ship with [12]'s artifact, which is not available offline. Following the
+//! ship with \[12\]'s artifact, which is not available offline. Following the
 //! substitution rule in DESIGN.md §5, each benchmark is re-created
 //! synthetically with the published Hanan-graph dimensions, layer count,
 //! pin count and obstacle count (down-scaled by [`SCALE`] to fit the CPU

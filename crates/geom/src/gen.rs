@@ -160,10 +160,20 @@ impl CaseGenerator {
     pub fn generate(&mut self) -> HananGraph {
         let c = self.config.clone();
         let x_costs = (0..c.h - 1)
-            .map(|_| self.rng.gen_range(c.edge_cost.0..=c.edge_cost.1).round().max(1.0))
+            .map(|_| {
+                self.rng
+                    .gen_range(c.edge_cost.0..=c.edge_cost.1)
+                    .round()
+                    .max(1.0)
+            })
             .collect();
         let y_costs = (0..c.v - 1)
-            .map(|_| self.rng.gen_range(c.edge_cost.0..=c.edge_cost.1).round().max(1.0))
+            .map(|_| {
+                self.rng
+                    .gen_range(c.edge_cost.0..=c.edge_cost.1)
+                    .round()
+                    .max(1.0)
+            })
             .collect();
         let via = self.rng.gen_range(c.via_cost.0..=c.via_cost.1).round();
         let mut g = HananGraph::with_costs(c.h, c.v, c.m, x_costs, y_costs, via)
@@ -350,7 +360,7 @@ mod tests {
             }
             assert!(g.via_cost() >= 3.0 && g.via_cost() <= 5.0);
             for &c in g.x_costs().iter().chain(g.y_costs()) {
-                assert!(c >= 1.0 && c <= 10.0);
+                assert!((1.0..=10.0).contains(&c));
             }
         }
     }

@@ -220,14 +220,12 @@ impl HananGraph {
             }
         }
         for pin in layout.pins() {
-            let hi = g
-                .xs
-                .binary_search(&pin.at.x)
-                .expect("pin x coordinate is a hanan cut by construction");
-            let vi = g
-                .ys
-                .binary_search(&pin.at.y)
-                .expect("pin y coordinate is a hanan cut by construction");
+            let hi =
+                g.xs.binary_search(&pin.at.x)
+                    .expect("pin x coordinate is a hanan cut by construction");
+            let vi =
+                g.ys.binary_search(&pin.at.y)
+                    .expect("pin y coordinate is a hanan cut by construction");
             g.add_pin(GridPoint::new(hi, vi, pin.layer))?;
         }
         Ok(g)

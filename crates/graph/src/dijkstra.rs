@@ -309,10 +309,7 @@ pub fn shortest_path(
     space
         .shortest_path_to_set(graph, &[from], |i| i == target_idx, None)
         .map_err(|e| match e {
-            GraphError::Unreachable { from, .. } => GraphError::Unreachable {
-                from,
-                to: Some(to),
-            },
+            GraphError::Unreachable { from, .. } => GraphError::Unreachable { from, to: Some(to) },
             other => other,
         })
 }
@@ -476,7 +473,12 @@ mod tests {
         };
         let target = g.index(GridPoint::new(9, 9, 0));
         let err = SearchSpace::new()
-            .shortest_path_to_set(&g, &[GridPoint::new(0, 0, 0)], |i| i == target, Some(bounds))
+            .shortest_path_to_set(
+                &g,
+                &[GridPoint::new(0, 0, 0)],
+                |i| i == target,
+                Some(bounds),
+            )
             .unwrap_err();
         assert!(matches!(err, GraphError::Unreachable { .. }));
     }
@@ -484,11 +486,7 @@ mod tests {
     #[test]
     fn bounds_around_clips_to_graph() {
         let g = open_grid(6, 6, 1);
-        let b = SearchBounds::around(
-            &g,
-            [GridPoint::new(1, 1, 0), GridPoint::new(4, 2, 0)],
-            3,
-        );
+        let b = SearchBounds::around(&g, [GridPoint::new(1, 1, 0), GridPoint::new(4, 2, 0)], 3);
         assert_eq!((b.h_lo, b.h_hi, b.v_lo, b.v_hi), (0, 5, 0, 5));
         assert!(b.contains(GridPoint::new(0, 0, 0)));
     }

@@ -63,9 +63,7 @@ pub fn prim_mst(dist: &[f64], n: usize) -> Result<Vec<MstEdge>, GraphError> {
     let mut best = vec![f64::INFINITY; n];
     let mut best_from = vec![0usize; n];
     in_tree[0] = true;
-    for j in 1..n {
-        best[j] = dist[j]; // dist[0 * n + j]
-    }
+    best[1..n].copy_from_slice(&dist[1..n]); // row 0 of the matrix
     let mut edges = Vec::with_capacity(n - 1);
     for _ in 1..n {
         let mut pick = None;

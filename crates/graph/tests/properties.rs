@@ -1,10 +1,10 @@
 //! Property-based tests for the graph-search substrate.
 
+use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_graph::dijkstra::{distances_from, shortest_path, SearchSpace};
 use oarsmt_graph::mst::{mst_cost, prim_mst};
 use oarsmt_graph::UnionFind;
-use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
-use oarsmt_geom::{GridPoint, HananGraph};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -49,11 +49,11 @@ pub fn action_policy(
     // Running product of (1 - fsp(v)) over valid vertices with higher
     // priority than the current candidate (and lower than w).
     let mut skip_product = 1.0f64;
-    for idx in start..graph.len() {
+    for (idx, &f) in fsp.iter().enumerate().skip(start) {
         if graph.kind_at(idx) != VertexKind::Empty {
             continue;
         }
-        let p = f64::from(fsp[idx].clamp(0.0, 1.0));
+        let p = f64::from(f.clamp(0.0, 1.0));
         let w = p * skip_product;
         if w > 0.0 {
             weighted.push(ActionProb {

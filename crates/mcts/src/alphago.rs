@@ -231,8 +231,7 @@ impl AlphaGoMcts {
                 let selected_set = &nodes[cur as usize].selected;
                 let valid: Vec<(u32, f64)> = (0..graph.len())
                     .filter(|&i| {
-                        graph.kind_at(i) == VertexKind::Empty
-                            && !selected_set.contains(&(i as u32))
+                        graph.kind_at(i) == VertexKind::Empty && !selected_set.contains(&(i as u32))
                     })
                     .map(|i| (i as u32, f64::from(fsp[i].clamp(0.0, 1.0))))
                     .collect();
@@ -255,7 +254,8 @@ impl AlphaGoMcts {
                 }
                 *simulations += 1;
                 let predicted = if self.config.use_critic {
-                    self.critic.predict_with_fsp(graph, &selected_points, &fsp)?
+                    self.critic
+                        .predict_with_fsp(graph, &selected_points, &fsp)?
                 } else {
                     nodes[cur as usize].cost
                 };
@@ -374,7 +374,7 @@ mod tests {
         use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
         let cfg = MctsConfig {
             base_iterations: 32,
-            base_size: 6 * 6 * 1,
+            base_size: 6 * 6, // 6x6x1 grid
             ..MctsConfig::default()
         };
         let mut gen = CaseGenerator::new(GeneratorConfig::tiny(6, 6, 1, (4, 6)), 17);

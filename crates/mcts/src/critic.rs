@@ -76,7 +76,11 @@ impl Critic {
     /// # Errors
     ///
     /// Propagates OARMST routing failures.
-    pub fn state_cost(&self, graph: &HananGraph, selected: &[GridPoint]) -> Result<f64, RouteError> {
+    pub fn state_cost(
+        &self,
+        graph: &HananGraph,
+        selected: &[GridPoint],
+    ) -> Result<f64, RouteError> {
         Ok(self.oarmst.route_unpruned(graph, selected)?.cost())
     }
 }
@@ -128,9 +132,7 @@ mod tests {
         assert_eq!(with_center, 8.0);
         assert!(empty >= with_center);
         // A bad Steiner point strictly increases the unpruned cost.
-        let with_bad = critic
-            .state_cost(&g, &[GridPoint::new(4, 4, 0)])
-            .unwrap();
+        let with_bad = critic.state_cost(&g, &[GridPoint::new(4, 4, 0)]).unwrap();
         assert!(with_bad > with_center);
     }
 }

@@ -32,3 +32,18 @@ pub use config::MctsConfig;
 pub use critic::Critic;
 pub use label::LabelCounters;
 pub use search::{CombinatorialMcts, SearchOutcome};
+
+// The parallel sample-generation path (`oarsmt_rl`) fans one search per
+// worker thread: the engines and their outcomes must stay `Send + Sync`.
+// Keeping the assertion here turns an accidental `Rc`/`RefCell` in search
+// state into a compile error instead of a distant one in `oarsmt_rl`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CombinatorialMcts>();
+    assert_send_sync::<AlphaGoMcts>();
+    assert_send_sync::<SearchOutcome>();
+    assert_send_sync::<AlphaGoSample>();
+    assert_send_sync::<MctsConfig>();
+    assert_send_sync::<Critic>();
+    assert_send_sync::<LabelCounters>();
+};

@@ -224,10 +224,7 @@ impl CombinatorialMcts {
                     best = i;
                 }
             }
-            counters.record_step(
-                node.edges[best].action,
-                node.edges.iter().map(|e| e.action),
-            );
+            counters.record_step(node.edges[best].action, node.edges.iter().map(|e| e.action));
             path.push((cur, best));
             cur = self.materialize_child(graph, nodes, cur, best, budget)?;
         }
@@ -265,7 +262,8 @@ impl CombinatorialMcts {
                 }
                 *simulations += 1;
                 let predicted = if self.config.use_critic {
-                    self.critic.predict_with_fsp(graph, &selected_points, &fsp)?
+                    self.critic
+                        .predict_with_fsp(graph, &selected_points, &fsp)?
                 } else {
                     nodes[cur as usize].cost
                 };
@@ -353,9 +351,7 @@ mod tests {
         g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
         g.add_pin(GridPoint::new(3, 3, 0)).unwrap();
         let mcts = CombinatorialMcts::new(MctsConfig::tiny());
-        let out = mcts
-            .search(&g, &mut UniformSelector::new(0.5))
-            .unwrap();
+        let out = mcts.search(&g, &mut UniformSelector::new(0.5)).unwrap();
         assert!(out.executed.is_empty());
         assert_eq!(out.final_cost, out.initial_cost);
         assert!(out.label.iter().all(|&l| l == 0.0));

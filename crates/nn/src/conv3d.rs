@@ -86,6 +86,7 @@ impl Layer for Conv3d {
         let out_data = out.data_mut();
         // The z axis is contiguous: accumulate per (oc, x, y) output row
         // with shifted-slice AXPYs, which the compiler vectorizes.
+        #[allow(clippy::needless_range_loop)] // `oc` drives offset math, not just `bias[oc]`
         for oc in 0..self.out_c {
             for x1 in 0..d1 {
                 for y in 0..d2 {
@@ -147,6 +148,7 @@ impl Layer for Conv3d {
         let gb = self.bias.grad.data_mut();
         let gi = grad_in.data_mut();
 
+        #[allow(clippy::needless_range_loop)] // `oc` drives offset math, not just `gb[oc]`
         for oc in 0..self.out_c {
             for x1 in 0..d1 {
                 for y in 0..d2 {
@@ -228,6 +230,8 @@ mod tests {
         // the center: convolution must be the identity.
         let mut c = conv(1, 1, 3, 0);
         c.params_mut()[0].value.fill(0.0);
+        // Index of weight [oc=0, ic=0, a=1, b=1, c=1] in the flat buffer.
+        #[allow(clippy::erasing_op, clippy::identity_op)]
         let center = ((0 * 3 + 1) * 3 + 1) * 3 + 1;
         c.weight.value.data_mut()[center] = 1.0;
         c.bias.value.fill(0.0);

@@ -10,7 +10,11 @@ use crate::tensor::Tensor;
 /// A scalar loss for gradient checking: `L = sum(y^2) / 2`, whose gradient
 /// with respect to `y` is simply `y`.
 fn loss_of(y: &Tensor) -> f64 {
-    y.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / 2.0
+    y.data()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        / 2.0
 }
 
 /// Checks a layer's analytic gradients against central finite differences.
@@ -48,6 +52,9 @@ pub fn check_layer_gradients<L: Layer>(layer: &mut L, x: &Tensor, eps: f32, tol:
         .map(|p| p.grad.data().to_vec())
         .collect();
     let n_params = analytic_grads.len();
+    // Index-based loops: `layer.params_mut()` must be re-borrowed inside the
+    // body between forward passes, so iterators cannot hold the params.
+    #[allow(clippy::needless_range_loop)]
     for pi in 0..n_params {
         let plen = layer.params_mut()[pi].value.len();
         for i in 0..plen {

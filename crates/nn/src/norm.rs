@@ -37,7 +37,7 @@ impl GroupNorm {
     /// Panics if `groups` does not divide `channels` or either is zero.
     pub fn new(channels: usize, groups: usize) -> Self {
         assert!(
-            groups > 0 && channels > 0 && channels % groups == 0,
+            groups > 0 && channels > 0 && channels.is_multiple_of(groups),
             "groups ({groups}) must divide channels ({channels})"
         );
         let mut gamma = Tensor::zeros(&[channels]);
@@ -70,14 +70,14 @@ impl Layer for GroupNorm {
         let mut x_hat = Tensor::zeros(s);
         let mut inv_std = vec![0.0f32; self.groups];
         let data = x.data();
-        for g in 0..self.groups {
+        for (g, inv) in inv_std.iter_mut().enumerate() {
             let start = g * group_len;
             let slice = &data[start..start + group_len];
             let mean: f32 = slice.iter().sum::<f32>() / group_len as f32;
             let var: f32 =
                 slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / group_len as f32;
             let is = 1.0 / (var + self.eps).sqrt();
-            inv_std[g] = is;
+            *inv = is;
             for (i, &v) in slice.iter().enumerate() {
                 x_hat.data_mut()[start + i] = (v - mean) * is;
             }
@@ -98,7 +98,10 @@ impl Layer for GroupNorm {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.take().expect("groupnorm backward without forward");
+        let cache = self
+            .cache
+            .take()
+            .expect("groupnorm backward without forward");
         let s = grad_out.shape().to_vec();
         let spatial: usize = s[1..].iter().product();
         let per_group = self.channels / self.groups;
@@ -139,8 +142,8 @@ impl Layer for GroupNorm {
             let n = group_len as f32;
             let is = cache.inv_std[g];
             for i in 0..group_len {
-                grad_in.data_mut()[start + i] = (is / n)
-                    * (n * dxhat[i] - sum_dxhat - x_hat[start + i] * sum_dxhat_xhat);
+                grad_in.data_mut()[start + i] =
+                    (is / n) * (n * dxhat[i] - sum_dxhat - x_hat[start + i] * sum_dxhat_xhat);
             }
         }
         grad_in

@@ -13,7 +13,7 @@ use crate::tensor::Tensor;
 /// where `proj` is the identity when channel counts match and a `1×1×1`
 /// convolution otherwise, and the optional [`GroupNorm`]s are inserted by
 /// [`ResidualBlock::new_normed`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ResidualBlock {
     conv1: Conv3d,
     norm1: Option<GroupNorm>,
@@ -89,7 +89,9 @@ impl Layer for ResidualBlock {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        self.cache_x.take().expect("residual backward without forward");
+        self.cache_x
+            .take()
+            .expect("residual backward without forward");
         let grad_sum = self.relu_out.backward(grad_out);
         // Main branch.
         let mut g = grad_sum.clone();

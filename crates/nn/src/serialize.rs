@@ -21,7 +21,10 @@ const VERSION: u32 = 1;
 /// # Errors
 ///
 /// Returns [`NnError::Io`] on write failure.
-pub fn save_params<L: Layer + ?Sized, W: Write>(layer: &mut L, mut writer: W) -> Result<(), NnError> {
+pub fn save_params<L: Layer + ?Sized, W: Write>(
+    layer: &mut L,
+    mut writer: W,
+) -> Result<(), NnError> {
     let params = layer.params_mut();
     writer.write_all(MAGIC)?;
     writer.write_all(&VERSION.to_le_bytes())?;
@@ -48,7 +51,10 @@ pub fn save_params<L: Layer + ?Sized, W: Write>(layer: &mut L, mut writer: W) ->
 /// * [`NnError::BadModelFile`] on a wrong magic/version,
 /// * [`NnError::ShapeMismatch`] if the stored tensors do not match the
 ///   layer's parameters.
-pub fn load_params<L: Layer + ?Sized, R: Read>(layer: &mut L, mut reader: R) -> Result<(), NnError> {
+pub fn load_params<L: Layer + ?Sized, R: Read>(
+    layer: &mut L,
+    mut reader: R,
+) -> Result<(), NnError> {
     let mut magic = [0u8; 8];
     reader.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -104,7 +110,10 @@ pub fn load_params<L: Layer + ?Sized, R: Read>(layer: &mut L, mut reader: R) -> 
 /// # Errors
 ///
 /// Returns [`NnError::Io`] if the file cannot be created or written.
-pub fn save_to_file<L: Layer + ?Sized, P: AsRef<Path>>(layer: &mut L, path: P) -> Result<(), NnError> {
+pub fn save_to_file<L: Layer + ?Sized, P: AsRef<Path>>(
+    layer: &mut L,
+    path: P,
+) -> Result<(), NnError> {
     let file = File::create(path)?;
     save_params(layer, BufWriter::new(file))
 }
@@ -115,7 +124,10 @@ pub fn save_to_file<L: Layer + ?Sized, P: AsRef<Path>>(layer: &mut L, path: P) -
 ///
 /// See [`load_params`]; additionally [`NnError::Io`] if the file cannot be
 /// opened.
-pub fn load_from_file<L: Layer + ?Sized, P: AsRef<Path>>(layer: &mut L, path: P) -> Result<(), NnError> {
+pub fn load_from_file<L: Layer + ?Sized, P: AsRef<Path>>(
+    layer: &mut L,
+    path: P,
+) -> Result<(), NnError> {
     let file = File::open(path)?;
     load_params(layer, BufReader::new(file))
 }

@@ -45,7 +45,7 @@ impl Default for UNetConfig {
 }
 
 /// The 3D Residual U-Net.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct UNet3d {
     config: UNetConfig,
     enc: Vec<ResidualBlock>,
@@ -165,10 +165,10 @@ impl Layer for UNet3d {
         let _skips = self.skips.take().expect("unet backward without forward");
         let mut grad = self.head.backward(grad_out);
         let mut skip_grads: Vec<Option<Tensor>> = vec![None; self.config.levels];
-        for i in 0..self.config.levels {
+        for (i, slot) in skip_grads.iter_mut().enumerate() {
             grad = self.dec[i].backward(&grad);
             let (g_up, g_skip) = grad.split_channels(self.up_channels[i]);
-            skip_grads[i] = Some(g_skip);
+            *slot = Some(g_skip);
             grad = self.ups[i].backward(&g_up);
         }
         grad = self.bottleneck.backward(&grad);

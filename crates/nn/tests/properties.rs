@@ -125,11 +125,13 @@ fn training_step_reduces_loss_on_one_sample() {
         seed: 9,
     });
     let x = Initializer::new(1).uniform(&[2, 4, 4, 2], 1.0);
-    let target = Initializer::new(2).uniform(&[1, 4, 4, 2], 0.5).map(|v| v.abs().min(1.0));
+    let target = Initializer::new(2)
+        .uniform(&[1, 4, 4, 2], 0.5)
+        .map(|v| v.abs().min(1.0));
     let mut opt = Adam::new(1e-2);
     let mut first = None;
     let mut last = 0.0;
-    for _ in 0..30 {
+    for _ in 0..60 {
         net.zero_grad();
         let logits = net.forward(&x);
         let out = bce_with_logits(&logits, &target, None);

@@ -115,15 +115,8 @@ mod tests {
     use super::*;
 
     fn sample() -> TrainingSample {
-        let mut g = HananGraph::with_costs(
-            3,
-            4,
-            2,
-            vec![1.0, 5.0],
-            vec![2.0, 3.0, 4.0],
-            3.0,
-        )
-        .unwrap();
+        let mut g =
+            HananGraph::with_costs(3, 4, 2, vec![1.0, 5.0], vec![2.0, 3.0, 4.0], 3.0).unwrap();
         g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
         g.add_pin(GridPoint::new(2, 3, 1)).unwrap();
         g.add_obstacle_vertex(GridPoint::new(1, 2, 0)).unwrap();
@@ -181,10 +174,7 @@ mod tests {
         assert_eq!(t.label[t.graph.index(dst)], 0.8);
         // Kind follows too.
         let ob_dst = sym.map_point(dims, GridPoint::new(1, 2, 0));
-        assert_eq!(
-            t.graph.kind(ob_dst),
-            oarsmt_geom::VertexKind::Obstacle
-        );
+        assert_eq!(t.graph.kind(ob_dst), oarsmt_geom::VertexKind::Obstacle);
     }
 
     #[test]

@@ -107,10 +107,7 @@ mod tests {
 
     #[test]
     fn epoch_covers_every_sample_once() {
-        let mut ds = Dataset::new(
-            (0..7).map(|_| sample(4, 4, 1)).collect::<Vec<_>>(),
-            1,
-        );
+        let mut ds = Dataset::new((0..7).map(|_| sample(4, 4, 1)).collect::<Vec<_>>(), 1);
         let batches = ds.epoch_batches(3);
         let total: usize = batches.iter().map(|b| b.len()).sum();
         assert_eq!(total, 7);

@@ -246,8 +246,8 @@ impl PpoTrainer {
                 let (probs, valid) = masked_softmax(&logits, graph, &step.state);
                 let new_logp = probs[step.action].max(1e-12).ln();
                 let ratio = (new_logp - step.old_logp).exp();
-                let surrogate = (ratio * advantage)
-                    .min(ratio.clamp(1.0 - clip, 1.0 + clip) * advantage);
+                let surrogate =
+                    (ratio * advantage).min(ratio.clamp(1.0 - clip, 1.0 + clip) * advantage);
                 policy_loss_sum += f64::from(-surrogate);
                 // Gradient is zero when the clip is active against us.
                 let active = (advantage > 0.0 && ratio < 1.0 + clip)
@@ -297,9 +297,7 @@ fn masked_softmax(
     let lg = to_graph_order(logits.data(), graph);
     let selected: Vec<usize> = state.iter().map(|&p| graph.index(p)).collect();
     let valid: Vec<usize> = (0..graph.len())
-        .filter(|&i| {
-            graph.kind_at(i) == oarsmt_geom::VertexKind::Empty && !selected.contains(&i)
-        })
+        .filter(|&i| graph.kind_at(i) == oarsmt_geom::VertexKind::Empty && !selected.contains(&i))
         .collect();
     let mut probs = vec![0.0f32; graph.len()];
     if valid.is_empty() {

@@ -46,6 +46,7 @@ pub fn paper_schedule() -> TrainerConfig {
             ..MctsConfig::default()
         },
         seed: 0,
+        threads: 0,
     }
 }
 
@@ -72,6 +73,7 @@ pub fn laptop_schedule(seed: u64) -> TrainerConfig {
             ..MctsConfig::default()
         },
         seed,
+        threads: 0,
     }
 }
 
@@ -93,6 +95,7 @@ pub fn smoke_schedule(seed: u64) -> TrainerConfig {
             ..MctsConfig::default()
         },
         seed,
+        threads: 0,
     }
 }
 

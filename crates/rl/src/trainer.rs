@@ -7,6 +7,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
+use oarsmt::parallel;
 use oarsmt::selector::{NeuralSelector, Selector};
 use oarsmt::topk::steiner_budget;
 use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
@@ -61,6 +62,12 @@ pub struct TrainerConfig {
     pub mcts: MctsConfig,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads for sample generation (`0` = auto: the
+    /// `OARSMT_THREADS` environment variable, else all cores). Generated
+    /// samples are bit-identical for every thread count — each layout's
+    /// seed is derived from its index, and one MCTS search runs per worker
+    /// at a time (see [`oarsmt::parallel`]).
+    pub threads: usize,
 }
 
 impl Default for TrainerConfig {
@@ -77,6 +84,7 @@ impl Default for TrainerConfig {
             augment: true,
             mcts: MctsConfig::tiny(),
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -184,7 +192,7 @@ impl Trainer {
 
         let fit_start = Instant::now();
         let expanded: Vec<TrainingSample> = if self.config.augment {
-            samples.iter().flat_map(|s| augment_16(s)).collect()
+            samples.iter().flat_map(augment_16).collect()
         } else {
             samples
         };
@@ -306,44 +314,69 @@ impl Trainer {
             use_critic,
             ..self.config.mcts.clone()
         };
+        let scheme = self.scheme;
+        let threads = parallel::thread_count(Some(self.config.threads));
+        // Workers search with clones of the stage's frozen selector; the
+        // caller's selector is only updated by the subsequent fit.
+        let proto: NeuralSelector = selector.clone();
         let mut samples = Vec::new();
         let mut ratio_sum = 0.0f64;
         let mut ratio_count = 0usize;
         for &(h, v, m) in &self.config.sizes.clone() {
             let cfg = GeneratorConfig::paper_costs(h, v, m, pins);
-            let mut gen = CaseGenerator::new(cfg, self.rng.gen());
-            for graph in gen.generate_many(self.config.layouts_per_size) {
-                match self.scheme {
-                    Scheme::Combinatorial => {
-                        let mcts = CombinatorialMcts::new(mcts_config.clone());
-                        match mcts.search(&graph, selector) {
-                            Ok(out) => {
-                                ratio_sum += out.final_cost / out.initial_cost;
-                                ratio_count += 1;
-                                samples.push(TrainingSample::new(graph, vec![], out.label));
-                            }
-                            Err(oarsmt_router::RouteError::Disconnected { .. }) => continue,
-                            Err(e) => return Err(e),
-                        }
-                    }
-                    Scheme::AlphaGo => {
-                        let mcts = AlphaGoMcts::new(mcts_config.clone());
-                        match mcts.search(&graph, selector) {
-                            Ok(out) => {
-                                ratio_sum += out.final_cost / out.initial_cost;
-                                ratio_count += 1;
-                                for s in out.samples {
-                                    samples.push(TrainingSample::new(
-                                        graph.clone(),
-                                        s.state,
-                                        s.label,
-                                    ));
+            // One draw per size, exactly like the sequential schedule, so
+            // the master RNG advances identically for any thread count.
+            let size_seed: u64 = self.rng.gen();
+            type LayoutSamples =
+                Result<Option<(Vec<TrainingSample>, f64)>, oarsmt_router::RouteError>;
+            let per_layout = parallel::run_seeded_with(
+                self.config.layouts_per_size,
+                size_seed,
+                threads,
+                || proto.clone(),
+                |sel, _idx, layout_seed| -> LayoutSamples {
+                    let graph = CaseGenerator::new(cfg.clone(), layout_seed).generate();
+                    match scheme {
+                        Scheme::Combinatorial => {
+                            let mcts = CombinatorialMcts::new(mcts_config.clone());
+                            match mcts.search(&graph, sel) {
+                                Ok(out) => {
+                                    let ratio = out.final_cost / out.initial_cost;
+                                    let sample = TrainingSample::new(graph, vec![], out.label);
+                                    Ok(Some((vec![sample], ratio)))
                                 }
+                                Err(oarsmt_router::RouteError::Disconnected { .. }) => Ok(None),
+                                Err(e) => Err(e),
                             }
-                            Err(oarsmt_router::RouteError::Disconnected { .. }) => continue,
-                            Err(e) => return Err(e),
+                        }
+                        Scheme::AlphaGo => {
+                            let mcts = AlphaGoMcts::new(mcts_config.clone());
+                            match mcts.search(&graph, sel) {
+                                Ok(out) => {
+                                    let ratio = out.final_cost / out.initial_cost;
+                                    let per_move = out
+                                        .samples
+                                        .into_iter()
+                                        .map(|s| {
+                                            TrainingSample::new(graph.clone(), s.state, s.label)
+                                        })
+                                        .collect();
+                                    Ok(Some((per_move, ratio)))
+                                }
+                                Err(oarsmt_router::RouteError::Disconnected { .. }) => Ok(None),
+                                Err(e) => Err(e),
+                            }
                         }
                     }
+                },
+            );
+            // Fold in index order: sample order and float accumulation are
+            // independent of the worker partition.
+            for item in per_layout {
+                if let Some((layout_samples, ratio)) = item? {
+                    ratio_sum += ratio;
+                    ratio_count += 1;
+                    samples.extend(layout_samples);
                 }
             }
         }
@@ -406,12 +439,7 @@ pub fn st_to_mst_over_cases<S: Selector>(
         let points = match mode {
             InferenceMode::OneShot => {
                 let fsp = selector.fsp(graph, &[]);
-                oarsmt::topk::select_top_k(
-                    graph,
-                    &fsp,
-                    steiner_budget(graph.pins().len()),
-                    &[],
-                )
+                oarsmt::topk::select_top_k(graph, &fsp, steiner_budget(graph.pins().len()), &[])
             }
             InferenceMode::Sequential => sequential_select(graph, selector),
         };
@@ -498,6 +526,31 @@ mod tests {
     }
 
     #[test]
+    fn sample_generation_is_thread_count_invariant() {
+        // One full stage (generation + fit) with 1 worker and with 4
+        // workers: identical samples in identical order imply bit-identical
+        // weights afterwards.
+        let g = oarsmt_geom::HananGraph::uniform(5, 5, 1, 1.0, 1.0, 3.0);
+        let mut outputs = Vec::new();
+        for threads in [1usize, 4] {
+            let mut cfg = tiny_config();
+            cfg.layouts_per_size = 6;
+            cfg.threads = threads;
+            let mut trainer = Trainer::new(cfg);
+            let mut selector = tiny_selector(11);
+            let report = trainer.run_stage(&mut selector, 1).unwrap();
+            outputs.push((
+                report.samples,
+                report.mcts_cost_ratio,
+                selector.fsp(&g, &[]),
+            ));
+        }
+        assert_eq!(outputs[0].0, outputs[1].0, "sample counts differ");
+        assert_eq!(outputs[0].1.to_bits(), outputs[1].1.to_bits());
+        assert_eq!(outputs[0].2, outputs[1].2, "weights diverged");
+    }
+
+    #[test]
     fn curriculum_fixes_pins_and_disables_critic() {
         let trainer = Trainer::new(TrainerConfig {
             curriculum_stages: 4,
@@ -553,8 +606,7 @@ mod tests {
     fn st_to_mst_evaluation_is_at_most_one_for_good_selectors() {
         use oarsmt::selector::MedianHeuristicSelector;
         use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
-        let cases =
-            CaseGenerator::new(GeneratorConfig::tiny(6, 6, 1, (4, 5)), 9).generate_many(6);
+        let cases = CaseGenerator::new(GeneratorConfig::tiny(6, 6, 1, (4, 5)), 9).generate_many(6);
         let mut sel = MedianHeuristicSelector::new();
         let one_shot = st_to_mst_over_cases(&mut sel, InferenceMode::OneShot, &cases);
         let sequential = st_to_mst_over_cases(&mut sel, InferenceMode::Sequential, &cases);

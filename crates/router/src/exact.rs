@@ -96,6 +96,9 @@ pub fn steiner_exact_cost(graph: &HananGraph) -> Result<f64, RouteError> {
         while sub > mask / 2 {
             // Enumerate each unordered pair once (sub > mask ^ sub).
             let other = mask ^ sub;
+            // `dp[sub]`/`dp[other]` are read while `dp[mask]` is written, so
+            // iterator-based access would need split borrows of `dp`.
+            #[allow(clippy::needless_range_loop)]
             for v in 0..vcount {
                 let a = dp[sub][v];
                 if a == inf {
@@ -131,7 +134,10 @@ fn relax(graph: &HananGraph, layer: &mut [f64]) {
         .iter()
         .enumerate()
         .filter(|&(_, &c)| c.is_finite())
-        .map(|(v, &c)| HeapEntry { cost: c, v: v as u32 })
+        .map(|(v, &c)| HeapEntry {
+            cost: c,
+            v: v as u32,
+        })
         .collect();
     while let Some(HeapEntry { cost, v }) = heap.pop() {
         let vi = v as usize;
@@ -159,8 +165,8 @@ fn relax(graph: &HananGraph, layer: &mut [f64]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::oarmst::OarmstRouter;
     use crate::lin18::Lin18Router;
+    use crate::oarmst::OarmstRouter;
     use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
 
     fn pins(g: &mut HananGraph, pts: &[(usize, usize, usize)]) {

@@ -100,12 +100,12 @@ impl Lin18Router {
     pub fn route(&self, graph: &HananGraph) -> Result<RouteTree, RouteError> {
         let bounded = OarmstRouter::new().with_bounds_margin(self.margin);
         let unbounded = OarmstRouter::new();
-        let build = |router: &OarmstRouter, cands: &[oarsmt_geom::GridPoint]| {
-            match router.route(graph, cands) {
-                Ok(t) => Ok(t),
-                Err(RouteError::Disconnected { .. }) => unbounded.route(graph, cands),
-                Err(e) => Err(e),
-            }
+        let build = |router: &OarmstRouter, cands: &[oarsmt_geom::GridPoint]| match router
+            .route(graph, cands)
+        {
+            Ok(t) => Ok(t),
+            Err(RouteError::Disconnected { .. }) => unbounded.route(graph, cands),
+            Err(e) => Err(e),
         };
         let mut best = build(&bounded, &[])?;
 

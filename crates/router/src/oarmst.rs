@@ -184,10 +184,8 @@ impl OarmstRouter {
         let mut tree_vertices: Vec<GridPoint> = vec![first];
         let mut in_tree: HashSet<u32> = HashSet::new();
         in_tree.insert(graph.index(first) as u32);
-        let mut unconnected: HashSet<u32> = terminals
-            .iter()
-            .map(|&t| graph.index(t) as u32)
-            .collect();
+        let mut unconnected: HashSet<u32> =
+            terminals.iter().map(|&t| graph.index(t) as u32).collect();
         unconnected.remove(&(graph.index(first) as u32));
 
         let pin_set: HashSet<u32> = pins.iter().map(|&p| graph.index(p) as u32).collect();

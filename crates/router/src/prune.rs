@@ -91,9 +91,6 @@ mod tests {
         let ghost = GridPoint::new(1, 0, 0);
         // ghost lies on the path with degree 2 -> redundant; a vertex not in
         // the tree at all is degree 0 -> redundant too.
-        assert_eq!(
-            redundant_candidates(&g, &tree, &[ghost]),
-            vec![ghost]
-        );
+        assert_eq!(redundant_candidates(&g, &tree, &[ghost]), vec![ghost]);
     }
 }

@@ -52,7 +52,13 @@ pub struct Via {
 
 impl fmt::Display for Via {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "via {} layers {}-{}", self.at, self.layer, self.layer + 1)
+        write!(
+            f,
+            "via {} layers {}-{}",
+            self.at,
+            self.layer,
+            self.layer + 1
+        )
     }
 }
 
@@ -229,7 +235,7 @@ mod tests {
         let (g, t) = l_route();
         let geo = RouteGeometry::extract(&g, &t);
         assert_eq!(geo.vias.len(), t.via_count(&g));
-        assert!(geo.vias.len() >= 1);
+        assert!(!geo.vias.is_empty());
         for v in &geo.vias {
             assert_eq!(v.layer, 0);
         }

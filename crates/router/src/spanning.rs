@@ -81,8 +81,8 @@ impl fmt::Display for SpanningRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use oarsmt_geom::GridPoint;
     use crate::oarmst::OarmstRouter;
+    use oarsmt_geom::GridPoint;
 
     fn pins(g: &mut HananGraph, pts: &[(usize, usize, usize)]) {
         for &(h, v, m) in pts {

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// The tree is built by routers in this crate; its invariants (acyclicity,
 /// connectivity, spanning the terminals) can be checked with
-/// [`RouteTree::is_tree`] and [`RouteTree::spans`].
+/// [`RouteTree::is_tree`] and [`RouteTree::spans_in`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct RouteTree {
     /// Grid edges as `(min_index, max_index)` pairs of linear vertex

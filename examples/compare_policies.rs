@@ -48,11 +48,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         conv_gain += 1.0 - conv.final_cost / conv.initial_cost;
         n += 1;
     }
-    println!("  combinatorial: {comb_nodes} nodes, {comb_time:?}, avg cost gain {:.2}%", 100.0 * comb_gain / n as f64);
-    println!("  conventional : {conv_nodes} nodes, {conv_time:?}, avg cost gain {:.2}%", 100.0 * conv_gain / n as f64);
     println!(
-        "  (paper: combinatorial sample generation is 3.48x faster than conventional)"
+        "  combinatorial: {comb_nodes} nodes, {comb_time:?}, avg cost gain {:.2}%",
+        100.0 * comb_gain / n as f64
     );
+    println!(
+        "  conventional : {conv_nodes} nodes, {conv_time:?}, avg cost gain {:.2}%",
+        100.0 * conv_gain / n as f64
+    );
+    println!("  (paper: combinatorial sample generation is 3.48x faster than conventional)");
 
     println!("\nppo baseline (one iteration on the same distribution):");
     let mut ppo = PpoTrainer::new(

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let p = GridPoint::new;
     let nets = vec![
-        Net::new("clk", vec![p(0, 0, 0), p(13, 0, 0), p(13, 9, 0), p(0, 9, 0)]),
+        Net::new(
+            "clk",
+            vec![p(0, 0, 0), p(13, 0, 0), p(13, 9, 0), p(0, 9, 0)],
+        ),
         Net::new("data0", vec![p(1, 2, 0), p(12, 2, 0), p(6, 8, 2)]),
         Net::new("data1", vec![p(1, 7, 0), p(12, 7, 0)]),
         Net::new("irq", vec![p(3, 0, 1), p(3, 9, 1)]),
@@ -41,12 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match &net.tree {
             Some(tree) => {
                 let geometry = RouteGeometry::extract(&template, tree);
-                println!(
-                    "  {:>6}: cost {:>5.0}, {}",
-                    net.name,
-                    tree.cost(),
-                    geometry
-                );
+                println!("  {:>6}: cost {:>5.0}, {}", net.name, tree.cost(), geometry);
             }
             None => println!("  {:>6}: FAILED (congested)", net.name),
         }

@@ -1,0 +1,176 @@
+//! Offline micro-benchmark harness mirroring the subset of the `criterion`
+//! API this workspace's `benches/` use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors shims for its external dependencies (see `shims/` in the
+//! repository root). This harness keeps the `criterion_group!` /
+//! `criterion_main!` / [`Criterion`] surface so `cargo bench` compiles and
+//! runs, but replaces criterion's statistics with a plain
+//! mean-over-`sample_size` timing report on stdout — good enough for
+//! relative comparisons, not for regression detection.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to the functions named in `criterion_group!`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<D: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Runs a benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<D: std::fmt::Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim reports
+    /// eagerly, so this only exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group (mirrors
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter rendering only.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Times closures; handed to benchmark bodies as `|b| b.iter(...)`.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            total: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `sample_size` calls of `f` (one warm-up call first).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.sample_size {
+            black_box(f());
+        }
+        self.total += start.elapsed();
+        self.iters += self.sample_size as u64;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name}: no iterations");
+            return;
+        }
+        let mean = self.total / self.iters as u32;
+        println!("{name}: mean {mean:?} over {} iterations", self.iters);
+    }
+}
+
+/// Declares a benchmark group runner (mirrors `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

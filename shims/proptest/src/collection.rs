@@ -1,0 +1,31 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Vec`s with element strategy `S` and a length drawn from a
+/// range (mirrors `proptest::collection::vec`).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    len: Range<usize>,
+}
+
+/// Generates vectors whose length is drawn uniformly from `len` and whose
+/// elements come from `element`.
+pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "empty length range");
+    VecStrategy { element, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + rng.bounded(span) as usize;
+        (0..n).map(|_| self.element.sample(rng)).collect()
+    }
+}

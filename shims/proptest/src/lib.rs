@@ -1,0 +1,226 @@
+//! Offline mini property-testing harness mirroring the subset of the
+//! `proptest` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors shims for its external dependencies (see `shims/` in the
+//! repository root). This crate implements the pieces the test suites
+//! name — the [`proptest!`] macro, range/tuple/[`collection::vec`]
+//! strategies, [`Strategy::prop_filter_map`] and friends, and the
+//! [`prop_assert!`]/[`prop_assert_eq!`] macros — on top of a small
+//! deterministic generator. Differences from upstream:
+//!
+//! * **No shrinking.** A failing case reports its case index and the
+//!   per-test deterministic seed instead of a minimized input.
+//! * **Deterministic by default.** Each `#[test]` derives its generator
+//!   seed from the test name, so failures reproduce exactly on rerun.
+//! * **Rejection is bounded.** `prop_filter_map` rejections abort the test
+//!   after `cases * 1024` consecutive misses rather than tracking a global
+//!   rejection budget.
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(32))]
+//!     // (`#[test]` goes here in a test module; omitted so the doctest
+//!     // can call the property directly.)
+//!     fn addition_commutes(a in 0i64..1000, b in 0i64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # addition_commutes();
+//! ```
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! Mirrors the `prop` module re-export of the upstream prelude.
+        pub use crate::collection;
+    }
+}
+
+/// Drives one property: samples `config.cases` accepted inputs from
+/// `strategy` and runs `body` on each, panicking (with reproduction info)
+/// on the first failed case. Called by the [`proptest!`] expansion; not
+/// part of the public upstream API.
+pub fn run_property<S, F>(name: &str, config: ProptestConfig, strategy: S, mut body: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> TestCaseResult,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0u32;
+    let mut rejected: u64 = 0;
+    let reject_budget = u64::from(config.cases) * 1024;
+    while accepted < config.cases {
+        match strategy.sample(&mut rng) {
+            None => {
+                rejected += 1;
+                assert!(
+                    rejected <= reject_budget,
+                    "property '{name}': strategy rejected {rejected} candidates \
+                     for {accepted} accepted cases — filter is too strict"
+                );
+            }
+            Some(value) => {
+                if let Err(e) = body(value) {
+                    panic!(
+                        "property '{name}' failed at case {accepted} \
+                         (deterministic seed: test name): {e}"
+                    );
+                }
+                accepted += 1;
+            }
+        }
+    }
+}
+
+/// Declares property tests (mirrors `proptest::proptest!`).
+///
+/// Each `#[test] fn name(pat in strategy, ...) { body }` item expands to a
+/// zero-argument `#[test]` that samples the strategies `cases` times and
+/// runs the body, which may use [`prop_assert!`]-style macros and
+/// `return Ok(())` for early exit.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(
+                    stringify!($name),
+                    $config,
+                    ($($strategy,)+),
+                    |($($arg,)+)| -> $crate::test_runner::TestCaseResult {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property body, failing the case (not the
+/// whole process) on violation (mirrors `proptest::prop_assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a property body (mirrors
+/// `proptest::prop_assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property body (mirrors
+/// `proptest::prop_assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_are_honoured(a in 3usize..9, b in -4i64..=4i64, f in 0.25f32..0.75) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-4..=4).contains(&b));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length_range(v in prop::collection::vec(0u32..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn filter_map_only_yields_accepted(x in (0u64..100).prop_filter_map("even", |x| {
+            if x % 2 == 0 { Some(x) } else { None }
+        })) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn early_return_is_supported(x in 0u32..10) {
+            if x > 100 {
+                return Ok(()); // unreachable, but must typecheck
+            }
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_fails' failed")]
+    fn failures_panic_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

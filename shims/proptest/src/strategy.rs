@@ -1,0 +1,204 @@
+//! Value-generation strategies (mirrors `proptest::strategy`).
+//!
+//! A [`Strategy`] draws one candidate value per call from a deterministic
+//! [`TestRng`]; returning `None` rejects the whole candidate (used by
+//! [`Strategy::prop_filter_map`] / [`Strategy::prop_filter`], and bounded
+//! by the runner's rejection budget).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A generator of test-case inputs.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one candidate, or `None` to reject (retry with fresh
+    /// randomness).
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values, rejecting those the closure maps to `None`
+    /// (mirrors `Strategy::prop_filter_map`).
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Transforms generated values (mirrors `Strategy::prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects generated values failing the predicate (mirrors
+    /// `Strategy::prop_filter`).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+/// Strategy yielding a fixed value (mirrors `proptest::strategy::Just`).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        let _ = self.whence;
+        (self.f)(self.inner.sample(rng)?)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone, Copy)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        Some((self.f)(self.inner.sample(rng)?))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone, Copy)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        let _ = self.whence;
+        self.inner.sample(rng).filter(|v| (self.f)(v))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                Some((self.start as i128 + rng.bounded(span) as i128) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    return Some(rng.next_u64() as $t);
+                }
+                Some((start as i128 + rng.bounded(span as u64) as i128) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> Option<$t> {
+                assert!(self.start < self.end, "empty range strategy");
+                Some(self.start + (self.end - self.start) * rng.unit() as $t)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.sample(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Boxed strategies and references sample through to the inner strategy.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        (**self).sample(rng)
+    }
+}

@@ -1,0 +1,24 @@
+//! Offline no-op stand-in for the subset of `serde` this workspace names.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors shims for its external dependencies (see `shims/` in the
+//! repository root). The real `serde` is only referenced here through
+//! `#[derive(Serialize, Deserialize)]` attributes — nothing in the
+//! workspace actually serializes through serde (model weights use the
+//! hand-rolled binary format of `oarsmt-nn::serialize`, case files the text
+//! format of `oarsmt-geom::io`). The derives therefore expand to nothing,
+//! and the traits exist purely so `use serde::{Deserialize, Serialize}`
+//! resolves.
+//!
+//! If real serialization is ever needed, replace this shim with the real
+//! crate (the derive attributes in the workspace are already correct).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op derive
+/// emits no impl).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; the no-op
+/// derive emits no impl).
+pub trait Deserialize<'de> {}

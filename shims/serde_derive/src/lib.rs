@@ -1,0 +1,20 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` expand to nothing:
+//! the workspace never serializes through serde, it only carries the
+//! attributes so the real crate can be swapped back in when the build
+//! environment has network access.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (see the crate docs).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (see the crate docs).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -4,10 +4,15 @@
 //! oarsmt gen H V M PINS SEED [FILE]   generate a random case (stdout or FILE)
 //! oarsmt route FILE [--selector W]    route a case, print stats + ASCII art
 //! oarsmt compare FILE                 run all routers on a case
-//! oarsmt train OUT.bin [STAGES]       train a selector, save weights
+//! oarsmt train OUT.bin [STAGES] [--threads N]
+//!                                     train a selector, save weights
 //! ```
 //!
-//! Case files use the text format of [`oarsmt_geom::io`].
+//! Case files use the text format of [`oarsmt_geom::io`]. `train`
+//! parallelizes sample generation across `--threads` workers (default: the
+//! `OARSMT_THREADS` environment variable, else all cores); generated
+//! samples — and therefore the trained weights — are bit-identical for
+//! every thread count.
 
 use std::process::ExitCode;
 
@@ -21,15 +26,22 @@ use oarsmt_router::segments::{render_layer, RouteGeometry};
 use oarsmt_router::{Lin18Router, Liu14Router, SpanningRouter};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let threads_flag = match oarsmt::parallel::take_threads_flag(&mut args) {
+        Ok(flag) => flag,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
     let result = match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("route") => cmd_route(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
-        Some("train") => cmd_train(&args[1..]),
+        Some("train") => cmd_train(&args[1..], threads_flag),
         _ => {
             eprintln!(
-                "usage:\n  oarsmt gen H V M PINS SEED [FILE]\n  oarsmt route FILE [--selector WEIGHTS.bin]\n  oarsmt compare FILE\n  oarsmt train OUT.bin [STAGES]"
+                "usage:\n  oarsmt gen H V M PINS SEED [FILE]\n  oarsmt route FILE [--selector WEIGHTS.bin]\n  oarsmt compare FILE\n  oarsmt train OUT.bin [STAGES] [--threads N]\n\nOARSMT_THREADS=N sets the default worker count."
             );
             return ExitCode::from(2);
         }
@@ -128,11 +140,14 @@ fn cmd_compare(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn cmd_train(args: &[String]) -> CliResult {
+fn cmd_train(args: &[String], threads_flag: Option<usize>) -> CliResult {
     let out = args.first().ok_or("train expects an output path")?;
     let stages: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let threads = oarsmt::parallel::thread_count(threads_flag);
+    eprintln!("[train] generating samples on {threads} worker(s)");
     let config = oarsmt_rl::trainer::TrainerConfig {
         stages,
+        threads,
         ..oarsmt_rl::schedule::laptop_schedule(1)
     };
     let mut selector = NeuralSelector::with_config(UNetConfig {

@@ -16,24 +16,30 @@ fn arbitrary_layout() -> impl Strategy<Value = Layout> {
     (
         2usize..4,
         prop::collection::vec(((0i64..40), (0i64..40), 0usize..3), 2..6),
-        prop::collection::vec(((0i64..40), (0i64..40), (1i64..6), (1i64..6), 0usize..3), 0..6),
+        prop::collection::vec(
+            ((0i64..40), (0i64..40), (1i64..6), (1i64..6), 0usize..3),
+            0..6,
+        ),
     )
-        .prop_filter_map("pins must be distinct and off obstacles", |(layers, pins, obs)| {
-            let mut layout = Layout::new(3);
-            let _ = layers;
-            for &(x, y, w, h, m) in &obs {
-                layout = layout.with_obstacle(Obstacle::new(Rect::new(x, y, x + w, y + h), m));
-            }
-            let mut seen = std::collections::HashSet::new();
-            for &(x, y, m) in &pins {
-                if !seen.insert((x, y, m)) {
-                    return None;
+        .prop_filter_map(
+            "pins must be distinct and off obstacles",
+            |(layers, pins, obs)| {
+                let mut layout = Layout::new(3);
+                let _ = layers;
+                for &(x, y, w, h, m) in &obs {
+                    layout = layout.with_obstacle(Obstacle::new(Rect::new(x, y, x + w, y + h), m));
                 }
-                layout = layout.with_pin(Pin::new(Coord::new(x, y), m));
-            }
-            layout.validate().ok()?;
-            Some(layout)
-        })
+                let mut seen = std::collections::HashSet::new();
+                for &(x, y, m) in &pins {
+                    if !seen.insert((x, y, m)) {
+                        return None;
+                    }
+                    layout = layout.with_pin(Pin::new(Coord::new(x, y), m));
+                }
+                layout.validate().ok()?;
+                Some(layout)
+            },
+        )
 }
 
 proptest! {

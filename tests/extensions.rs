@@ -73,7 +73,10 @@ fn exact_optimum_lower_bounds_every_router() {
 fn multi_net_trees_remain_disjoint_on_random_layouts() {
     let template = HananGraph::uniform(12, 12, 3, 1.0, 1.0, 3.0);
     let nets = vec![
-        Net::new("n0", vec![GridPoint::new(0, 0, 0), GridPoint::new(11, 0, 0)]),
+        Net::new(
+            "n0",
+            vec![GridPoint::new(0, 0, 0), GridPoint::new(11, 0, 0)],
+        ),
         Net::new(
             "n1",
             vec![
@@ -82,7 +85,10 @@ fn multi_net_trees_remain_disjoint_on_random_layouts() {
                 GridPoint::new(5, 6, 1),
             ],
         ),
-        Net::new("n2", vec![GridPoint::new(5, 0, 2), GridPoint::new(5, 11, 2)]),
+        Net::new(
+            "n2",
+            vec![GridPoint::new(5, 0, 2), GridPoint::new(5, 11, 2)],
+        ),
     ];
     let mut router = MultiNetRouter::new(MedianHeuristicSelector::new());
     let out = router.route_nets(&template, &nets).unwrap();

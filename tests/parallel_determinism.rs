@@ -1,0 +1,108 @@
+//! The hard requirement of the parallel engine: `--threads 1` and
+//! `--threads N` must produce **bit-identical** results — per-layout costs
+//! and win/loss tallies in evaluation, and dense MCTS labels in sample
+//! generation. Each job derives its seed from its index and results are
+//! folded in index order, so the worker partition can never leak into the
+//! output.
+
+use oarsmt::parallel::{derive_seed, run_seeded, run_seeded_with};
+use oarsmt::rl_router::RlRouter;
+use oarsmt::selector::NeuralSelector;
+use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+use oarsmt_mcts::{CombinatorialMcts, MctsConfig};
+use oarsmt_nn::unet::UNetConfig;
+use oarsmt_router::Lin18Router;
+
+fn small_selector(seed: u64) -> NeuralSelector {
+    NeuralSelector::with_config(UNetConfig {
+        in_channels: 7,
+        base_channels: 2,
+        levels: 1,
+        seed,
+    })
+}
+
+fn layout(seed: u64) -> oarsmt_geom::HananGraph {
+    CaseGenerator::new(GeneratorConfig::tiny(6, 6, 2, (3, 5)), seed).generate()
+}
+
+/// Table-2-style evaluation: baseline cost, our cost and the win tally per
+/// layout, for a given worker count.
+fn evaluate(threads: usize) -> (Vec<(u64, u64)>, usize) {
+    const LAYOUTS: usize = 10;
+    const SEED: u64 = 0xDAC2024;
+    let selector = small_selector(5);
+    let lin18 = Lin18Router::new();
+    let rows = run_seeded_with(
+        LAYOUTS,
+        SEED,
+        threads,
+        || RlRouter::new(selector.clone()),
+        |router, _i, seed| {
+            let graph = layout(seed);
+            let base = lin18.route(&graph).ok()?;
+            let ours = router.route(&graph).ok()?;
+            Some((base.cost().to_bits(), ours.tree.cost().to_bits()))
+        },
+    );
+    let costs: Vec<(u64, u64)> = rows.into_iter().flatten().collect();
+    let wins = costs
+        .iter()
+        .filter(|&&(b, o)| f64::from_bits(o) < f64::from_bits(b))
+        .count();
+    (costs, wins)
+}
+
+#[test]
+fn table2_style_eval_is_bit_identical_across_thread_counts() {
+    let (costs_1, wins_1) = evaluate(1);
+    assert!(!costs_1.is_empty(), "fixed workload must route");
+    for threads in [2, 4] {
+        let (costs_n, wins_n) = evaluate(threads);
+        assert_eq!(
+            costs_1, costs_n,
+            "per-layout costs differ at {threads} threads"
+        );
+        assert_eq!(wins_1, wins_n);
+    }
+}
+
+#[test]
+fn mcts_labels_are_bit_identical_across_thread_counts() {
+    let generate = |threads: usize| -> Vec<Vec<u32>> {
+        let selector = small_selector(7);
+        let config = MctsConfig {
+            base_iterations: 8,
+            base_size: 25,
+            ..MctsConfig::default()
+        };
+        run_seeded_with(
+            6,
+            99,
+            threads,
+            || selector.clone(),
+            |sel, _i, seed| {
+                let graph = layout(seed);
+                let mcts = CombinatorialMcts::new(config.clone());
+                match mcts.search(&graph, sel) {
+                    Ok(out) => out.label.iter().map(|p| p.to_bits()).collect(),
+                    Err(_) => Vec::new(),
+                }
+            },
+        )
+    };
+    let one = generate(1);
+    let four = generate(4);
+    assert_eq!(one, four, "MCTS labels depend on the worker partition");
+    assert!(
+        one.iter().any(|l| !l.is_empty()),
+        "some searches must succeed"
+    );
+}
+
+#[test]
+fn derived_seeds_are_a_pure_function_of_master_and_index() {
+    let direct: Vec<u64> = (0..16).map(|i| derive_seed(3, i)).collect();
+    let pooled = run_seeded(16, 3, 4, |_i, seed| seed);
+    assert_eq!(direct, pooled);
+}
