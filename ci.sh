@@ -14,6 +14,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> route-context property tests"
+cargo test -q -p oarsmt-router --test context_properties
+
+echo "==> critic_throughput smoke (quick mode, checks fresh/reused bit-identity)"
+cargo run --release -q -p oarsmt-bench --bin critic_throughput -- --quick \
+    --out target/BENCH_critic_smoke.json
+
 echo "==> cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 

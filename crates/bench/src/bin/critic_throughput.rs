@@ -1,0 +1,220 @@
+//! `critic_throughput`: rollouts/sec of the MCTS critic on the Table 3
+//! (Table 1 ladder) layouts, with and without a reused [`RouteContext`].
+//!
+//! A *rollout* is the routing work one combinatorial-MCTS leaf expansion
+//! performs (Section 3.4): one selector inference (`fsp`), one critic
+//! completion + pruned OARMST route (`predict_with_fsp`), and one unpruned
+//! state pricing (`state_cost`). The selector is the training-independent
+//! [`MedianHeuristicSelector`] so the numbers isolate the routing/workspace
+//! cost rather than neural inference.
+//!
+//! Two modes run over identical layout sequences:
+//!
+//! * **fresh** — the pre-context API (`predict_with_fsp`/`state_cost`),
+//!   which allocates a new workspace for every call;
+//! * **reused** — the `_in` API through one [`RouteContext`] per rung.
+//!
+//! The per-rung checksums must match bit-identically between modes (checked
+//! always, fatal on mismatch). Emits a `BENCH_critic.json` artifact.
+//!
+//! Usage: `critic_throughput [--quick] [--out PATH]`
+
+use std::time::Instant;
+
+use oarsmt::selector::{MedianHeuristicSelector, Selector};
+use oarsmt::topk::{select_top_k, steiner_budget};
+use oarsmt_bench::Table;
+use oarsmt_geom::gen::TestSubsetSpec;
+use oarsmt_geom::HananGraph;
+use oarsmt_mcts::Critic;
+use oarsmt_router::RouteContext;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Fresh,
+    Reused,
+}
+
+struct ModeResult {
+    rollouts: usize,
+    secs: f64,
+    checksum: f64,
+}
+
+/// Runs the level sweep on one layout: every prefix of the heuristic's
+/// top-k combination is priced exactly as an MCTS leaf would be.
+/// `ctx`/`fsp_buf` are used only in reused mode.
+fn sweep_layout(
+    critic: &Critic,
+    selector: &mut MedianHeuristicSelector,
+    graph: &HananGraph,
+    mode: Mode,
+    ctx: &mut RouteContext,
+    fsp_buf: &mut Vec<f32>,
+    checksum: &mut f64,
+) -> Option<usize> {
+    let budget = steiner_budget(graph.pins().len());
+    let fsp0 = selector.fsp(graph, &[]);
+    let combo = select_top_k(graph, &fsp0, budget, &[]);
+    let mut rollouts = 0usize;
+    for level in 0..=combo.len() {
+        let selected = &combo[..level];
+        match mode {
+            Mode::Fresh => {
+                let fsp = selector.fsp(graph, selected);
+                let predicted = critic.predict_with_fsp(graph, selected, &fsp).ok()?;
+                let cost = critic.state_cost(graph, selected).ok()?;
+                *checksum += predicted + cost;
+            }
+            Mode::Reused => {
+                selector.fsp_into(graph, selected, fsp_buf);
+                let predicted = critic
+                    .predict_with_fsp_in(ctx, graph, selected, fsp_buf)
+                    .ok()?;
+                let cost = critic.state_cost_in(ctx, graph, selected).ok()?;
+                *checksum += predicted + cost;
+            }
+        }
+        rollouts += 1;
+    }
+    Some(rollouts)
+}
+
+/// Runs one rung in one mode over the deterministic layout sequence.
+fn run_rung(
+    spec: &TestSubsetSpec,
+    mode: Mode,
+    layouts_per_rung: usize,
+    repeats: usize,
+) -> ModeResult {
+    let critic = Critic::new();
+    let mut selector = MedianHeuristicSelector::new();
+    let mut ctx = RouteContext::new();
+    let mut fsp_buf = Vec::new();
+    let mut gen = spec.generator(0xDAC2024);
+    let mut rollouts = 0usize;
+    let mut layouts = 0usize;
+    let mut checksum = 0.0f64;
+    let mut secs = 0.0f64;
+    while layouts < layouts_per_rung {
+        let graph = gen.generate();
+        let t0 = Instant::now();
+        let mut ok = true;
+        for _ in 0..repeats {
+            match sweep_layout(
+                &critic,
+                &mut selector,
+                &graph,
+                mode,
+                &mut ctx,
+                &mut fsp_buf,
+                &mut checksum,
+            ) {
+                Some(r) => rollouts += r,
+                None => {
+                    ok = false; // disconnected layout: draw another
+                    break;
+                }
+            }
+        }
+        if ok {
+            secs += t0.elapsed().as_secs_f64();
+            layouts += 1;
+        }
+    }
+    ModeResult {
+        rollouts,
+        secs,
+        checksum,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "crates/bench/artifacts/BENCH_critic.json".to_string());
+
+    let ladder = TestSubsetSpec::ladder();
+    let rungs: Vec<TestSubsetSpec> = if quick {
+        ladder.into_iter().take(3).collect()
+    } else {
+        ladder
+    };
+    let layouts_per_rung = if quick { 2 } else { 4 };
+    let repeats = if quick { 1 } else { 3 };
+
+    let mut table = Table::new(["subset", "rollouts", "fresh r/s", "reused r/s", "speedup"]);
+    let mut rows = Vec::new();
+    let mut tot = (0usize, 0.0f64, 0.0f64); // rollouts, fresh secs, reused secs
+    for spec in &rungs {
+        let fresh = run_rung(spec, Mode::Fresh, layouts_per_rung, repeats);
+        let reused = run_rung(spec, Mode::Reused, layouts_per_rung, repeats);
+        assert_eq!(
+            fresh.checksum.to_bits(),
+            reused.checksum.to_bits(),
+            "{}: reused-context rollouts diverged from fresh",
+            spec.name
+        );
+        assert_eq!(fresh.rollouts, reused.rollouts);
+        let speedup = (reused.rollouts as f64 / reused.secs) / (fresh.rollouts as f64 / fresh.secs);
+        table.row([
+            spec.name.to_string(),
+            fresh.rollouts.to_string(),
+            format!("{:.1}", fresh.rollouts as f64 / fresh.secs),
+            format!("{:.1}", reused.rollouts as f64 / reused.secs),
+            format!("{speedup:.2}x"),
+        ]);
+        tot.0 += fresh.rollouts;
+        tot.1 += fresh.secs;
+        tot.2 += reused.secs;
+        rows.push((spec.name, fresh, reused, speedup));
+        eprintln!("[critic_throughput] {} done", spec.name);
+    }
+
+    println!(
+        "critic throughput ({} mode)\n",
+        if quick { "quick" } else { "full" }
+    );
+    table.print();
+    let fresh_rps = tot.0 as f64 / tot.1;
+    let reused_rps = tot.0 as f64 / tot.2;
+    println!(
+        "\ntotal: {} rollouts; fresh {:.1} r/s, reused {:.1} r/s, speedup {:.2}x",
+        tot.0,
+        fresh_rps,
+        reused_rps,
+        reused_rps / fresh_rps
+    );
+
+    let mut json = String::from("{\n  \"rungs\": [\n");
+    for (i, (name, fresh, reused, speedup)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"rollouts\": {}, \"fresh_secs\": {:.6}, \"fresh_rps\": {:.3}, \"reused_secs\": {:.6}, \"reused_rps\": {:.3}, \"speedup\": {:.3}, \"checksum\": {:.6}}}{}\n",
+            name,
+            fresh.rollouts,
+            fresh.secs,
+            fresh.rollouts as f64 / fresh.secs,
+            reused.secs,
+            reused.rollouts as f64 / reused.secs,
+            speedup,
+            fresh.checksum,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"total_rollouts\": {},\n  \"fresh_rps\": {:.3},\n  \"reused_rps\": {:.3},\n  \"speedup\": {:.3}\n}}\n",
+        tot.0,
+        fresh_rps,
+        reused_rps,
+        reused_rps / fresh_rps
+    ));
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&out_path, json).expect("write artifact");
+    println!("artifact: {out_path}");
+}

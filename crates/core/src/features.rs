@@ -45,10 +45,22 @@ pub fn tensor_offset(graph: &HananGraph, p: GridPoint) -> usize {
 ///
 /// Panics if `channel.len() != graph.len()`.
 pub fn to_graph_order(channel: &[f32], graph: &HananGraph) -> Vec<f32> {
+    let mut out = Vec::with_capacity(graph.len());
+    to_graph_order_into(channel, graph, &mut out);
+    out
+}
+
+/// [`to_graph_order`] into a caller-owned buffer, which is cleared first.
+/// The buffer's allocation is reused across calls (see
+/// `oarsmt_router::RouteContext`).
+///
+/// # Panics
+///
+/// Panics if `channel.len() != graph.len()`.
+pub fn to_graph_order_into(channel: &[f32], graph: &HananGraph, out: &mut Vec<f32>) {
     assert_eq!(channel.len(), graph.len());
-    (0..graph.len())
-        .map(|idx| channel[tensor_offset(graph, graph.point(idx))])
-        .collect()
+    out.clear();
+    out.extend((0..graph.len()).map(|idx| channel[tensor_offset(graph, graph.point(idx))]));
 }
 
 /// Builds a `[1, M, H, V]` tensor from per-vertex values given in

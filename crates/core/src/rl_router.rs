@@ -4,11 +4,11 @@ use std::fmt;
 use std::time::{Duration, Instant};
 
 use oarsmt_geom::{GridPoint, HananGraph};
-use oarsmt_router::{OarmstRouter, RouteTree};
+use oarsmt_router::{OarmstRouter, RouteContext, RouteTree};
 
 use crate::error::CoreError;
 use crate::selector::Selector;
-use crate::topk::{select_top_k, steiner_budget};
+use crate::topk::{select_top_k_into, steiner_budget};
 
 /// Result of routing one layout, including the phase timings the paper
 /// reports in Table 3 (Steiner-point selection time vs total time).
@@ -49,6 +49,11 @@ impl fmt::Display for RouteOutcome {
 pub struct RlRouter<S> {
     selector: S,
     oarmst: OarmstRouter,
+    /// Per-router workspace: Dijkstra state, cached layout index sets, and
+    /// inference scratch, rebound lazily to whichever layout is routed.
+    /// One router (and hence one context) lives on each worker thread in
+    /// the parallel evaluation paths.
+    ctx: RouteContext,
     safeguard: bool,
     refine: bool,
 }
@@ -61,6 +66,7 @@ impl<S: Selector> RlRouter<S> {
             // The refine loop runs its own explicit polish, so the inner
             // OARMST builds skip theirs.
             oarmst: OarmstRouter::new().with_polish_rounds(0),
+            ctx: RouteContext::new(),
             safeguard: true,
             refine: true,
         }
@@ -107,15 +113,28 @@ impl<S: Selector> RlRouter<S> {
     pub fn route(&mut self, graph: &HananGraph) -> Result<RouteOutcome, CoreError> {
         let start = Instant::now();
         let k = steiner_budget(graph.pins().len());
-        let fsp = self.selector.fsp(graph, &[]);
-        let steiner_points = select_top_k(graph, &fsp, k, &[]);
+        self.selector.fsp_into(graph, &[], &mut self.ctx.fsp);
+        let mut steiner_points = Vec::new();
+        select_top_k_into(
+            graph,
+            &self.ctx.fsp,
+            k,
+            &[],
+            &mut self.ctx.scored,
+            &mut self.ctx.excluded,
+            &mut steiner_points,
+        );
         let select_time = start.elapsed();
 
-        let mut tree = self.oarmst.route(graph, &steiner_points)?;
+        let mut tree = self
+            .oarmst
+            .route_in(&mut self.ctx, graph, &steiner_points)?;
         if self.safeguard {
-            let plain = self.oarmst.route(graph, &[])?;
+            let plain = self.oarmst.route_in(&mut self.ctx, graph, &[])?;
             if plain.cost() < tree.cost() {
-                tree = plain;
+                self.ctx.recycle_tree(std::mem::replace(&mut tree, plain));
+            } else {
+                self.ctx.recycle_tree(plain);
             }
         }
         if self.refine {
@@ -127,8 +146,12 @@ impl<S: Selector> RlRouter<S> {
                 let mut terminals: Vec<GridPoint> = graph.pins().to_vec();
                 terminals.extend(tree.steiner_vertices(graph, graph.pins()));
                 for _ in 0..8 {
-                    let (polished, improved) =
-                        oarsmt_router::retrace::polish_round(graph, tree, &terminals)?;
+                    let (polished, improved) = oarsmt_router::retrace::polish_round_in(
+                        &mut self.ctx,
+                        graph,
+                        tree,
+                        &terminals,
+                    )?;
                     tree = polished;
                     if !improved {
                         break;
@@ -139,14 +162,15 @@ impl<S: Selector> RlRouter<S> {
                 // Rotate the Prim start terminal per round: alternate
                 // construction orders explore different equal-cost path
                 // choices.
-                let rebuilt = self
-                    .oarmst
-                    .clone()
-                    .with_start(round)
-                    .route(graph, &promoted)?;
+                let rebuilt = self.oarmst.clone().with_start(round).route_in(
+                    &mut self.ctx,
+                    graph,
+                    &promoted,
+                )?;
                 if rebuilt.cost() + 1e-9 < tree.cost() {
-                    tree = rebuilt;
+                    self.ctx.recycle_tree(std::mem::replace(&mut tree, rebuilt));
                 } else {
+                    self.ctx.recycle_tree(rebuilt);
                     break;
                 }
             }

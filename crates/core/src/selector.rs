@@ -20,6 +20,16 @@ pub trait Selector {
     /// Per-vertex final selected probabilities, indexed like
     /// [`HananGraph::index`], each in `[0, 1]`.
     fn fsp(&mut self, graph: &HananGraph, extra_pins: &[GridPoint]) -> Vec<f32>;
+
+    /// [`Selector::fsp`] into a caller-owned buffer, which is cleared first.
+    ///
+    /// Hot paths (the MCTS critic, the RL router) call this with a scratch
+    /// buffer from their `oarsmt_router::RouteContext` so repeated inference
+    /// reuses one allocation. The default delegates to [`Selector::fsp`];
+    /// implementations with allocation-free output paths should override it.
+    fn fsp_into(&mut self, graph: &HananGraph, extra_pins: &[GridPoint], out: &mut Vec<f32>) {
+        *out = self.fsp(graph, extra_pins);
+    }
 }
 
 /// Mutable references are selectors too, so routers can borrow a selector
@@ -27,6 +37,10 @@ pub trait Selector {
 impl<S: Selector + ?Sized> Selector for &mut S {
     fn fsp(&mut self, graph: &HananGraph, extra_pins: &[GridPoint]) -> Vec<f32> {
         (**self).fsp(graph, extra_pins)
+    }
+
+    fn fsp_into(&mut self, graph: &HananGraph, extra_pins: &[GridPoint], out: &mut Vec<f32>) {
+        (**self).fsp_into(graph, extra_pins, out);
     }
 }
 
@@ -101,11 +115,17 @@ impl NeuralSelector {
 
 impl Selector for NeuralSelector {
     fn fsp(&mut self, graph: &HananGraph, extra_pins: &[GridPoint]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(graph.len());
+        self.fsp_into(graph, extra_pins, &mut out);
+        out
+    }
+
+    fn fsp_into(&mut self, graph: &HananGraph, extra_pins: &[GridPoint], out: &mut Vec<f32>) {
         let x = encode_features(graph, extra_pins);
         // The network emits a [1, M, H, V] probability volume (see the
         // layout note in `features`); reorder it to graph-index order.
         let probs = self.net.predict(&x);
-        crate::features::to_graph_order(probs.data(), graph)
+        crate::features::to_graph_order_into(probs.data(), graph, out);
     }
 }
 
@@ -144,6 +164,11 @@ impl Selector for UniformSelector {
     fn fsp(&mut self, graph: &HananGraph, _extra_pins: &[GridPoint]) -> Vec<f32> {
         vec![self.p; graph.len()]
     }
+
+    fn fsp_into(&mut self, graph: &HananGraph, _extra_pins: &[GridPoint], out: &mut Vec<f32>) {
+        out.clear();
+        out.resize(graph.len(), self.p);
+    }
 }
 
 /// A geometric heuristic selector: vertices close to the pins' median
@@ -162,10 +187,18 @@ impl MedianHeuristicSelector {
 
 impl Selector for MedianHeuristicSelector {
     fn fsp(&mut self, graph: &HananGraph, extra_pins: &[GridPoint]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(graph.len());
+        self.fsp_into(graph, extra_pins, &mut out);
+        out
+    }
+
+    fn fsp_into(&mut self, graph: &HananGraph, extra_pins: &[GridPoint], out: &mut Vec<f32>) {
+        out.clear();
         let mut pins: Vec<GridPoint> = graph.pins().to_vec();
         pins.extend_from_slice(extra_pins);
         if pins.is_empty() {
-            return vec![0.0; graph.len()];
+            out.resize(graph.len(), 0.0);
+            return;
         }
         let median = |mut xs: Vec<usize>| -> f32 {
             xs.sort_unstable();
@@ -175,13 +208,11 @@ impl Selector for MedianHeuristicSelector {
         let mv = median(pins.iter().map(|p| p.v).collect());
         let mm = median(pins.iter().map(|p| p.m).collect());
         let scale = (graph.h() + graph.v() + graph.m()) as f32;
-        (0..graph.len())
-            .map(|idx| {
-                let p = graph.point(idx);
-                let d = (p.h as f32 - mh).abs() + (p.v as f32 - mv).abs() + (p.m as f32 - mm).abs();
-                (-4.0 * d / scale).exp()
-            })
-            .collect()
+        out.extend((0..graph.len()).map(|idx| {
+            let p = graph.point(idx);
+            let d = (p.h as f32 - mh).abs() + (p.v as f32 - mv).abs() + (p.m as f32 - mm).abs();
+            (-4.0 * d / scale).exp()
+        }));
     }
 }
 
@@ -245,6 +276,27 @@ mod tests {
         let g = graph();
         let fsp = s.fsp(&g, &[]);
         assert!(fsp.iter().all(|&p| p == 0.3));
+    }
+
+    #[test]
+    fn fsp_into_matches_fsp_for_every_selector() {
+        let g = graph();
+        let extra = [GridPoint::new(3, 3, 1)];
+        let mut buf = vec![1.0f32; 3]; // stale contents must be cleared
+        let mut neural = NeuralSelector::with_config(UNetConfig {
+            in_channels: 7,
+            base_channels: 2,
+            levels: 1,
+            seed: 3,
+        });
+        neural.fsp_into(&g, &extra, &mut buf);
+        assert_eq!(buf, neural.fsp(&g, &extra));
+        let mut median = MedianHeuristicSelector::new();
+        median.fsp_into(&g, &extra, &mut buf);
+        assert_eq!(buf, median.fsp(&g, &extra));
+        let mut uniform = UniformSelector::new(0.7);
+        uniform.fsp_into(&g, &extra, &mut buf);
+        assert_eq!(buf, uniform.fsp(&g, &extra));
     }
 
     #[test]

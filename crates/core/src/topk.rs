@@ -23,27 +23,64 @@ pub fn select_top_k(
     k: usize,
     exclude: &[GridPoint],
 ) -> Vec<GridPoint> {
+    let mut out = Vec::new();
+    select_top_k_into(
+        graph,
+        fsp,
+        k,
+        exclude,
+        &mut Vec::new(),
+        &mut Vec::new(),
+        &mut out,
+    );
+    out
+}
+
+/// [`select_top_k`] through caller-owned scratch buffers: `scored` and
+/// `excl_idx` are cleared and reused, and the selection is **appended** to
+/// `out` (the appended suffix sorted by selection priority, like
+/// [`select_top_k`]'s result). Appending lets a caller keep already-fixed
+/// Steiner points in `out` and extend them with the completion in place.
+///
+/// # Panics
+///
+/// Panics if `fsp.len() != graph.len()`.
+pub fn select_top_k_into(
+    graph: &HananGraph,
+    fsp: &[f32],
+    k: usize,
+    exclude: &[GridPoint],
+    scored: &mut Vec<(f32, u32)>,
+    excl_idx: &mut Vec<u32>,
+    out: &mut Vec<GridPoint>,
+) {
     assert_eq!(fsp.len(), graph.len(), "fsp must cover every vertex");
     if k == 0 {
-        return Vec::new();
+        return;
     }
-    let mut excluded = vec![false; graph.len()];
-    for &p in exclude {
-        excluded[graph.index(p)] = true;
+    excl_idx.clear();
+    excl_idx.extend(exclude.iter().map(|&p| graph.index(p) as u32));
+    excl_idx.sort_unstable();
+    scored.clear();
+    for (idx, &p) in fsp.iter().enumerate() {
+        if graph.kind_at(idx) != VertexKind::Empty {
+            continue;
+        }
+        if excl_idx.binary_search(&(idx as u32)).is_ok() {
+            continue;
+        }
+        scored.push((p, idx as u32));
     }
-    let mut candidates: Vec<(f32, usize)> = (0..graph.len())
-        .filter(|&idx| graph.kind_at(idx) == VertexKind::Empty && !excluded[idx])
-        .map(|idx| (fsp[idx], idx))
-        .collect();
     // Highest probability first; ties by smaller index (= higher priority).
-    candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-    let mut out: Vec<GridPoint> = candidates
-        .into_iter()
-        .take(k)
-        .map(|(_, idx)| graph.point(idx))
-        .collect();
-    out.sort_unstable();
-    out
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    let start = out.len();
+    out.extend(
+        scored
+            .iter()
+            .take(k)
+            .map(|&(_, idx)| graph.point(idx as usize)),
+    );
+    out[start..].sort_unstable();
 }
 
 /// The number of Steiner points the paper selects for an `n`-pin layout:
@@ -119,6 +156,23 @@ mod tests {
         assert_eq!(steiner_budget(2), 0);
         assert_eq!(steiner_budget(3), 1);
         assert_eq!(steiner_budget(10), 8);
+    }
+
+    #[test]
+    fn into_variant_appends_and_matches_allocating_form() {
+        let g = graph();
+        let mut fsp = vec![0.1f32; g.len()];
+        fsp[g.index(GridPoint::new(1, 1, 0))] = 0.9;
+        fsp[g.index(GridPoint::new(2, 0, 0))] = 0.8;
+        let fixed = GridPoint::new(0, 1, 0);
+        let expected = select_top_k(&g, &fsp, 2, &[fixed]);
+
+        let mut scored = vec![(0.0, 99)];
+        let mut excl = vec![42];
+        let mut out = vec![fixed];
+        select_top_k_into(&g, &fsp, 2, &[fixed], &mut scored, &mut excl, &mut out);
+        assert_eq!(out[0], fixed, "prefix is preserved");
+        assert_eq!(&out[1..], &expected[..], "appended suffix matches");
     }
 
     #[test]

@@ -311,6 +311,34 @@ impl HananGraph {
         &self.pins
     }
 
+    /// The linear indices of the pins, sorted ascending (= selection
+    /// priority order). Derived once per layout by routing workspaces
+    /// (`RouteContext` in `oarsmt-router`) so the per-query hot path never
+    /// re-walks the pin list.
+    pub fn pin_index_set(&self) -> Vec<u32> {
+        let mut idx: Vec<u32> = self.pins.iter().map(|&p| self.index(p) as u32).collect();
+        idx.sort_unstable();
+        idx
+    }
+
+    /// The linear indices of all blocked (obstacle) vertices, ascending.
+    pub fn blocked_index_set(&self) -> Vec<u32> {
+        (0..self.kind.len())
+            .filter(|&i| self.kind[i] == VertexKind::Obstacle)
+            .map(|i| i as u32)
+            .collect()
+    }
+
+    /// The linear indices of all [`VertexKind::Empty`] vertices, ascending.
+    /// These are the valid Steiner candidates: top-k selection only needs
+    /// to scan this (often much shorter) list instead of every vertex.
+    pub fn empty_index_set(&self) -> Vec<u32> {
+        (0..self.kind.len())
+            .filter(|&i| self.kind[i] == VertexKind::Empty)
+            .map(|i| i as u32)
+            .collect()
+    }
+
     /// Cost of the horizontal edge between columns `gap` and `gap + 1`.
     ///
     /// # Panics
@@ -600,6 +628,32 @@ mod tests {
     use super::*;
     use crate::layout::Pin;
     use crate::rect::{Obstacle, Rect};
+
+    #[test]
+    fn index_sets_partition_the_graph() {
+        let mut g = HananGraph::uniform(4, 3, 2, 1.0, 1.0, 3.0);
+        g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
+        g.add_pin(GridPoint::new(3, 2, 1)).unwrap();
+        g.add_obstacle_vertex(GridPoint::new(1, 1, 0)).unwrap();
+        let pins = g.pin_index_set();
+        let blocked = g.blocked_index_set();
+        let empty = g.empty_index_set();
+        assert_eq!(pins.len() + blocked.len() + empty.len(), g.len());
+        for set in [&pins, &blocked, &empty] {
+            assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted & unique");
+        }
+        assert_eq!(
+            pins,
+            vec![
+                g.index(GridPoint::new(0, 0, 0)) as u32,
+                g.index(GridPoint::new(3, 2, 1)) as u32,
+            ]
+        );
+        assert_eq!(blocked, vec![g.index(GridPoint::new(1, 1, 0)) as u32]);
+        for &i in &empty {
+            assert_eq!(g.kind_at(i as usize), VertexKind::Empty);
+        }
+    }
 
     #[test]
     fn index_round_trips_and_orders_lexicographically() {

@@ -4,9 +4,11 @@
 //! construction (Section 3.1): it finds the cheapest obstacle-avoiding
 //! rectilinear path, counting via costs for layer changes.
 //!
-//! [`SearchSpace`] owns the per-vertex arrays and can be reused across
-//! queries on same-sized graphs; the free functions are one-shot
-//! conveniences.
+//! [`DijkstraWorkspace`] owns the per-vertex arrays and can be reused
+//! across queries on same-sized graphs (the arrays are invalidated by an
+//! epoch counter rather than cleared); the plain free functions are
+//! one-shot conveniences and the `_in` variants thread a caller-owned
+//! workspace through for allocation-free repeated queries.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -102,11 +104,13 @@ impl SearchBounds {
 
 /// Reusable Dijkstra work arrays (distance, predecessor, visit stamps).
 ///
-/// Reuse a single `SearchSpace` across the many maze-routing queries of an
-/// OARMST construction to avoid repeated allocation. The space automatically
-/// grows when given a larger graph.
+/// Reuse a single `DijkstraWorkspace` across the many maze-routing queries
+/// of an OARMST construction to avoid repeated allocation. The workspace
+/// automatically grows when given a larger graph, and old query state is
+/// invalidated by bumping a generation counter (`epoch`) instead of an
+/// `O(n)` clear.
 #[derive(Debug, Clone, Default)]
-pub struct SearchSpace {
+pub struct DijkstraWorkspace {
     dist: Vec<f64>,
     prev: Vec<u32>,
     stamp: Vec<u32>,
@@ -114,10 +118,14 @@ pub struct SearchSpace {
     heap: BinaryHeap<Entry>,
 }
 
-impl SearchSpace {
-    /// Creates an empty search space; arrays grow on first use.
+/// The pre-refactor name of [`DijkstraWorkspace`], kept as an alias so
+/// existing call sites keep compiling.
+pub type SearchSpace = DijkstraWorkspace;
+
+impl DijkstraWorkspace {
+    /// Creates an empty workspace; arrays grow on first use.
     pub fn new() -> Self {
-        SearchSpace::default()
+        DijkstraWorkspace::default()
     }
 
     fn prepare(&mut self, n: usize) {
@@ -221,6 +229,91 @@ impl SearchSpace {
         })
     }
 
+    /// [`DijkstraWorkspace::shortest_path_to_set`] driven by a prebuilt
+    /// [`GridAdjacency`](crate::csr::GridAdjacency) instead of the
+    /// point-based [`HananGraph::neighbors`] iterator.
+    ///
+    /// The CSR lists neighbors in exactly the iterator's order with the
+    /// same `f64` edge costs, so the heap sees an identical push/pop
+    /// sequence and the result is bit-identical to the unbounded
+    /// point-based search — only the per-relaxation grid arithmetic and
+    /// obstacle lookups are gone. There is no `bounds` parameter: bounded
+    /// callers keep the point-based method.
+    ///
+    /// `adj` must be built for `graph` (see
+    /// [`GridAdjacency::ensure`](crate::csr::GridAdjacency::ensure)).
+    ///
+    /// # Errors
+    ///
+    /// See [`DijkstraWorkspace::shortest_path_to_set`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (on index out of range) if `adj` was built for a smaller
+    /// graph.
+    pub fn shortest_path_to_set_csr<F>(
+        &mut self,
+        graph: &HananGraph,
+        adj: &crate::csr::GridAdjacency,
+        sources: &[GridPoint],
+        is_target: F,
+    ) -> Result<GridPath, GraphError>
+    where
+        F: Fn(usize) -> bool,
+    {
+        if sources.is_empty() {
+            return Err(GraphError::EmptyTerminalSet);
+        }
+        self.prepare(graph.len());
+        let mut any_source = false;
+        for &s in sources {
+            if graph.is_blocked(s) {
+                continue;
+            }
+            let idx = graph.index(s);
+            if self.fresh(idx) || self.dist[idx] > 0.0 {
+                self.stamp[idx] = self.epoch;
+                self.dist[idx] = 0.0;
+                self.prev[idx] = NO_PREV;
+                self.heap.push(Entry {
+                    cost: 0.0,
+                    idx: idx as u32,
+                });
+                any_source = true;
+            }
+        }
+        if !any_source {
+            return Err(GraphError::BlockedSource(sources[0]));
+        }
+
+        while let Some(Entry { cost, idx }) = self.heap.pop() {
+            let idx = idx as usize;
+            if cost > self.dist[idx] {
+                continue; // stale heap entry
+            }
+            if is_target(idx) {
+                return Ok(self.reconstruct(graph, idx));
+            }
+            for (qi, w) in adj.neighbors(idx) {
+                let qi = qi as usize;
+                let nd = cost + w;
+                if self.fresh(qi) || nd < self.dist[qi] {
+                    self.stamp[qi] = self.epoch;
+                    self.dist[qi] = nd;
+                    self.prev[qi] = idx as u32;
+                    self.heap.push(Entry {
+                        cost: nd,
+                        idx: qi as u32,
+                    });
+                }
+            }
+        }
+        Err(GraphError::Unreachable {
+            from: sources[0],
+            to: None,
+        })
+    }
+
     /// Full single-source Dijkstra; returns the distance to every vertex
     /// (`f64::INFINITY` where unreachable).
     ///
@@ -298,16 +391,28 @@ impl SearchSpace {
 ///
 /// # Errors
 ///
-/// See [`SearchSpace::shortest_path_to_set`].
+/// See [`DijkstraWorkspace::shortest_path_to_set`].
 pub fn shortest_path(
     graph: &HananGraph,
     from: GridPoint,
     to: GridPoint,
 ) -> Result<GridPath, GraphError> {
+    shortest_path_in(&mut DijkstraWorkspace::new(), graph, from, to)
+}
+
+/// Shortest path between two vertices using a caller-owned workspace.
+///
+/// # Errors
+///
+/// See [`DijkstraWorkspace::shortest_path_to_set`].
+pub fn shortest_path_in(
+    ws: &mut DijkstraWorkspace,
+    graph: &HananGraph,
+    from: GridPoint,
+    to: GridPoint,
+) -> Result<GridPath, GraphError> {
     let target_idx = graph.index(to);
-    let mut space = SearchSpace::new();
-    space
-        .shortest_path_to_set(graph, &[from], |i| i == target_idx, None)
+    ws.shortest_path_to_set(graph, &[from], |i| i == target_idx, None)
         .map_err(|e| match e {
             GraphError::Unreachable { from, .. } => GraphError::Unreachable { from, to: Some(to) },
             other => other,
@@ -318,7 +423,7 @@ pub fn shortest_path(
 ///
 /// # Errors
 ///
-/// See [`SearchSpace::shortest_path_to_set`].
+/// See [`DijkstraWorkspace::shortest_path_to_set`].
 pub fn shortest_path_to_set<F>(
     graph: &HananGraph,
     sources: &[GridPoint],
@@ -327,16 +432,36 @@ pub fn shortest_path_to_set<F>(
 where
     F: Fn(usize) -> bool,
 {
-    SearchSpace::new().shortest_path_to_set(graph, sources, is_target, None)
+    DijkstraWorkspace::new().shortest_path_to_set(graph, sources, is_target, None)
+}
+
+/// Multi-source shortest path to a target set using a caller-owned
+/// workspace (equivalent to
+/// [`DijkstraWorkspace::shortest_path_to_set`] without bounds; provided for
+/// symmetry with the other `_in` entry points).
+///
+/// # Errors
+///
+/// See [`DijkstraWorkspace::shortest_path_to_set`].
+pub fn shortest_path_to_set_in<F>(
+    ws: &mut DijkstraWorkspace,
+    graph: &HananGraph,
+    sources: &[GridPoint],
+    is_target: F,
+) -> Result<GridPath, GraphError>
+where
+    F: Fn(usize) -> bool,
+{
+    ws.shortest_path_to_set(graph, sources, is_target, None)
 }
 
 /// One-shot full single-source distances.
 ///
 /// # Errors
 ///
-/// See [`SearchSpace::distances_from`].
+/// See [`DijkstraWorkspace::distances_from`].
 pub fn distances_from(graph: &HananGraph, source: GridPoint) -> Result<Vec<f64>, GraphError> {
-    SearchSpace::new().distances_from(graph, source)
+    DijkstraWorkspace::new().distances_from(graph, source)
 }
 
 #[cfg(test)]
@@ -489,6 +614,31 @@ mod tests {
         let b = SearchBounds::around(&g, [GridPoint::new(1, 1, 0), GridPoint::new(4, 2, 0)], 3);
         assert_eq!((b.h_lo, b.h_hi, b.v_lo, b.v_hi), (0, 5, 0, 5));
         assert!(b.contains(GridPoint::new(0, 0, 0)));
+    }
+
+    #[test]
+    fn csr_search_is_bit_identical_to_point_based_search() {
+        let mut g = open_grid(9, 7, 2);
+        for &(h, v, m) in &[(2, 0, 0), (2, 1, 0), (2, 2, 0), (5, 4, 1), (6, 4, 1)] {
+            g.add_obstacle_vertex(GridPoint::new(h, v, m)).unwrap();
+        }
+        let mut adj = crate::csr::GridAdjacency::new();
+        adj.ensure(&g);
+        let mut ws = DijkstraWorkspace::new();
+        let sources = [GridPoint::new(0, 0, 0), GridPoint::new(8, 6, 1)];
+        // Exercise several targets, interleaving the two methods on the
+        // same workspace so epoch reuse is covered too.
+        for target in [(4, 3, 0), (2, 6, 1), (7, 0, 0)] {
+            let t = g.index(GridPoint::new(target.0, target.1, target.2));
+            let a = ws
+                .shortest_path_to_set(&g, &sources, |i| i == t, None)
+                .unwrap();
+            let b = ws
+                .shortest_path_to_set_csr(&g, &adj, &sources, |i| i == t)
+                .unwrap();
+            assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+            assert_eq!(a.points, b.points);
+        }
     }
 
     #[test]

@@ -22,14 +22,21 @@
 //! assert_eq!(path.cost, 6.0);
 //! ```
 
+pub mod csr;
 pub mod dijkstra;
 pub mod error;
 pub mod mst;
 pub mod path;
+pub mod stamp;
 pub mod union_find;
 
-pub use dijkstra::{distances_from, shortest_path, shortest_path_to_set, SearchSpace};
+pub use csr::GridAdjacency;
+pub use dijkstra::{
+    distances_from, shortest_path, shortest_path_in, shortest_path_to_set, shortest_path_to_set_in,
+    DijkstraWorkspace, SearchSpace,
+};
 pub use error::GraphError;
 pub use mst::{prim_mst, MstEdge};
 pub use path::GridPath;
+pub use stamp::StampSet;
 pub use union_find::UnionFind;

@@ -1,0 +1,165 @@
+//! Epoch-stamped index sets: `O(1)`-reset membership sets over dense
+//! vertex-index ranges.
+//!
+//! The maze-routing hot path ([`crate::dijkstra::DijkstraWorkspace`]) and
+//! the OARMST construction repeatedly need "a fresh set over `0..n`". A
+//! [`StampSet`] provides that without per-query allocation or an `O(n)`
+//! clear: each slot stores the generation (epoch) in which it was last
+//! inserted, and membership means "stamped with the *current* epoch".
+//! Starting a new generation is a single counter increment; the backing
+//! array is only touched when the graph grows or the 32-bit epoch wraps.
+
+/// A reusable set of `usize` indices in `0..n` with `O(1)` reset.
+///
+/// ```
+/// use oarsmt_graph::StampSet;
+///
+/// let mut s = StampSet::new();
+/// s.begin(10);
+/// assert!(s.insert(3));
+/// assert!(!s.insert(3), "already present");
+/// assert!(s.contains(3));
+/// s.begin(10); // new generation: empty again, no clearing pass
+/// assert!(!s.contains(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StampSet {
+    stamp: Vec<u32>,
+    epoch: u32,
+    len: usize,
+}
+
+impl StampSet {
+    /// Creates an empty set; the backing array grows on first use.
+    pub fn new() -> Self {
+        StampSet::default()
+    }
+
+    /// Starts a new generation covering indices `0..n`: the set becomes
+    /// empty without clearing the backing array.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: old stamps could collide with the new epoch, so pay
+            // the one-off O(n) reset (once per ~4 billion generations).
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.len = 0;
+    }
+
+    /// Inserts `idx`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the range given to [`StampSet::begin`].
+    #[inline]
+    pub fn insert(&mut self, idx: usize) -> bool {
+        if self.stamp[idx] == self.epoch {
+            false
+        } else {
+            self.stamp[idx] = self.epoch;
+            self.len += 1;
+            true
+        }
+    }
+
+    /// Removes `idx`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, idx: usize) -> bool {
+        if self.stamp[idx] == self.epoch {
+            // Epoch 0 is never current (`begin` skips it), so 0 always
+            // reads as absent.
+            self.stamp[idx] = 0;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `idx` is in the current generation.
+    #[inline]
+    pub fn contains(&self, idx: usize) -> bool {
+        self.stamp.get(idx).is_some_and(|&s| s == self.epoch)
+    }
+
+    /// Number of indices in the current generation.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the current generation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_len() {
+        let mut s = StampSet::new();
+        s.begin(8);
+        assert!(s.is_empty());
+        assert!(s.insert(1));
+        assert!(s.insert(7));
+        assert!(!s.insert(1));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(1));
+        assert!(!s.contains(2));
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert_eq!(s.len(), 1);
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn begin_resets_without_clearing() {
+        let mut s = StampSet::new();
+        s.begin(4);
+        s.insert(0);
+        s.insert(3);
+        s.begin(4);
+        assert!(s.is_empty());
+        for i in 0..4 {
+            assert!(!s.contains(i), "index {i} leaked across generations");
+        }
+    }
+
+    #[test]
+    fn grows_with_begin() {
+        let mut s = StampSet::new();
+        s.begin(2);
+        s.insert(1);
+        s.begin(10);
+        assert!(s.insert(9));
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let mut s = StampSet::new();
+        s.begin(3);
+        assert!(!s.contains(100));
+    }
+
+    #[test]
+    fn epoch_wrap_resets_cleanly() {
+        let mut s = StampSet::new();
+        s.begin(2);
+        s.insert(0);
+        // Force the wrap path.
+        s.epoch = u32::MAX;
+        s.begin(2);
+        assert!(s.is_empty());
+        assert!(!s.contains(0));
+        assert!(s.insert(0));
+        assert!(s.contains(0));
+    }
+}

@@ -43,9 +43,27 @@ pub fn action_policy(
     fsp: &[f32],
     last_selected: Option<u32>,
 ) -> Vec<ActionProb> {
+    let mut out = Vec::new();
+    action_policy_into(graph, fsp, last_selected, &mut out);
+    out
+}
+
+/// [`action_policy`] into a caller-owned buffer, which is cleared first.
+/// The search reuses one buffer per expansion instead of allocating a
+/// policy vector on every simulation.
+///
+/// # Panics
+///
+/// Panics if `fsp.len() != graph.len()`.
+pub fn action_policy_into(
+    graph: &HananGraph,
+    fsp: &[f32],
+    last_selected: Option<u32>,
+    out: &mut Vec<ActionProb>,
+) {
     assert_eq!(fsp.len(), graph.len());
+    out.clear();
     let start = last_selected.map_or(0, |w| w as usize + 1);
-    let mut weighted: Vec<ActionProb> = Vec::new();
     // Running product of (1 - fsp(v)) over valid vertices with higher
     // priority than the current candidate (and lower than w).
     let mut skip_product = 1.0f64;
@@ -56,34 +74,35 @@ pub fn action_policy(
         let p = f64::from(f.clamp(0.0, 1.0));
         let w = p * skip_product;
         if w > 0.0 {
-            weighted.push(ActionProb {
+            out.push(ActionProb {
                 vertex: idx as u32,
                 prob: w,
             });
         }
         skip_product *= 1.0 - p;
     }
-    let total: f64 = weighted.iter().map(|a| a.prob).sum();
+    let total: f64 = out.iter().map(|a| a.prob).sum();
     if total <= 0.0 {
         // Degenerate selector (all zeros): fall back to uniform over valid
         // vertices so the search can still progress.
-        let valid: Vec<u32> = (start..graph.len())
-            .filter(|&i| graph.kind_at(i) == VertexKind::Empty)
-            .map(|i| i as u32)
-            .collect();
-        let n = valid.len();
-        return valid
-            .into_iter()
-            .map(|vertex| ActionProb {
-                vertex,
-                prob: 1.0 / n as f64,
-            })
-            .collect();
+        out.clear();
+        out.extend(
+            (start..graph.len())
+                .filter(|&i| graph.kind_at(i) == VertexKind::Empty)
+                .map(|i| ActionProb {
+                    vertex: i as u32,
+                    prob: 0.0,
+                }),
+        );
+        let n = out.len() as f64;
+        for a in out.iter_mut() {
+            a.prob = 1.0 / n;
+        }
+        return;
     }
-    for a in &mut weighted {
+    for a in out.iter_mut() {
         a.prob /= total;
     }
-    weighted
 }
 
 #[cfg(test)]

@@ -15,7 +15,7 @@
 use oarsmt::selector::Selector;
 use oarsmt::topk::steiner_budget;
 use oarsmt_geom::{GridPoint, HananGraph, VertexKind};
-use oarsmt_router::RouteError;
+use oarsmt_router::{RouteContext, RouteError};
 
 use crate::config::MctsConfig;
 use crate::critic::Critic;
@@ -70,15 +70,63 @@ impl Edge {
     }
 }
 
+/// Like the combinatorial search's node, the selected combination is not
+/// stored: children record `(parent, action)` and the combination is
+/// rebuilt by walking parent pointers (in selection order, which here is
+/// *not* sorted).
 #[derive(Debug, Clone)]
 struct Node {
-    selected: Vec<u32>,
+    parent: Option<u32>,
+    action: u32,
+    depth: u32,
     cost: f64,
     flat_run: u32,
     terminal: TerminalReason,
     expanded: bool,
     edges: Vec<Edge>,
     value: Option<f64>,
+}
+
+/// Rebuilds `node`'s selected vertices (selection order) into `out`.
+fn reconstruct_selected(nodes: &[Node], node: u32, out: &mut Vec<u32>) {
+    out.clear();
+    let mut cur = &nodes[node as usize];
+    while let Some(parent) = cur.parent {
+        out.push(cur.action);
+        cur = &nodes[parent as usize];
+    }
+    out.reverse();
+}
+
+/// Scratch borrowed out of the [`RouteContext`] for one search.
+#[derive(Debug, Default)]
+struct SearchBuffers {
+    sel_idx: Vec<u32>,
+    sel_pts: Vec<GridPoint>,
+    fsp: Vec<f32>,
+}
+
+impl SearchBuffers {
+    fn take_from(ctx: &mut RouteContext) -> Self {
+        SearchBuffers {
+            sel_idx: std::mem::take(&mut ctx.selected_idx),
+            sel_pts: std::mem::take(&mut ctx.selected_points),
+            fsp: std::mem::take(&mut ctx.fsp),
+        }
+    }
+
+    fn restore_to(self, ctx: &mut RouteContext) {
+        ctx.selected_idx = self.sel_idx;
+        ctx.selected_points = self.sel_pts;
+        ctx.fsp = self.fsp;
+    }
+
+    fn load_state(&mut self, nodes: &[Node], node: u32, graph: &HananGraph) {
+        reconstruct_selected(nodes, node, &mut self.sel_idx);
+        self.sel_pts.clear();
+        self.sel_pts
+            .extend(self.sel_idx.iter().map(|&i| graph.point(i as usize)));
+    }
 }
 
 /// The conventional MCTS driver.
@@ -108,11 +156,41 @@ impl AlphaGoMcts {
         graph: &HananGraph,
         selector: &mut S,
     ) -> Result<AlphaGoOutcome, RouteError> {
+        self.search_in(&mut RouteContext::new(), graph, selector)
+    }
+
+    /// [`AlphaGoMcts::search`] through a caller-owned [`RouteContext`]
+    /// (see [`crate::search::CombinatorialMcts::search_in`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates OARMST routing failures.
+    pub fn search_in<S: Selector>(
+        &self,
+        ctx: &mut RouteContext,
+        graph: &HananGraph,
+        selector: &mut S,
+    ) -> Result<AlphaGoOutcome, RouteError> {
+        let mut bufs = SearchBuffers::take_from(ctx);
+        let result = self.search_impl(ctx, &mut bufs, graph, selector);
+        bufs.restore_to(ctx);
+        result
+    }
+
+    fn search_impl<S: Selector>(
+        &self,
+        ctx: &mut RouteContext,
+        bufs: &mut SearchBuffers,
+        graph: &HananGraph,
+        selector: &mut S,
+    ) -> Result<AlphaGoOutcome, RouteError> {
         let budget = steiner_budget(graph.pins().len());
         let alpha = self.config.iterations_for(graph);
-        let initial_cost = self.critic.state_cost(graph, &[])?;
+        let initial_cost = self.critic.state_cost_in(ctx, graph, &[])?;
         let mut nodes = vec![Node {
-            selected: Vec::new(),
+            parent: None,
+            action: 0,
+            depth: 0,
             cost: initial_cost,
             flat_run: 0,
             terminal: terminal_reason(0, budget, None, initial_cost, 0, self.config.max_flat_run),
@@ -127,6 +205,8 @@ impl AlphaGoMcts {
         while !nodes[root as usize].terminal.is_terminal() {
             for _ in 0..alpha {
                 self.explore(
+                    ctx,
+                    bufs,
                     graph,
                     selector,
                     &mut nodes,
@@ -147,15 +227,13 @@ impl AlphaGoMcts {
                 for e in &node.edges {
                     label[e.action as usize] = e.n as f32 / total as f32;
                 }
+                bufs.load_state(&nodes, root, graph);
                 samples.push(AlphaGoSample {
-                    state: node
-                        .selected
-                        .iter()
-                        .map(|&i| graph.point(i as usize))
-                        .collect(),
+                    state: bufs.sel_pts.clone(),
                     label,
                 });
             }
+            let node = &nodes[root as usize];
             let best_edge = (0..node.edges.len())
                 .max_by(|&a, &b| {
                     let ea = &node.edges[a];
@@ -163,16 +241,13 @@ impl AlphaGoMcts {
                     ea.n.cmp(&eb.n).then(ea.q().total_cmp(&eb.q()))
                 })
                 .expect("non-empty edges");
-            root = self.materialize_child(graph, &mut nodes, root, best_edge, budget)?;
+            root = self.materialize_child(ctx, bufs, graph, &mut nodes, root, best_edge, budget)?;
         }
 
+        bufs.load_state(&nodes, root, graph);
         Ok(AlphaGoOutcome {
             samples,
-            executed: nodes[root as usize]
-                .selected
-                .iter()
-                .map(|&i| graph.point(i as usize))
-                .collect(),
+            executed: bufs.sel_pts.clone(),
             final_cost: nodes[root as usize].cost,
             initial_cost,
             nodes_created: nodes.len(),
@@ -183,6 +258,8 @@ impl AlphaGoMcts {
     #[allow(clippy::too_many_arguments)]
     fn explore<S: Selector>(
         &self,
+        ctx: &mut RouteContext,
+        bufs: &mut SearchBuffers,
         graph: &HananGraph,
         selector: &mut S,
         nodes: &mut Vec<Node>,
@@ -211,7 +288,7 @@ impl AlphaGoMcts {
                 }
             }
             path.push((cur, best));
-            cur = self.materialize_child(graph, nodes, cur, best, budget)?;
+            cur = self.materialize_child(ctx, bufs, graph, nodes, cur, best, budget)?;
         }
 
         let value = if let Some(v) = nodes[cur as usize].value {
@@ -220,15 +297,12 @@ impl AlphaGoMcts {
             let v = if nodes[cur as usize].terminal.is_terminal() {
                 (initial_cost - nodes[cur as usize].cost) / initial_cost
             } else {
-                let selected_points: Vec<GridPoint> = nodes[cur as usize]
-                    .selected
-                    .iter()
-                    .map(|&i| graph.point(i as usize))
-                    .collect();
-                let fsp = selector.fsp(graph, &selected_points);
+                bufs.load_state(nodes, cur, graph);
+                selector.fsp_into(graph, &bufs.sel_pts, &mut bufs.fsp);
+                let fsp = &bufs.fsp;
                 // Conventional prior: fsp normalized over ALL valid
                 // vertices, no priority cutoff.
-                let selected_set = &nodes[cur as usize].selected;
+                let selected_set = &bufs.sel_idx;
                 let valid: Vec<(u32, f64)> = (0..graph.len())
                     .filter(|&i| {
                         graph.kind_at(i) == VertexKind::Empty && !selected_set.contains(&(i as u32))
@@ -255,7 +329,7 @@ impl AlphaGoMcts {
                 *simulations += 1;
                 let predicted = if self.config.use_critic {
                     self.critic
-                        .predict_with_fsp(graph, &selected_points, &fsp)?
+                        .predict_with_fsp_in(ctx, graph, &bufs.sel_pts, &bufs.fsp)?
                 } else {
                     nodes[cur as usize].cost
                 };
@@ -273,8 +347,11 @@ impl AlphaGoMcts {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn materialize_child(
         &self,
+        ctx: &mut RouteContext,
+        bufs: &mut SearchBuffers,
         graph: &HananGraph,
         nodes: &mut Vec<Node>,
         parent: u32,
@@ -285,19 +362,19 @@ impl AlphaGoMcts {
             return Ok(c);
         }
         let action = nodes[parent as usize].edges[edge_idx].action;
-        let mut selected = nodes[parent as usize].selected.clone();
-        selected.push(action); // selection order preserved (not sorted)
-        let selected_points: Vec<GridPoint> =
-            selected.iter().map(|&i| graph.point(i as usize)).collect();
-        let cost = self.critic.state_cost(graph, &selected_points)?;
+        bufs.load_state(nodes, parent, graph);
+        bufs.sel_idx.push(action); // selection order preserved (not sorted)
+        bufs.sel_pts.push(graph.point(action as usize));
+        let cost = self.critic.state_cost_in(ctx, graph, &bufs.sel_pts)?;
         let parent_cost = nodes[parent as usize].cost;
         let flat_run = if (cost - parent_cost).abs() <= 1e-9 {
             nodes[parent as usize].flat_run + 1
         } else {
             0
         };
+        let depth = nodes[parent as usize].depth + 1;
         let terminal = terminal_reason(
-            selected.len(),
+            depth as usize,
             budget,
             Some(parent_cost),
             cost,
@@ -306,7 +383,9 @@ impl AlphaGoMcts {
         );
         let id = nodes.len() as u32;
         nodes.push(Node {
-            selected,
+            parent: Some(parent),
+            action,
+            depth,
             cost,
             flat_run,
             terminal,

@@ -8,9 +8,9 @@
 //! resulting cost.
 
 use oarsmt::selector::Selector;
-use oarsmt::topk::{select_top_k, steiner_budget};
+use oarsmt::topk::{select_top_k_into, steiner_budget};
 use oarsmt_geom::{GridPoint, HananGraph};
-use oarsmt_router::{OarmstRouter, RouteError};
+use oarsmt_router::{OarmstRouter, RouteContext, RouteError};
 
 /// The critic built on top of a Steiner-point selector.
 #[derive(Debug)]
@@ -45,11 +45,42 @@ impl Critic {
         selected: &[GridPoint],
         fsp: &[f32],
     ) -> Result<f64, RouteError> {
+        self.predict_with_fsp_in(&mut RouteContext::new(), graph, selected, fsp)
+    }
+
+    /// [`Critic::predict_with_fsp`] through a caller-owned
+    /// [`RouteContext`]: the completed state is assembled in the context's
+    /// completion buffer and priced with the context's routing workspaces —
+    /// no per-call allocation on the MCTS simulation hot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates OARMST routing failures.
+    pub fn predict_with_fsp_in(
+        &self,
+        ctx: &mut RouteContext,
+        graph: &HananGraph,
+        selected: &[GridPoint],
+        fsp: &[f32],
+    ) -> Result<f64, RouteError> {
         let budget = steiner_budget(graph.pins().len());
         let remaining = budget.saturating_sub(selected.len());
-        let mut all = selected.to_vec();
-        all.extend(select_top_k(graph, fsp, remaining, selected));
-        Ok(self.oarmst.route(graph, &all)?.cost())
+        // Take the buffer out so `ctx` stays free for the routing call.
+        let mut all = std::mem::take(&mut ctx.completion);
+        all.clear();
+        all.extend_from_slice(selected);
+        select_top_k_into(
+            graph,
+            fsp,
+            remaining,
+            selected,
+            &mut ctx.scored,
+            &mut ctx.excluded,
+            &mut all,
+        );
+        let cost = self.oarmst.route_cost_in(ctx, graph, &all);
+        ctx.completion = all;
+        cost
     }
 
     /// Predicts the final routing cost of a state, running the selector
@@ -81,7 +112,21 @@ impl Critic {
         graph: &HananGraph,
         selected: &[GridPoint],
     ) -> Result<f64, RouteError> {
-        Ok(self.oarmst.route_unpruned(graph, selected)?.cost())
+        self.state_cost_in(&mut RouteContext::new(), graph, selected)
+    }
+
+    /// [`Critic::state_cost`] through a caller-owned [`RouteContext`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates OARMST routing failures.
+    pub fn state_cost_in(
+        &self,
+        ctx: &mut RouteContext,
+        graph: &HananGraph,
+        selected: &[GridPoint],
+    ) -> Result<f64, RouteError> {
+        self.oarmst.cost_unpruned_in(ctx, graph, selected)
     }
 }
 

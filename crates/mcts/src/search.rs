@@ -5,9 +5,9 @@ use std::fmt;
 use oarsmt::selector::Selector;
 use oarsmt::topk::steiner_budget;
 use oarsmt_geom::{GridPoint, HananGraph};
-use oarsmt_router::RouteError;
+use oarsmt_router::{RouteContext, RouteError};
 
-use crate::actor::{action_policy, ActionProb};
+use crate::actor::{action_policy_into, ActionProb};
 use crate::config::MctsConfig;
 use crate::critic::Critic;
 use crate::label::LabelCounters;
@@ -70,10 +70,20 @@ impl Edge {
 }
 
 /// A node of the search tree: a unique combination of selected vertices.
+///
+/// The combination itself is **not stored**: a node records only its parent
+/// and the action that created it, and [`reconstruct_selected`] rebuilds the
+/// combination by walking parent pointers. Creating a child is therefore
+/// O(1) instead of cloning the parent's selection vector.
 #[derive(Debug, Clone)]
 struct Node {
-    /// Selected vertex indices, ascending (== selection-priority order).
-    selected: Vec<u32>,
+    /// Parent node, or `None` at the root of the search tree.
+    parent: Option<u32>,
+    /// The action (vertex index) executed from `parent` to reach this node;
+    /// meaningless at the root.
+    action: u32,
+    /// Number of selected vertices in this state (= tree depth).
+    depth: u32,
     /// Routing cost of this state (pins + selected, unpruned OARMST).
     cost: f64,
     /// Consecutive cost-flat actions ending at this node.
@@ -83,6 +93,55 @@ struct Node {
     edges: Vec<Edge>,
     /// Cached leaf value, so terminal nodes are simulated once.
     value: Option<f64>,
+}
+
+/// Rebuilds `node`'s selected combination (vertex indices in selection
+/// order, which for the combinatorial search is ascending priority order)
+/// into `out` by walking parent pointers root-ward and reversing.
+fn reconstruct_selected(nodes: &[Node], node: u32, out: &mut Vec<u32>) {
+    out.clear();
+    let mut cur = &nodes[node as usize];
+    while let Some(parent) = cur.parent {
+        out.push(cur.action);
+        cur = &nodes[parent as usize];
+    }
+    out.reverse();
+}
+
+/// Scratch buffers borrowed out of the [`RouteContext`] for the duration of
+/// one search, so `ctx` stays free for the critic's routing calls.
+#[derive(Debug, Default)]
+struct SearchBuffers {
+    sel_idx: Vec<u32>,
+    sel_pts: Vec<GridPoint>,
+    fsp: Vec<f32>,
+    policy: Vec<ActionProb>,
+}
+
+impl SearchBuffers {
+    fn take_from(ctx: &mut RouteContext) -> Self {
+        SearchBuffers {
+            sel_idx: std::mem::take(&mut ctx.selected_idx),
+            sel_pts: std::mem::take(&mut ctx.selected_points),
+            fsp: std::mem::take(&mut ctx.fsp),
+            policy: Vec::new(),
+        }
+    }
+
+    fn restore_to(self, ctx: &mut RouteContext) {
+        ctx.selected_idx = self.sel_idx;
+        ctx.selected_points = self.sel_pts;
+        ctx.fsp = self.fsp;
+    }
+
+    /// Rebuilds the selected combination of `node` into `sel_idx` /
+    /// `sel_pts`.
+    fn load_state(&mut self, nodes: &[Node], node: u32, graph: &HananGraph) {
+        reconstruct_selected(nodes, node, &mut self.sel_idx);
+        self.sel_pts.clear();
+        self.sel_pts
+            .extend(self.sel_idx.iter().map(|&i| graph.point(i as usize)));
+    }
 }
 
 /// The combinatorial MCTS driver.
@@ -119,13 +178,46 @@ impl CombinatorialMcts {
         graph: &HananGraph,
         selector: &mut S,
     ) -> Result<SearchOutcome, RouteError> {
+        self.search_in(&mut RouteContext::new(), graph, selector)
+    }
+
+    /// [`CombinatorialMcts::search`] through a caller-owned
+    /// [`RouteContext`]: every critic rollout routes through the context's
+    /// workspaces, and the selection/inference scratch buffers are borrowed
+    /// from it for the duration of the search. One context per worker
+    /// thread; results are bit-identical to [`CombinatorialMcts::search`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates OARMST routing failures (e.g. disconnected pins).
+    pub fn search_in<S: Selector>(
+        &self,
+        ctx: &mut RouteContext,
+        graph: &HananGraph,
+        selector: &mut S,
+    ) -> Result<SearchOutcome, RouteError> {
+        let mut bufs = SearchBuffers::take_from(ctx);
+        let result = self.search_impl(ctx, &mut bufs, graph, selector);
+        bufs.restore_to(ctx);
+        result
+    }
+
+    fn search_impl<S: Selector>(
+        &self,
+        ctx: &mut RouteContext,
+        bufs: &mut SearchBuffers,
+        graph: &HananGraph,
+        selector: &mut S,
+    ) -> Result<SearchOutcome, RouteError> {
         let budget = steiner_budget(graph.pins().len());
         let alpha = self.config.iterations_for(graph);
-        let initial_cost = self.critic.state_cost(graph, &[])?;
+        let initial_cost = self.critic.state_cost_in(ctx, graph, &[])?;
 
         let mut nodes: Vec<Node> = Vec::new();
         nodes.push(Node {
-            selected: Vec::new(),
+            parent: None,
+            action: 0,
+            depth: 0,
             cost: initial_cost,
             flat_run: 0,
             terminal: terminal_reason(0, budget, None, initial_cost, 0, self.config.max_flat_run),
@@ -140,6 +232,8 @@ impl CombinatorialMcts {
         while !nodes[root as usize].terminal.is_terminal() {
             for _ in 0..alpha {
                 self.explore(
+                    ctx,
+                    bufs,
                     graph,
                     selector,
                     &mut nodes,
@@ -166,14 +260,11 @@ impl CombinatorialMcts {
                     })
                     .expect("non-empty edges")
             };
-            root = self.materialize_child(graph, &mut nodes, root, best_edge, budget)?;
+            root = self.materialize_child(ctx, bufs, graph, &mut nodes, root, best_edge, budget)?;
         }
 
-        let executed: Vec<GridPoint> = nodes[root as usize]
-            .selected
-            .iter()
-            .map(|&i| graph.point(i as usize))
-            .collect();
+        bufs.load_state(&nodes, root, graph);
+        let executed: Vec<GridPoint> = bufs.sel_pts.clone();
         let final_cost = nodes[root as usize].cost;
         Ok(SearchOutcome {
             label: counters.label(),
@@ -191,6 +282,8 @@ impl CombinatorialMcts {
     #[allow(clippy::too_many_arguments)]
     fn explore<S: Selector>(
         &self,
+        ctx: &mut RouteContext,
+        bufs: &mut SearchBuffers,
         graph: &HananGraph,
         selector: &mut S,
         nodes: &mut Vec<Node>,
@@ -226,7 +319,7 @@ impl CombinatorialMcts {
             }
             counters.record_step(node.edges[best].action, node.edges.iter().map(|e| e.action));
             path.push((cur, best));
-            cur = self.materialize_child(graph, nodes, cur, best, budget)?;
+            cur = self.materialize_child(ctx, bufs, graph, nodes, cur, best, budget)?;
         }
 
         // Expansion + simulation at the leaf.
@@ -237,18 +330,15 @@ impl CombinatorialMcts {
                 // Terminal: value from the state's own routing cost.
                 (initial_cost - nodes[cur as usize].cost) / initial_cost
             } else {
-                let selected_points: Vec<GridPoint> = nodes[cur as usize]
-                    .selected
-                    .iter()
-                    .map(|&i| graph.point(i as usize))
-                    .collect();
-                let fsp = selector.fsp(graph, &selected_points);
-                let last = nodes[cur as usize].selected.last().copied();
-                let policy: Vec<ActionProb> = action_policy(graph, &fsp, last);
-                if policy.is_empty() {
+                bufs.load_state(nodes, cur, graph);
+                selector.fsp_into(graph, &bufs.sel_pts, &mut bufs.fsp);
+                let last = bufs.sel_idx.last().copied();
+                action_policy_into(graph, &bufs.fsp, last, &mut bufs.policy);
+                if bufs.policy.is_empty() {
                     nodes[cur as usize].terminal = TerminalReason::NoActions;
                 } else {
-                    nodes[cur as usize].edges = policy
+                    nodes[cur as usize].edges = bufs
+                        .policy
                         .iter()
                         .map(|a| Edge {
                             action: a.vertex,
@@ -263,7 +353,7 @@ impl CombinatorialMcts {
                 *simulations += 1;
                 let predicted = if self.config.use_critic {
                     self.critic
-                        .predict_with_fsp(graph, &selected_points, &fsp)?
+                        .predict_with_fsp_in(ctx, graph, &bufs.sel_pts, &bufs.fsp)?
                 } else {
                     nodes[cur as usize].cost
                 };
@@ -283,8 +373,13 @@ impl CombinatorialMcts {
     }
 
     /// Creates (or fetches) the child node behind `edge_idx` of `parent`.
+    /// A new child stores only `(parent, action)` — no clone of the
+    /// parent's combination.
+    #[allow(clippy::too_many_arguments)]
     fn materialize_child(
         &self,
+        ctx: &mut RouteContext,
+        bufs: &mut SearchBuffers,
         graph: &HananGraph,
         nodes: &mut Vec<Node>,
         parent: u32,
@@ -295,20 +390,20 @@ impl CombinatorialMcts {
             return Ok(c);
         }
         let action = nodes[parent as usize].edges[edge_idx].action;
-        let mut selected = nodes[parent as usize].selected.clone();
-        debug_assert!(selected.last().is_none_or(|&l| l < action));
-        selected.push(action);
-        let selected_points: Vec<GridPoint> =
-            selected.iter().map(|&i| graph.point(i as usize)).collect();
-        let cost = self.critic.state_cost(graph, &selected_points)?;
+        bufs.load_state(nodes, parent, graph);
+        debug_assert!(bufs.sel_idx.last().is_none_or(|&l| l < action));
+        bufs.sel_idx.push(action);
+        bufs.sel_pts.push(graph.point(action as usize));
+        let cost = self.critic.state_cost_in(ctx, graph, &bufs.sel_pts)?;
         let parent_cost = nodes[parent as usize].cost;
         let flat_run = if (cost - parent_cost).abs() <= 1e-9 {
             nodes[parent as usize].flat_run + 1
         } else {
             0
         };
+        let depth = nodes[parent as usize].depth + 1;
         let terminal = terminal_reason(
-            selected.len(),
+            depth as usize,
             budget,
             Some(parent_cost),
             cost,
@@ -317,7 +412,9 @@ impl CombinatorialMcts {
         );
         let id = nodes.len() as u32;
         nodes.push(Node {
-            selected,
+            parent: Some(parent),
+            action,
+            depth,
             cost,
             flat_run,
             terminal,
@@ -437,6 +534,81 @@ mod tests {
             .unwrap();
         assert!(out.final_cost <= out.initial_cost + 1e-9);
         assert!(out.simulations > 0);
+    }
+
+    /// Satellite pin: visit tallies captured from the pre-refactor
+    /// implementation (each child cloned its parent's `selected` vector).
+    /// The parent-pointer representation must reproduce them bit-identically
+    /// — any drift means the reconstruction changed the search trajectory.
+    #[test]
+    fn visit_tallies_match_pre_refactor_goldens() {
+        let g = cross();
+        let sum = |xs: &[u32]| xs.iter().map(|&x| u64::from(x)).sum::<u64>();
+
+        let out = CombinatorialMcts::new(MctsConfig::tiny())
+            .search(&g, &mut UniformSelector::new(0.4))
+            .unwrap();
+        assert_eq!(sum(out.counters.n_sel()), 9);
+        assert_eq!(sum(out.counters.n_opp()), 183);
+        assert_eq!(out.nodes_created, 5);
+        assert_eq!(out.simulations, 2);
+        assert_eq!(out.final_cost, 12.0);
+        assert_eq!(out.initial_cost, 12.0);
+        assert_eq!(
+            out.executed,
+            vec![GridPoint::new(0, 0, 0), GridPoint::new(0, 1, 0)]
+        );
+
+        let out = CombinatorialMcts::new(MctsConfig::tiny())
+            .search(&g, &mut MedianHeuristicSelector::new())
+            .unwrap();
+        assert_eq!(sum(out.counters.n_sel()), 8);
+        assert_eq!(sum(out.counters.n_opp()), 78);
+        assert_eq!(out.nodes_created, 7);
+        assert_eq!(out.simulations, 3);
+        assert_eq!(
+            out.executed,
+            vec![GridPoint::new(0, 1, 0), GridPoint::new(0, 3, 0)]
+        );
+
+        let cfg = MctsConfig {
+            base_iterations: 64,
+            base_size: g.len(),
+            ..MctsConfig::default()
+        };
+        let out = CombinatorialMcts::new(cfg)
+            .search(&g, &mut MedianHeuristicSelector::new())
+            .unwrap();
+        assert_eq!(sum(out.counters.n_sel()), 183);
+        assert_eq!(sum(out.counters.n_opp()), 1335);
+        assert_eq!(out.nodes_created, 33);
+        assert_eq!(out.simulations, 8);
+        assert_eq!(out.final_cost, 8.0);
+        assert_eq!(
+            out.executed,
+            vec![GridPoint::new(1, 2, 0), GridPoint::new(2, 2, 0)]
+        );
+    }
+
+    #[test]
+    fn search_in_with_reused_context_matches_fresh_search() {
+        use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+        use oarsmt_router::RouteContext;
+        let mut gen = CaseGenerator::new(GeneratorConfig::tiny(6, 6, 2, (4, 6)), 11);
+        let mcts = CombinatorialMcts::new(MctsConfig::tiny());
+        let mut ctx = RouteContext::new(); // reused across every layout
+        for g in gen.generate_many(6) {
+            let mut sel = MedianHeuristicSelector::new();
+            let Ok(fresh) = mcts.search(&g, &mut sel) else {
+                continue;
+            };
+            let reused = mcts.search_in(&mut ctx, &g, &mut sel).unwrap();
+            assert_eq!(fresh.executed, reused.executed);
+            assert_eq!(fresh.final_cost.to_bits(), reused.final_cost.to_bits());
+            assert_eq!(fresh.label, reused.label);
+            assert_eq!(fresh.nodes_created, reused.nodes_created);
+            assert_eq!(fresh.simulations, reused.simulations);
+        }
     }
 
     #[test]

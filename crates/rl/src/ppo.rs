@@ -161,13 +161,15 @@ impl PpoTrainer {
             self.rng.gen(),
         );
         let oarmst = OarmstRouter::new();
+        // One reusable routing workspace for the whole collection phase.
+        let mut ctx = oarsmt_router::RouteContext::new();
         let mut graphs = Vec::new();
         let mut steps = Vec::new();
         let mut return_sum = 0.0f64;
         let mut episodes = 0usize;
         while episodes < self.config.episodes_per_iter {
             let graph = gen.generate();
-            let Ok(base) = oarmst.route(&graph, &[]) else {
+            let Ok(base) = oarmst.route_in(&mut ctx, &graph, &[]) else {
                 continue; // unroutable layout; draw another
             };
             let budget = steiner_budget(graph.pins().len());
@@ -183,7 +185,7 @@ impl PpoTrainer {
                 episode.push((state.clone(), action, logp));
                 state.push(graph.point(action));
             }
-            let Ok(tree) = oarmst.route(&graph, &state) else {
+            let Ok(tree) = oarmst.route_in(&mut ctx, &graph, &state) else {
                 continue;
             };
             let ret = ((base.cost() - tree.cost()) / base.cost()) as f32;

@@ -317,7 +317,9 @@ impl Trainer {
         let scheme = self.scheme;
         let threads = parallel::thread_count(Some(self.config.threads));
         // Workers search with clones of the stage's frozen selector; the
-        // caller's selector is only updated by the subsequent fit.
+        // caller's selector is only updated by the subsequent fit. Each
+        // worker also carries one RouteContext, reused across all of its
+        // layouts (the per-layout results are bit-identical either way).
         let proto: NeuralSelector = selector.clone();
         let mut samples = Vec::new();
         let mut ratio_sum = 0.0f64;
@@ -333,13 +335,13 @@ impl Trainer {
                 self.config.layouts_per_size,
                 size_seed,
                 threads,
-                || proto.clone(),
-                |sel, _idx, layout_seed| -> LayoutSamples {
+                || (proto.clone(), oarsmt_router::RouteContext::new()),
+                |(sel, ctx), _idx, layout_seed| -> LayoutSamples {
                     let graph = CaseGenerator::new(cfg.clone(), layout_seed).generate();
                     match scheme {
                         Scheme::Combinatorial => {
                             let mcts = CombinatorialMcts::new(mcts_config.clone());
-                            match mcts.search(&graph, sel) {
+                            match mcts.search_in(ctx, &graph, sel) {
                                 Ok(out) => {
                                     let ratio = out.final_cost / out.initial_cost;
                                     let sample = TrainingSample::new(graph, vec![], out.label);
@@ -351,7 +353,7 @@ impl Trainer {
                         }
                         Scheme::AlphaGo => {
                             let mcts = AlphaGoMcts::new(mcts_config.clone());
-                            match mcts.search(&graph, sel) {
+                            match mcts.search_in(ctx, &graph, sel) {
                                 Ok(out) => {
                                     let ratio = out.final_cost / out.initial_cost;
                                     let per_move = out
@@ -430,10 +432,11 @@ pub fn st_to_mst_over_cases<S: Selector>(
     // (no path-assessed polish) for both the Steiner tree and the MST so
     // the measured difference comes from the selected points alone.
     let oarmst = OarmstRouter::new().with_polish_rounds(0);
+    let mut ctx = oarsmt_router::RouteContext::new();
     let mut sum = 0.0f64;
     let mut count = 0usize;
     for graph in cases {
-        let Ok(mst) = oarmst.route(graph, &[]) else {
+        let Ok(mst) = oarmst.route_in(&mut ctx, graph, &[]) else {
             continue;
         };
         let points = match mode {
@@ -443,7 +446,7 @@ pub fn st_to_mst_over_cases<S: Selector>(
             }
             InferenceMode::Sequential => sequential_select(graph, selector),
         };
-        let Ok(st) = oarmst.route(graph, &points) else {
+        let Ok(st) = oarmst.route_in(&mut ctx, graph, &points) else {
             continue;
         };
         sum += st.cost() / mst.cost();

@@ -28,6 +28,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod context;
 pub mod error;
 pub mod exact;
 pub mod lin18;
@@ -39,6 +40,7 @@ pub mod segments;
 pub mod spanning;
 pub mod tree;
 
+pub use context::RouteContext;
 pub use error::RouteError;
 pub use lin18::Lin18Router;
 pub use liu14::Liu14Router;

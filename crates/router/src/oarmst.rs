@@ -13,11 +13,9 @@
 //! 3. reconstructs the spanning tree over pins plus the surviving
 //!    irredundant candidates, repeating until no candidate is redundant.
 
-use std::collections::HashSet;
-
 use oarsmt_geom::{GridPoint, HananGraph};
-use oarsmt_graph::dijkstra::{SearchBounds, SearchSpace};
 
+use crate::context::RouteContext;
 use crate::error::RouteError;
 use crate::prune::redundant_candidates;
 use crate::tree::RouteTree;
@@ -107,35 +105,93 @@ impl OarmstRouter {
         graph: &HananGraph,
         candidates: &[GridPoint],
     ) -> Result<RouteTree, RouteError> {
+        self.route_in(&mut RouteContext::new(), graph, candidates)
+    }
+
+    /// [`OarmstRouter::route`] through a caller-owned [`RouteContext`]:
+    /// bit-identical results, no per-query allocation of the Dijkstra
+    /// arrays, index sets, or scratch buffers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OarmstRouter::route`].
+    pub fn route_in(
+        &self,
+        ctx: &mut RouteContext,
+        graph: &HananGraph,
+        candidates: &[GridPoint],
+    ) -> Result<RouteTree, RouteError> {
         let pins = graph.pins();
         if pins.len() < 2 {
             return Err(RouteError::TooFewTerminals(pins.len()));
         }
-        let mut space = SearchSpace::new();
-        let mut kept: Vec<GridPoint> = dedup_candidates(graph, candidates);
+        ctx.bind(graph);
+        let mut kept = std::mem::take(&mut ctx.kept);
+        dedup_candidates_in(ctx, graph, candidates, &mut kept);
         let max_rounds = self.max_prune_rounds.unwrap_or(8);
-        let mut tree = self.build_once(graph, pins, &kept, &mut space)?;
+        let mut tree = ctx.take_tree();
+        if let Err(e) = self.build_once_in(ctx, graph, &kept, &mut tree) {
+            ctx.recycle_tree(tree);
+            ctx.kept = kept;
+            return Err(e);
+        }
         for _ in 0..max_rounds {
             let redundant = redundant_candidates(graph, &tree, &kept);
             if redundant.is_empty() {
                 break;
             }
-            let redundant: HashSet<GridPoint> = redundant.into_iter().collect();
-            kept.retain(|p| !redundant.contains(p));
-            tree = self.build_once(graph, pins, &kept, &mut space)?;
+            ctx.seen.begin(graph.len());
+            for &p in &redundant {
+                ctx.seen.insert(graph.index(p));
+            }
+            kept.retain(|&p| !ctx.seen.contains(graph.index(p)));
+            if let Err(e) = self.build_once_in(ctx, graph, &kept, &mut tree) {
+                ctx.recycle_tree(tree);
+                ctx.kept = kept;
+                return Err(e);
+            }
         }
         // Path-assessed polish (following [14]'s OARMST step): reassess the
         // branch of every terminal once per round, keeping improvements.
-        let mut terminals: Vec<GridPoint> = pins.to_vec();
-        terminals.extend(kept.iter().copied());
+        let mut terminals = std::mem::take(&mut ctx.terminals);
+        terminals.clear();
+        terminals.extend_from_slice(pins);
+        terminals.extend_from_slice(&kept);
+        ctx.kept = kept;
         for _ in 0..self.polish_rounds {
-            let (polished, improved) = crate::retrace::polish_round(graph, tree, &terminals)?;
-            tree = polished;
-            if !improved {
-                break;
+            match crate::retrace::polish_round_in(ctx, graph, tree, &terminals) {
+                Ok((polished, improved)) => {
+                    tree = polished;
+                    if !improved {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    ctx.terminals = terminals;
+                    return Err(e);
+                }
             }
         }
+        ctx.terminals = terminals;
         Ok(tree)
+    }
+
+    /// [`OarmstRouter::route_in`] returning only the tree cost, keeping the
+    /// tree itself pooled inside the context (the MCTS critic's hot path).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OarmstRouter::route`].
+    pub fn route_cost_in(
+        &self,
+        ctx: &mut RouteContext,
+        graph: &HananGraph,
+        candidates: &[GridPoint],
+    ) -> Result<f64, RouteError> {
+        let tree = self.route_in(ctx, graph, candidates)?;
+        let cost = tree.cost();
+        ctx.recycle_tree(tree);
+        Ok(cost)
     }
 
     /// Builds the OARMST once, without pruning. Exposed so callers (e.g.
@@ -149,25 +205,71 @@ impl OarmstRouter {
         graph: &HananGraph,
         candidates: &[GridPoint],
     ) -> Result<RouteTree, RouteError> {
+        self.route_unpruned_in(&mut RouteContext::new(), graph, candidates)
+    }
+
+    /// [`OarmstRouter::route_unpruned`] through a caller-owned
+    /// [`RouteContext`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OarmstRouter::route`].
+    pub fn route_unpruned_in(
+        &self,
+        ctx: &mut RouteContext,
+        graph: &HananGraph,
+        candidates: &[GridPoint],
+    ) -> Result<RouteTree, RouteError> {
         let pins = graph.pins();
         if pins.len() < 2 {
             return Err(RouteError::TooFewTerminals(pins.len()));
         }
-        let kept = dedup_candidates(graph, candidates);
-        self.build_once(graph, pins, &kept, &mut SearchSpace::new())
+        ctx.bind(graph);
+        let mut kept = std::mem::take(&mut ctx.kept);
+        dedup_candidates_in(ctx, graph, candidates, &mut kept);
+        let mut tree = ctx.take_tree();
+        let built = self.build_once_in(ctx, graph, &kept, &mut tree);
+        ctx.kept = kept;
+        match built {
+            Ok(()) => Ok(tree),
+            Err(e) => {
+                ctx.recycle_tree(tree);
+                Err(e)
+            }
+        }
     }
 
-    /// One maze-based Prim pass over `pins + candidates`.
-    fn build_once(
+    /// [`OarmstRouter::route_unpruned_in`] returning only the cost, keeping
+    /// the tree pooled (used to price MCTS states).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OarmstRouter::route`].
+    pub fn cost_unpruned_in(
         &self,
+        ctx: &mut RouteContext,
         graph: &HananGraph,
-        pins: &[GridPoint],
         candidates: &[GridPoint],
-        space: &mut SearchSpace,
-    ) -> Result<RouteTree, RouteError> {
-        let mut terminals: Vec<GridPoint> = Vec::with_capacity(pins.len() + candidates.len());
-        terminals.extend_from_slice(pins);
-        terminals.extend_from_slice(candidates);
+    ) -> Result<f64, RouteError> {
+        let tree = self.route_unpruned_in(ctx, graph, candidates)?;
+        let cost = tree.cost();
+        ctx.recycle_tree(tree);
+        Ok(cost)
+    }
+
+    /// One maze-based Prim pass over `graph.pins() + candidates`, built
+    /// into `tree` (cleared first) using the context's workspaces.
+    fn build_once_in(
+        &self,
+        ctx: &mut RouteContext,
+        graph: &HananGraph,
+        candidates: &[GridPoint],
+        tree: &mut RouteTree,
+    ) -> Result<(), RouteError> {
+        let pins = graph.pins();
+        ctx.terminals.clear();
+        ctx.terminals.extend_from_slice(pins);
+        ctx.terminals.extend_from_slice(candidates);
 
         for &t in pins {
             if graph.is_blocked(t) {
@@ -177,30 +279,57 @@ impl OarmstRouter {
 
         let bounds = self
             .bounds_margin
-            .map(|m| SearchBounds::around(graph, terminals.iter().copied(), m));
+            .map(|m| ctx.bounds_for(graph, candidates, m));
+        if bounds.is_none() {
+            // Unbounded queries run on the CSR adjacency (bit-identical,
+            // but without per-relaxation grid arithmetic).
+            ctx.adj.ensure(graph);
+        }
 
-        let first = terminals[self.start % terminals.len()];
-        let mut tree = RouteTree::new();
-        let mut tree_vertices: Vec<GridPoint> = vec![first];
-        let mut in_tree: HashSet<u32> = HashSet::new();
-        in_tree.insert(graph.index(first) as u32);
-        let mut unconnected: HashSet<u32> =
-            terminals.iter().map(|&t| graph.index(t) as u32).collect();
-        unconnected.remove(&(graph.index(first) as u32));
+        let first = ctx.terminals[self.start % ctx.terminals.len()];
+        tree.clear();
+        ctx.tree_vertices.clear();
+        ctx.tree_vertices.push(first);
+        ctx.in_tree.begin(graph.len());
+        ctx.in_tree.insert(graph.index(first));
+        ctx.unconnected.begin(graph.len());
+        // Track how many *pins* remain unconnected separately: only they
+        // make an unreachable remainder fatal.
+        let mut unconnected_pins = 0usize;
+        for &p in pins {
+            if ctx.unconnected.insert(graph.index(p)) {
+                unconnected_pins += 1;
+            }
+        }
+        for &c in candidates {
+            ctx.unconnected.insert(graph.index(c));
+        }
+        if ctx.unconnected.remove(graph.index(first)) && ctx.is_pin_index(graph.index(first) as u32)
+        {
+            unconnected_pins -= 1;
+        }
 
-        let pin_set: HashSet<u32> = pins.iter().map(|&p| graph.index(p) as u32).collect();
-        while !unconnected.is_empty() {
-            let path = match space.shortest_path_to_set(
-                graph,
-                &tree_vertices,
-                |i| unconnected.contains(&(i as u32)),
-                bounds,
-            ) {
+        while !ctx.unconnected.is_empty() {
+            let searched = match bounds {
+                None => {
+                    ctx.space
+                        .shortest_path_to_set_csr(graph, &ctx.adj, &ctx.tree_vertices, |i| {
+                            ctx.unconnected.contains(i)
+                        })
+                }
+                Some(_) => ctx.space.shortest_path_to_set(
+                    graph,
+                    &ctx.tree_vertices,
+                    |i| ctx.unconnected.contains(i),
+                    bounds,
+                ),
+            };
+            let path = match searched {
                 Ok(p) => p,
                 Err(e) => {
                     // Candidates sitting in walled-off pockets are simply
                     // dropped; only unreachable *pins* are fatal.
-                    if unconnected.iter().any(|t| pin_set.contains(t)) {
+                    if unconnected_pins > 0 {
                         return Err(RouteError::from(e));
                     }
                     break;
@@ -210,35 +339,41 @@ impl OarmstRouter {
                 tree.add_edge(graph, a, b);
             }
             for &p in &path.points {
-                let idx = graph.index(p) as u32;
-                if in_tree.insert(idx) {
-                    tree_vertices.push(p);
+                let idx = graph.index(p);
+                if ctx.in_tree.insert(idx) {
+                    ctx.tree_vertices.push(p);
                 }
-                unconnected.remove(&idx);
+                if ctx.unconnected.remove(idx) && ctx.is_pin_index(idx as u32) {
+                    unconnected_pins -= 1;
+                }
             }
         }
-        Ok(tree)
+        Ok(())
     }
 }
 
 /// Drops candidates that are out of bounds, blocked, or duplicate a
-/// pin/another candidate, preserving order.
-fn dedup_candidates(graph: &HananGraph, candidates: &[GridPoint]) -> Vec<GridPoint> {
-    let mut seen: HashSet<u32> = graph
-        .pins()
-        .iter()
-        .map(|&p| graph.index(p) as u32)
-        .collect();
-    let mut out = Vec::with_capacity(candidates.len());
+/// pin/another candidate, preserving order; writes the survivors into
+/// `out` (cleared first) using the context's stamped scratch set.
+fn dedup_candidates_in(
+    ctx: &mut RouteContext,
+    graph: &HananGraph,
+    candidates: &[GridPoint],
+    out: &mut Vec<GridPoint>,
+) {
+    out.clear();
+    ctx.seen.begin(graph.len());
+    for &i in &ctx.pin_indices {
+        ctx.seen.insert(i as usize);
+    }
     for &c in candidates {
         if !graph.in_bounds(c) || graph.is_blocked(c) {
             continue;
         }
-        if seen.insert(graph.index(c) as u32) {
+        if ctx.seen.insert(graph.index(c)) {
             out.push(c);
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -3,11 +3,11 @@
 //! the shared OARMST construction's polish pass and by the \[14\] baseline's
 //! iterated reassessment).
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 
 use oarsmt_geom::{GridPoint, HananGraph};
-use oarsmt_graph::dijkstra::SearchSpace;
 
+use crate::context::RouteContext;
 use crate::error::RouteError;
 use crate::tree::RouteTree;
 
@@ -30,23 +30,63 @@ pub fn reroute_terminal(
     terminals: &[GridPoint],
     terminal_idx: usize,
 ) -> Result<Option<RouteTree>, RouteError> {
+    reroute_terminal_in(
+        &mut RouteContext::new(),
+        graph,
+        tree,
+        terminals,
+        terminal_idx,
+    )
+}
+
+/// [`reroute_terminal`] through a caller-owned [`RouteContext`]: the
+/// Dijkstra workspace, stamped sets, and candidate tree all come from the
+/// context instead of per-call allocation.
+///
+/// # Errors
+///
+/// See [`reroute_terminal`].
+pub fn reroute_terminal_in(
+    ctx: &mut RouteContext,
+    graph: &HananGraph,
+    tree: &RouteTree,
+    terminals: &[GridPoint],
+    terminal_idx: usize,
+) -> Result<Option<RouteTree>, RouteError> {
+    reroute_with_adj(ctx, graph, tree, &tree.adjacency(), terminals, terminal_idx)
+}
+
+/// [`reroute_terminal_in`] against a caller-supplied adjacency of `tree`
+/// (the polish loop builds it once per accepted tree instead of once per
+/// terminal).
+fn reroute_with_adj(
+    ctx: &mut RouteContext,
+    graph: &HananGraph,
+    tree: &RouteTree,
+    adj: &HashMap<u32, Vec<u32>>,
+    terminals: &[GridPoint],
+    terminal_idx: usize,
+) -> Result<Option<RouteTree>, RouteError> {
     let terminal = terminals[terminal_idx];
     let term_v = graph.index(terminal) as u32;
-    let adj = tree.adjacency();
     let Some(neighbors) = adj.get(&term_v) else {
         return Ok(None);
     };
     if neighbors.len() != 1 {
         return Ok(None);
     }
-    let terminal_set: HashSet<u32> = terminals.iter().map(|&p| graph.index(p) as u32).collect();
+    ctx.seen.begin(graph.len());
+    for &p in terminals {
+        ctx.seen.insert(graph.index(p));
+    }
 
     // Strip the degree-2 chain hanging off the terminal.
-    let mut stripped = tree.clone();
+    let mut stripped = ctx.take_tree();
+    stripped.copy_from(tree);
     let mut prev = term_v;
     let mut cur = neighbors[0];
     stripped.remove_edge(graph, prev, cur);
-    while !terminal_set.contains(&cur) {
+    while !ctx.seen.contains(cur as usize) {
         let Some(next) = adj
             .get(&cur)
             .filter(|n| n.len() == 2)
@@ -59,18 +99,36 @@ pub fn reroute_terminal(
         cur = next;
     }
 
-    let remaining: Vec<GridPoint> = stripped
-        .vertices()
-        .into_iter()
-        .map(|i| graph.point(i as usize))
-        .collect();
-    if remaining.is_empty() {
+    // The remaining tree's vertices are the multi-source frontier. Source
+    // *order* does not affect the result (the maze heap settles ties by
+    // cost then index), so edge-iteration order replaces the old hash-set
+    // collection bit-identically.
+    ctx.mark.begin(graph.len());
+    ctx.tree_vertices.clear();
+    for &(a, b) in stripped.edges() {
+        if ctx.mark.insert(a as usize) {
+            ctx.tree_vertices.push(graph.point(a as usize));
+        }
+        if ctx.mark.insert(b as usize) {
+            ctx.tree_vertices.push(graph.point(b as usize));
+        }
+    }
+    if ctx.tree_vertices.is_empty() {
+        ctx.recycle_tree(stripped);
         return Ok(None);
     }
     let target = graph.index(terminal);
-    let path = SearchSpace::new()
-        .shortest_path_to_set(graph, &remaining, |i| i == target, None)
-        .map_err(RouteError::from)?;
+    ctx.adj.ensure(graph);
+    let path = match ctx
+        .space
+        .shortest_path_to_set_csr(graph, &ctx.adj, &ctx.tree_vertices, |i| i == target)
+    {
+        Ok(p) => p,
+        Err(e) => {
+            ctx.recycle_tree(stripped);
+            return Err(RouteError::from(e));
+        }
+    };
     for (a, b) in path.edges() {
         stripped.add_edge(graph, a, b);
     }
@@ -89,13 +147,32 @@ pub fn polish_round(
     tree: RouteTree,
     terminals: &[GridPoint],
 ) -> Result<(RouteTree, bool), RouteError> {
+    polish_round_in(&mut RouteContext::new(), graph, tree, terminals)
+}
+
+/// [`polish_round`] through a caller-owned [`RouteContext`]; rejected
+/// reroute candidates go back to the context's tree pool.
+///
+/// # Errors
+///
+/// See [`reroute_terminal`].
+pub fn polish_round_in(
+    ctx: &mut RouteContext,
+    graph: &HananGraph,
+    tree: RouteTree,
+    terminals: &[GridPoint],
+) -> Result<(RouteTree, bool), RouteError> {
     let mut best = tree;
     let mut improved = false;
+    let mut adj = best.adjacency();
     for idx in 0..terminals.len() {
-        if let Some(candidate) = reroute_terminal(graph, &best, terminals, idx)? {
+        if let Some(candidate) = reroute_with_adj(ctx, graph, &best, &adj, terminals, idx)? {
             if candidate.cost() + 1e-9 < best.cost() {
-                best = candidate;
+                ctx.recycle_tree(std::mem::replace(&mut best, candidate));
+                adj = best.adjacency();
                 improved = true;
+            } else {
+                ctx.recycle_tree(candidate);
             }
         }
     }

@@ -33,6 +33,23 @@ impl RouteTree {
         self.cost
     }
 
+    /// Removes all edges, keeping the allocations (used by the
+    /// [`crate::context::RouteContext`] tree pool).
+    pub fn clear(&mut self) {
+        self.edges.clear();
+        self.edge_set.clear();
+        self.cost = 0.0;
+    }
+
+    /// Makes `self` a copy of `other`, reusing `self`'s allocations where
+    /// possible (a `clone_from` under a clearer name).
+    pub fn copy_from(&mut self, other: &RouteTree) {
+        self.edges.clear();
+        self.edges.extend_from_slice(&other.edges);
+        self.edge_set.clone_from(&other.edge_set);
+        self.cost = other.cost;
+    }
+
     /// Number of grid edges in the tree.
     pub fn edge_count(&self) -> usize {
         self.edges.len()
