@@ -21,6 +21,10 @@ echo "==> critic_throughput smoke (quick mode, checks fresh/reused bit-identity)
 cargo run --release -q -p oarsmt-bench --bin critic_throughput -- --quick \
     --out target/BENCH_critic_smoke.json
 
+echo "==> unet_throughput smoke (quick mode, asserts GEMM == naive oracle and baseline checksums)"
+cargo run --release -q -p oarsmt-bench --bin unet_throughput -- --quick \
+    --out target/BENCH_unet_smoke.json
+
 echo "==> cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 

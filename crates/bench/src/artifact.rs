@@ -1,0 +1,98 @@
+//! Line-based reader for the recorded `BENCH_*.json` artifacts.
+//!
+//! The throughput binaries (`unet_throughput`, `critic_throughput`) compare
+//! a live run against a *recorded* pre-change baseline artifact, so the
+//! reported speedups are honest (live fresh-vs-reused comparisons measure
+//! whatever both paths currently share). The artifacts are written by the
+//! binaries themselves in a fixed one-rung-per-line layout, which this
+//! module parses with plain string scanning — no JSON dependency.
+
+use std::io;
+use std::path::Path;
+
+/// A loaded artifact file.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    text: String,
+}
+
+impl Artifact {
+    /// Reads an artifact file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (missing baseline file, etc.).
+    pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Artifact> {
+        Ok(Artifact {
+            text: std::fs::read_to_string(path)?,
+        })
+    }
+
+    /// The rung object lines (every line carrying a `"name"` key), in file
+    /// order.
+    pub fn rung_lines(&self) -> impl Iterator<Item = &str> {
+        self.text.lines().filter(|l| l.contains("\"name\""))
+    }
+
+    /// The rung line with the given name, if present.
+    pub fn rung(&self, name: &str) -> Option<&str> {
+        let tag = format!("\"name\": \"{name}\"");
+        self.rung_lines().find(|l| l.contains(&tag))
+    }
+
+    /// A top-level numeric field (e.g. `total_fwd_per_s`).
+    pub fn top_num(&self, key: &str) -> Option<f64> {
+        self.text.lines().find_map(|l| json_num(l, key))
+    }
+}
+
+/// The raw value token of `"key": <value>` in `line` (quotes stripped for
+/// string values).
+pub fn json_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\":");
+    let start = line.find(&tag)? + tag.len();
+    let rest = line[start..].trim_start();
+    let end = rest
+        .char_indices()
+        .find(|&(i, c)| (c == ',' || c == '}') && !in_string(rest, i))
+        .map(|(i, _)| i)
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Whether byte offset `i` of `s` falls inside a double-quoted string.
+fn in_string(s: &str, i: usize) -> bool {
+    s[..i].bytes().filter(|&b| b == b'"').count() % 2 == 1
+}
+
+/// A numeric field of a rung line.
+pub fn json_num(line: &str, key: &str) -> Option<f64> {
+    json_field(line, key)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\n  \"mode\": \"baseline\",\n  \"rungs\": [\n",
+        "    {\"name\": \"S8\", \"fwd_per_s\": 581.184, \"cs\": \"407a72a5b0200000\"},\n",
+        "    {\"name\": \"S12\", \"fwd_per_s\": 362.861, \"cs\": \"408dba497da00000\"}\n",
+        "  ],\n  \"total_fwd_per_s\": 207.542\n}\n"
+    );
+
+    #[test]
+    fn fields_parse_by_key() {
+        let art = Artifact {
+            text: SAMPLE.to_string(),
+        };
+        assert_eq!(art.rung_lines().count(), 2);
+        let r = art.rung("S12").unwrap();
+        assert_eq!(json_num(r, "fwd_per_s"), Some(362.861));
+        assert_eq!(json_field(r, "cs"), Some("408dba497da00000"));
+        assert_eq!(json_field(r, "name"), Some("S12"));
+        assert_eq!(art.top_num("total_fwd_per_s"), Some(207.542));
+        assert!(art.rung("S99").is_none());
+        assert!(json_num(r, "missing").is_none());
+    }
+}

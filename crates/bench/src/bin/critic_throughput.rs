@@ -15,14 +15,23 @@
 //! * **reused** — the `_in` API through one [`RouteContext`] per rung.
 //!
 //! The per-rung checksums must match bit-identically between modes (checked
-//! always, fatal on mismatch). Emits a `BENCH_critic.json` artifact.
+//! always, fatal on mismatch). The **headline speedup** compares the reused
+//! path against the *recorded* `BENCH_critic_baseline.json` artifact — a
+//! live fresh-vs-reused ratio is misleading, because the "fresh" lane also
+//! picks up every unrelated improvement since the baseline was captured
+//! (it shares routers, kernels and selectors with the reused lane). The
+//! live ratio is still printed, labelled as an API-overhead measure. Full
+//! mode additionally checks this run's checksums against the recorded
+//! baseline values (quick mode runs a different workload, so only rates
+//! compare). Emits a `BENCH_critic.json` artifact.
 //!
-//! Usage: `critic_throughput [--quick] [--out PATH]`
+//! Usage: `critic_throughput [--quick] [--out PATH] [--baseline PATH]`
 
 use std::time::Instant;
 
 use oarsmt::selector::{MedianHeuristicSelector, Selector};
 use oarsmt::topk::{select_top_k, steiner_budget};
+use oarsmt_bench::artifact::{json_field, json_num, Artifact};
 use oarsmt_bench::Table;
 use oarsmt_geom::gen::TestSubsetSpec;
 use oarsmt_geom::HananGraph;
@@ -132,11 +141,18 @@ fn run_rung(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| "crates/bench/artifacts/BENCH_critic.json".to_string());
+    let arg_val = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path =
+        arg_val("--out").unwrap_or_else(|| "crates/bench/artifacts/BENCH_critic.json".to_string());
+    let baseline_path = arg_val("--baseline")
+        .unwrap_or_else(|| "crates/bench/artifacts/BENCH_critic_baseline.json".to_string());
+    let baseline = Artifact::load(&baseline_path)
+        .map_err(|e| format!("{baseline_path}: {e}"))
+        .expect("recorded baseline artifact");
 
     let ladder = TestSubsetSpec::ladder();
     let rungs: Vec<TestSubsetSpec> = if quick {
@@ -147,7 +163,14 @@ fn main() {
     let layouts_per_rung = if quick { 2 } else { 4 };
     let repeats = if quick { 1 } else { 3 };
 
-    let mut table = Table::new(["subset", "rollouts", "fresh r/s", "reused r/s", "speedup"]);
+    let mut table = Table::new([
+        "subset",
+        "rollouts",
+        "fresh r/s",
+        "reused r/s",
+        "api ratio",
+        "vs baseline",
+    ]);
     let mut rows = Vec::new();
     let mut tot = (0usize, 0.0f64, 0.0f64); // rollouts, fresh secs, reused secs
     for spec in &rungs {
@@ -160,12 +183,30 @@ fn main() {
             spec.name
         );
         assert_eq!(fresh.rollouts, reused.rollouts);
-        let speedup = (reused.rollouts as f64 / reused.secs) / (fresh.rollouts as f64 / fresh.secs);
+        let reused_rps = reused.rollouts as f64 / reused.secs;
+        let api_ratio = reused_rps / (fresh.rollouts as f64 / fresh.secs);
+        let base_line = baseline
+            .rung(spec.name)
+            .unwrap_or_else(|| panic!("{}: missing from {baseline_path}", spec.name));
+        if !quick {
+            // Same workload as the recorded run: results must match exactly
+            // (the artifact stores the checksum with 6 decimals).
+            let recorded = json_field(base_line, "checksum").expect("baseline checksum");
+            assert_eq!(
+                recorded,
+                format!("{:.6}", reused.checksum),
+                "{}: rollout results diverged from the recorded baseline",
+                spec.name
+            );
+        }
+        let base_rps = json_num(base_line, "rps").expect("baseline rps");
+        let speedup = reused_rps / base_rps;
         table.row([
             spec.name.to_string(),
             fresh.rollouts.to_string(),
             format!("{:.1}", fresh.rollouts as f64 / fresh.secs),
-            format!("{:.1}", reused.rollouts as f64 / reused.secs),
+            format!("{reused_rps:.1}"),
+            format!("{api_ratio:.2}x"),
             format!("{speedup:.2}x"),
         ]);
         tot.0 += fresh.rollouts;
@@ -183,12 +224,21 @@ fn main() {
     let fresh_rps = tot.0 as f64 / tot.1;
     let reused_rps = tot.0 as f64 / tot.2;
     println!(
-        "\ntotal: {} rollouts; fresh {:.1} r/s, reused {:.1} r/s, speedup {:.2}x",
+        "\ntotal: {} rollouts; fresh {:.1} r/s, reused {:.1} r/s, api ratio {:.2}x",
         tot.0,
         fresh_rps,
         reused_rps,
         reused_rps / fresh_rps
     );
+    if !quick {
+        if let Some(base_rps) = baseline.top_num("total_rps") {
+            println!(
+                "overall speedup vs {}: {:.2}x",
+                baseline_path,
+                reused_rps / base_rps
+            );
+        }
+    }
 
     let mut json = String::from("{\n  \"rungs\": [\n");
     for (i, (name, fresh, reused, speedup)) in rows.iter().enumerate() {

@@ -18,6 +18,7 @@
 //!
 //! Run any table with `cargo run --release -p oarsmt-bench --bin table2`.
 
+pub mod artifact;
 pub mod harness;
 pub mod report;
 

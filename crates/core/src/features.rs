@@ -25,7 +25,7 @@
 //! tensor's spatial flattening and [`HananGraph::index`] order.
 
 use oarsmt_geom::{GridPoint, HananGraph, VertexKind};
-use oarsmt_nn::Tensor;
+use oarsmt_nn::{NnWorkspace, Tensor};
 
 /// Number of feature channels.
 pub const FEATURE_CHANNELS: usize = 7;
@@ -86,10 +86,21 @@ pub fn from_graph_order(values: &[f32], graph: &HananGraph) -> Tensor {
 /// pins — this is how MCTS states ("previously selected Steiner points are
 /// ... treated as normal pins", Section 3.4) are presented to the selector.
 pub fn encode_features(graph: &HananGraph, extra_pins: &[GridPoint]) -> Tensor {
+    encode_features_into(graph, extra_pins, &mut NnWorkspace::new())
+}
+
+/// [`encode_features`] with the tensor drawn from a workspace pool, so the
+/// inference hot path (see `oarsmt_router::RouteContext::nn`) encodes
+/// without allocating. Free the returned tensor back into `ws` after use.
+pub fn encode_features_into(
+    graph: &HananGraph,
+    extra_pins: &[GridPoint],
+    ws: &mut NnWorkspace,
+) -> Tensor {
     let (h, v, m) = graph.dims();
     let max_cost = graph.max_cost().max(f64::MIN_POSITIVE) as f32;
     let via = (graph.via_cost() as f32) / max_cost;
-    let mut t = Tensor::zeros(&[FEATURE_CHANNELS, m, h, v]);
+    let mut t = ws.alloc(&[FEATURE_CHANNELS, m, h, v]);
     for idx in 0..graph.len() {
         let p = graph.point(idx);
         let (pin, obstacle) = match graph.kind_at(idx) {

@@ -113,7 +113,8 @@ impl<S: Selector> RlRouter<S> {
     pub fn route(&mut self, graph: &HananGraph) -> Result<RouteOutcome, CoreError> {
         let start = Instant::now();
         let k = steiner_budget(graph.pins().len());
-        self.selector.fsp_into(graph, &[], &mut self.ctx.fsp);
+        self.selector
+            .fsp_into_ws(graph, &[], &mut self.ctx.fsp, &mut self.ctx.nn);
         let mut steiner_points = Vec::new();
         select_top_k_into(
             graph,

@@ -6,9 +6,10 @@ use std::path::Path;
 use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_nn::serialize::{load_from_file, save_to_file};
 use oarsmt_nn::unet::{UNet3d, UNetConfig};
+use oarsmt_nn::NnWorkspace;
 
 use crate::error::CoreError;
-use crate::features::{encode_features, FEATURE_CHANNELS};
+use crate::features::{encode_features_into, FEATURE_CHANNELS};
 
 /// A Steiner-point selector: anything that can produce the paper's *final
 /// selected probability* `fsp(v)` for every vertex of a Hanan graph.
@@ -30,6 +31,22 @@ pub trait Selector {
     fn fsp_into(&mut self, graph: &HananGraph, extra_pins: &[GridPoint], out: &mut Vec<f32>) {
         *out = self.fsp(graph, extra_pins);
     }
+
+    /// [`Selector::fsp_into`] with a neural-network scratch arena. Neural
+    /// selectors run the whole inference (feature encoding, every layer's
+    /// activations) out of `ws`, so repeated calls allocate nothing; other
+    /// selectors ignore `ws`. Callers on the MCTS/routing hot path pass
+    /// `oarsmt_router::RouteContext::nn`.
+    fn fsp_into_ws(
+        &mut self,
+        graph: &HananGraph,
+        extra_pins: &[GridPoint],
+        out: &mut Vec<f32>,
+        ws: &mut NnWorkspace,
+    ) {
+        let _ = ws;
+        self.fsp_into(graph, extra_pins, out);
+    }
 }
 
 /// Mutable references are selectors too, so routers can borrow a selector
@@ -41,6 +58,16 @@ impl<S: Selector + ?Sized> Selector for &mut S {
 
     fn fsp_into(&mut self, graph: &HananGraph, extra_pins: &[GridPoint], out: &mut Vec<f32>) {
         (**self).fsp_into(graph, extra_pins, out);
+    }
+
+    fn fsp_into_ws(
+        &mut self,
+        graph: &HananGraph,
+        extra_pins: &[GridPoint],
+        out: &mut Vec<f32>,
+        ws: &mut NnWorkspace,
+    ) {
+        (**self).fsp_into_ws(graph, extra_pins, out, ws);
     }
 }
 
@@ -121,11 +148,23 @@ impl Selector for NeuralSelector {
     }
 
     fn fsp_into(&mut self, graph: &HananGraph, extra_pins: &[GridPoint], out: &mut Vec<f32>) {
-        let x = encode_features(graph, extra_pins);
+        self.fsp_into_ws(graph, extra_pins, out, &mut NnWorkspace::new());
+    }
+
+    fn fsp_into_ws(
+        &mut self,
+        graph: &HananGraph,
+        extra_pins: &[GridPoint],
+        out: &mut Vec<f32>,
+        ws: &mut NnWorkspace,
+    ) {
+        let x = encode_features_into(graph, extra_pins, ws);
         // The network emits a [1, M, H, V] probability volume (see the
         // layout note in `features`); reorder it to graph-index order.
-        let probs = self.net.predict(&x);
+        let probs = self.net.predict_in(&x, ws);
         crate::features::to_graph_order_into(probs.data(), graph, out);
+        ws.free(probs);
+        ws.free(x);
     }
 }
 

@@ -298,7 +298,7 @@ impl AlphaGoMcts {
                 (initial_cost - nodes[cur as usize].cost) / initial_cost
             } else {
                 bufs.load_state(nodes, cur, graph);
-                selector.fsp_into(graph, &bufs.sel_pts, &mut bufs.fsp);
+                selector.fsp_into_ws(graph, &bufs.sel_pts, &mut bufs.fsp, &mut ctx.nn);
                 let fsp = &bufs.fsp;
                 // Conventional prior: fsp normalized over ALL valid
                 // vertices, no priority cutoff.

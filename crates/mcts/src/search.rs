@@ -331,7 +331,7 @@ impl CombinatorialMcts {
                 (initial_cost - nodes[cur as usize].cost) / initial_cost
             } else {
                 bufs.load_state(nodes, cur, graph);
-                selector.fsp_into(graph, &bufs.sel_pts, &mut bufs.fsp);
+                selector.fsp_into_ws(graph, &bufs.sel_pts, &mut bufs.fsp, &mut ctx.nn);
                 let last = bufs.sel_idx.last().copied();
                 action_policy_into(graph, &bufs.fsp, last, &mut bufs.policy);
                 if bufs.policy.is_empty() {

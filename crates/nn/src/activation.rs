@@ -2,11 +2,14 @@
 
 use crate::layer::Layer;
 use crate::tensor::Tensor;
+use crate::workspace::{NnWorkspace, ProfKind};
 
 /// Rectified linear unit, `y = max(x, 0)`.
 #[derive(Debug, Clone, Default)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
+    /// Retired mask storage, recycled across forward/backward cycles.
+    spare_mask: Vec<bool>,
 }
 
 impl Relu {
@@ -14,23 +17,55 @@ impl Relu {
     pub fn new() -> Self {
         Relu::default()
     }
+
+    /// Consuming forward: clamps `x` in place (no output buffer at all).
+    /// Used by the residual blocks, which own their intermediates.
+    pub fn forward_owned(&mut self, mut x: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        if ws.training() {
+            let mut mask = std::mem::take(&mut self.spare_mask);
+            mask.clear();
+            mask.extend(x.data().iter().map(|&v| v > 0.0));
+            self.mask = Some(mask);
+        } else {
+            self.mask = None;
+        }
+        for v in x.data_mut() {
+            *v = v.max(0.0);
+        }
+        ws.prof_end(t, ProfKind::ActFwd);
+        x
+    }
 }
 
 impl Layer for Relu {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        self.mask = Some(x.data().iter().map(|&v| v > 0.0).collect());
-        x.map(|v| v.max(0.0))
+        let mut ws = NnWorkspace::new();
+        self.forward_in(x, &mut ws)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = NnWorkspace::new();
+        let g = ws.alloc_copy(grad_out);
+        self.backward_in(g, &mut ws)
+    }
+
+    fn forward_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let y = ws.alloc_copy(x);
+        self.forward_owned(y, ws)
+    }
+
+    fn backward_in(&mut self, mut grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
         let mask = self.mask.take().expect("relu backward without forward");
-        let mut g = grad_out.clone();
-        for (gv, &keep) in g.data_mut().iter_mut().zip(&mask) {
+        for (gv, &keep) in grad_out.data_mut().iter_mut().zip(&mask) {
             if !keep {
                 *gv = 0.0;
             }
         }
-        g
+        self.spare_mask = mask;
+        ws.prof_end(t, ProfKind::ActBwd);
+        grad_out
     }
 }
 
@@ -56,18 +91,43 @@ pub fn sigmoid(x: f32) -> f32 {
 
 impl Layer for Sigmoid {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let y = x.map(sigmoid);
-        self.out = Some(y.clone());
-        y
+        let mut ws = NnWorkspace::new();
+        self.forward_in(x, &mut ws)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = NnWorkspace::new();
+        let g = ws.alloc_copy(grad_out);
+        self.backward_in(g, &mut ws)
+    }
+
+    fn forward_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let mut y = ws.alloc(x.shape());
+        for (o, &v) in y.data_mut().iter_mut().zip(x.data()) {
+            *o = sigmoid(v);
+        }
+        if ws.training() {
+            let cache = ws.alloc_copy(&y);
+            if let Some(old) = self.out.replace(cache) {
+                ws.free(old);
+            }
+        } else {
+            self.out = None;
+        }
+        ws.prof_end(t, ProfKind::ActFwd);
+        y
+    }
+
+    fn backward_in(&mut self, mut grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
         let y = self.out.take().expect("sigmoid backward without forward");
-        let mut g = grad_out.clone();
-        for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+        for (gv, &yv) in grad_out.data_mut().iter_mut().zip(y.data()) {
             *gv *= yv * (1.0 - yv);
         }
-        g
+        ws.free(y);
+        ws.prof_end(t, ProfKind::ActBwd);
+        grad_out
     }
 }
 
@@ -84,6 +144,24 @@ mod tests {
         assert_eq!(y.data(), &[0.0, 0.0, 0.5, 3.0]);
         let g = r.backward(&Tensor::from_vec(&[4], vec![1.0; 4]).unwrap());
         assert_eq!(g.data(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn relu_mask_storage_is_recycled() {
+        let mut r = Relu::new();
+        let x = Tensor::from_vec(&[3], vec![-1.0, 2.0, 3.0]).unwrap();
+        let g = Tensor::from_vec(&[3], vec![1.0; 3]).unwrap();
+        let mut ws = NnWorkspace::new();
+        let y = r.forward_in(&x, &mut ws);
+        ws.free(y);
+        let gi = r.backward_in(ws.alloc_copy(&g), &mut ws);
+        assert_eq!(gi.data(), &[0.0, 1.0, 1.0]);
+        let ptr = r.spare_mask.as_ptr();
+        ws.free(gi);
+        // Second cycle reuses the retired mask storage.
+        let y = r.forward_in(&x, &mut ws);
+        assert_eq!(r.mask.as_ref().unwrap().as_ptr(), ptr);
+        ws.free(y);
     }
 
     #[test]

@@ -1,8 +1,60 @@
-//! 3D convolution with same-padding and full backpropagation.
+//! 3D convolution with same-padding and full backpropagation, lowered to
+//! an implicit-im2col GEMM over a zero-padded input copy.
+//!
+//! # Kernel layout and bit-identity
+//!
+//! The weight tensor is stored flat as `[out_c][in_c·k³]` — each output
+//! channel's row is the patch vector in `(ic, a, b, c)` lexicographic
+//! order. Instead of materializing the `[K][N]` im2col patch matrix
+//! (`K = in_c·k³`, `N` = output voxels), the kernels index a zero-padded
+//! copy of the input through a per-tap offset table: tap `kx` of output
+//! voxel `(x, y, z)` lives at `off[kx] + x·pd2·pd3 + y·pd3 + z` in the
+//! padded volume, and because the `z`/V axis is contiguous, every tap of a
+//! fixed output row is a contiguous slice. Forward is then
+//! `out = W · B + bias` with `B` never written down, computed by a
+//! register-blocked micro-kernel (`MR` output channels × `NR` z lanes,
+//! K ascending).
+//!
+//! Every kernel in this module preserves the *per-output-element*
+//! accumulation order of the naive seven-loop implementation (kept below as
+//! the [`cfg`-gated reference oracle](Conv3d::set_naive)):
+//!
+//! * forward: bias first, then taps in `(ic, a, b, c)` ascending order;
+//! * weight grad: for each element, one *fresh* z-ascending dot per output
+//!   row, added in row-ascending order;
+//! * bias grad: fresh z-ascending row sums, rows ascending;
+//! * input grad: contributions in `(oc asc, x₁ asc, y asc, z desc)` order,
+//!   realized as a gather with loop order `oc asc, a desc, b desc, c asc`
+//!   over a zero-padded output-gradient buffer.
+//!
+//! Out-of-range taps either vanish with the whole `(a, b)` plane (skipped,
+//! exactly as the naive loops skip them) or appear as explicit `±0.0`
+//! terms read from the padded buffers; since IEEE-754 addition of `-0.0`
+//! never changes a value and the accumulators provably never hold `-0.0`,
+//! both treatments are bit-identical to the naive loops. Blocking only
+//! ever groups *independent* output elements (output-channel lanes, z
+//! lanes, input-channel lanes), never the terms of one element's sum, so
+//! logits, gradients, and therefore whole training trajectories are
+//! unchanged by this lowering.
 
 use crate::init::Initializer;
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
+use crate::workspace::{NnWorkspace, ProfKind};
+
+/// Micro-kernel rows (output channels per forward register tile).
+const MR: usize = 4;
+/// Micro-kernel columns (z lanes per register tile).
+const NR: usize = 8;
+/// Output-channel lanes of the weight-gradient kernel.
+const WL: usize = 8;
+/// Input-channel lanes of the input-gradient gather (share each padded
+/// gradient-row read across `ICT` register accumulator rows).
+const ICT: usize = 4;
+/// Target im2col panel width in columns for the small-`d3` forward path
+/// (panels are whole output rows, so the actual width is the nearest
+/// multiple of `d3`). Keeps the patch panel cache-resident.
+const PANEL_COLS: usize = 4096;
 
 /// A 3D convolution layer: weight `[out_c, in_c, k, k, k]`, bias `[out_c]`,
 /// stride 1, zero same-padding `k / 2` (so spatial dimensions are
@@ -18,7 +70,15 @@ pub struct Conv3d {
     k: usize,
     weight: Param,
     bias: Param,
+    /// The forward input, cached for backward. Stored *padded*
+    /// (`[in_c, d1+2p, d2+2p, d3+2p]`) when `k > 1`: the forward pass
+    /// builds the padded copy anyway, so caching it costs nothing and
+    /// saves backward the rebuild.
     cache_input: Option<Tensor>,
+    /// Route through the naive reference loops instead of the GEMM kernels
+    /// (bit-identity oracle for tests and the bench's integrity check).
+    #[cfg(any(test, feature = "naive-ref"))]
+    use_naive: bool,
 }
 
 impl Conv3d {
@@ -41,6 +101,8 @@ impl Conv3d {
             weight,
             bias,
             cache_input: None,
+            #[cfg(any(test, feature = "naive-ref"))]
+            use_naive: false,
         }
     }
 
@@ -58,24 +120,256 @@ impl Conv3d {
     pub fn kernel(&self) -> usize {
         self.k
     }
-}
 
-/// The overlap of a length-`d` axis with a kernel tap at offset `c`
-/// (padding `p`): output indices `z` for which `z + c - p` is a valid input
-/// index. Returns `(z_start, z_end, input_start)`.
-#[inline]
-fn tap_range(d: usize, c: usize, p: usize) -> (usize, usize, usize) {
-    let z0 = p.saturating_sub(c);
-    let z1 = (d + p).saturating_sub(c).min(d);
-    let i0 = z0 + c - p;
-    (z0, z1.max(z0), i0)
-}
+    /// Selects the naive reference implementation (the pre-GEMM seven-loop
+    /// code) for this layer. Test/bench oracle only.
+    #[cfg(any(test, feature = "naive-ref"))]
+    pub fn set_naive(&mut self, on: bool) {
+        self.use_naive = on;
+    }
 
-impl Layer for Conv3d {
-    fn forward(&mut self, x: &Tensor) -> Tensor {
+    /// The backward cache for input `x`: a plain copy for `k == 1`, the
+    /// zero-padded copy otherwise (what the GEMM path caches, so the naive
+    /// oracle sees identical state).
+    #[cfg(any(test, feature = "naive-ref"))]
+    fn cache_of(&self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        if self.k == 1 {
+            ws.alloc_copy(x)
+        } else {
+            pad_input(x, self.k / 2, ws)
+        }
+    }
+
+    fn forward_impl(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
         let shape = x.shape();
         assert_eq!(shape.len(), 4, "conv3d expects [c, d1, d2, d3]");
         assert_eq!(shape[0], self.in_c, "conv3d channel mismatch");
+        let (d1, d2, d3) = (shape[1], shape[2], shape[3]);
+
+        #[cfg(any(test, feature = "naive-ref"))]
+        if self.use_naive {
+            let out = self.forward_naive(x);
+            self.cache_input = if ws.training() {
+                Some(self.cache_of(x, ws))
+            } else {
+                None
+            };
+            return out;
+        }
+
+        let k = self.k;
+        let p = k / 2;
+        let (pd1, pd2, pd3) = (d1 + 2 * p, d2 + 2 * p, d3 + 2 * p);
+        let mut out = ws.alloc(&[self.out_c, d1, d2, d3]);
+        let w = self.weight.value.data();
+        let bias = self.bias.value.data();
+        let mut off = std::mem::take(&mut ws.tap_off);
+        tap_offsets(self.in_c, k, pd1, pd2, pd3, &mut off);
+        if p == 0 {
+            if d3 >= NR {
+                conv_fwd(
+                    x.data(),
+                    &off,
+                    d2,
+                    d3,
+                    d1 * d2,
+                    d2,
+                    d3,
+                    w,
+                    bias,
+                    self.out_c,
+                    out.data_mut(),
+                );
+            } else {
+                // 1×1×1 on a shallow grid: the patch matrix is the input
+                // itself with flat `[n]` columns, so the GEMM tiles span
+                // row boundaries instead of degrading to narrow z tiles.
+                let n = d1 * d2 * d3;
+                gemm_bias(
+                    self.out_c,
+                    self.in_c,
+                    n,
+                    w,
+                    bias,
+                    x.data(),
+                    n,
+                    out.data_mut(),
+                    n,
+                    0,
+                );
+            }
+            self.cache_input = ws.training().then(|| ws.alloc_copy(x));
+        } else {
+            let xp = pad_input(x, p, ws);
+            if d3 >= NR {
+                conv_fwd(
+                    xp.data(),
+                    &off,
+                    d2,
+                    d3,
+                    d1 * d2,
+                    pd2,
+                    pd3,
+                    w,
+                    bias,
+                    self.out_c,
+                    out.data_mut(),
+                );
+            } else {
+                // Shallow grids (the pooled U-Net levels): materialize the
+                // patch panel so GEMM tiles run over flat row-spanning
+                // columns — with `d3 < NR` the implicit-im2col tiles would
+                // mostly be scalar edges.
+                let n = d1 * d2 * d3;
+                let rows = d1 * d2;
+                let kd = self.in_c * k * k * k;
+                let rows_per_panel = (PANEL_COLS / d3).clamp(1, rows);
+                let mut bbuf = ws.take_im2col(kd * rows_per_panel * d3);
+                let mut r0 = 0;
+                while r0 < rows {
+                    let r1 = (r0 + rows_per_panel).min(rows);
+                    let cols = (r1 - r0) * d3;
+                    im2col_from_padded(xp.data(), &off, d2, d3, pd2, pd3, r0, r1, &mut bbuf, cols);
+                    gemm_bias(
+                        self.out_c,
+                        kd,
+                        cols,
+                        w,
+                        bias,
+                        &bbuf,
+                        cols,
+                        out.data_mut(),
+                        n,
+                        r0 * d3,
+                    );
+                    r0 = r1;
+                }
+                ws.put_im2col(bbuf);
+            }
+            if ws.training() {
+                self.cache_input = Some(xp);
+            } else {
+                ws.free(xp);
+                self.cache_input = None;
+            }
+        }
+        ws.tap_off = off;
+        out
+    }
+
+    fn backward_impl(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let xc = self
+            .cache_input
+            .take()
+            .expect("conv3d backward without forward");
+        let k = self.k;
+        let p = k / 2;
+        // The cache is padded when `k > 1`; recover the output geometry.
+        let (d1, d2, d3) = {
+            let s = xc.shape();
+            (s[1] - 2 * p, s[2] - 2 * p, s[3] - 2 * p)
+        };
+        assert_eq!(grad_out.shape(), &[self.out_c, d1, d2, d3]);
+
+        #[cfg(any(test, feature = "naive-ref"))]
+        if self.use_naive {
+            let grad_in = self.backward_naive(&xc, &grad_out);
+            ws.free(xc);
+            ws.free(grad_out);
+            return grad_in;
+        }
+
+        let n = d1 * d2 * d3;
+        let rows = d1 * d2;
+        let (pd1, pd2, pd3) = (d1 + 2 * p, d2 + 2 * p, d3 + 2 * p);
+        let g = grad_out.data();
+
+        // Bias gradient: identical row-sum loop to the naive path.
+        {
+            let gb = self.bias.grad.data_mut();
+            for (oc, gbv) in gb.iter_mut().enumerate().take(self.out_c) {
+                for r in 0..rows {
+                    let base = oc * n + r * d3;
+                    *gbv += g[base..base + d3].iter().sum::<f32>();
+                }
+            }
+        }
+
+        // Weight gradient: per (row, tap, oc) fresh z-ascending dots over
+        // the padded input cache, vectorized across output-channel lanes
+        // via the transposed grad.
+        let mut gt = std::mem::take(&mut ws.g_t);
+        transpose_into(g, self.out_c, n, &mut gt);
+        let mut off = std::mem::take(&mut ws.tap_off);
+        tap_offsets(self.in_c, k, pd1, pd2, pd3, &mut off);
+        {
+            let gw = self.weight.grad.data_mut();
+            weight_grad(&gt, self.out_c, xc.data(), &off, d2, d3, rows, pd2, pd3, gw);
+        }
+        ws.tap_off = off;
+        ws.g_t = gt;
+
+        // Input gradient: register-tiled gather over the zero-padded
+        // output gradient in the naive order (oc asc, a desc ⇒ x₁ asc,
+        // b desc ⇒ y asc, c asc).
+        let mut grad_in = ws.alloc(&[self.in_c, d1, d2, d3]);
+        if p == 0 {
+            input_grad_gather(
+                g,
+                self.out_c,
+                self.in_c,
+                k,
+                p,
+                d1,
+                d2,
+                d3,
+                d1,
+                d2,
+                d3,
+                self.weight.value.data(),
+                grad_in.data_mut(),
+            );
+        } else {
+            let mut gpad = std::mem::take(&mut ws.g_pad);
+            gpad.clear();
+            gpad.resize(self.out_c * pd1 * pd2 * pd3, 0.0);
+            for oc in 0..self.out_c {
+                for x1 in 0..d1 {
+                    for y in 0..d2 {
+                        let src = oc * n + (x1 * d2 + y) * d3;
+                        let dst = ((oc * pd1 + x1 + p) * pd2 + y + p) * pd3 + p;
+                        gpad[dst..dst + d3].copy_from_slice(&g[src..src + d3]);
+                    }
+                }
+            }
+            input_grad_gather(
+                &gpad,
+                self.out_c,
+                self.in_c,
+                k,
+                p,
+                d1,
+                d2,
+                d3,
+                pd1,
+                pd2,
+                pd3,
+                self.weight.value.data(),
+                grad_in.data_mut(),
+            );
+            ws.g_pad = gpad;
+        }
+
+        ws.free(xc);
+        ws.free(grad_out);
+        grad_in
+    }
+
+    /// The original seven-loop forward, kept verbatim as the bit-identity
+    /// oracle for the GEMM kernels.
+    #[cfg(any(test, feature = "naive-ref"))]
+    fn forward_naive(&self, x: &Tensor) -> Tensor {
+        let shape = x.shape();
         let (d1, d2, d3) = (shape[1], shape[2], shape[3]);
         let k = self.k;
         let p = k / 2;
@@ -85,7 +379,7 @@ impl Layer for Conv3d {
         let xin = x.data();
         let out_data = out.data_mut();
         // The z axis is contiguous: accumulate per (oc, x, y) output row
-        // with shifted-slice AXPYs, which the compiler vectorizes.
+        // with shifted-slice AXPYs.
         #[allow(clippy::needless_range_loop)] // `oc` drives offset math, not just `bias[oc]`
         for oc in 0..self.out_c {
             for x1 in 0..d1 {
@@ -126,23 +420,25 @@ impl Layer for Conv3d {
                 }
             }
         }
-        self.cache_input = Some(x.clone());
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self
-            .cache_input
-            .take()
-            .expect("conv3d backward without forward");
-        let shape = x.shape();
-        let (d1, d2, d3) = (shape[1], shape[2], shape[3]);
-        assert_eq!(grad_out.shape(), &[self.out_c, d1, d2, d3]);
+    /// The original backward loops, preserved term-for-term as the
+    /// bit-identity oracle for the GEMM kernels. `xc` is the cached
+    /// forward input — padded when `k > 1`, so the interior reads shift
+    /// by `p` on each axis (the values and their order are unchanged).
+    #[cfg(any(test, feature = "naive-ref"))]
+    fn backward_naive(&mut self, xc: &Tensor, grad_out: &Tensor) -> Tensor {
         let k = self.k;
         let p = k / 2;
-        let mut grad_in = Tensor::zeros(shape);
+        let (d1, d2, d3) = {
+            let s = xc.shape();
+            (s[1] - 2 * p, s[2] - 2 * p, s[3] - 2 * p)
+        };
+        let (pd1, pd2, pd3) = (d1 + 2 * p, d2 + 2 * p, d3 + 2 * p);
+        let mut grad_in = Tensor::zeros(&[self.in_c, d1, d2, d3]);
         let g = grad_out.data();
-        let xin = x.data();
+        let xin = xc.data();
         let w = self.weight.value.data();
         let gw = self.weight.grad.data_mut();
         let gb = self.bias.grad.data_mut();
@@ -169,6 +465,7 @@ impl Layer for Conv3d {
                                 }
                                 let iy = sy - p;
                                 let i_base = ((ic * d1 + ix) * d2 + iy) * d3;
+                                let x_base = ((ic * pd1 + ix + p) * pd2 + iy + p) * pd3 + p;
                                 let w_base = (((oc * self.in_c + ic) * k + a) * k + b) * k;
                                 for c in 0..k {
                                     let (z0, z1, i0) = tap_range(d3, c, p);
@@ -177,7 +474,7 @@ impl Layer for Conv3d {
                                     }
                                     let len = z1 - z0;
                                     let g_slice = &g_row[z0..z1];
-                                    let x_slice = &xin[i_base + i0..i_base + i0 + len];
+                                    let x_slice = &xin[x_base + i0..x_base + i0 + len];
                                     // dL/dw: dot(g_row, x_row shifted).
                                     let mut dot = 0.0f32;
                                     for (gv, xv) in g_slice.iter().zip(x_slice) {
@@ -198,6 +495,490 @@ impl Layer for Conv3d {
             }
         }
         grad_in
+    }
+}
+
+/// The overlap of a length-`d` axis with a kernel tap at offset `c`
+/// (padding `p`): output indices `z` for which `z + c - p` is a valid input
+/// index. Returns `(z_start, z_end, input_start)`.
+#[inline]
+#[cfg(any(test, feature = "naive-ref"))]
+fn tap_range(d: usize, c: usize, p: usize) -> (usize, usize, usize) {
+    let z0 = p.saturating_sub(c);
+    let z1 = (d + p).saturating_sub(c).min(d);
+    let i0 = z0 + c - p;
+    (z0, z1.max(z0), i0)
+}
+
+/// Copies `x` into a fresh zero-padded `[in_c, d1+2p, d2+2p, d3+2p]`
+/// workspace tensor.
+fn pad_input(x: &Tensor, p: usize, ws: &mut NnWorkspace) -> Tensor {
+    let s = x.shape();
+    let (in_c, d1, d2, d3) = (s[0], s[1], s[2], s[3]);
+    let (pd1, pd2, pd3) = (d1 + 2 * p, d2 + 2 * p, d3 + 2 * p);
+    let mut xp = ws.alloc(&[in_c, pd1, pd2, pd3]);
+    let xd = x.data();
+    let xpd = xp.data_mut();
+    for ic in 0..in_c {
+        for x1 in 0..d1 {
+            for y in 0..d2 {
+                let src = ((ic * d1 + x1) * d2 + y) * d3;
+                let dst = ((ic * pd1 + x1 + p) * pd2 + y + p) * pd3 + p;
+                xpd[dst..dst + d3].copy_from_slice(&xd[src..src + d3]);
+            }
+        }
+    }
+    xp
+}
+
+/// Fills `off` with the padded-volume offset of each kernel tap in
+/// `(ic, a, b, c)` lexicographic order — the K axis of the implicit patch
+/// matrix. Tap `kx` of output voxel `(x, y, z)` then lives at
+/// `off[kx] + x·pd2·pd3 + y·pd3 + z` of the padded input.
+fn tap_offsets(in_c: usize, k: usize, pd1: usize, pd2: usize, pd3: usize, off: &mut Vec<usize>) {
+    off.clear();
+    for ic in 0..in_c {
+        for a in 0..k {
+            for b in 0..k {
+                for c in 0..k {
+                    off.push(((ic * pd1 + a) * pd2 + b) * pd3 + c);
+                }
+            }
+        }
+    }
+}
+
+/// Fills the im2col panel for output rows `[r0, r1)` from the *padded*
+/// input: `bbuf[kx · cols + j]` holds tap `kx` of output voxel `j`
+/// (columns are `(row − r0) · d3 + z`). Because `xp` is zero-padded the
+/// extraction is pure row copies through the tap-offset table.
+#[allow(clippy::too_many_arguments)]
+fn im2col_from_padded(
+    xp: &[f32],
+    off: &[usize],
+    d2: usize,
+    d3: usize,
+    pd2: usize,
+    pd3: usize,
+    r0: usize,
+    r1: usize,
+    bbuf: &mut [f32],
+    cols: usize,
+) {
+    for (kx, &o) in off.iter().enumerate() {
+        let krow = &mut bbuf[kx * cols..(kx + 1) * cols];
+        for r in r0..r1 {
+            let src = o + ((r / d2) * pd2 + r % d2) * pd3;
+            krow[(r - r0) * d3..(r - r0 + 1) * d3].copy_from_slice(&xp[src..src + d3]);
+        }
+    }
+}
+
+/// `out[i][col0 + j] = bias[i] + Σ_k a[i][k] · b[k][j]` for `i < m`,
+/// `j < n`, with the K loop strictly ascending per output element.
+/// Register-blocked [`MR`]×[`NR`] tiles; edges fall back to scalar columns
+/// (same per-element order either way).
+#[allow(clippy::too_many_arguments)]
+fn gemm_bias(
+    m: usize,
+    kd: usize,
+    n: usize,
+    a: &[f32],
+    bias: &[f32],
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldo: usize,
+    col0: usize,
+) {
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = MR.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let nr = NR.min(n - j0);
+            if mr == MR && nr == NR {
+                let mut acc = [[0.0f32; NR]; MR];
+                for (i, row) in acc.iter_mut().enumerate() {
+                    *row = [bias[i0 + i]; NR];
+                }
+                for kx in 0..kd {
+                    let brow = &b[kx * ldb + j0..kx * ldb + j0 + NR];
+                    for (i, row) in acc.iter_mut().enumerate() {
+                        let av = a[(i0 + i) * kd + kx];
+                        for (v, &bv) in row.iter_mut().zip(brow) {
+                            *v += av * bv;
+                        }
+                    }
+                }
+                for (i, row) in acc.iter().enumerate() {
+                    let o = (i0 + i) * ldo + col0 + j0;
+                    out[o..o + NR].copy_from_slice(row);
+                }
+            } else {
+                for i in 0..mr {
+                    let arow = &a[(i0 + i) * kd..(i0 + i + 1) * kd];
+                    for jj in 0..nr {
+                        let mut acc = bias[i0 + i];
+                        for (kx, &av) in arow.iter().enumerate() {
+                            acc += av * b[kx * ldb + j0 + jj];
+                        }
+                        out[(i0 + i) * ldo + col0 + j0 + jj] = acc;
+                    }
+                }
+            }
+            j0 += nr;
+        }
+        i0 += mr;
+    }
+}
+
+/// Forward: `out[oc][r][z] = bias[oc] + Σ_kx w[oc][kx] · xp[off[kx] + …]`
+/// with the K loop strictly ascending per output element. Register-blocked
+/// [`MR`]×[`NR`] tiles; ragged edges use narrower tiles with the same
+/// per-element order.
+#[allow(clippy::too_many_arguments)]
+fn conv_fwd(
+    xp: &[f32],
+    off: &[usize],
+    d2: usize,
+    d3: usize,
+    rows: usize,
+    pd2: usize,
+    pd3: usize,
+    w: &[f32],
+    bias: &[f32],
+    out_c: usize,
+    out: &mut [f32],
+) {
+    let mut oc0 = 0;
+    while oc0 < out_c {
+        if out_c - oc0 >= MR {
+            fwd_rows::<MR>(xp, off, d2, d3, rows, pd2, pd3, w, bias, oc0, out);
+            oc0 += MR;
+        } else {
+            fwd_rows::<1>(xp, off, d2, d3, rows, pd2, pd3, w, bias, oc0, out);
+            oc0 += 1;
+        }
+    }
+}
+
+/// One block of `M` output channels of the forward pass.
+#[allow(clippy::too_many_arguments)]
+fn fwd_rows<const M: usize>(
+    xp: &[f32],
+    off: &[usize],
+    d2: usize,
+    d3: usize,
+    rows: usize,
+    pd2: usize,
+    pd3: usize,
+    w: &[f32],
+    bias: &[f32],
+    oc0: usize,
+    out: &mut [f32],
+) {
+    let n = rows * d3;
+    for r in 0..rows {
+        let src_r = ((r / d2) * pd2 + r % d2) * pd3;
+        let out_r = r * d3;
+        let mut zc = 0;
+        while d3 - zc >= NR {
+            fwd_tile::<M, NR>(xp, off, src_r + zc, w, bias, oc0, out, n, out_r + zc);
+            zc += NR;
+        }
+        while d3 - zc >= 4 {
+            fwd_tile::<M, 4>(xp, off, src_r + zc, w, bias, oc0, out, n, out_r + zc);
+            zc += 4;
+        }
+        while zc < d3 {
+            fwd_tile::<M, 1>(xp, off, src_r + zc, w, bias, oc0, out, n, out_r + zc);
+            zc += 1;
+        }
+    }
+}
+
+/// The forward register tile: `M` output channels × `N` z lanes, bias
+/// first, K strictly ascending per element.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn fwd_tile<const M: usize, const N: usize>(
+    xp: &[f32],
+    off: &[usize],
+    src_base: usize,
+    w: &[f32],
+    bias: &[f32],
+    oc0: usize,
+    out: &mut [f32],
+    n: usize,
+    out_base: usize,
+) {
+    let kd = off.len();
+    let mut acc = [[0.0f32; N]; M];
+    for (i, row) in acc.iter_mut().enumerate() {
+        *row = [bias[oc0 + i]; N];
+    }
+    for (kx, &o) in off.iter().enumerate() {
+        let src = &xp[o + src_base..o + src_base + N];
+        for (i, row) in acc.iter_mut().enumerate() {
+            let wv = w[(oc0 + i) * kd + kx];
+            for (v, &s) in row.iter_mut().zip(src) {
+                *v += wv * s;
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        let ob = (oc0 + i) * n + out_base;
+        out[ob..ob + N].copy_from_slice(row);
+    }
+}
+
+/// Transposes `g` (`[out_c][n]`) into `gt` (`[n][out_c]`).
+fn transpose_into(g: &[f32], out_c: usize, n: usize, gt: &mut Vec<f32>) {
+    gt.clear();
+    gt.resize(out_c * n, 0.0);
+    for oc in 0..out_c {
+        for (j, &v) in g[oc * n..(oc + 1) * n].iter().enumerate() {
+            gt[j * out_c + oc] = v;
+        }
+    }
+}
+
+/// Accumulates weight gradients: `gw[oc][kx] += dot(g[oc][row],
+/// xp[off[kx] + row])` with one fresh z-ascending dot per row (the naive
+/// order), rows ascending, vectorized across [`WL`] output-channel lanes
+/// through the transposed gradient `gt`.
+#[allow(clippy::too_many_arguments)]
+fn weight_grad(
+    gt: &[f32],
+    out_c: usize,
+    xp: &[f32],
+    off: &[usize],
+    d2: usize,
+    d3: usize,
+    rows: usize,
+    pd2: usize,
+    pd3: usize,
+    gw: &mut [f32],
+) {
+    let kd = off.len();
+    for r in 0..rows {
+        let src_r = ((r / d2) * pd2 + r % d2) * pd3;
+        let gt_base = r * d3 * out_c;
+        for (kx, &o) in off.iter().enumerate() {
+            let xrow = &xp[o + src_r..o + src_r + d3];
+            let mut oc0 = 0;
+            while oc0 < out_c {
+                if out_c - oc0 >= WL {
+                    wg_lanes::<WL>(xrow, gt, gt_base, out_c, oc0, gw, kd, kx);
+                    oc0 += WL;
+                } else {
+                    wg_lanes::<1>(xrow, gt, gt_base, out_c, oc0, gw, kd, kx);
+                    oc0 += 1;
+                }
+            }
+        }
+    }
+}
+
+/// One fresh z-ascending dot for `L` output-channel lanes of tap `kx`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn wg_lanes<const L: usize>(
+    xrow: &[f32],
+    gt: &[f32],
+    gt_base: usize,
+    out_c: usize,
+    oc0: usize,
+    gw: &mut [f32],
+    kd: usize,
+    kx: usize,
+) {
+    let mut acc = [0.0f32; L];
+    for (z, &xv) in xrow.iter().enumerate() {
+        let lane = gt_base + z * out_c + oc0;
+        for (av, &gv) in acc.iter_mut().zip(&gt[lane..lane + L]) {
+            *av += xv * gv;
+        }
+    }
+    for (l, &av) in acc.iter().enumerate() {
+        gw[(oc0 + l) * kd + kx] += av;
+    }
+}
+
+/// Input gradient as a register-tiled gather: for each `(ic, ix, iy)` row
+/// the z-lane accumulators sweep `oc asc, a desc, b desc, c asc` — the
+/// naive contribution order — reading the (zero-padded) gradient `gsrc`
+/// of padded dims `[out_c][pd1][pd2][pd3]`. [`ICT`] input channels share
+/// each padded-row read; out-of-range `(a, b)` planes are skipped exactly
+/// as the naive loops skip them.
+#[allow(clippy::too_many_arguments)]
+fn input_grad_gather(
+    gsrc: &[f32],
+    out_c: usize,
+    in_c: usize,
+    k: usize,
+    p: usize,
+    d1: usize,
+    d2: usize,
+    d3: usize,
+    pd1: usize,
+    pd2: usize,
+    pd3: usize,
+    w: &[f32],
+    gi: &mut [f32],
+) {
+    let mut ic0 = 0;
+    while ic0 < in_c {
+        let rem = in_c - ic0;
+        if rem >= ICT {
+            ig_rows::<ICT>(
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0,
+            );
+            ic0 += ICT;
+        } else if rem == 3 {
+            ig_rows::<3>(
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0,
+            );
+            ic0 += 3;
+        } else if rem == 2 {
+            ig_rows::<2>(
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0,
+            );
+            ic0 += 2;
+        } else {
+            ig_rows::<1>(
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0,
+            );
+            ic0 += 1;
+        }
+    }
+}
+
+/// One block of `L` input channels of the gradient gather.
+#[allow(clippy::too_many_arguments)]
+fn ig_rows<const L: usize>(
+    gsrc: &[f32],
+    out_c: usize,
+    in_c: usize,
+    k: usize,
+    p: usize,
+    d1: usize,
+    d2: usize,
+    d3: usize,
+    pd1: usize,
+    pd2: usize,
+    pd3: usize,
+    w: &[f32],
+    gi: &mut [f32],
+    ic0: usize,
+) {
+    for ix in 0..d1 {
+        for iy in 0..d2 {
+            let mut zc = 0;
+            while d3 - zc >= NR {
+                ig_tile::<L, NR>(
+                    gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy, zc,
+                );
+                zc += NR;
+            }
+            while d3 - zc >= 4 {
+                ig_tile::<L, 4>(
+                    gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy, zc,
+                );
+                zc += 4;
+            }
+            while zc < d3 {
+                ig_tile::<L, 1>(
+                    gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy, zc,
+                );
+                zc += 1;
+            }
+        }
+    }
+}
+
+/// The gather register tile: `L` input channels × `N` z lanes of one
+/// `(ix, iy)` input row, accumulated in `oc asc, a desc, b desc, c asc`
+/// order and stored once.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn ig_tile<const L: usize, const N: usize>(
+    gsrc: &[f32],
+    out_c: usize,
+    in_c: usize,
+    k: usize,
+    p: usize,
+    d1: usize,
+    d2: usize,
+    d3: usize,
+    pd1: usize,
+    pd2: usize,
+    pd3: usize,
+    w: &[f32],
+    gi: &mut [f32],
+    ic0: usize,
+    ix: usize,
+    iy: usize,
+    zc: usize,
+) {
+    let p2 = 2 * p;
+    let kk = k * k * k;
+    let mut acc = [[0.0f32; N]; L];
+    for oc in 0..out_c {
+        for a in (0..k).rev() {
+            let px = ix + p2 - a;
+            if px < p || px - p >= d1 {
+                continue;
+            }
+            for b in (0..k).rev() {
+                let py = iy + p2 - b;
+                if py < p || py - p >= d2 {
+                    continue;
+                }
+                let w_base = (((oc * in_c + ic0) * k + a) * k + b) * k;
+                for c in 0..k {
+                    let g_base = ((oc * pd1 + px) * pd2 + py) * pd3 + (p2 - c) + zc;
+                    let gch = &gsrc[g_base..g_base + N];
+                    for (l, accl) in acc.iter_mut().enumerate() {
+                        let wv = w[w_base + l * kk + c];
+                        for (v, &gv) in accl.iter_mut().zip(gch) {
+                            *v += wv * gv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (l, accl) in acc.iter().enumerate() {
+        let gb = (((ic0 + l) * d1 + ix) * d2 + iy) * d3 + zc;
+        gi[gb..gb + N].copy_from_slice(accl);
+    }
+}
+
+impl Layer for Conv3d {
+    fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.forward_in(x, &mut NnWorkspace::new())
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = NnWorkspace::new();
+        let g = ws.alloc_copy(grad_out);
+        self.backward_in(g, &mut ws)
+    }
+
+    fn forward_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let out = self.forward_impl(x, ws);
+        ws.prof_end(t, ProfKind::ConvFwd);
+        out
+    }
+
+    fn backward_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let g = self.backward_impl(grad_out, ws);
+        ws.prof_end(t, ProfKind::ConvBwd);
+        g
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -280,5 +1061,101 @@ mod tests {
     #[should_panic(expected = "odd kernel")]
     fn even_kernel_panics() {
         conv(1, 1, 2, 0);
+    }
+
+    /// Asserts two tensors are equal down to the exact bit pattern of every
+    /// element (stricter than `==`, which treats `-0.0 == 0.0`).
+    fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{what}: element {i} differs ({x:e} vs {y:e})"
+            );
+        }
+    }
+
+    /// Cases covering k ∈ {1, 3}, odd and non-power-of-two spatial sizes,
+    /// degenerate axes, and channel counts off the micro-kernel tile sizes.
+    const ORACLE_CASES: &[(usize, usize, usize, [usize; 3])] = &[
+        (1, 1, 3, [1, 1, 1]),
+        (1, 1, 3, [1, 1, 7]),
+        (2, 3, 3, [3, 5, 7]),
+        (3, 4, 1, [2, 3, 5]),
+        (7, 8, 3, [2, 11, 13]),
+        (4, 2, 3, [5, 1, 9]),
+        (2, 9, 3, [2, 6, 6]),
+        (5, 1, 1, [3, 4, 5]),
+        (8, 16, 3, [2, 9, 9]),
+        (3, 5, 5, [3, 7, 6]),
+    ];
+
+    #[test]
+    fn gemm_matches_naive_oracle_bitwise() {
+        for (case, &(in_c, out_c, k, [d1, d2, d3])) in ORACLE_CASES.iter().enumerate() {
+            let seed = 0x9E37 + case as u64;
+            let proto = conv(in_c, out_c, k, seed);
+            let x = Initializer::new(seed ^ 1).uniform(&[in_c, d1, d2, d3], 1.0);
+            let gout = Initializer::new(seed ^ 2).uniform(&[out_c, d1, d2, d3], 1.0);
+
+            let mut ws = NnWorkspace::new();
+            let mut fast = proto.clone();
+            let y_fast = fast.forward_in(&x, &mut ws);
+            let gi_fast = fast.backward_in(ws.alloc_copy(&gout), &mut ws);
+
+            let mut slow = proto.clone();
+            slow.set_naive(true);
+            let y_slow = slow.forward(&x);
+            let gi_slow = slow.backward(&gout);
+
+            let what = format!("case {case} ({in_c}->{out_c} k{k} {d1}x{d2}x{d3})");
+            assert_bits_eq(&y_fast, &y_slow, &format!("{what} forward"));
+            assert_bits_eq(&gi_fast, &gi_slow, &format!("{what} grad_in"));
+            assert_bits_eq(
+                &fast.weight.grad,
+                &slow.weight.grad,
+                &format!("{what} grad_w"),
+            );
+            assert_bits_eq(&fast.bias.grad, &slow.bias.grad, &format!("{what} grad_b"));
+        }
+    }
+
+    #[test]
+    fn gemm_stays_bitwise_identical_across_workspace_reuse() {
+        // Repeated passes through one workspace (stale pool contents, grown
+        // buffers) must not perturb results.
+        let proto = conv(3, 6, 3, 42);
+        let x = Initializer::new(7).uniform(&[3, 4, 5, 6], 1.0);
+        let gout = Initializer::new(8).uniform(&[6, 4, 5, 6], 1.0);
+        let mut fresh = proto.clone();
+        let y0 = fresh.forward(&x);
+        let gi0 = fresh.backward(&gout);
+
+        let mut reused = proto.clone();
+        let mut ws = NnWorkspace::new();
+        for _ in 0..3 {
+            reused.zero_grad();
+            let y = reused.forward_in(&x, &mut ws);
+            let gi = reused.backward_in(ws.alloc_copy(&gout), &mut ws);
+            assert_bits_eq(&y, &y0, "reused forward");
+            assert_bits_eq(&gi, &gi0, "reused grad_in");
+            assert_bits_eq(&reused.weight.grad, &fresh.weight.grad, "reused grad_w");
+            ws.free(y);
+            ws.free(gi);
+        }
+    }
+
+    #[test]
+    fn inference_workspace_skips_backward_cache() {
+        let mut c = conv(2, 2, 3, 1);
+        let x = Initializer::new(2).uniform(&[2, 3, 3, 3], 1.0);
+        let mut ws = NnWorkspace::new();
+        ws.training = false;
+        let y_inf = c.forward_in(&x, &mut ws);
+        assert!(c.cache_input.is_none());
+        let y_train = c.forward(&x);
+        assert_bits_eq(&y_inf, &y_train, "inference forward");
+        assert!(c.cache_input.is_some());
     }
 }

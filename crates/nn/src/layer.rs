@@ -3,6 +3,7 @@
 use std::fmt;
 
 use crate::tensor::Tensor;
+use crate::workspace::NnWorkspace;
 
 /// A trainable parameter: the value tensor and its accumulated gradient.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +51,30 @@ pub trait Layer {
     /// Implementations may panic if `backward` is called without a matching
     /// preceding `forward`.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Workspace-threaded variant of [`Layer::forward`]: output (and any
+    /// backward caches) come from the workspace pool, so steady-state calls
+    /// allocate nothing. Results are bit-identical to `forward`.
+    ///
+    /// The default delegates to `forward`; optimized layers override this
+    /// and implement `forward` as a thin wrapper over a fresh workspace.
+    fn forward_in(&mut self, x: &Tensor, _ws: &mut NnWorkspace) -> Tensor {
+        self.forward(x)
+    }
+
+    /// Workspace-threaded variant of [`Layer::backward`]. Takes the output
+    /// gradient *by value* so implementations can work in place on it (the
+    /// activation layers do) or recycle its storage into the pool.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called without a matching preceding
+    /// [`Layer::forward_in`].
+    fn backward_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let g = self.backward(&grad_out);
+        ws.free(grad_out);
+        g
+    }
 
     /// The layer's trainable parameters (empty for activations and pooling).
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -56,8 +56,10 @@ pub mod serialize;
 pub mod tensor;
 pub mod unet;
 pub mod upsample;
+pub mod workspace;
 
 pub use error::NnError;
 pub use layer::{Layer, Param};
 pub use tensor::Tensor;
 pub use unet::{UNet3d, UNetConfig};
+pub use workspace::NnWorkspace;

@@ -8,6 +8,7 @@
 
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
+use crate::workspace::{NnWorkspace, ProfKind};
 
 /// Group normalization over `[C, D1, D2, D3]` tensors.
 #[derive(Debug, Clone)]
@@ -18,6 +19,8 @@ pub struct GroupNorm {
     gamma: Param,
     beta: Param,
     cache: Option<NormCache>,
+    /// Retired `inv_std` storage, recycled across forward/backward cycles.
+    spare_inv: Vec<f32>,
 }
 
 #[derive(Debug, Clone)]
@@ -49,6 +52,7 @@ impl GroupNorm {
             gamma: Param::new(gamma),
             beta: Param::new(Tensor::zeros(&[channels])),
             cache: None,
+            spare_inv: Vec::new(),
         }
     }
 
@@ -60,6 +64,18 @@ impl GroupNorm {
 
 impl Layer for GroupNorm {
     fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut ws = NnWorkspace::new();
+        self.forward_in(x, &mut ws)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = NnWorkspace::new();
+        let g = ws.alloc_copy(grad_out);
+        self.backward_in(g, &mut ws)
+    }
+
+    fn forward_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
         let s = x.shape();
         assert_eq!(s.len(), 4, "groupnorm expects [c, d1, d2, d3]");
         assert_eq!(s[0], self.channels, "groupnorm channel mismatch");
@@ -67,8 +83,10 @@ impl Layer for GroupNorm {
         let per_group = self.channels / self.groups;
         let group_len = per_group * spatial;
 
-        let mut x_hat = Tensor::zeros(s);
-        let mut inv_std = vec![0.0f32; self.groups];
+        let mut x_hat = ws.alloc(s);
+        let mut inv_std = std::mem::take(&mut self.spare_inv);
+        inv_std.clear();
+        inv_std.resize(self.groups, 0.0);
         let data = x.data();
         for (g, inv) in inv_std.iter_mut().enumerate() {
             let start = g * group_len;
@@ -78,26 +96,36 @@ impl Layer for GroupNorm {
                 slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / group_len as f32;
             let is = 1.0 / (var + self.eps).sqrt();
             *inv = is;
-            for (i, &v) in slice.iter().enumerate() {
-                x_hat.data_mut()[start + i] = (v - mean) * is;
+            let dst = &mut x_hat.data_mut()[start..start + group_len];
+            for (o, &v) in dst.iter_mut().zip(slice) {
+                *o = (v - mean) * is;
             }
         }
         // y = gamma[c] * x_hat + beta[c].
-        let mut y = x_hat.clone();
+        let mut y = ws.alloc(s);
         let gamma = self.gamma.value.data();
         let beta = self.beta.value.data();
         for c in 0..self.channels {
             let base = c * spatial;
-            for i in 0..spatial {
-                let v = y.data()[base + i];
-                y.data_mut()[base + i] = gamma[c] * v + beta[c];
+            let src = &x_hat.data()[base..base + spatial];
+            let dst = &mut y.data_mut()[base..base + spatial];
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o = gamma[c] * v + beta[c];
             }
         }
-        self.cache = Some(NormCache { x_hat, inv_std });
+        if ws.training() {
+            self.cache = Some(NormCache { x_hat, inv_std });
+        } else {
+            ws.free(x_hat);
+            self.spare_inv = inv_std;
+            self.cache = None;
+        }
+        ws.prof_end(t, ProfKind::NormFwd);
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
         let cache = self
             .cache
             .take()
@@ -126,12 +154,14 @@ impl Layer for GroupNorm {
         // dx = (inv_std / N) * (N * dxhat - sum(dxhat) - x_hat * sum(dxhat * x_hat))
         // where dxhat = g_out * gamma[c].
         let gamma = self.gamma.value.data();
-        let mut grad_in = Tensor::zeros(&s);
+        let mut grad_in = ws.alloc(&s);
+        let mut dxhat = std::mem::take(&mut ws.dxhat);
+        dxhat.clear();
+        dxhat.resize(group_len, 0.0);
         for g in 0..self.groups {
             let start = g * group_len;
             let mut sum_dxhat = 0.0f32;
             let mut sum_dxhat_xhat = 0.0f32;
-            let mut dxhat = vec![0.0f32; group_len];
             for i in 0..group_len {
                 let c = (start + i) / spatial;
                 let d = g_out[start + i] * gamma[c];
@@ -146,6 +176,11 @@ impl Layer for GroupNorm {
                     (is / n) * (n * dxhat[i] - sum_dxhat - x_hat[start + i] * sum_dxhat_xhat);
             }
         }
+        ws.dxhat = dxhat;
+        ws.free(cache.x_hat);
+        self.spare_inv = cache.inv_std;
+        ws.free(grad_out);
+        ws.prof_end(t, ProfKind::NormBwd);
         grad_in
     }
 
@@ -208,6 +243,31 @@ mod tests {
         let y = gn.forward(&x);
         let mean: f32 = y.data().iter().sum::<f32>() / y.len() as f32;
         assert!(mean.abs() < 1e-4);
+    }
+
+    #[test]
+    fn workspace_path_matches_legacy_bitwise() {
+        let mut a = GroupNorm::new(4, 2);
+        let mut b = a.clone();
+        let x = Initializer::new(9).uniform(&[4, 3, 2, 2], 2.0);
+        let g = Initializer::new(10).uniform(&[4, 3, 2, 2], 1.0);
+        let y_legacy = a.forward(&x);
+        let gi_legacy = a.backward(&g);
+        let mut ws = NnWorkspace::new();
+        for _ in 0..2 {
+            b.zero_grad();
+            let y = b.forward_in(&x, &mut ws);
+            let gi = b.backward_in(ws.alloc_copy(&g), &mut ws);
+            assert_eq!(y, y_legacy);
+            for (p, q) in y.data().iter().zip(y_legacy.data()) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+            for (p, q) in gi.data().iter().zip(gi_legacy.data()) {
+                assert_eq!(p.to_bits(), q.to_bits());
+            }
+            ws.free(y);
+            ws.free(gi);
+        }
     }
 
     #[test]

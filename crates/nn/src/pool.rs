@@ -8,14 +8,17 @@
 
 use crate::layer::Layer;
 use crate::tensor::Tensor;
+use crate::workspace::{NnWorkspace, ProfKind};
 
 /// Window-2, stride-2, ceil-mode 3D max pooling.
 #[derive(Debug, Clone, Default)]
 pub struct MaxPool3d {
     cache: Option<PoolCache>,
+    /// Retired cache storage, recycled across forward/backward cycles.
+    spare: Option<PoolCache>,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct PoolCache {
     in_shape: Vec<usize>,
     /// For each output element, the linear input index of its maximum.
@@ -37,12 +40,29 @@ impl MaxPool3d {
 
 impl Layer for MaxPool3d {
     fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut ws = NnWorkspace::new();
+        self.forward_in(x, &mut ws)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = NnWorkspace::new();
+        let g = ws.alloc_copy(grad_out);
+        self.backward_in(g, &mut ws)
+    }
+
+    fn forward_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
         let s = x.shape();
         assert_eq!(s.len(), 4, "maxpool expects [c, d1, d2, d3]");
         let (c, d1, d2, d3) = (s[0], s[1], s[2], s[3]);
         let (o1, o2, o3) = (pooled(d1), pooled(d2), pooled(d3));
-        let mut out = Tensor::zeros(&[c, o1, o2, o3]);
-        let mut argmax = vec![0u32; out.len()];
+        let mut out = ws.alloc(&[c, o1, o2, o3]);
+        let mut cache = self.spare.take().unwrap_or_default();
+        cache.in_shape.clear();
+        cache.in_shape.extend_from_slice(s);
+        cache.argmax.clear();
+        cache.argmax.resize(out.len(), 0);
+        let argmax = &mut cache.argmax;
         let mut oi = 0;
         for ci in 0..c {
             for x1 in 0..o1 {
@@ -81,20 +101,22 @@ impl Layer for MaxPool3d {
                 }
             }
         }
-        self.cache = Some(PoolCache {
-            in_shape: s.to_vec(),
-            argmax,
-        });
+        self.cache = Some(cache);
+        ws.prof_end(t, ProfKind::PoolFwd);
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
         let cache = self.cache.take().expect("maxpool backward without forward");
         assert_eq!(grad_out.len(), cache.argmax.len());
-        let mut grad_in = Tensor::zeros(&cache.in_shape);
+        let mut grad_in = ws.alloc(&cache.in_shape);
         for (oi, &src) in cache.argmax.iter().enumerate() {
             grad_in.data_mut()[src as usize] += grad_out.data()[oi];
         }
+        self.spare = Some(cache);
+        ws.free(grad_out);
+        ws.prof_end(t, ProfKind::PoolBwd);
         grad_in
     }
 }

@@ -7,6 +7,7 @@ use crate::init::Initializer;
 use crate::layer::{Layer, Param};
 use crate::norm::GroupNorm;
 use crate::tensor::Tensor;
+use crate::workspace::NnWorkspace;
 
 /// A pre-activation-free residual block:
 /// `y = relu(conv2(norm?(relu(norm?(conv1(x))))) + proj(x))`,
@@ -22,7 +23,7 @@ pub struct ResidualBlock {
     norm2: Option<GroupNorm>,
     relu_out: Relu,
     projection: Option<Conv3d>,
-    cache_x: Option<Tensor>,
+    forward_ran: bool,
 }
 
 impl ResidualBlock {
@@ -37,7 +38,7 @@ impl ResidualBlock {
             norm2: None,
             relu_out: Relu::new(),
             projection: (in_c != out_c).then(|| Conv3d::new(in_c, out_c, 1, init)),
-            cache_x: None,
+            forward_ran: false,
         }
     }
 
@@ -64,54 +65,83 @@ impl ResidualBlock {
     pub fn out_channels(&self) -> usize {
         self.conv2.out_channels()
     }
+
+    /// Routes every convolution through the naive reference loops
+    /// (bit-identity oracle; see [`Conv3d::set_naive`]).
+    #[cfg(any(test, feature = "naive-ref"))]
+    pub fn set_naive(&mut self, on: bool) {
+        self.conv1.set_naive(on);
+        self.conv2.set_naive(on);
+        if let Some(proj) = &mut self.projection {
+            proj.set_naive(on);
+        }
+    }
 }
 
 impl Layer for ResidualBlock {
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        let mut h = self.conv1.forward(x);
-        if let Some(n) = &mut self.norm1 {
-            h = n.forward(&h);
-        }
-        h = self.relu1.forward(&h);
-        h = self.conv2.forward(&h);
-        if let Some(n) = &mut self.norm2 {
-            h = n.forward(&h);
-        }
-        let main = h;
-        let skip = match &mut self.projection {
-            Some(proj) => proj.forward(x),
-            None => x.clone(),
-        };
-        let mut sum = main;
-        sum.add_assign(&skip);
-        self.cache_x = Some(x.clone());
-        self.relu_out.forward(&sum)
+        let mut ws = NnWorkspace::new();
+        self.forward_in(x, &mut ws)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        self.cache_x
-            .take()
-            .expect("residual backward without forward");
-        let grad_sum = self.relu_out.backward(grad_out);
-        // Main branch.
-        let mut g = grad_sum.clone();
-        if let Some(n) = &mut self.norm2 {
-            g = n.backward(&g);
-        }
-        g = self.conv2.backward(&g);
-        g = self.relu1.backward(&g);
+        let mut ws = NnWorkspace::new();
+        let g = ws.alloc_copy(grad_out);
+        self.backward_in(g, &mut ws)
+    }
+
+    fn forward_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let mut h = self.conv1.forward_in(x, ws);
         if let Some(n) = &mut self.norm1 {
-            g = n.backward(&g);
+            let y = n.forward_in(&h, ws);
+            ws.free(h);
+            h = y;
         }
-        let g_main = self.conv1.backward(&g);
+        h = self.relu1.forward_owned(h, ws);
+        let y = self.conv2.forward_in(&h, ws);
+        ws.free(h);
+        h = y;
+        if let Some(n) = &mut self.norm2 {
+            let y = n.forward_in(&h, ws);
+            ws.free(h);
+            h = y;
+        }
+        let mut sum = h;
+        match &mut self.projection {
+            Some(proj) => {
+                let skip = proj.forward_in(x, ws);
+                sum.add_assign(&skip);
+                ws.free(skip);
+            }
+            None => sum.add_assign(x),
+        }
+        self.forward_ran = true;
+        self.relu_out.forward_owned(sum, ws)
+    }
+
+    fn backward_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        assert!(self.forward_ran, "residual backward without forward");
+        self.forward_ran = false;
+        let grad_sum = self.relu_out.backward_in(grad_out, ws);
+        // Main branch.
+        let mut g = ws.alloc_copy(&grad_sum);
+        if let Some(n) = &mut self.norm2 {
+            g = n.backward_in(g, ws);
+        }
+        g = self.conv2.backward_in(g, ws);
+        g = self.relu1.backward_in(g, ws);
+        if let Some(n) = &mut self.norm1 {
+            g = n.backward_in(g, ws);
+        }
+        let mut g_main = self.conv1.backward_in(g, ws);
         // Skip branch.
         let g_skip = match &mut self.projection {
-            Some(proj) => proj.backward(&grad_sum),
+            Some(proj) => proj.backward_in(grad_sum, ws),
             None => grad_sum,
         };
-        let mut g = g_main;
-        g.add_assign(&g_skip);
-        g
+        g_main.add_assign(&g_skip);
+        ws.free(g_skip);
+        g_main
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -17,6 +17,7 @@ use crate::pool::MaxPool3d;
 use crate::residual::ResidualBlock;
 use crate::tensor::Tensor;
 use crate::upsample::Upsample3d;
+use crate::workspace::NnWorkspace;
 
 /// Configuration of a [`UNet3d`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -57,8 +58,11 @@ pub struct UNet3d {
     /// Channel count entering decoder level `i` from below (what gets
     /// upsampled).
     up_channels: Vec<usize>,
-    /// Skip tensors of the most recent forward pass.
-    skips: Option<Vec<Tensor>>,
+    /// Whether a forward pass is pending its backward.
+    forward_ran: bool,
+    /// Reused stack: skip activations during forward, skip gradients
+    /// during backward. Always empty between passes.
+    scratch: Vec<Tensor>,
 }
 
 impl UNet3d {
@@ -105,7 +109,8 @@ impl UNet3d {
             dec,
             head,
             up_channels,
-            skips: None,
+            forward_ran: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -131,52 +136,123 @@ impl UNet3d {
     /// Inference: per-vertex probabilities in `(0, 1)` — the "final selected
     /// probability" array of the paper. Shape `[1, H, V, M]`.
     pub fn predict(&mut self, x: &Tensor) -> Tensor {
-        let logits = self.forward(x);
-        self.skips = None; // inference does not need the caches
-        logits.map(sigmoid)
+        self.predict_in(x, &mut NnWorkspace::new())
+    }
+
+    /// Workspace-threaded [`UNet3d::predict`]: runs the forward pass in
+    /// inference mode (no backward caches are recorded) with every
+    /// intermediate drawn from the workspace pool, and applies the sigmoid
+    /// in place on the logits. Bit-identical to `predict`.
+    pub fn predict_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let saved = ws.training;
+        ws.training = false;
+        let mut logits = self.forward_in(x, ws);
+        ws.training = saved;
+        self.forward_ran = false; // inference leaves no pending backward
+        for v in logits.data_mut() {
+            *v = sigmoid(*v);
+        }
+        logits
+    }
+
+    /// Routes every convolution through the naive reference loops
+    /// (bit-identity oracle; see [`Conv3d::set_naive`]).
+    #[cfg(any(test, feature = "naive-ref"))]
+    pub fn set_naive(&mut self, on: bool) {
+        for b in &mut self.enc {
+            b.set_naive(on);
+        }
+        self.bottleneck.set_naive(on);
+        for b in &mut self.dec {
+            b.set_naive(on);
+        }
+        self.head.set_naive(on);
     }
 }
 
 impl Layer for UNet3d {
     /// Forward pass producing **logits** of shape `[1, H, V, M]`.
     fn forward(&mut self, x: &Tensor) -> Tensor {
-        assert_eq!(x.shape().len(), 4);
-        assert_eq!(x.shape()[0], self.config.in_channels, "channel mismatch");
-        let mut skips = Vec::with_capacity(self.config.levels);
-        let mut cur = x.clone();
-        for i in 0..self.config.levels {
-            cur = self.enc[i].forward(&cur);
-            skips.push(cur.clone());
-            cur = self.pools[i].forward(&cur);
-        }
-        cur = self.bottleneck.forward(&cur);
-        for i in (0..self.config.levels).rev() {
-            let s = skips[i].shape();
-            self.ups[i].set_target([s[1], s[2], s[3]]);
-            cur = self.ups[i].forward(&cur);
-            cur = cur.concat_channels(&skips[i]);
-            cur = self.dec[i].forward(&cur);
-        }
-        self.skips = Some(skips);
-        self.head.forward(&cur)
+        self.forward_in(x, &mut NnWorkspace::new())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let _skips = self.skips.take().expect("unet backward without forward");
-        let mut grad = self.head.backward(grad_out);
-        let mut skip_grads: Vec<Option<Tensor>> = vec![None; self.config.levels];
-        for (i, slot) in skip_grads.iter_mut().enumerate() {
-            grad = self.dec[i].backward(&grad);
-            let (g_up, g_skip) = grad.split_channels(self.up_channels[i]);
-            *slot = Some(g_skip);
-            grad = self.ups[i].backward(&g_up);
+        let mut ws = NnWorkspace::new();
+        let g = ws.alloc_copy(grad_out);
+        self.backward_in(g, &mut ws)
+    }
+
+    fn forward_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        assert_eq!(x.shape().len(), 4);
+        assert_eq!(x.shape()[0], self.config.in_channels, "channel mismatch");
+        debug_assert!(self.scratch.is_empty());
+        let mut cur: Option<Tensor> = None;
+        for i in 0..self.config.levels {
+            let y = self.enc[i].forward_in(cur.as_ref().unwrap_or(x), ws);
+            if let Some(t) = cur.take() {
+                ws.free(t);
+            }
+            let pooled = self.pools[i].forward_in(&y, ws);
+            self.scratch.push(y);
+            cur = Some(pooled);
         }
-        grad = self.bottleneck.backward(&grad);
+        let mut cur = {
+            let t = cur.expect("levels > 0");
+            let b = self.bottleneck.forward_in(&t, ws);
+            ws.free(t);
+            b
+        };
         for i in (0..self.config.levels).rev() {
-            grad = self.pools[i].backward(&grad);
-            let g_skip = skip_grads[i].take().expect("one skip gradient per level");
+            let skip = self.scratch.pop().expect("one skip per level");
+            let s = skip.shape().to_vec();
+            self.ups[i].set_target([s[1], s[2], s[3]]);
+            let up = self.ups[i].forward_in(&cur, ws);
+            ws.free(cur);
+            // cat = [up ; skip] along channels, into a pooled buffer.
+            let mut cat = ws.alloc(&[up.shape()[0] + s[0], s[1], s[2], s[3]]);
+            cat.data_mut()[..up.len()].copy_from_slice(up.data());
+            cat.data_mut()[up.len()..].copy_from_slice(skip.data());
+            ws.free(up);
+            ws.free(skip);
+            cur = self.dec[i].forward_in(&cat, ws);
+            ws.free(cat);
+        }
+        self.forward_ran = true;
+        let out = self.head.forward_in(&cur, ws);
+        ws.free(cur);
+        out
+    }
+
+    fn backward_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        assert!(self.forward_ran, "unet backward without forward");
+        self.forward_ran = false;
+        debug_assert!(self.scratch.is_empty());
+        let mut grad = self.head.backward_in(grad_out, ws);
+        for i in 0..self.config.levels {
+            grad = self.dec[i].backward_in(grad, ws);
+            // Split [g_up ; g_skip] along channels (pooled buffers).
+            let c0 = self.up_channels[i];
+            let s = grad.shape().to_vec();
+            assert!(c0 < s[0], "split point must leave both halves");
+            let spatial = s[1] * s[2] * s[3];
+            let mut g_up = ws.alloc(&[c0, s[1], s[2], s[3]]);
+            let mut g_skip = ws.alloc(&[s[0] - c0, s[1], s[2], s[3]]);
+            g_up.data_mut()
+                .copy_from_slice(&grad.data()[..c0 * spatial]);
+            g_skip
+                .data_mut()
+                .copy_from_slice(&grad.data()[c0 * spatial..]);
+            ws.free(grad);
+            self.scratch.push(g_skip);
+            grad = self.ups[i].backward_in(g_up, ws);
+        }
+        grad = self.bottleneck.backward_in(grad, ws);
+        for i in (0..self.config.levels).rev() {
+            grad = self.pools[i].backward_in(grad, ws);
+            let g_skip = self.scratch.pop().expect("one skip gradient per level");
             grad.add_assign(&g_skip);
-            grad = self.enc[i].backward(&grad);
+            ws.free(g_skip);
+            grad = self.enc[i].backward_in(grad, ws);
         }
         grad
     }
@@ -216,7 +292,6 @@ mod tests {
             let x = Tensor::zeros(&[2, dims[0], dims[1], dims[2]]);
             let y = net.forward(&x);
             assert_eq!(y.shape(), &[1, dims[0], dims[1], dims[2]], "dims {dims:?}");
-            net.skips = None;
         }
     }
 
@@ -285,5 +360,71 @@ mod tests {
         let y = net.forward(&x);
         let g = net.backward(&y);
         assert_eq!(g.shape(), x.shape());
+    }
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (p, q)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(p.to_bits(), q.to_bits(), "{what}: element {i}: {p} vs {q}");
+        }
+    }
+
+    /// Whole-network GEMM-vs-naive bit-identity: logits, input gradients and
+    /// every parameter gradient must match the reference loops exactly.
+    #[test]
+    fn gemm_network_matches_naive_oracle_bitwise() {
+        for (levels, dims, seed) in [
+            (1, [3, 5, 7], 21u64),
+            (2, [5, 4, 6], 22),
+            (3, [7, 3, 5], 23),
+        ] {
+            let mut fast = UNet3d::new(UNetConfig {
+                in_channels: 3,
+                base_channels: 2,
+                levels,
+                seed,
+            });
+            let mut naive = fast.clone();
+            naive.set_naive(true);
+            let x = Initializer::new(seed + 100).uniform(&[3, dims[0], dims[1], dims[2]], 1.0);
+            let mut ws = NnWorkspace::new();
+            let y_fast = fast.forward_in(&x, &mut ws);
+            let y_naive = naive.forward(&x);
+            assert_bits_eq(&y_fast, &y_naive, "logits");
+            let g = ws.alloc_copy(&y_fast);
+            let gi_fast = fast.backward_in(g, &mut ws);
+            let gi_naive = naive.backward(&y_naive);
+            assert_bits_eq(&gi_fast, &gi_naive, "input grad");
+            for (pf, pn) in fast.params_mut().iter().zip(naive.params_mut().iter()) {
+                assert_bits_eq(&pf.grad, &pn.grad, "param grad");
+            }
+        }
+    }
+
+    /// Reusing one workspace across passes must not change any bit, and
+    /// `predict_in` must match legacy `predict`.
+    #[test]
+    fn workspace_reuse_is_bitwise_stable() {
+        let mut legacy = tiny_net(31);
+        let mut pooled = legacy.clone();
+        let x = Initializer::new(32).uniform(&[2, 5, 3, 4], 1.0);
+        let y_ref = legacy.forward(&x);
+        let gi_ref = legacy.backward(&y_ref);
+        let p_ref = legacy.predict(&x);
+        let mut ws = NnWorkspace::new();
+        for _ in 0..2 {
+            pooled.zero_grad();
+            let y = pooled.forward_in(&x, &mut ws);
+            assert_bits_eq(&y, &y_ref, "logits");
+            let g = ws.alloc_copy(&y);
+            let gi = pooled.backward_in(g, &mut ws);
+            assert_bits_eq(&gi, &gi_ref, "input grad");
+            let p = pooled.predict_in(&x, &mut ws);
+            assert_bits_eq(&p, &p_ref, "probabilities");
+            assert!(ws.training(), "predict_in must restore training mode");
+            ws.free(y);
+            ws.free(gi);
+            ws.free(p);
+        }
     }
 }

@@ -8,12 +8,13 @@
 
 use crate::layer::Layer;
 use crate::tensor::Tensor;
+use crate::workspace::{NnWorkspace, ProfKind};
 
 /// Nearest-neighbor upsampling to a fixed target spatial shape.
 #[derive(Debug, Clone)]
 pub struct Upsample3d {
     target: [usize; 3],
-    in_shape: Option<Vec<usize>>,
+    in_shape: Option<[usize; 4]>,
 }
 
 impl Upsample3d {
@@ -41,49 +42,70 @@ impl Upsample3d {
 
 impl Layer for Upsample3d {
     fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut ws = NnWorkspace::new();
+        self.forward_in(x, &mut ws)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut ws = NnWorkspace::new();
+        let g = ws.alloc_copy(grad_out);
+        self.backward_in(g, &mut ws)
+    }
+
+    fn forward_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
         let s = x.shape();
         assert_eq!(s.len(), 4, "upsample expects [c, d1, d2, d3]");
         let (c, d1, d2, d3) = (s[0], s[1], s[2], s[3]);
         let [o1, o2, o3] = self.target;
-        let mut out = Tensor::zeros(&[c, o1, o2, o3]);
+        let mut out = ws.alloc(&[c, o1, o2, o3]);
+        let xd = x.data();
+        let od = out.data_mut();
         for ci in 0..c {
             for x1 in 0..o1 {
                 let ix = Self::src(x1, d1, o1);
                 for y in 0..o2 {
                     let iy = Self::src(y, d2, o2);
-                    for z in 0..o3 {
-                        let iz = Self::src(z, d3, o3);
-                        out.set4(ci, x1, y, z, x.at4(ci, ix, iy, iz));
+                    let xrow = &xd[((ci * d1 + ix) * d2 + iy) * d3..][..d3];
+                    let orow = &mut od[((ci * o1 + x1) * o2 + y) * o3..][..o3];
+                    for (z, o) in orow.iter_mut().enumerate() {
+                        *o = xrow[Self::src(z, d3, o3)];
                     }
                 }
             }
         }
-        self.in_shape = Some(s.to_vec());
+        self.in_shape = Some([c, d1, d2, d3]);
+        ws.prof_end(t, ProfKind::UpFwd);
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
         let in_shape = self
             .in_shape
             .take()
             .expect("upsample backward without forward");
-        let (c, d1, d2, d3) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let [c, d1, d2, d3] = in_shape;
         let [o1, o2, o3] = self.target;
         assert_eq!(grad_out.shape(), &[c, o1, o2, o3]);
-        let mut grad_in = Tensor::zeros(&in_shape);
+        let mut grad_in = ws.alloc(&in_shape);
+        let gd = grad_out.data();
+        let gi = grad_in.data_mut();
         for ci in 0..c {
             for x1 in 0..o1 {
                 let ix = Self::src(x1, d1, o1);
                 for y in 0..o2 {
                     let iy = Self::src(y, d2, o2);
-                    for z in 0..o3 {
-                        let iz = Self::src(z, d3, o3);
-                        let gi = grad_in.idx4(ci, ix, iy, iz);
-                        grad_in.data_mut()[gi] += grad_out.at4(ci, x1, y, z);
+                    let grow = &gd[((ci * o1 + x1) * o2 + y) * o3..][..o3];
+                    let irow = &mut gi[((ci * d1 + ix) * d2 + iy) * d3..][..d3];
+                    for (z, &g) in grow.iter().enumerate() {
+                        irow[Self::src(z, d3, o3)] += g;
                     }
                 }
             }
         }
+        ws.free(grad_out);
+        ws.prof_end(t, ProfKind::UpBwd);
         grad_in
     }
 }

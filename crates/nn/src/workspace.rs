@@ -1,0 +1,239 @@
+//! The zero-allocation scratch arena of the NN hot path.
+//!
+//! Selector inference runs once per MCTS search and selector training runs
+//! `UNet3d::forward`/`backward` once per sample; before this workspace
+//! existed, every layer allocated fresh [`Tensor`]s (outputs, caches,
+//! clones) on each of those calls. An [`NnWorkspace`] owns all of that
+//! reusable state:
+//!
+//! * a **tensor pool** — layers acquire output/cache storage with
+//!   [`NnWorkspace::alloc`] and return it with [`NnWorkspace::free`], so
+//!   after warm-up a forward/backward pass performs no heap allocation;
+//! * the **tap-offset table** and the padded/transposed gradient buffers
+//!   of the implicit-im2col GEMM convolution kernels (see
+//!   [`conv3d`](crate::conv3d));
+//! * GroupNorm backward scratch;
+//! * an optional per-layer-kind [`Profile`] used by the `unet_throughput`
+//!   bench to attribute time to conv/norm/activation/pool/upsample.
+//!
+//! Ownership follows the `RouteContext` model of DESIGN.md: whoever owns an
+//! inference or training loop owns one workspace (`RouteContext` embeds one
+//! for the selector path, `Trainer` owns one per fit loop, and each
+//! `parallel` worker carries its own inside its context). Workspaces are
+//! never shared across threads. All workspace state is scratch: reusing a
+//! workspace never changes results, only allocation behavior.
+
+use std::time::Instant;
+
+use crate::tensor::Tensor;
+
+/// Layer-kind/direction buckets for the optional profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfKind {
+    /// Convolution forward (incl. `1×1×1` heads and projections).
+    ConvFwd,
+    /// Convolution backward.
+    ConvBwd,
+    /// GroupNorm forward.
+    NormFwd,
+    /// GroupNorm backward.
+    NormBwd,
+    /// Activation (ReLU/sigmoid) forward.
+    ActFwd,
+    /// Activation backward.
+    ActBwd,
+    /// Max-pool forward.
+    PoolFwd,
+    /// Max-pool backward.
+    PoolBwd,
+    /// Upsample forward.
+    UpFwd,
+    /// Upsample backward.
+    UpBwd,
+}
+
+/// Number of [`ProfKind`] buckets.
+pub const PROF_KINDS: usize = 10;
+
+/// Names matching the [`ProfKind`] discriminants, for reports.
+pub const PROF_NAMES: [&str; PROF_KINDS] = [
+    "conv fwd",
+    "conv bwd",
+    "norm fwd",
+    "norm bwd",
+    "act fwd",
+    "act bwd",
+    "pool fwd",
+    "pool bwd",
+    "upsample fwd",
+    "upsample bwd",
+];
+
+/// Accumulated per-kind wall-clock, filled when profiling is enabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Profile {
+    /// Seconds per [`ProfKind`] (indexed by discriminant order).
+    pub secs: [f64; PROF_KINDS],
+}
+
+/// The reusable scratch arena threaded through `forward_in`/`backward_in`
+/// (see [`Layer`](crate::layer::Layer)).
+#[derive(Debug, Clone)]
+pub struct NnWorkspace {
+    /// Recycled tensor storage, LIFO.
+    pool: Vec<Vec<f32>>,
+    /// Per-tap padded-volume offsets (the K axis of the convolution's
+    /// implicit patch matrix).
+    pub(crate) tap_off: Vec<usize>,
+    /// im2col patch panel of the small-grid convolution forward path.
+    pub(crate) im2col: Vec<f32>,
+    /// Zero-padded `grad_out` of the convolution input-gradient gather.
+    pub(crate) g_pad: Vec<f32>,
+    /// `grad_out` transposed to `[spatial][out_c]` for the vectorized
+    /// weight/bias-gradient kernels.
+    pub(crate) g_t: Vec<f32>,
+    /// GroupNorm backward `dxhat` scratch.
+    pub(crate) dxhat: Vec<f32>,
+    /// `false` skips backward caches (inference mode). Set by
+    /// [`UNet3d::predict_in`](crate::unet::UNet3d::predict_in); defaults to
+    /// `true` so `forward_in`/`backward_in` pairs always work.
+    pub(crate) training: bool,
+    profiling: bool,
+    profile: Profile,
+}
+
+impl Default for NnWorkspace {
+    fn default() -> Self {
+        NnWorkspace::new()
+    }
+}
+
+impl NnWorkspace {
+    /// Creates an empty workspace; all buffers grow on first use.
+    pub fn new() -> Self {
+        NnWorkspace {
+            pool: Vec::new(),
+            tap_off: Vec::new(),
+            im2col: Vec::new(),
+            g_pad: Vec::new(),
+            g_t: Vec::new(),
+            dxhat: Vec::new(),
+            training: true,
+            profiling: false,
+            profile: Profile::default(),
+        }
+    }
+
+    /// Acquires a zeroed tensor of the given shape from the pool.
+    pub fn alloc(&mut self, shape: &[usize]) -> Tensor {
+        let n: usize = shape.iter().product();
+        let mut data = self.pool.pop().unwrap_or_default();
+        data.clear();
+        data.resize(n, 0.0);
+        Tensor::from_vec(shape, data).expect("pool tensor shape/len agree")
+    }
+
+    /// Acquires a tensor holding a copy of `src` from the pool.
+    pub fn alloc_copy(&mut self, src: &Tensor) -> Tensor {
+        let mut t = self.alloc(src.shape());
+        t.data_mut().copy_from_slice(src.data());
+        t
+    }
+
+    /// Returns a tensor's storage to the pool for reuse.
+    pub fn free(&mut self, t: Tensor) {
+        self.pool.push(t.into_data());
+    }
+
+    /// Whether backward caches are being recorded (`true` outside
+    /// [`UNet3d::predict_in`](crate::unet::UNet3d::predict_in)).
+    pub fn training(&self) -> bool {
+        self.training
+    }
+
+    /// Takes the im2col panel buffer, sized to at least `len` (callers
+    /// return it via [`NnWorkspace::put_im2col`]; taking keeps the borrow
+    /// checker out of kernels that also index the workspace).
+    pub(crate) fn take_im2col(&mut self, len: usize) -> Vec<f32> {
+        let mut b = std::mem::take(&mut self.im2col);
+        if b.len() < len {
+            b.resize(len, 0.0);
+        }
+        b
+    }
+
+    /// Returns the im2col panel buffer.
+    pub(crate) fn put_im2col(&mut self, b: Vec<f32>) {
+        self.im2col = b;
+    }
+
+    /// Enables per-layer-kind profiling (cleared stats).
+    pub fn enable_profiling(&mut self) {
+        self.profiling = true;
+        self.profile = Profile::default();
+    }
+
+    /// Disables profiling, returning the accumulated stats.
+    pub fn take_profile(&mut self) -> Profile {
+        self.profiling = false;
+        std::mem::take(&mut self.profile)
+    }
+
+    /// Starts a profiled span; pair with [`NnWorkspace::prof_end`].
+    #[inline]
+    pub(crate) fn prof_start(&self) -> Option<Instant> {
+        if self.profiling {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a profiled span started by [`NnWorkspace::prof_start`].
+    #[inline]
+    pub(crate) fn prof_end(&mut self, start: Option<Instant>, kind: ProfKind) {
+        if let Some(t0) = start {
+            self.profile.secs[kind as usize] += t0.elapsed().as_secs_f64();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_returns_zeroed_tensors_and_reuses_storage() {
+        let mut ws = NnWorkspace::new();
+        let mut t = ws.alloc(&[2, 3]);
+        assert_eq!(t.sum(), 0.0);
+        t.fill(7.0);
+        let ptr = t.data().as_ptr();
+        ws.free(t);
+        // Same storage comes back, re-zeroed.
+        let t2 = ws.alloc(&[3, 2]);
+        assert_eq!(t2.data().as_ptr(), ptr);
+        assert_eq!(t2.sum(), 0.0);
+    }
+
+    #[test]
+    fn alloc_copy_matches_source() {
+        let mut ws = NnWorkspace::new();
+        let src = Tensor::from_vec(&[4], vec![1.0, -2.0, 3.0, 4.0]).unwrap();
+        let c = ws.alloc_copy(&src);
+        assert_eq!(c, src);
+    }
+
+    #[test]
+    fn profiling_accumulates_spans() {
+        let mut ws = NnWorkspace::new();
+        assert!(ws.prof_start().is_none());
+        ws.enable_profiling();
+        let t = ws.prof_start();
+        assert!(t.is_some());
+        ws.prof_end(t, ProfKind::ConvFwd);
+        let p = ws.take_profile();
+        assert!(p.secs[ProfKind::ConvFwd as usize] >= 0.0);
+        assert!(ws.prof_start().is_none());
+    }
+}

@@ -17,6 +17,7 @@ use oarsmt_mcts::{CombinatorialMcts, MctsConfig};
 use oarsmt_nn::layer::Layer;
 use oarsmt_nn::loss::bce_with_logits;
 use oarsmt_nn::optim::Adam;
+use oarsmt_nn::NnWorkspace;
 use oarsmt_router::OarmstRouter;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -129,6 +130,10 @@ pub struct Trainer {
     scheme: Scheme,
     optimizer: Adam,
     rng: StdRng,
+    /// NN scratch arena reused across every fitted sample (see
+    /// `oarsmt_nn::NnWorkspace`); sample *generation* workers each carry
+    /// their own inside their `RouteContext`.
+    ws: NnWorkspace,
 }
 
 impl Trainer {
@@ -141,6 +146,7 @@ impl Trainer {
             scheme: Scheme::Combinatorial,
             optimizer,
             rng,
+            ws: NnWorkspace::new(),
         }
     }
 
@@ -392,18 +398,22 @@ impl Trainer {
 
     /// Fits one batch with accumulated gradients; returns the mean loss.
     fn fit_batch(&mut self, selector: &mut NeuralSelector, batch: &[&TrainingSample]) -> f32 {
+        let ws = &mut self.ws;
         let net = selector.net_mut();
         net.zero_grad();
         let scale = 1.0 / batch.len() as f32;
         let mut loss_sum = 0.0f32;
         for sample in batch {
             let (x, targets, mask) = sample.to_tensors();
-            let logits = net.forward(&x);
+            let logits = net.forward_in(&x, ws);
             let out = bce_with_logits(&logits, &targets, Some(&mask));
             loss_sum += out.loss;
             let mut grad = out.grad;
             grad.scale(scale);
-            net.backward(&grad);
+            let grad_in = net.backward_in(grad, ws);
+            ws.free(grad_in);
+            ws.free(logits);
+            ws.free(x);
         }
         self.optimizer.step(net);
         loss_sum * scale
@@ -441,8 +451,9 @@ pub fn st_to_mst_over_cases<S: Selector>(
         };
         let points = match mode {
             InferenceMode::OneShot => {
-                let fsp = selector.fsp(graph, &[]);
-                oarsmt::topk::select_top_k(graph, &fsp, steiner_budget(graph.pins().len()), &[])
+                selector.fsp_into_ws(graph, &[], &mut ctx.fsp, &mut ctx.nn);
+                let k = steiner_budget(graph.pins().len());
+                oarsmt::topk::select_top_k(graph, &ctx.fsp, k, &[])
             }
             InferenceMode::Sequential => sequential_select(graph, selector),
         };

@@ -21,6 +21,7 @@
 use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_graph::dijkstra::{DijkstraWorkspace, SearchBounds};
 use oarsmt_graph::{GridAdjacency, StampSet};
+use oarsmt_nn::NnWorkspace;
 
 use crate::tree::RouteTree;
 
@@ -103,6 +104,10 @@ pub struct RouteContext {
     pub selected_idx: Vec<u32>,
     /// Selected-point scratch mirroring [`RouteContext::selected_idx`].
     pub selected_points: Vec<GridPoint>,
+    /// Neural-network scratch arena for the selector inference path
+    /// (`Selector::fsp_into_ws` threads this through `UNet3d::predict_in`
+    /// so repeated inference performs no tensor allocation).
+    pub nn: NnWorkspace,
 }
 
 impl RouteContext {
