@@ -11,8 +11,18 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> oarsmt-lint (determinism / zero-alloc / wrapper / unsafe invariants)"
+cargo run -q -p oarsmt-lint
+
+echo "==> feature matrix (naive-ref oracle, no-default-features)"
+cargo check -q -p oarsmt-nn --features naive-ref
+cargo check -q --workspace --no-default-features
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> allocation sanitizer (zero steady-state allocs on registered hot paths)"
+cargo test --release -q -p oarsmt-lint --features alloc-count --test alloc_sanitizer
 
 echo "==> route-context property tests"
 cargo test -q -p oarsmt-router --test context_properties

@@ -5,6 +5,8 @@
 //!
 //! `cargo run --release -p oarsmt-bench --bin ablation`
 
+#![forbid(unsafe_code)]
+
 use oarsmt::rl_router::RlRouter;
 use oarsmt::selector::MedianHeuristicSelector;
 use oarsmt_bench::Table;

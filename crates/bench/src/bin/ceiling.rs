@@ -2,6 +2,8 @@
 //! the Figs. 11-12 evaluation distribution — exact Steiner optimum vs the
 //! pins-only spanning construction.
 
+#![forbid(unsafe_code)]
+
 use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
 use oarsmt_router::exact::steiner_exact_cost;
 use oarsmt_router::OarmstRouter;

@@ -27,6 +27,8 @@
 //!
 //! Usage: `critic_throughput [--quick] [--out PATH] [--baseline PATH]`
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use oarsmt::selector::{MedianHeuristicSelector, Selector};

@@ -6,6 +6,8 @@
 //! generally *increases* with the obstacle ratio — the RL router's
 //! advantage grows as layouts get harder to route.
 
+#![forbid(unsafe_code)]
+
 use oarsmt::eval::ObstacleRatioCurve;
 use oarsmt::parallel;
 use oarsmt_bench::{harness, Table};

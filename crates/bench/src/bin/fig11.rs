@@ -7,6 +7,8 @@
 //! and both MCTS curves stay well below PPO; the gap widens on layouts
 //! with more pins than seen in training (Fig. 11(b)).
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let stages: usize = std::env::args()
         .nth(1)

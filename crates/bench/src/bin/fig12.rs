@@ -6,6 +6,8 @@
 //! sequential baselines also pay `n − 2` inferences per layout at test
 //! time, so their evaluation is slower.
 
+#![forbid(unsafe_code)]
+
 fn main() {
     let stages: usize = std::env::args()
         .nth(1)

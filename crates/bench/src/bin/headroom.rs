@@ -3,6 +3,8 @@
 //! candidate sources of increasing strength. Used to calibrate the
 //! experiment configuration; see DESIGN.md §5.
 
+#![forbid(unsafe_code)]
+
 use oarsmt::eval::CostComparison;
 use oarsmt::rl_router::RlRouter;
 use oarsmt::selector::{MedianHeuristicSelector, Selector};

@@ -1,6 +1,8 @@
 //! Diagnostic (not a paper experiment): inspects combinatorial-MCTS label
 //! quality and whether the selector can learn from it.
 
+#![forbid(unsafe_code)]
+
 use oarsmt::selector::{NeuralSelector, Selector, UniformSelector};
 use oarsmt_bench::harness::experiment_net_config;
 use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};

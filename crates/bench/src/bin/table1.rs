@@ -2,6 +2,8 @@
 //! subset — the paper's original parameters side by side with the scaled
 //! parameters used by this reproduction (DESIGN.md §5).
 
+#![forbid(unsafe_code)]
+
 use oarsmt_bench::Table;
 use oarsmt_geom::gen::TestSubsetSpec;
 

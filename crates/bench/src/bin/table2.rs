@@ -5,6 +5,8 @@
 //! every subset (≈2.3–2.7% in the paper), the average improvement ratio
 //! tracks the difference ratio, and the win rate grows with layout size.
 
+#![forbid(unsafe_code)]
+
 use oarsmt::parallel;
 use oarsmt_bench::{harness, Table};
 use oarsmt_geom::gen::TestSubsetSpec;

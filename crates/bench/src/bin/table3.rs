@@ -7,6 +7,8 @@
 //! selection time grows mildly (one inference per layout regardless of the
 //! pin count).
 
+#![forbid(unsafe_code)]
+
 use oarsmt::parallel;
 use oarsmt_bench::{harness, Table};
 use oarsmt_geom::gen::TestSubsetSpec;

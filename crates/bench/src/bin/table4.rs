@@ -8,6 +8,8 @@
 //! (≈ 0.61%); an isolated small regression against one baseline on one
 //! benchmark (ind2 in the paper) is within the expected noise.
 
+#![forbid(unsafe_code)]
+
 use oarsmt::rl_router::RlRouter;
 use oarsmt_bench::{harness, Table};
 use oarsmt_geom::benchmarks::BenchmarkSpec;

@@ -1,6 +1,8 @@
 //! Diagnostic (not a paper experiment): raw timings of the building
 //! blocks, used to size the experiment budgets.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use oarsmt::selector::{NeuralSelector, Selector};

@@ -3,6 +3,8 @@
 //! ST-to-MST ratio and the comparison against the \[14\] baseline — to
 //! calibrate the training schedule used by `pretrained_selector`.
 
+#![forbid(unsafe_code)]
+
 use oarsmt::eval::CostComparison;
 use oarsmt::rl_router::RlRouter;
 use oarsmt::selector::NeuralSelector;

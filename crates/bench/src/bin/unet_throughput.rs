@@ -23,6 +23,8 @@
 //! Usage: `unet_throughput [--quick] [--profile] [--out PATH]
 //! [--baseline PATH]`
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use oarsmt::features::{encode_features, valid_mask};

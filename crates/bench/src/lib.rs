@@ -18,6 +18,8 @@
 //!
 //! Run any table with `cargo run --release -p oarsmt-bench --bin table2`.
 
+#![forbid(unsafe_code)]
+
 pub mod artifact;
 pub mod harness;
 pub mod report;

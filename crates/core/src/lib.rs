@@ -38,6 +38,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod eval;
 pub mod features;

@@ -154,6 +154,7 @@ impl<S: Selector> MultiNetRouter<S> {
                     total_cost += out.tree.cost();
                     // Commit: every tree vertex becomes an obstacle for the
                     // remaining nets (pre-routed wire).
+                    // lint: ordered-ok(marking a vertex set as obstacles is order-insensitive)
                     for v in out.tree.vertices() {
                         let p = graph.point(v as usize);
                         let _ = base.add_obstacle_vertex(p);
@@ -254,6 +255,7 @@ impl<S: Selector + Clone + Send + Sync> MultiNetRouter<S> {
                 let net = &nets[wave[w]];
                 let mut tree = outcome?;
                 if let Some(t) = &tree {
+                    // lint: ordered-ok(existence check over a vertex set is order-insensitive)
                     let crosses_committed_wire = t
                         .vertices()
                         .iter()
@@ -265,6 +267,7 @@ impl<S: Selector + Clone + Send + Sync> MultiNetRouter<S> {
                 match tree {
                     Some(t) => {
                         total_cost += t.cost();
+                        // lint: ordered-ok(marking a vertex set as obstacles is order-insensitive)
                         for v in t.vertices() {
                             let _ = base.add_obstacle_vertex(base.point(v as usize));
                         }

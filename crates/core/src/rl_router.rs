@@ -111,6 +111,7 @@ impl<S: Selector> RlRouter<S> {
     /// Returns [`CoreError::Route`] when the pins cannot be connected (see
     /// [`OarmstRouter::route`]).
     pub fn route(&mut self, graph: &HananGraph) -> Result<RouteOutcome, CoreError> {
+        // lint: timing-ok(select_time is reported metadata; never feeds results)
         let start = Instant::now();
         let k = steiner_budget(graph.pins().len());
         self.selector

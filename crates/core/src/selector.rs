@@ -200,8 +200,10 @@ impl UniformSelector {
 }
 
 impl Selector for UniformSelector {
-    fn fsp(&mut self, graph: &HananGraph, _extra_pins: &[GridPoint]) -> Vec<f32> {
-        vec![self.p; graph.len()]
+    fn fsp(&mut self, graph: &HananGraph, extra_pins: &[GridPoint]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(graph.len());
+        self.fsp_into(graph, extra_pins, &mut out);
+        out
     }
 
     fn fsp_into(&mut self, graph: &HananGraph, _extra_pins: &[GridPoint], out: &mut Vec<f32>) {

@@ -72,7 +72,10 @@ pub fn select_top_k_into(
         scored.push((p, idx as u32));
     }
     // Highest probability first; ties by smaller index (= higher priority).
-    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    // Unstable sort: the index tiebreak makes the comparator a strict
+    // total order (no two entries compare equal), so the result is
+    // identical to the stable sort's without its merge-buffer allocation.
+    scored.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
     let start = out.len();
     out.extend(
         scored

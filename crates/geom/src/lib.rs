@@ -27,6 +27,8 @@
 //! assert_eq!(g.kind(GridPoint::new(0, 0, 0)), VertexKind::Pin);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod benchmarks;
 pub mod coord;
 pub mod error;

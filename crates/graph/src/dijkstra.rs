@@ -170,6 +170,33 @@ impl DijkstraWorkspace {
     where
         F: Fn(usize) -> bool,
     {
+        let mut points = Vec::new();
+        let cost =
+            self.shortest_path_to_set_into(graph, sources, is_target, bounds, &mut points)?;
+        Ok(GridPath { points, cost })
+    }
+
+    /// [`DijkstraWorkspace::shortest_path_to_set`] writing the path into a
+    /// caller-owned buffer (cleared first) instead of allocating a
+    /// [`GridPath`]; returns the path cost. This is the allocation-free
+    /// entry point of the maze-routing hot loop.
+    ///
+    /// # Errors
+    ///
+    /// See [`DijkstraWorkspace::shortest_path_to_set`]. On error `out` is
+    /// left cleared.
+    pub fn shortest_path_to_set_into<F>(
+        &mut self,
+        graph: &HananGraph,
+        sources: &[GridPoint],
+        is_target: F,
+        bounds: Option<SearchBounds>,
+        out: &mut Vec<GridPoint>,
+    ) -> Result<f64, GraphError>
+    where
+        F: Fn(usize) -> bool,
+    {
+        out.clear();
         if sources.is_empty() {
             return Err(GraphError::EmptyTerminalSet);
         }
@@ -201,7 +228,7 @@ impl DijkstraWorkspace {
                 continue; // stale heap entry
             }
             if is_target(idx) {
-                return Ok(self.reconstruct(graph, idx));
+                return Ok(self.reconstruct_into(graph, idx, out));
             }
             let p = graph.point(idx);
             for (q, w) in graph.neighbors(p) {
@@ -261,6 +288,37 @@ impl DijkstraWorkspace {
     where
         F: Fn(usize) -> bool,
     {
+        let mut points = Vec::new();
+        let cost =
+            self.shortest_path_to_set_csr_into(graph, adj, sources, is_target, &mut points)?;
+        Ok(GridPath { points, cost })
+    }
+
+    /// [`DijkstraWorkspace::shortest_path_to_set_csr`] writing the path
+    /// into a caller-owned buffer (cleared first) instead of allocating a
+    /// [`GridPath`]; returns the path cost.
+    ///
+    /// # Errors
+    ///
+    /// See [`DijkstraWorkspace::shortest_path_to_set`]. On error `out` is
+    /// left cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on index out of range) if `adj` was built for a smaller
+    /// graph.
+    pub fn shortest_path_to_set_csr_into<F>(
+        &mut self,
+        graph: &HananGraph,
+        adj: &crate::csr::GridAdjacency,
+        sources: &[GridPoint],
+        is_target: F,
+        out: &mut Vec<GridPoint>,
+    ) -> Result<f64, GraphError>
+    where
+        F: Fn(usize) -> bool,
+    {
+        out.clear();
         if sources.is_empty() {
             return Err(GraphError::EmptyTerminalSet);
         }
@@ -292,7 +350,7 @@ impl DijkstraWorkspace {
                 continue; // stale heap entry
             }
             if is_target(idx) {
-                return Ok(self.reconstruct(graph, idx));
+                return Ok(self.reconstruct_into(graph, idx, out));
             }
             for (qi, w) in adj.neighbors(idx) {
                 let qi = qi as usize;
@@ -368,22 +426,19 @@ impl DijkstraWorkspace {
             .collect())
     }
 
-    fn reconstruct(&self, graph: &HananGraph, target: usize) -> GridPath {
-        let mut points = Vec::new();
+    fn reconstruct_into(&self, graph: &HananGraph, target: usize, out: &mut Vec<GridPoint>) -> f64 {
+        out.clear();
         let mut cur = target;
         loop {
-            points.push(graph.point(cur));
+            out.push(graph.point(cur));
             let prev = self.prev[cur];
             if prev == NO_PREV {
                 break;
             }
             cur = prev as usize;
         }
-        points.reverse();
-        GridPath {
-            points,
-            cost: self.dist[target],
-        }
+        out.reverse();
+        self.dist[target]
     }
 }
 

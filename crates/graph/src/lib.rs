@@ -22,6 +22,8 @@
 //! assert_eq!(path.cost, 6.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod csr;
 pub mod dijkstra;
 pub mod error;
@@ -38,5 +40,5 @@ pub use dijkstra::{
 pub use error::GraphError;
 pub use mst::{prim_mst, MstEdge};
 pub use path::GridPath;
-pub use stamp::StampSet;
+pub use stamp::{StampMap, StampSet};
 pub use union_find::UnionFind;

@@ -98,6 +98,94 @@ impl StampSet {
     }
 }
 
+/// A reusable `usize -> u32` map over a dense index range with `O(1)`
+/// reset, the map counterpart of [`StampSet`].
+///
+/// Unset keys read as `0`, which makes it a natural epoch-reset counter
+/// array (e.g. per-vertex degrees of the current tree in the OARMST
+/// redundant-candidate prune):
+///
+/// ```
+/// use oarsmt_graph::StampMap;
+///
+/// let mut m = StampMap::new();
+/// m.begin(10);
+/// assert_eq!(m.get(4), 0);
+/// m.add(4, 2);
+/// m.set(7, 5);
+/// assert_eq!((m.get(4), m.get(7)), (2, 5));
+/// m.begin(10); // new generation: all zeros again, no clearing pass
+/// assert_eq!(m.get(4), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StampMap {
+    stamp: Vec<u32>,
+    val: Vec<u32>,
+    epoch: u32,
+}
+
+impl StampMap {
+    /// Creates an empty map; the backing arrays grow on first use.
+    pub fn new() -> Self {
+        StampMap::default()
+    }
+
+    /// Starts a new generation covering indices `0..n`: every key reads
+    /// as `0` again without clearing the backing arrays.
+    pub fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.val.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: old stamps could collide with the new epoch, so pay
+            // the one-off O(n) reset (once per ~4 billion generations).
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// The value at `idx` in the current generation (`0` if unset).
+    #[inline]
+    pub fn get(&self, idx: usize) -> u32 {
+        if self.stamp.get(idx).is_some_and(|&s| s == self.epoch) {
+            self.val[idx]
+        } else {
+            0
+        }
+    }
+
+    /// Sets the value at `idx` in the current generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the range given to [`StampMap::begin`].
+    #[inline]
+    pub fn set(&mut self, idx: usize, v: u32) {
+        self.stamp[idx] = self.epoch;
+        self.val[idx] = v;
+    }
+
+    /// Adds `dv` to the value at `idx` and returns the new value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is outside the range given to [`StampMap::begin`].
+    #[inline]
+    pub fn add(&mut self, idx: usize, dv: u32) -> u32 {
+        let cur = if self.stamp[idx] == self.epoch {
+            self.val[idx]
+        } else {
+            0
+        };
+        let next = cur + dv;
+        self.stamp[idx] = self.epoch;
+        self.val[idx] = next;
+        next
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +249,43 @@ mod tests {
         assert!(!s.contains(0));
         assert!(s.insert(0));
         assert!(s.contains(0));
+    }
+
+    #[test]
+    fn map_get_set_add_and_generation_reset() {
+        let mut m = StampMap::new();
+        m.begin(5);
+        assert_eq!(m.get(0), 0);
+        assert_eq!(m.add(0, 1), 1);
+        assert_eq!(m.add(0, 3), 4);
+        m.set(2, 9);
+        assert_eq!((m.get(0), m.get(2), m.get(4)), (4, 9, 0));
+        m.begin(5);
+        for i in 0..5 {
+            assert_eq!(m.get(i), 0, "value {i} leaked across generations");
+        }
+        assert_eq!(m.add(4, 7), 7);
+    }
+
+    #[test]
+    fn map_grows_with_begin_and_wraps_epoch() {
+        let mut m = StampMap::new();
+        m.begin(2);
+        m.set(1, 3);
+        m.begin(6);
+        assert_eq!(m.get(1), 0);
+        m.set(5, 2);
+        assert_eq!(m.get(5), 2);
+        m.epoch = u32::MAX;
+        m.begin(6);
+        assert_eq!(m.get(5), 0);
+        assert_eq!(m.add(5, 1), 1);
+    }
+
+    #[test]
+    fn map_out_of_range_get_is_zero() {
+        let mut m = StampMap::new();
+        m.begin(3);
+        assert_eq!(m.get(100), 0);
     }
 }

@@ -1,0 +1,443 @@
+//! A hand-rolled token-level Rust lexer.
+//!
+//! The lint rules need far less than a full parse: identifier/punctuation
+//! streams with line numbers, plus the comments (which carry the
+//! `// lint: …-ok(reason)` escape markers and `// SAFETY:` justifications).
+//! The lexer therefore understands exactly the lexical structure that can
+//! hide token look-alikes — strings (including raw and byte strings), char
+//! literals vs lifetimes, nested block comments — and flattens everything
+//! else to four token kinds.
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `for`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`::` is two `:` tokens).
+    Punct,
+    /// String/char/numeric literal (content is not interpreted).
+    Literal,
+    /// A lifetime such as `'a` (so `'a>` never reads as a char literal).
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Source text (for [`TokenKind::Literal`], a placeholder is enough
+    /// for the rules, but the raw text is kept for messages).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// The kind of a `// lint: …-ok(reason)` escape marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MarkerKind {
+    /// `ordered-ok`: hash-order iteration whose effect is order-insensitive.
+    OrderedOk,
+    /// `timing-ok`: wall-clock reads that never feed results.
+    TimingOk,
+    /// `alloc-ok`: an allocation a registered zero-alloc function may keep.
+    AllocOk,
+}
+
+impl MarkerKind {
+    /// The marker's spelling inside the comment.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MarkerKind::OrderedOk => "ordered-ok",
+            MarkerKind::TimingOk => "timing-ok",
+            MarkerKind::AllocOk => "alloc-ok",
+        }
+    }
+}
+
+/// One parsed `// lint: kind-ok(reason)` escape marker.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    /// Which rule family the marker silences.
+    pub kind: MarkerKind,
+    /// The justification inside the parentheses.
+    pub reason: String,
+    /// 1-based line the marker comment appears on.
+    pub line: u32,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `// lint: …-ok(…)` markers.
+    pub markers: Vec<Marker>,
+    /// 1-based lines of comments containing `SAFETY:`.
+    pub safety_lines: Vec<u32>,
+    /// Markers whose comment could not be parsed (`// lint:` prefix with
+    /// an unknown kind or missing parentheses) — reported as findings so
+    /// typos never silently disable a rule.
+    pub bad_markers: Vec<(u32, String)>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parses the text after `//` for lint markers and SAFETY comments.
+fn process_comment(out: &mut LexedFile, text: &str, line: u32) {
+    if text.contains("SAFETY:") {
+        out.safety_lines.push(line);
+    }
+    let Some(rest) = text
+        .trim_start_matches(['/', '!'])
+        .trim_start()
+        .strip_prefix("lint:")
+    else {
+        return;
+    };
+    let rest = rest.trim();
+    let kinds = [
+        MarkerKind::OrderedOk,
+        MarkerKind::TimingOk,
+        MarkerKind::AllocOk,
+    ];
+    for kind in kinds {
+        if let Some(tail) = rest.strip_prefix(kind.as_str()) {
+            let tail = tail.trim();
+            if let Some(reason) = tail.strip_prefix('(').and_then(|t| t.strip_suffix(')')) {
+                if !reason.trim().is_empty() {
+                    out.markers.push(Marker {
+                        kind,
+                        reason: reason.trim().to_string(),
+                        line,
+                    });
+                    return;
+                }
+            }
+            out.bad_markers
+                .push((line, format!("malformed `lint: {}` marker", kind.as_str())));
+            return;
+        }
+    }
+    out.bad_markers
+        .push((line, format!("unknown lint marker `{rest}`")));
+}
+
+/// Lexes `src` into tokens, markers and SAFETY-comment lines.
+///
+/// The lexer never fails: any character it does not understand becomes a
+/// one-character [`TokenKind::Punct`] token, which at worst makes a rule
+/// conservative.
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let push = |out: &mut LexedFile, kind: TokenKind, text: String, line: u32| {
+        out.tokens.push(Token { kind, text, line });
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. /// and //! doc comments).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < chars.len() && chars[j] != '\n' {
+                j += 1;
+            }
+            let text: String = chars[start..j].iter().collect();
+            process_comment(&mut out, &text, line);
+            i = j;
+            continue;
+        }
+        // Block comment; Rust block comments nest.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let comment_line = line;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            let start = j;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '\n' {
+                    line += 1;
+                } else if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 1;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 1;
+                }
+                j += 1;
+            }
+            let text: String = chars[start..j.saturating_sub(2).max(start)]
+                .iter()
+                .collect();
+            // Block comments carry SAFETY text too, but never lint markers
+            // (markers are line-comment-only by convention).
+            if text.contains("SAFETY:") {
+                out.safety_lines.push(comment_line);
+            }
+            i = j;
+            continue;
+        }
+        // String literal (plain, byte, raw; prefix handled at ident path).
+        if c == '"' {
+            let tok_line = line;
+            let mut j = i + 1;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    _ => j += 1,
+                }
+            }
+            push(&mut out, TokenKind::Literal, "\"…\"".to_string(), tok_line);
+            i = j;
+            continue;
+        }
+        // Lifetime or char literal.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            if let Some(n) = next {
+                if is_ident_start(n) && after != Some('\'') {
+                    // Lifetime: 'a, 'static, …
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    let text: String = chars[i..j].iter().collect();
+                    push(&mut out, TokenKind::Lifetime, text, line);
+                    i = j;
+                    continue;
+                }
+            }
+            // Char literal: 'x', '\n', '\u{…}'.
+            let mut j = i + 1;
+            while j < chars.len() {
+                match chars[j] {
+                    '\\' => j += 2,
+                    '\'' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            push(&mut out, TokenKind::Literal, "'…'".to_string(), line);
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < chars.len() {
+                let d = chars[j];
+                let exp_sign = (d == '+' || d == '-')
+                    && j > i
+                    && matches!(chars[j - 1], 'e' | 'E')
+                    && chars[i..j].iter().take(2).collect::<String>() != "0x";
+                if d.is_alphanumeric() || d == '_' || d == '.' || exp_sign {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            // `1..n` range: don't swallow the second dot.
+            let mut text: String = chars[i..j].iter().collect();
+            if let Some(pos) = text.find("..") {
+                text.truncate(pos);
+                j = i + text.chars().count();
+            }
+            push(&mut out, TokenKind::Literal, text, line);
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut j = i;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            // Raw/byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+            if matches!(text.as_str(), "r" | "b" | "br")
+                && matches!(chars.get(j), Some('"') | Some('#'))
+            {
+                let tok_line = line;
+                let mut hashes = 0usize;
+                let mut k = j;
+                while chars.get(k) == Some(&'#') {
+                    hashes += 1;
+                    k += 1;
+                }
+                if chars.get(k) == Some(&'"') {
+                    k += 1;
+                    let raw = text.starts_with('r') || text == "br";
+                    loop {
+                        match chars.get(k) {
+                            None => break,
+                            Some('\n') => {
+                                line += 1;
+                                k += 1;
+                            }
+                            Some('\\') if !raw => k += 2,
+                            Some('"') => {
+                                k += 1;
+                                let mut closing = 0usize;
+                                while closing < hashes && chars.get(k) == Some(&'#') {
+                                    closing += 1;
+                                    k += 1;
+                                }
+                                if closing == hashes {
+                                    break;
+                                }
+                            }
+                            Some(_) => k += 1,
+                        }
+                    }
+                    push(&mut out, TokenKind::Literal, "\"…\"".to_string(), tok_line);
+                    i = k;
+                    continue;
+                }
+                // `b'x'` byte char.
+            }
+            if text == "b" && chars.get(j) == Some(&'\'') {
+                let mut k = j + 1;
+                while k < chars.len() {
+                    match chars[k] {
+                        '\\' => k += 2,
+                        '\'' => {
+                            k += 1;
+                            break;
+                        }
+                        _ => k += 1,
+                    }
+                }
+                push(&mut out, TokenKind::Literal, "b'…'".to_string(), line);
+                i = k;
+                continue;
+            }
+            push(&mut out, TokenKind::Ident, text, line);
+            i = j;
+            continue;
+        }
+        push(&mut out, TokenKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            // for x in map.iter()
+            /* unsafe { } */
+            let s = "for x in map"; let r = r#"unsafe"#;
+            fn real() {}
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"map".to_string()));
+        assert_eq!(
+            ids,
+            vec!["let", "s", "let", "r", "fn", "real"]
+                .into_iter()
+                .map(String::from)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'…'"));
+    }
+
+    #[test]
+    fn markers_and_safety_comments_are_collected() {
+        let src = "
+            // lint: ordered-ok(drained and sorted before use)
+            for v in set.iter() {}
+            // SAFETY: the pointer outlives the call
+            // lint: bogus-ok(nope)
+        ";
+        let lexed = lex(src);
+        assert_eq!(lexed.markers.len(), 1);
+        assert_eq!(lexed.markers[0].kind, MarkerKind::OrderedOk);
+        assert_eq!(lexed.markers[0].line, 2);
+        assert_eq!(lexed.safety_lines, vec![4]);
+        assert_eq!(lexed.bad_markers.len(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_terminate() {
+        let lexed = lex("/* a /* b */ c */ fn f() {}");
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("fn")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("c")));
+    }
+
+    #[test]
+    fn numeric_range_does_not_swallow_dots() {
+        let lexed = lex("for i in 0..10 {}");
+        let texts: Vec<_> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"0"));
+        assert!(texts.contains(&"10"));
+        assert_eq!(texts.iter().filter(|&&t| t == ".").count(), 2);
+    }
+}

@@ -1,0 +1,114 @@
+//! The `oarsmt-lint` CLI.
+//!
+//! ```text
+//! oarsmt-lint [--root DIR] [--config PATH] [--baseline PATH]
+//!             [--json] [--write-baseline]
+//! ```
+//!
+//! Exits 0 when every finding is covered by the baseline, 1 when new
+//! findings exist, 2 on usage/configuration errors. CI runs it from the
+//! repository root with all defaults (`lint.toml`, `lint-baseline.txt`).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use oarsmt_lint::report::{parse_baseline, render_baseline, render_human, render_json};
+use oarsmt_lint::{config, run};
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: bool,
+    write_baseline: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: oarsmt-lint [--root DIR] [--config PATH] [--baseline PATH] \
+         [--json] [--write-baseline]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        root: PathBuf::from("."),
+        config: None,
+        baseline: None,
+        json: false,
+        write_baseline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => out.root = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--config" => out.config = Some(PathBuf::from(it.next().unwrap_or_else(|| usage()))),
+            "--baseline" => {
+                out.baseline = Some(PathBuf::from(it.next().unwrap_or_else(|| usage())));
+            }
+            "--json" => out.json = true,
+            "--write-baseline" => out.write_baseline = true,
+            _ => usage(),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let config_path = args.config.unwrap_or_else(|| args.root.join("lint.toml"));
+    let baseline_path = args
+        .baseline
+        .unwrap_or_else(|| args.root.join("lint-baseline.txt"));
+
+    let cfg_src = match std::fs::read_to_string(&config_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("oarsmt-lint: cannot read {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match config::parse(&cfg_src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("oarsmt-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // A missing baseline file means an empty baseline, not an error.
+    let baseline: BTreeSet<String> = std::fs::read_to_string(&baseline_path)
+        .map(|s| parse_baseline(&s))
+        .unwrap_or_default();
+
+    let report = match run(&args.root, &cfg, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("oarsmt-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.write_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, render_baseline(&report)) {
+            eprintln!("oarsmt-lint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "oarsmt-lint: wrote {} finding key(s) to {}",
+            report.findings.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
+}

@@ -1,0 +1,242 @@
+//! Finding aggregation: stable baseline keys, human-readable output and
+//! machine-readable JSON (hand-rolled — the environment has no serde_json).
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::rules::Finding;
+
+/// A finding plus its computed baseline key and suppression state.
+#[derive(Debug, Clone)]
+pub struct Keyed {
+    /// The underlying finding.
+    pub finding: Finding,
+    /// `rule|path|ident|occurrence#` — stable under unrelated edits
+    /// (line numbers are deliberately not part of the key).
+    pub key: String,
+    /// Whether the committed baseline suppresses this finding.
+    pub baselined: bool,
+}
+
+/// The complete result of one lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings in (path, line, rule) order.
+    pub findings: Vec<Keyed>,
+    /// Baseline entries that matched no finding (stale — safe to drop).
+    pub stale_baseline: Vec<String>,
+    /// Number of files analyzed.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not suppressed by the baseline.
+    pub fn new_findings(&self) -> impl Iterator<Item = &Keyed> {
+        self.findings.iter().filter(|k| !k.baselined)
+    }
+
+    /// Count of findings not suppressed by the baseline.
+    pub fn new_count(&self) -> usize {
+        self.new_findings().count()
+    }
+
+    /// Process exit code: nonzero iff any non-baselined finding exists.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.new_count() > 0)
+    }
+}
+
+/// Assigns baseline keys (per-`(rule, path, ident)` occurrence counters in
+/// file order) and marks findings present in `baseline`.
+pub fn keyed(mut findings: Vec<Finding>, baseline: &BTreeSet<String>) -> Report {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.rule, a.ident.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.rule,
+            b.ident.as_str(),
+        ))
+    });
+    let mut seen: std::collections::BTreeMap<(String, String, String), usize> =
+        std::collections::BTreeMap::new();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    let keyed: Vec<Keyed> = findings
+        .into_iter()
+        .map(|f| {
+            let slot = seen
+                .entry((f.rule.to_string(), f.path.clone(), f.ident.clone()))
+                .or_insert(0);
+            let key = format!("{}|{}|{}|{}", f.rule, f.path, f.ident, *slot);
+            *slot += 1;
+            let baselined = baseline.contains(&key);
+            if baselined {
+                used.insert(key.clone());
+            }
+            Keyed {
+                finding: f,
+                key,
+                baselined,
+            }
+        })
+        .collect();
+    let stale = baseline.difference(&used).cloned().collect();
+    Report {
+        findings: keyed,
+        stale_baseline: stale,
+        files_scanned: 0,
+    }
+}
+
+/// Parses a baseline file: one key per line, `#` comments and blank lines
+/// ignored.
+pub fn parse_baseline(src: &str) -> BTreeSet<String> {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect()
+}
+
+/// Renders the baseline file content for `--write-baseline`.
+pub fn render_baseline(report: &Report) -> String {
+    let mut out = String::from(
+        "# oarsmt-lint baseline: accepted findings, one `rule|path|ident|occurrence` key\n\
+         # per line. Regenerate with `cargo run -p oarsmt-lint -- --write-baseline`.\n",
+    );
+    for k in &report.findings {
+        out.push_str(&k.key);
+        out.push('\n');
+    }
+    out
+}
+
+/// Human-readable report.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for k in &report.findings {
+        let tag = if k.baselined { " (baselined)" } else { "" };
+        let _ = writeln!(
+            out,
+            "{}:{}: [{}]{} {}",
+            k.finding.path, k.finding.line, k.finding.rule, tag, k.finding.message
+        );
+    }
+    for stale in &report.stale_baseline {
+        let _ = writeln!(out, "note: stale baseline entry `{stale}` matched nothing");
+    }
+    let _ = writeln!(
+        out,
+        "oarsmt-lint: {} finding(s) ({} new, {} baselined) across {} file(s)",
+        report.findings.len(),
+        report.new_count(),
+        report.findings.len() - report.new_count(),
+        report.files_scanned,
+    );
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable JSON report.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (n, k) in report.findings.iter().enumerate() {
+        if n > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"ident\": \"{}\", \
+             \"key\": \"{}\", \"baselined\": {}, \"message\": \"{}\"}}",
+            json_escape(k.finding.rule),
+            json_escape(&k.finding.path),
+            k.finding.line,
+            json_escape(&k.finding.ident),
+            json_escape(&k.key),
+            k.baselined,
+            json_escape(&k.finding.message),
+        );
+    }
+    let _ = write!(
+        out,
+        "\n  ],\n  \"total\": {},\n  \"new\": {},\n  \"files_scanned\": {}\n}}\n",
+        report.findings.len(),
+        report.new_count(),
+        report.files_scanned,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(rule: &'static str, path: &str, line: u32, ident: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            ident: ident.to_string(),
+            message: format!("msg for {ident}"),
+        }
+    }
+
+    #[test]
+    fn occurrence_counters_disambiguate_repeats() {
+        let report = keyed(
+            vec![
+                f("D2-alloc", "a.rs", 10, "hot"),
+                f("D2-alloc", "a.rs", 20, "hot"),
+                f("D2-alloc", "b.rs", 5, "hot"),
+            ],
+            &BTreeSet::new(),
+        );
+        let keys: Vec<_> = report.findings.iter().map(|k| k.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "D2-alloc|a.rs|hot|0",
+                "D2-alloc|a.rs|hot|1",
+                "D2-alloc|b.rs|hot|0"
+            ]
+        );
+        assert_eq!(report.exit_code(), 1);
+    }
+
+    #[test]
+    fn baseline_suppresses_and_reports_stale_entries() {
+        let baseline = parse_baseline("# comment\nD2-alloc|a.rs|hot|0\nD2-alloc|gone.rs|x|0\n\n");
+        let report = keyed(vec![f("D2-alloc", "a.rs", 10, "hot")], &baseline);
+        assert_eq!(report.new_count(), 0);
+        assert_eq!(report.exit_code(), 0);
+        assert_eq!(report.stale_baseline, vec!["D2-alloc|gone.rs|x|0"]);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = keyed(
+            vec![f("D1-timing", "a \"q\".rs", 3, "Instant")],
+            &BTreeSet::new(),
+        );
+        let js = render_json(&report);
+        assert!(js.contains("\"new\": 1"));
+        assert!(js.contains("a \\\"q\\\".rs"));
+        assert!(js.ends_with("}\n"));
+    }
+}

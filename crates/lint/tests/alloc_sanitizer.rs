@@ -1,0 +1,152 @@
+//! Dynamic counterpart of the static D2 zero-alloc rule: a counting
+//! `#[global_allocator]` proves the registered hot paths (`route_in`,
+//! `predict_with_fsp_in`) perform **zero** heap allocations in steady
+//! state, and that `search_in` reaches a stable per-call allocation count
+//! (its [`SearchOutcome`] owns freshly allocated label/counter vectors, so
+//! zero is not the target there — stability across identical runs is).
+//!
+//! Build and run with:
+//!
+//! ```text
+//! cargo test --release -p oarsmt-lint --features alloc-count --test alloc_sanitizer
+//! ```
+//!
+//! Everything runs inside one `#[test]` so no concurrent test thread can
+//! touch the process-global counter mid-measurement.
+
+#![cfg(feature = "alloc-count")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use oarsmt::selector::{MedianHeuristicSelector, Selector, UniformSelector};
+use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_mcts::{CombinatorialMcts, Critic, MctsConfig};
+use oarsmt_router::{OarmstRouter, RouteContext};
+
+/// Counts every allocation and reallocation made through the global
+/// allocator. Deallocations are not counted: a hot path that frees memory
+/// it did not allocate would already show up as an alloc elsewhere.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: every method forwards verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the only addition is a relaxed atomic counter.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged to the system allocator.
+        unsafe { System.alloc(layout) }
+    }
+
+    // SAFETY: inherits the caller's `GlobalAlloc::dealloc` contract.
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` came from this allocator, which always
+        // delegates to `System`, so freeing through `System` is valid.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    // SAFETY: inherits the caller's `GlobalAlloc::realloc` contract.
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: same provenance argument as `dealloc`; `new_size`
+        // obeys the caller's `GlobalAlloc::realloc` contract.
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation count attributable to `f` (single-threaded by construction).
+fn allocs_during<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::SeqCst) - before, out)
+}
+
+fn graph() -> HananGraph {
+    let mut g = HananGraph::uniform(6, 6, 2, 1.0, 1.0, 3.0);
+    g.add_pin(GridPoint::new(0, 0, 0)).unwrap();
+    g.add_pin(GridPoint::new(5, 5, 0)).unwrap();
+    g.add_pin(GridPoint::new(0, 5, 1)).unwrap();
+    g.add_pin(GridPoint::new(5, 0, 1)).unwrap();
+    g
+}
+
+#[test]
+fn hot_paths_are_allocation_free_in_steady_state() {
+    // The counter must actually count, or the zero assertions below would
+    // pass vacuously.
+    let (n, buf) = allocs_during(|| vec![0u8; 4096]);
+    assert!(n >= 1, "counting allocator is not wired in");
+    drop(buf);
+
+    let g = graph();
+    let mut ctx = RouteContext::new();
+
+    // --- route_in: zero allocations once the context is warm. ---
+    let router = OarmstRouter::new();
+    let candidates = [GridPoint::new(2, 2, 0), GridPoint::new(3, 3, 1)];
+    let mut warm_cost = 0.0;
+    for _ in 0..3 {
+        let tree = router.route_in(&mut ctx, &g, &candidates).unwrap();
+        warm_cost = tree.cost();
+        ctx.recycle_tree(tree);
+    }
+    let (n, steady_cost) = allocs_during(|| {
+        let mut cost = 0.0;
+        for _ in 0..8 {
+            let tree = router.route_in(&mut ctx, &g, &candidates).unwrap();
+            cost = tree.cost();
+            ctx.recycle_tree(tree);
+        }
+        cost
+    });
+    assert_eq!(n, 0, "route_in allocated {n} times in steady state");
+    assert_eq!(steady_cost, warm_cost, "steady-state result drifted");
+
+    // --- predict_with_fsp_in: zero allocations with a precomputed fsp. ---
+    let critic = Critic::new();
+    let mut median = MedianHeuristicSelector::new();
+    let selected = [GridPoint::new(2, 2, 0)];
+    let fsp = median.fsp(&g, &selected);
+    let mut warm_value = 0.0;
+    for _ in 0..3 {
+        warm_value = critic
+            .predict_with_fsp_in(&mut ctx, &g, &selected, &fsp)
+            .unwrap();
+    }
+    let (n, steady_value) = allocs_during(|| {
+        let mut value = 0.0;
+        for _ in 0..8 {
+            value = critic
+                .predict_with_fsp_in(&mut ctx, &g, &selected, &fsp)
+                .unwrap();
+        }
+        value
+    });
+    assert_eq!(
+        n, 0,
+        "predict_with_fsp_in allocated {n} times in steady state"
+    );
+    assert_eq!(steady_value, warm_value, "steady-state result drifted");
+
+    // --- search_in: identical runs must cost an identical (small) number
+    // of allocations — the SearchOutcome's owned vectors and nothing that
+    // grows run over run. ---
+    let mcts = CombinatorialMcts::new(MctsConfig::tiny());
+    let mut uniform = UniformSelector::new(0.4);
+    for _ in 0..2 {
+        mcts.search_in(&mut ctx, &g, &mut uniform).unwrap();
+    }
+    let (a, first) = allocs_during(|| mcts.search_in(&mut ctx, &g, &mut uniform).unwrap());
+    let (b, second) = allocs_during(|| mcts.search_in(&mut ctx, &g, &mut uniform).unwrap());
+    assert_eq!(
+        a, b,
+        "search_in allocation count changed between identical runs ({a} vs {b})"
+    );
+    assert_eq!(first.final_cost, second.final_cost);
+    assert_eq!(first.executed, second.executed);
+}

@@ -1,0 +1,6 @@
+//! Binary root of the unsafe-free fixture package: carries the attribute,
+//! so only the package's `lib.rs` draws the D4-forbid finding.
+
+#![forbid(unsafe_code)]
+
+fn main() {}

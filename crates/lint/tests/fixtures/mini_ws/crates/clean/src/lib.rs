@@ -1,0 +1,6 @@
+//! Unsafe-free fixture package deliberately missing
+//! `#![forbid(unsafe_code)]` — exactly one D4-forbid finding, anchored
+//! here at the crate root.
+
+/// Nothing interesting; the finding is about the missing crate attribute.
+pub fn noop() {}

@@ -1,0 +1,81 @@
+//! D1 fixtures: one hash iteration violation, one timing violation, plus
+//! escaped and inherently-clean counterparts that must stay silent.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::time::Instant;
+
+/// VIOLATION (D1-hash-iter occurrence 0): `for` over a `HashMap`.
+pub fn sum_values(m: &HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for (_, v) in m.iter() {
+        total += v;
+    }
+    total
+}
+
+/// VIOLATION (D1-hash-iter occurrence 1): `.drain()` on a local `HashSet`.
+pub fn drain_all(mut s: HashSet<u32>) -> usize {
+    let mut n = 0;
+    s.drain().for_each(|_| n += 1);
+    n
+}
+
+/// VIOLATION (D1-timing): wall-clock read without a marker.
+pub fn stamp() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+/// CLEAN: same iteration, escaped with a marker (order-insensitive sum).
+pub fn sum_values_marked(m: &HashMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    // lint: ordered-ok(summation is order-insensitive)
+    for (_, v) in m.iter() {
+        total += v;
+    }
+    total
+}
+
+/// CLEAN: a multi-line chain below the marker stays covered through the
+/// end of the statement.
+pub fn collect_sorted(m: &HashMap<u32, u32>) -> Vec<u32> {
+    // lint: ordered-ok(drained into a Vec and sorted before return)
+    let mut keys: Vec<u32> = m
+        .keys()
+        .copied()
+        .collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// CLEAN: `BTreeMap` iterates in key order — no finding. (Named `b`, not
+/// `m`: the hash-typed-name set is file-wide by design, so reusing a
+/// hash-typed name for an ordered container would still flag.)
+pub fn ordered_sum(b: &BTreeMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for (_, v) in b.iter() {
+        total += v;
+    }
+    total
+}
+
+/// CLEAN: timing escaped with a marker.
+pub fn stamp_marked() -> f64 {
+    // lint: timing-ok(reported metadata; never feeds results)
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// CLEAN: test code is out of D1 scope even when it iterates hashes.
+    #[test]
+    fn hash_iteration_in_tests_is_fine() {
+        let m: HashMap<u32, u32> = HashMap::new();
+        for (_, v) in m.iter() {
+            drop(v);
+        }
+    }
+}

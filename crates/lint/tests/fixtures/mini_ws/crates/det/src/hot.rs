@@ -1,0 +1,22 @@
+//! D2 fixtures: allocating calls inside registered zero-alloc functions
+//! (`hot_in` is registered in the fixture `lint.toml`; `cold` is not), a
+//! registered-but-missing function (`phantom_in`), and escapes.
+
+/// Registered zero-alloc fn with three violations and one escape.
+pub fn hot_in(out: &mut Vec<u32>, xs: &[u32]) -> usize {
+    out.clear();
+    let tmp = Vec::new(); // VIOLATION (D2-alloc occurrence 0)
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect(); // VIOLATION (occurrence 1)
+    let owned = doubled.clone(); // VIOLATION (occurrence 2)
+    // lint: alloc-ok(grows once at bind time, amortized across queries)
+    let big = vec![0u32; xs.len()];
+    out.extend_from_slice(&owned);
+    tmp.len() + big.len()
+}
+
+/// NOT registered: the same allocations draw no findings here.
+pub fn cold(xs: &[u32]) -> Vec<u32> {
+    let mut v = Vec::new();
+    v.extend(xs.iter().map(|x| x * 2));
+    v
+}

@@ -1,0 +1,9 @@
+//! Fixture crate root. This crate *uses* `unsafe` (see `unsafety`), so
+//! D4-forbid demands nothing here — the unsafe-free `clean` package next
+//! door is the one that must carry `#![forbid(unsafe_code)]` (and
+//! deliberately does not).
+
+pub mod determinism;
+pub mod hot;
+pub mod unsafety;
+pub mod wrappers;

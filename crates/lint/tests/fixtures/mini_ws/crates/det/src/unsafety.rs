@@ -1,0 +1,18 @@
+//! D4 fixtures: `unsafe` with and without a `// SAFETY:` justification.
+//!
+//! This file makes the fixture crate "unsafe-using", so the crate root is
+//! exercised by D4-safety, not skipped — the companion `clean` package
+//! exercises the unsafe-free D4-forbid path.
+
+/// VIOLATION (D4-safety): no SAFETY comment anywhere nearby.
+pub fn read_first(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}
+
+/// CLEAN: justified on the preceding line.
+pub fn read_first_justified(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,112 @@
+//! End-to-end lint runs over the fixture workspace in
+//! `tests/fixtures/mini_ws` (one deliberate violation per rule family plus
+//! clean counterparts), and over the real repository (which must be clean
+//! against the committed `lint.toml`/`lint-baseline.txt`).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use oarsmt_lint::report::{parse_baseline, render_json};
+use oarsmt_lint::{config, run};
+
+fn mini_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini_ws")
+}
+
+fn mini_cfg() -> config::Config {
+    let src = std::fs::read_to_string(mini_root().join("lint.toml")).unwrap();
+    config::parse(&src).unwrap()
+}
+
+/// The exact baseline keys the fixture workspace must produce — one entry
+/// per deliberate violation; every clean counterpart must stay silent.
+/// Order follows the report sort: (path, line, rule, ident), with
+/// file-level findings (D2-missing, D4-forbid) anchored at line 0.
+const EXPECTED_KEYS: [&str; 10] = [
+    "D4-forbid|crates/clean/src/lib.rs|clean|0",
+    "D1-hash-iter|crates/det/src/determinism.rs|m|0",
+    "D1-hash-iter|crates/det/src/determinism.rs|s|0",
+    "D1-timing|crates/det/src/determinism.rs|Instant|0",
+    "D2-missing|crates/det/src/hot.rs|phantom_in|0",
+    "D2-alloc|crates/det/src/hot.rs|hot_in|0",
+    "D2-alloc|crates/det/src/hot.rs|hot_in|1",
+    "D2-alloc|crates/det/src/hot.rs|hot_in|2",
+    "D4-safety|crates/det/src/unsafety.rs|unsafe|0",
+    "D3-wrapper|crates/det/src/wrappers.rs|route|0",
+];
+
+#[test]
+fn fixture_workspace_produces_exactly_the_expected_findings() {
+    let report = run(&mini_root(), &mini_cfg(), &BTreeSet::new()).unwrap();
+    let keys: Vec<&str> = report.findings.iter().map(|k| k.key.as_str()).collect();
+    assert_eq!(keys, EXPECTED_KEYS, "finding set drifted");
+    assert_eq!(report.new_count(), EXPECTED_KEYS.len());
+    assert_eq!(report.exit_code(), 1);
+}
+
+#[test]
+fn baseline_suppresses_fixture_findings() {
+    let full: BTreeSet<String> = EXPECTED_KEYS.iter().map(|s| s.to_string()).collect();
+    let report = run(&mini_root(), &mini_cfg(), &full).unwrap();
+    assert_eq!(report.new_count(), 0);
+    assert_eq!(report.exit_code(), 0);
+    assert!(report.stale_baseline.is_empty());
+
+    // A partial baseline leaves the rest failing, and an extra stale key
+    // is reported as stale without affecting the exit code.
+    let mut partial: BTreeSet<String> = EXPECTED_KEYS[..4].iter().map(|s| s.to_string()).collect();
+    partial.insert("D1-timing|crates/det/src/gone.rs|Instant|0".to_string());
+    let report = run(&mini_root(), &mini_cfg(), &partial).unwrap();
+    assert_eq!(report.new_count(), EXPECTED_KEYS.len() - 4);
+    assert_eq!(
+        report.stale_baseline,
+        vec!["D1-timing|crates/det/src/gone.rs|Instant|0".to_string()]
+    );
+    assert_eq!(report.exit_code(), 1);
+}
+
+#[test]
+fn json_report_has_the_machine_readable_shape() {
+    let report = run(&mini_root(), &mini_cfg(), &BTreeSet::new()).unwrap();
+    let js = render_json(&report);
+    assert!(js.starts_with("{\n"));
+    assert!(js.ends_with("}\n"));
+    assert!(js.contains(&format!("\"total\": {}", EXPECTED_KEYS.len())));
+    assert!(js.contains(&format!("\"new\": {}", EXPECTED_KEYS.len())));
+    for key in EXPECTED_KEYS {
+        assert!(js.contains(key), "missing key {key} in JSON");
+    }
+    // Every finding row carries the full field set.
+    for field in [
+        "\"rule\"",
+        "\"path\"",
+        "\"line\"",
+        "\"ident\"",
+        "\"baselined\"",
+        "\"message\"",
+    ] {
+        assert_eq!(
+            js.matches(field).count(),
+            EXPECTED_KEYS.len(),
+            "field {field} count"
+        );
+    }
+}
+
+#[test]
+fn real_repository_is_clean_against_its_committed_config() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg_src = std::fs::read_to_string(repo.join("lint.toml")).unwrap();
+    let cfg = config::parse(&cfg_src).unwrap();
+    let baseline = std::fs::read_to_string(repo.join("lint-baseline.txt"))
+        .map(|s| parse_baseline(&s))
+        .unwrap_or_default();
+    let report = run(&repo, &cfg, &baseline).unwrap();
+    let new: Vec<String> = report
+        .new_findings()
+        .map(|k| format!("{}:{} {}", k.finding.path, k.finding.line, k.key))
+        .collect();
+    assert!(new.is_empty(), "new lint findings in the repo:\n{new:#?}");
+}

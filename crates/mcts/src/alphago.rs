@@ -104,6 +104,9 @@ struct SearchBuffers {
     sel_idx: Vec<u32>,
     sel_pts: Vec<GridPoint>,
     fsp: Vec<f32>,
+    /// Selection path of one exploration iteration, reused across all
+    /// `α` iterations of a search.
+    path: Vec<(u32, usize)>,
 }
 
 impl SearchBuffers {
@@ -112,6 +115,7 @@ impl SearchBuffers {
             sel_idx: std::mem::take(&mut ctx.selected_idx),
             sel_pts: std::mem::take(&mut ctx.selected_points),
             fsp: std::mem::take(&mut ctx.fsp),
+            path: Vec::new(),
         }
     }
 
@@ -268,7 +272,9 @@ impl AlphaGoMcts {
         initial_cost: f64,
         simulations: &mut usize,
     ) -> Result<(), RouteError> {
-        let mut path: Vec<(u32, usize)> = Vec::new();
+        // Taken (not borrowed) so `bufs` stays free for the calls below.
+        let mut path = std::mem::take(&mut bufs.path);
+        path.clear();
         let mut cur = root;
         loop {
             let node = &nodes[cur as usize];
@@ -339,11 +345,12 @@ impl AlphaGoMcts {
             v
         };
 
-        for (node_id, edge_idx) in path {
+        for &(node_id, edge_idx) in &path {
             let e = &mut nodes[node_id as usize].edges[edge_idx];
             e.n += 1;
             e.w += value;
         }
+        bufs.path = path;
         Ok(())
     }
 

@@ -18,6 +18,8 @@
 //! per executed move — the scheme of \[4\]/AlphaGo that the paper compares
 //! against in Figs. 11–12.
 
+#![forbid(unsafe_code)]
+
 pub mod actor;
 pub mod alphago;
 pub mod config;

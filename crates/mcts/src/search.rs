@@ -116,6 +116,9 @@ struct SearchBuffers {
     sel_pts: Vec<GridPoint>,
     fsp: Vec<f32>,
     policy: Vec<ActionProb>,
+    /// Selection path of one exploration iteration, reused across all
+    /// `α` iterations of a search.
+    path: Vec<(u32, usize)>,
 }
 
 impl SearchBuffers {
@@ -125,6 +128,7 @@ impl SearchBuffers {
             sel_pts: std::mem::take(&mut ctx.selected_points),
             fsp: std::mem::take(&mut ctx.fsp),
             policy: Vec::new(),
+            path: Vec::new(),
         }
     }
 
@@ -293,7 +297,11 @@ impl CombinatorialMcts {
         counters: &mut LabelCounters,
         simulations: &mut usize,
     ) -> Result<(), RouteError> {
-        let mut path: Vec<(u32, usize)> = Vec::new();
+        // Taken (not borrowed) so `bufs` stays free for the calls below;
+        // an early `?` return drops the capacity, which only matters on the
+        // error path where the whole search aborts anyway.
+        let mut path = std::mem::take(&mut bufs.path);
+        path.clear();
         let mut cur = root;
 
         // Selection: descend by Q + U until a leaf (unexpanded or terminal).
@@ -364,11 +372,12 @@ impl CombinatorialMcts {
         };
 
         // Backpropagation: N += 1, W += v, Q = W / N along the path.
-        for (node_id, edge_idx) in path {
+        for &(node_id, edge_idx) in &path {
             let e = &mut nodes[node_id as usize].edges[edge_idx];
             e.n += 1;
             e.w += value;
         }
+        bufs.path = path;
         Ok(())
     }
 

@@ -41,6 +41,8 @@
 //! assert_eq!(y.shape(), &[1, 5, 9, 3]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod activation;
 pub mod conv3d;
 pub mod error;

@@ -183,6 +183,7 @@ impl NnWorkspace {
     #[inline]
     pub(crate) fn prof_start(&self) -> Option<Instant> {
         if self.profiling {
+            // lint: timing-ok(opt-in bench profiling; results never depend on it)
             Some(Instant::now())
         } else {
             None

@@ -14,6 +14,8 @@
 //! * [`schedule`] — the paper's training-schedule constants and the scaled
 //!   laptop defaults used by this reproduction.
 
+#![forbid(unsafe_code)]
+
 pub mod augment;
 pub mod dataset;
 pub mod ppo;

@@ -192,10 +192,12 @@ impl Trainer {
         selector: &mut NeuralSelector,
         stage: usize,
     ) -> Result<StageReport, oarsmt_router::RouteError> {
+        // lint: timing-ok(reported wall-clock metadata; never feeds results)
         let gen_start = Instant::now();
         let (samples, mcts_cost_ratio) = self.generate_samples(selector, stage)?;
         let sample_gen_time = gen_start.elapsed();
 
+        // lint: timing-ok(reported wall-clock metadata; never feeds results)
         let fit_start = Instant::now();
         let expanded: Vec<TrainingSample> = if self.config.augment {
             samples.iter().flat_map(augment_16).collect()

@@ -20,10 +20,10 @@
 
 use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_graph::dijkstra::{DijkstraWorkspace, SearchBounds};
-use oarsmt_graph::{GridAdjacency, StampSet};
+use oarsmt_graph::{GridAdjacency, StampMap, StampSet};
 use oarsmt_nn::NnWorkspace;
 
-use crate::tree::RouteTree;
+use crate::tree::{RouteTree, TreeAdjacency};
 
 /// A reusable per-layout routing/inference workspace.
 ///
@@ -88,6 +88,13 @@ pub struct RouteContext {
     pub(crate) terminals: Vec<GridPoint>,
     pub(crate) tree_vertices: Vec<GridPoint>,
     pub(crate) kept: Vec<GridPoint>,
+    /// Maze-query result buffer (`shortest_path_to_set_*_into` writes
+    /// here), so the Prim/retrace loops never allocate a `GridPath`.
+    pub(crate) path_buf: Vec<GridPoint>,
+    /// Sorted-half-edge adjacency of the tree under polish.
+    pub(crate) tree_adj: TreeAdjacency,
+    /// Per-vertex tree degrees of the redundant-candidate prune.
+    pub(crate) cand_degrees: StampMap,
     tree_pool: Vec<RouteTree>,
 
     // --- inference scratch (public: owned here, filled by oarsmt/oarsmt-mcts) ---

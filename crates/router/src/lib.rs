@@ -28,6 +28,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod context;
 pub mod error;
 pub mod exact;
@@ -46,4 +48,4 @@ pub use lin18::Lin18Router;
 pub use liu14::Liu14Router;
 pub use oarmst::OarmstRouter;
 pub use spanning::SpanningRouter;
-pub use tree::RouteTree;
+pub use tree::{RouteTree, TreeAdjacency};

@@ -17,7 +17,7 @@ use oarsmt_geom::{GridPoint, HananGraph};
 
 use crate::context::RouteContext;
 use crate::error::RouteError;
-use crate::prune::redundant_candidates;
+use crate::prune::retain_irredundant_in;
 use crate::tree::RouteTree;
 
 /// The OARMST router (maze-router-based Prim plus pruning).
@@ -136,15 +136,10 @@ impl OarmstRouter {
             return Err(e);
         }
         for _ in 0..max_rounds {
-            let redundant = redundant_candidates(graph, &tree, &kept);
-            if redundant.is_empty() {
+            let removed = retain_irredundant_in(&mut ctx.cand_degrees, graph, &tree, &mut kept);
+            if removed == 0 {
                 break;
             }
-            ctx.seen.begin(graph.len());
-            for &p in &redundant {
-                ctx.seen.insert(graph.index(p));
-            }
-            kept.retain(|&p| !ctx.seen.contains(graph.index(p)));
             if let Err(e) = self.build_once_in(ctx, graph, &kept, &mut tree) {
                 ctx.recycle_tree(tree);
                 ctx.kept = kept;
@@ -311,34 +306,34 @@ impl OarmstRouter {
 
         while !ctx.unconnected.is_empty() {
             let searched = match bounds {
-                None => {
-                    ctx.space
-                        .shortest_path_to_set_csr(graph, &ctx.adj, &ctx.tree_vertices, |i| {
-                            ctx.unconnected.contains(i)
-                        })
-                }
-                Some(_) => ctx.space.shortest_path_to_set(
+                None => ctx.space.shortest_path_to_set_csr_into(
+                    graph,
+                    &ctx.adj,
+                    &ctx.tree_vertices,
+                    |i| ctx.unconnected.contains(i),
+                    &mut ctx.path_buf,
+                ),
+                Some(_) => ctx.space.shortest_path_to_set_into(
                     graph,
                     &ctx.tree_vertices,
                     |i| ctx.unconnected.contains(i),
                     bounds,
+                    &mut ctx.path_buf,
                 ),
             };
-            let path = match searched {
-                Ok(p) => p,
-                Err(e) => {
-                    // Candidates sitting in walled-off pockets are simply
-                    // dropped; only unreachable *pins* are fatal.
-                    if unconnected_pins > 0 {
-                        return Err(RouteError::from(e));
-                    }
-                    break;
+            if let Err(e) = searched {
+                // Candidates sitting in walled-off pockets are simply
+                // dropped; only unreachable *pins* are fatal.
+                if unconnected_pins > 0 {
+                    return Err(RouteError::from(e));
                 }
-            };
-            for (a, b) in path.edges() {
-                tree.add_edge(graph, a, b);
+                break;
             }
-            for &p in &path.points {
+            for w in ctx.path_buf.windows(2) {
+                tree.add_edge(graph, w[0], w[1]);
+            }
+            for k in 0..ctx.path_buf.len() {
+                let p = ctx.path_buf[k];
                 let idx = graph.index(p);
                 if ctx.in_tree.insert(idx) {
                     ctx.tree_vertices.push(p);

@@ -5,6 +5,7 @@
 //! branches, so keeping it as a terminal can only lengthen the tree.
 
 use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_graph::StampMap;
 
 use crate::tree::RouteTree;
 
@@ -44,6 +45,28 @@ pub fn redundant_candidates(
         .collect()
 }
 
+/// In-place counterpart of [`redundant_candidates`] for the routing hot
+/// loop: counts tree degrees into the caller's stamped `degrees` map and
+/// retains only the irredundant candidates (tree degree ≥ 3) in `kept`,
+/// preserving their order. Returns how many candidates were removed — the
+/// prune loop stops when this reaches zero, exactly when
+/// [`redundant_candidates`] would have returned an empty list.
+pub fn retain_irredundant_in(
+    degrees: &mut StampMap,
+    graph: &HananGraph,
+    tree: &RouteTree,
+    kept: &mut Vec<GridPoint>,
+) -> usize {
+    degrees.begin(graph.len());
+    for &(a, b) in tree.edges() {
+        degrees.add(a as usize, 1);
+        degrees.add(b as usize, 1);
+    }
+    let before = kept.len();
+    kept.retain(|&c| degrees.get(graph.index(c)) >= 3);
+    before - kept.len()
+}
+
 /// Splits candidates into `(irredundant, redundant)` by tree degree.
 pub fn partition_candidates(
     graph: &HananGraph,
@@ -80,6 +103,26 @@ mod tests {
         let (keep, drop) = partition_candidates(&g, &tree, &[center]);
         assert_eq!(keep, vec![center]);
         assert!(drop.is_empty());
+    }
+
+    #[test]
+    fn retain_irredundant_in_matches_redundant_candidates() {
+        let mut g = HananGraph::uniform(5, 5, 1, 1.0, 1.0, 3.0);
+        for &(h, v) in &[(0, 2), (4, 2), (2, 0), (2, 4)] {
+            g.add_pin(GridPoint::new(h, v, 0)).unwrap();
+        }
+        let center = GridPoint::new(2, 2, 0);
+        let stray = GridPoint::new(4, 4, 0);
+        let cands = [center, stray];
+        let tree = OarmstRouter::new().route_unpruned(&g, &cands).unwrap();
+        let redundant = redundant_candidates(&g, &tree, &cands);
+        let mut kept = cands.to_vec();
+        let mut degrees = StampMap::new();
+        let removed = retain_irredundant_in(&mut degrees, &g, &tree, &mut kept);
+        assert_eq!(removed, redundant.len());
+        for c in &cands {
+            assert_eq!(kept.contains(c), !redundant.contains(c), "candidate {c}");
+        }
     }
 
     #[test]

@@ -3,13 +3,11 @@
 //! the shared OARMST construction's polish pass and by the \[14\] baseline's
 //! iterated reassessment).
 
-use std::collections::HashMap;
-
 use oarsmt_geom::{GridPoint, HananGraph};
 
 use crate::context::RouteContext;
 use crate::error::RouteError;
-use crate::tree::RouteTree;
+use crate::tree::{RouteTree, TreeAdjacency};
 
 /// Rips up `terminal`'s branch — the degree-≤2 chain from the terminal to
 /// the first branch vertex or other terminal — and reroutes the terminal
@@ -53,7 +51,11 @@ pub fn reroute_terminal_in(
     terminals: &[GridPoint],
     terminal_idx: usize,
 ) -> Result<Option<RouteTree>, RouteError> {
-    reroute_with_adj(ctx, graph, tree, &tree.adjacency(), terminals, terminal_idx)
+    let mut adj = std::mem::take(&mut ctx.tree_adj);
+    adj.rebuild(tree);
+    let result = reroute_with_adj(ctx, graph, tree, &adj, terminals, terminal_idx);
+    ctx.tree_adj = adj;
+    result
 }
 
 /// [`reroute_terminal_in`] against a caller-supplied adjacency of `tree`
@@ -63,15 +65,13 @@ fn reroute_with_adj(
     ctx: &mut RouteContext,
     graph: &HananGraph,
     tree: &RouteTree,
-    adj: &HashMap<u32, Vec<u32>>,
+    adj: &TreeAdjacency,
     terminals: &[GridPoint],
     terminal_idx: usize,
 ) -> Result<Option<RouteTree>, RouteError> {
     let terminal = terminals[terminal_idx];
     let term_v = graph.index(terminal) as u32;
-    let Some(neighbors) = adj.get(&term_v) else {
-        return Ok(None);
-    };
+    let neighbors = adj.neighbors(term_v);
     if neighbors.len() != 1 {
         return Ok(None);
     }
@@ -84,14 +84,16 @@ fn reroute_with_adj(
     let mut stripped = ctx.take_tree();
     stripped.copy_from(tree);
     let mut prev = term_v;
-    let mut cur = neighbors[0];
+    let mut cur = neighbors[0].1;
     stripped.remove_edge(graph, prev, cur);
     while !ctx.seen.contains(cur as usize) {
-        let Some(next) = adj
-            .get(&cur)
-            .filter(|n| n.len() == 2)
-            .and_then(|n| n.iter().copied().find(|&x| x != prev))
-        else {
+        // Degree-2 chain step: exactly one neighbor differs from `prev`,
+        // so the sorted neighbor order cannot change which one is picked.
+        let n = adj.neighbors(cur);
+        if n.len() != 2 {
+            break;
+        }
+        let Some(&(_, next)) = n.iter().find(|&&(_, x)| x != prev) else {
             break;
         };
         stripped.remove_edge(graph, cur, next);
@@ -119,18 +121,18 @@ fn reroute_with_adj(
     }
     let target = graph.index(terminal);
     ctx.adj.ensure(graph);
-    let path = match ctx
-        .space
-        .shortest_path_to_set_csr(graph, &ctx.adj, &ctx.tree_vertices, |i| i == target)
-    {
-        Ok(p) => p,
-        Err(e) => {
-            ctx.recycle_tree(stripped);
-            return Err(RouteError::from(e));
-        }
-    };
-    for (a, b) in path.edges() {
-        stripped.add_edge(graph, a, b);
+    if let Err(e) = ctx.space.shortest_path_to_set_csr_into(
+        graph,
+        &ctx.adj,
+        &ctx.tree_vertices,
+        |i| i == target,
+        &mut ctx.path_buf,
+    ) {
+        ctx.recycle_tree(stripped);
+        return Err(RouteError::from(e));
+    }
+    for w in ctx.path_buf.windows(2) {
+        stripped.add_edge(graph, w[0], w[1]);
     }
     Ok(Some(stripped))
 }
@@ -164,18 +166,27 @@ pub fn polish_round_in(
 ) -> Result<(RouteTree, bool), RouteError> {
     let mut best = tree;
     let mut improved = false;
-    let mut adj = best.adjacency();
+    let mut adj = std::mem::take(&mut ctx.tree_adj);
+    adj.rebuild(&best);
     for idx in 0..terminals.len() {
-        if let Some(candidate) = reroute_with_adj(ctx, graph, &best, &adj, terminals, idx)? {
-            if candidate.cost() + 1e-9 < best.cost() {
-                ctx.recycle_tree(std::mem::replace(&mut best, candidate));
-                adj = best.adjacency();
-                improved = true;
-            } else {
-                ctx.recycle_tree(candidate);
+        match reroute_with_adj(ctx, graph, &best, &adj, terminals, idx) {
+            Ok(Some(candidate)) => {
+                if candidate.cost() + 1e-9 < best.cost() {
+                    ctx.recycle_tree(std::mem::replace(&mut best, candidate));
+                    adj.rebuild(&best);
+                    improved = true;
+                } else {
+                    ctx.recycle_tree(candidate);
+                }
+            }
+            Ok(None) => {}
+            Err(e) => {
+                ctx.tree_adj = adj;
+                return Err(e);
             }
         }
     }
+    ctx.tree_adj = adj;
     Ok((best, improved))
 }
 

@@ -3,7 +3,7 @@
 //! coordinates — what a downstream flow (DEF writer, DRC, parasitic
 //! extraction) consumes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use oarsmt_geom::{Coord, GridPoint, HananGraph};
@@ -81,14 +81,15 @@ impl RouteGeometry {
     /// grid edges into maximal segments.
     pub fn extract(graph: &HananGraph, tree: &RouteTree) -> RouteGeometry {
         // Collect the grid edges per direction.
-        #[derive(PartialEq, Eq, Hash, Clone, Copy)]
+        #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
         enum Dir {
             H,
             V,
         }
         // Key: (layer, row-or-col fixed index) -> sorted variable indices
-        // of covered gaps.
-        let mut runs: HashMap<(Dir, usize, usize), Vec<usize>> = HashMap::new();
+        // of covered gaps. A BTreeMap so the emission order below is the
+        // key order, independent of edge insertion order and hasher state.
+        let mut runs: BTreeMap<(Dir, usize, usize), Vec<usize>> = BTreeMap::new();
         let mut vias: Vec<Via> = Vec::new();
         for &(a, b) in tree.edges() {
             let pa = graph.point(a as usize);
@@ -264,6 +265,33 @@ mod tests {
         assert_eq!(geo.wirelength(), 100);
         let xs: Vec<i64> = geo.wires.iter().flat_map(|w| [w.from.x, w.to.x]).collect();
         assert!(xs.contains(&0) && xs.contains(&100));
+    }
+
+    #[test]
+    fn extraction_order_is_deterministic_across_rebuilds() {
+        use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
+        let router = OarmstRouter::new();
+        let mut gen = CaseGenerator::new(GeneratorConfig::tiny(8, 8, 2, (3, 6)), 23);
+        for g in gen.generate_many(6) {
+            let Ok(tree) = router.route(&g, &[]) else {
+                continue;
+            };
+            let reference = RouteGeometry::extract(&g, &tree);
+            // Same tree re-extracted: identical segment *lists* (order
+            // included), run after run.
+            for _ in 0..3 {
+                assert_eq!(RouteGeometry::extract(&g, &tree), reference);
+            }
+            // Same edge set inserted in reverse order: still the same list.
+            let mut reversed = RouteTree::new();
+            for &(a, b) in tree.edges().iter().rev() {
+                reversed.add_edge(&g, g.point(a as usize), g.point(b as usize));
+            }
+            assert_eq!(RouteGeometry::extract(&g, &reversed), reference);
+            // And a fresh routing run of the same layout.
+            let again = router.route(&g, &[]).unwrap();
+            assert_eq!(RouteGeometry::extract(&g, &again), reference);
+        }
     }
 
     #[test]

@@ -46,7 +46,13 @@ impl RouteTree {
     pub fn copy_from(&mut self, other: &RouteTree) {
         self.edges.clear();
         self.edges.extend_from_slice(&other.edges);
-        self.edge_set.clone_from(&other.edge_set);
+        // Rebuild the set from the edge list rather than `clone_from` it:
+        // clearing keeps the table's capacity, so a warm tree performs no
+        // hash-table allocation here.
+        self.edge_set.clear();
+        for &e in &other.edges {
+            self.edge_set.insert(e);
+        }
         self.cost = other.cost;
     }
 
@@ -156,6 +162,7 @@ impl RouteTree {
             return true; // empty or single-vertex tree
         }
         let verts: Vec<u32> = {
+            // lint: ordered-ok(drained into a Vec and sorted before use)
             let mut v: Vec<u32> = self.vertices().into_iter().collect();
             v.sort_unstable();
             v
@@ -187,6 +194,7 @@ impl RouteTree {
     /// not one of `exclude` (typically the pins).
     pub fn steiner_vertices(&self, graph: &HananGraph, exclude: &[GridPoint]) -> Vec<GridPoint> {
         let excl: HashSet<u32> = exclude.iter().map(|&p| graph.index(p) as u32).collect();
+        // lint: ordered-ok(collected into a Vec and sorted before return)
         let mut out: Vec<GridPoint> = self
             .degrees()
             .into_iter()
@@ -207,6 +215,56 @@ impl RouteTree {
                 pa.m != pb.m
             })
             .count()
+    }
+}
+
+/// Reusable sorted-half-edge adjacency of a [`RouteTree`] — the
+/// deterministic, allocation-free replacement for [`RouteTree::adjacency`]
+/// in the retrace/polish hot path.
+///
+/// Rebuilding collects every edge as two `(vertex, neighbor)` half-edges
+/// and sorts them; neighbor queries binary-search the sorted list. Neighbor
+/// *order* therefore differs from the hash-map adjacency's insertion order,
+/// but the retrace consumers only ever inspect degree-1 and degree-2
+/// neighborhoods ("the single neighbor", "the neighbor that is not
+/// `prev`"), which are order-insensitive, so routing results are
+/// bit-identical.
+#[derive(Debug, Clone, Default)]
+pub struct TreeAdjacency {
+    pairs: Vec<(u32, u32)>,
+}
+
+impl TreeAdjacency {
+    /// Creates an empty adjacency; storage grows on first rebuild.
+    pub fn new() -> Self {
+        TreeAdjacency::default()
+    }
+
+    /// Rebuilds the half-edge list from `tree`, reusing storage.
+    pub fn rebuild(&mut self, tree: &RouteTree) {
+        self.pairs.clear();
+        for &(a, b) in tree.edges() {
+            self.pairs.push((a, b));
+            self.pairs.push((b, a));
+        }
+        // Unstable sort: half-edges of a simple graph are unique, so the
+        // tuple order is strict (no equal elements) and the result is
+        // deterministic; unlike the stable sort it allocates no merge
+        // buffer.
+        self.pairs.sort_unstable();
+    }
+
+    /// The `(vertex, neighbor)` half-edges out of `v`, ascending by
+    /// neighbor index.
+    pub fn neighbors(&self, v: u32) -> &[(u32, u32)] {
+        let lo = self.pairs.partition_point(|&(x, _)| x < v);
+        let hi = self.pairs.partition_point(|&(x, _)| x <= v);
+        &self.pairs[lo..hi]
+    }
+
+    /// Degree of `v` in the underlying tree (0 when absent).
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
     }
 }
 
@@ -308,6 +366,50 @@ mod tests {
         t.add_edge(&g, GridPoint::new(0, 0, 0), GridPoint::new(0, 0, 1));
         t.add_edge(&g, GridPoint::new(0, 0, 1), GridPoint::new(1, 0, 1));
         assert_eq!(t.via_count(&g), 1);
+    }
+
+    #[test]
+    fn tree_adjacency_matches_hash_adjacency() {
+        let g = grid();
+        let p = |h, v| GridPoint::new(h, v, 0);
+        let mut t = RouteTree::new();
+        t.add_edge(&g, p(1, 1), p(0, 1));
+        t.add_edge(&g, p(1, 1), p(2, 1));
+        t.add_edge(&g, p(1, 1), p(1, 0));
+        t.add_edge(&g, p(2, 1), p(3, 1));
+        let mut adj = TreeAdjacency::new();
+        adj.rebuild(&t);
+        let hash_adj = t.adjacency();
+        for (&v, nbrs) in &hash_adj {
+            let mut expect: Vec<u32> = nbrs.clone();
+            expect.sort_unstable();
+            let got: Vec<u32> = adj.neighbors(v).iter().map(|&(_, n)| n).collect();
+            assert_eq!(got, expect, "vertex {v}");
+            assert_eq!(adj.degree(v), nbrs.len());
+        }
+        assert!(adj.neighbors(999).is_empty());
+        assert_eq!(adj.degree(999), 0);
+        // Rebuild on a smaller tree reuses storage and forgets old edges.
+        let mut t2 = RouteTree::new();
+        t2.add_edge(&g, p(0, 0), p(1, 0));
+        adj.rebuild(&t2);
+        assert_eq!(adj.degree(g.index(p(1, 1)) as u32), 0);
+        assert_eq!(adj.degree(g.index(p(0, 0)) as u32), 1);
+    }
+
+    #[test]
+    fn copy_from_reuses_storage_and_matches() {
+        let g = grid();
+        let p = |h, v| GridPoint::new(h, v, 0);
+        let mut a = RouteTree::new();
+        a.add_edge(&g, p(0, 0), p(1, 0));
+        a.add_edge(&g, p(1, 0), p(1, 1));
+        let mut b = RouteTree::new();
+        b.add_edge(&g, p(3, 3), p(2, 3));
+        b.copy_from(&a);
+        assert_eq!(a, b);
+        assert_eq!(a.cost().to_bits(), b.cost().to_bits());
+        assert_eq!(a.edges(), b.edges());
     }
 
     #[test]

@@ -9,6 +9,8 @@
 //! mean-over-`sample_size` timing report on stdout — good enough for
 //! relative comparisons, not for regression detection.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -31,6 +31,8 @@
 //! # addition_commutes();
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod strategy;
 pub mod test_runner;

@@ -24,6 +24,8 @@
 //! assert_eq!(xs, ys); // same seed, same stream
 //! ```
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// A source of random 64-bit words; the base trait every generator

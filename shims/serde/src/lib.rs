@@ -13,6 +13,8 @@
 //! If real serialization is ever needed, replace this shim with the real
 //! crate (the derive attributes in the workspace are already correct).
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Marker trait mirroring `serde::Serialize` (no methods; the no-op derive

@@ -5,6 +5,8 @@
 //! attributes so the real crate can be swapped back in when the build
 //! environment has network access.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// Expands to nothing (see the crate docs).

@@ -14,6 +14,8 @@
 //! samples — and therefore the trained weights — are bit-identical for
 //! every thread count.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 use oarsmt::rl_router::RlRouter;

@@ -1,6 +1,8 @@
 //! Workspace facade crate: re-exports the public API of every crate in the
 //! OARSMT RL router reproduction so examples and integration tests can use a
 //! single dependency.
+
+#![forbid(unsafe_code)]
 pub use oarsmt as core;
 pub use oarsmt_geom as geom;
 pub use oarsmt_graph as graph;
