@@ -14,12 +14,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> oarsmt-lint (determinism / zero-alloc / wrapper / unsafe invariants)"
 cargo run -q -p oarsmt-lint
 
-echo "==> feature matrix (naive-ref oracle, no-default-features)"
+echo "==> feature matrix (naive-ref oracle, no-default-features, telemetry-timing)"
 cargo check -q -p oarsmt-nn --features naive-ref
 cargo check -q --workspace --no-default-features
+cargo check -q -p oarsmt-telemetry --features telemetry-timing
+cargo test -q -p oarsmt-telemetry --features telemetry-timing
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> counter determinism (bit-identical totals across thread counts)"
+cargo test -q --test parallel_determinism search_counter_totals
 
 echo "==> allocation sanitizer (zero steady-state allocs on registered hot paths)"
 cargo test --release -q -p oarsmt-lint --features alloc-count --test alloc_sanitizer
@@ -34,6 +39,12 @@ cargo run --release -q -p oarsmt-bench --bin critic_throughput -- --quick \
 echo "==> unet_throughput smoke (quick mode, asserts GEMM == naive oracle and baseline checksums)"
 cargo run --release -q -p oarsmt-bench --bin unet_throughput -- --quick \
     --out target/BENCH_unet_smoke.json
+
+echo "==> oarsmt report smoke (renders the telemetry embedded in the quick artifacts)"
+cargo run --release -q -p oarsmt-repro --bin oarsmt -- report \
+    target/BENCH_critic_smoke.json > /dev/null
+cargo run --release -q -p oarsmt-repro --bin oarsmt -- report \
+    target/BENCH_critic_smoke.json target/BENCH_unet_smoke.json > /dev/null
 
 echo "==> cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

@@ -39,6 +39,9 @@ use oarsmt_geom::gen::TestSubsetSpec;
 use oarsmt_geom::HananGraph;
 use oarsmt_mcts::Critic;
 use oarsmt_router::RouteContext;
+use oarsmt_telemetry::{
+    Counter, CounterSet, Manifest, Span, SpanSet, SpanStart, TelemetrySnapshot, TIMING_ENABLED,
+};
 
 #[derive(Clone, Copy, PartialEq)]
 enum Mode {
@@ -50,11 +53,19 @@ struct ModeResult {
     rollouts: usize,
     secs: f64,
     checksum: f64,
+    /// [`Span::CriticSelect`] / [`Span::CriticRoute`] wall-clock split
+    /// (zero-duration events unless `telemetry-timing` is on). Both modes
+    /// carry identical instrumentation, so the api ratio stays fair.
+    spans: SpanSet,
+    /// Counter totals of the rung's routing work (reused mode only: the
+    /// fresh-mode entry points build and discard internal workspaces).
+    counters: CounterSet,
 }
 
 /// Runs the level sweep on one layout: every prefix of the heuristic's
 /// top-k combination is priced exactly as an MCTS leaf would be.
 /// `ctx`/`fsp_buf` are used only in reused mode.
+#[allow(clippy::too_many_arguments)]
 fn sweep_layout(
     critic: &Critic,
     selector: &mut MedianHeuristicSelector,
@@ -63,6 +74,7 @@ fn sweep_layout(
     ctx: &mut RouteContext,
     fsp_buf: &mut Vec<f32>,
     checksum: &mut f64,
+    spans: &mut SpanSet,
 ) -> Option<usize> {
     let budget = steiner_budget(graph.pins().len());
     let fsp0 = selector.fsp(graph, &[]);
@@ -72,17 +84,25 @@ fn sweep_layout(
         let selected = &combo[..level];
         match mode {
             Mode::Fresh => {
+                let t = SpanStart::now();
                 let fsp = selector.fsp(graph, selected);
+                spans.stop(t, Span::CriticSelect);
+                let t = SpanStart::now();
                 let predicted = critic.predict_with_fsp(graph, selected, &fsp).ok()?;
                 let cost = critic.state_cost(graph, selected).ok()?;
+                spans.stop(t, Span::CriticRoute);
                 *checksum += predicted + cost;
             }
             Mode::Reused => {
+                let t = SpanStart::now();
                 selector.fsp_into(graph, selected, fsp_buf);
+                spans.stop(t, Span::CriticSelect);
+                let t = SpanStart::now();
                 let predicted = critic
                     .predict_with_fsp_in(ctx, graph, selected, fsp_buf)
                     .ok()?;
                 let cost = critic.state_cost_in(ctx, graph, selected).ok()?;
+                spans.stop(t, Span::CriticRoute);
                 *checksum += predicted + cost;
             }
         }
@@ -107,6 +127,7 @@ fn run_rung(
     let mut layouts = 0usize;
     let mut checksum = 0.0f64;
     let mut secs = 0.0f64;
+    let mut spans = SpanSet::new();
     while layouts < layouts_per_rung {
         let graph = gen.generate();
         let t0 = Instant::now();
@@ -120,6 +141,7 @@ fn run_rung(
                 &mut ctx,
                 &mut fsp_buf,
                 &mut checksum,
+                &mut spans,
             ) {
                 Some(r) => rollouts += r,
                 None => {
@@ -137,6 +159,8 @@ fn run_rung(
         rollouts,
         secs,
         checksum,
+        spans,
+        counters: ctx.counters_total(),
     }
 }
 
@@ -171,10 +195,13 @@ fn main() {
         "fresh r/s",
         "reused r/s",
         "api ratio",
+        "select share",
         "vs baseline",
     ]);
     let mut rows = Vec::new();
     let mut tot = (0usize, 0.0f64, 0.0f64); // rollouts, fresh secs, reused secs
+    let mut spans_tot = SpanSet::new();
+    let mut counters_tot = CounterSet::new();
     for spec in &rungs {
         let fresh = run_rung(spec, Mode::Fresh, layouts_per_rung, repeats);
         let reused = run_rung(spec, Mode::Reused, layouts_per_rung, repeats);
@@ -203,17 +230,27 @@ fn main() {
         }
         let base_rps = json_num(base_line, "rps").expect("baseline rps");
         let speedup = reused_rps / base_rps;
+        let sel_secs = reused.spans.total_secs(Span::CriticSelect);
+        let route_secs = reused.spans.total_secs(Span::CriticRoute);
+        let select_share = if sel_secs + route_secs > 0.0 {
+            format!("{:.1}%", 100.0 * sel_secs / (sel_secs + route_secs))
+        } else {
+            "n/a".to_string() // telemetry-timing off
+        };
         table.row([
             spec.name.to_string(),
             fresh.rollouts.to_string(),
             format!("{:.1}", fresh.rollouts as f64 / fresh.secs),
             format!("{reused_rps:.1}"),
             format!("{api_ratio:.2}x"),
+            select_share,
             format!("{speedup:.2}x"),
         ]);
         tot.0 += fresh.rollouts;
         tot.1 += fresh.secs;
         tot.2 += reused.secs;
+        spans_tot.merge_from(&reused.spans);
+        counters_tot.merge_from(&reused.counters);
         rows.push((spec.name, fresh, reused, speedup));
         eprintln!("[critic_throughput] {} done", spec.name);
     }
@@ -241,11 +278,20 @@ fn main() {
             );
         }
     }
+    let sel_tot = spans_tot.total_secs(Span::CriticSelect);
+    let route_tot = spans_tot.total_secs(Span::CriticRoute);
+    if sel_tot + route_tot > 0.0 {
+        println!(
+            "attribution (reused lane): select {:.1}%, route {:.1}% of rollout time",
+            100.0 * sel_tot / (sel_tot + route_tot),
+            100.0 * route_tot / (sel_tot + route_tot)
+        );
+    }
 
     let mut json = String::from("{\n  \"rungs\": [\n");
     for (i, (name, fresh, reused, speedup)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"rollouts\": {}, \"fresh_secs\": {:.6}, \"fresh_rps\": {:.3}, \"reused_secs\": {:.6}, \"reused_rps\": {:.3}, \"speedup\": {:.3}, \"checksum\": {:.6}}}{}\n",
+            "    {{\"name\": \"{}\", \"rollouts\": {}, \"fresh_secs\": {:.6}, \"fresh_rps\": {:.3}, \"reused_secs\": {:.6}, \"reused_rps\": {:.3}, \"speedup\": {:.3}, \"select_ns\": {}, \"route_ns\": {}, \"dijkstra_pops\": {}, \"checksum\": {:.6}}}{}\n",
             name,
             fresh.rollouts,
             fresh.secs,
@@ -253,17 +299,38 @@ fn main() {
             reused.secs,
             reused.rollouts as f64 / reused.secs,
             speedup,
+            reused.spans.get(Span::CriticSelect).total_ns,
+            reused.spans.get(Span::CriticRoute).total_ns,
+            reused.counters.get(Counter::DijkstraPops),
             fresh.checksum,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    let snapshot = TelemetrySnapshot {
+        manifest: Manifest {
+            run: "critic_throughput".to_string(),
+            mode: if quick { "quick" } else { "full" }.to_string(),
+            threads: 1,
+            seed: 0xDAC2024,
+            timing: TIMING_ENABLED,
+        },
+        counters: counters_tot,
+        spans: spans_tot,
+    };
     json.push_str(&format!(
-        "  ],\n  \"total_rollouts\": {},\n  \"fresh_rps\": {:.3},\n  \"reused_rps\": {:.3},\n  \"speedup\": {:.3}\n}}\n",
+        "  ],\n  \"total_rollouts\": {},\n  \"fresh_rps\": {:.3},\n  \"reused_rps\": {:.3},\n  \"speedup\": {:.3},\n  \"telemetry\": [\n",
         tot.0,
         fresh_rps,
         reused_rps,
         reused_rps / fresh_rps
     ));
+    let telemetry_lines: Vec<String> = snapshot
+        .to_jsonl()
+        .lines()
+        .map(|l| format!("    {l}"))
+        .collect();
+    json.push_str(&telemetry_lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         std::fs::create_dir_all(dir).ok();
     }

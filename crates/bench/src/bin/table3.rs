@@ -12,6 +12,7 @@
 use oarsmt::parallel;
 use oarsmt_bench::{harness, Table};
 use oarsmt_geom::gen::TestSubsetSpec;
+use oarsmt_telemetry::Span;
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,10 +36,10 @@ fn main() {
         let result =
             harness::run_subset(&spec, &selector, 0xDAC2024, threads).expect("subset must route");
         let n = result.comparison.count().max(1) as f64;
-        let base = result.times.baseline.as_secs_f64() / n;
-        let select = result.times.select.as_secs_f64() / n;
-        let route = result.times.route.as_secs_f64() / n;
-        let total = result.times.ours().as_secs_f64() / n;
+        let base = result.spans.total_secs(Span::PhaseBaseline) / n;
+        let select = result.spans.total_secs(Span::PhaseSelect) / n;
+        let route = result.spans.total_secs(Span::PhaseRoute) / n;
+        let total = select + route;
         table.row([
             result.name.to_string(),
             result.comparison.count().to_string(),

@@ -38,8 +38,8 @@ use oarsmt_nn::layer::Layer;
 use oarsmt_nn::loss::bce_with_logits;
 use oarsmt_nn::tensor::Tensor;
 use oarsmt_nn::unet::{UNet3d, UNetConfig};
-use oarsmt_nn::workspace::{Profile, PROF_NAMES};
 use oarsmt_nn::NnWorkspace;
+use oarsmt_telemetry::{Counter, CounterSet, Manifest, SpanSet, TelemetrySnapshot, TIMING_ENABLED};
 
 /// One rung of the size ladder.
 struct Rung {
@@ -154,7 +154,12 @@ struct RungResult {
     fwd_secs: f64,
     train_secs: f64,
     cs: Checksums,
-    profile: Profile,
+    /// Tier B per-layer spans (empty unless `--profile` and the
+    /// `telemetry-timing` feature are both on).
+    spans: SpanSet,
+    /// Tier A counters for the whole rung (checksum pass + timed loops;
+    /// the naive oracle routes through its own discarded workspaces).
+    counters: CounterSet,
 }
 
 fn f64_sum(data: &[f32]) -> f64 {
@@ -255,7 +260,8 @@ fn run_rung(r: &Rung, profile: bool) -> RungResult {
         fwd_secs,
         train_secs,
         cs,
-        profile: ws.take_profile(),
+        spans: ws.take_spans(),
+        counters: ws.counters,
     }
 }
 
@@ -307,11 +313,13 @@ fn main() {
         "xfwd",
         "train/s",
         "xtrain",
+        "gemm d/p/f",
         "logits checksum",
     ]);
     let mut rows = Vec::new();
     let mut tot = (0usize, 0.0f64, 0usize, 0.0f64);
-    let mut prof_tot = Profile::default();
+    let mut spans_tot = SpanSet::new();
+    let mut counters_tot = CounterSet::new();
     for r in &rungs {
         let scaled = Rung {
             fwd_iters: (r.fwd_iters / scale).max(2),
@@ -333,15 +341,20 @@ fn main() {
             format!("{:.2}x", fwd_per_s / base_fwd),
             format!("{train_per_s:.2}"),
             format!("{:.2}x", train_per_s / base_train),
+            format!(
+                "{}/{}/{}",
+                res.counters.get(Counter::GemmDirect),
+                res.counters.get(Counter::GemmPanel),
+                res.counters.get(Counter::GemmFlat)
+            ),
             format!("{:016x}", res.cs.logits),
         ]);
         tot.0 += scaled.fwd_iters;
         tot.1 += res.fwd_secs;
         tot.2 += scaled.train_iters;
         tot.3 += res.train_secs;
-        for (tot_s, s) in prof_tot.secs.iter_mut().zip(res.profile.secs.iter()) {
-            *tot_s += s;
-        }
+        spans_tot.merge_from(&res.spans);
+        counters_tot.merge_from(&res.counters);
         rows.push((r.name, scaled, res, fwd_per_s, train_per_s));
         eprintln!("[unet_throughput] {} done", r.name);
     }
@@ -372,9 +385,13 @@ fn main() {
     println!("checksums: all rungs bit-identical to naive reference and recorded baseline");
 
     if profile {
-        let total: f64 = prof_tot.secs.iter().sum();
+        let total: f64 = spans_tot.iter().map(|(_, h)| h.total_ns as f64 / 1e9).sum();
         let mut pt = Table::new(["layer kind", "secs", "share"]);
-        for (name, secs) in PROF_NAMES.iter().zip(prof_tot.secs.iter()) {
+        for (name, h) in spans_tot.iter() {
+            if h.count == 0 {
+                continue;
+            }
+            let secs = h.total_ns as f64 / 1e9;
             pt.row([
                 name.to_string(),
                 format!("{secs:.4}"),
@@ -382,13 +399,16 @@ fn main() {
             ]);
         }
         println!("\nper-layer time split (timed loops, all rungs)\n");
+        if !TIMING_ENABLED {
+            println!("(telemetry-timing feature off: spans recorded as zero-duration events)\n");
+        }
         pt.print();
     }
 
     let mut json = String::from("{\n  \"mode\": \"gemm-workspace\",\n  \"rungs\": [\n");
     for (i, (name, scaled, res, fwd_per_s, train_per_s)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"fwd_iters\": {}, \"fwd_secs\": {:.6}, \"fwd_per_s\": {:.3}, \"train_iters\": {}, \"train_secs\": {:.6}, \"train_per_s\": {:.3}, \"cs_predict\": \"{:016x}\", \"cs_logits\": \"{:016x}\", \"cs_grad_in\": \"{:016x}\", \"cs_param_grads\": \"{:016x}\"}}{}\n",
+            "    {{\"name\": \"{}\", \"fwd_iters\": {}, \"fwd_secs\": {:.6}, \"fwd_per_s\": {:.3}, \"train_iters\": {}, \"train_secs\": {:.6}, \"train_per_s\": {:.3}, \"gemm_direct\": {}, \"gemm_panel\": {}, \"gemm_flat\": {}, \"macs\": {}, \"cs_predict\": \"{:016x}\", \"cs_logits\": \"{:016x}\", \"cs_grad_in\": \"{:016x}\", \"cs_param_grads\": \"{:016x}\"}}{}\n",
             name,
             scaled.fwd_iters,
             res.fwd_secs,
@@ -396,6 +416,10 @@ fn main() {
             scaled.train_iters,
             res.train_secs,
             train_per_s,
+            res.counters.get(Counter::GemmDirect),
+            res.counters.get(Counter::GemmPanel),
+            res.counters.get(Counter::GemmFlat),
+            res.counters.total_macs(),
             res.cs.predict,
             res.cs.logits,
             res.cs.grad_in,
@@ -403,10 +427,28 @@ fn main() {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    let snapshot = TelemetrySnapshot {
+        manifest: Manifest {
+            run: "unet_throughput".to_string(),
+            mode: if quick { "quick" } else { "full" }.to_string(),
+            threads: 1,
+            seed: 0xDAC2024,
+            timing: TIMING_ENABLED,
+        },
+        counters: counters_tot,
+        spans: spans_tot,
+    };
     json.push_str(&format!(
-        "  ],\n  \"total_fwd_per_s\": {:.3},\n  \"total_train_per_s\": {:.3}\n}}\n",
+        "  ],\n  \"total_fwd_per_s\": {:.3},\n  \"total_train_per_s\": {:.3},\n  \"telemetry\": [\n",
         tot_fwd, tot_train
     ));
+    let telemetry_lines: Vec<String> = snapshot
+        .to_jsonl()
+        .lines()
+        .map(|l| format!("    {l}"))
+        .collect();
+    json.push_str(&telemetry_lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
     if let Some(dir) = std::path::Path::new(&out_path).parent() {
         std::fs::create_dir_all(dir).ok();
     }

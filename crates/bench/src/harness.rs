@@ -4,7 +4,7 @@
 use std::path::PathBuf;
 
 use oarsmt::eval::CostComparison;
-use oarsmt::parallel::{self, PhaseTimes};
+use oarsmt::parallel;
 use oarsmt::rl_router::RlRouter;
 use oarsmt::selector::NeuralSelector;
 use oarsmt_geom::gen::TestSubsetSpec;
@@ -12,6 +12,7 @@ use oarsmt_nn::unet::UNetConfig;
 use oarsmt_rl::schedule::laptop_schedule;
 use oarsmt_rl::Trainer;
 use oarsmt_router::{Lin18Router, RouteError};
+use oarsmt_telemetry::{CounterSet, Span, SpanSet};
 
 /// Architecture of the experiment selector (small enough to train in
 /// minutes on one core, wide enough to learn the 3–6-pin patterns).
@@ -64,9 +65,14 @@ pub struct SubsetResult {
     pub name: &'static str,
     /// Cost statistics (baseline = \[14\], ours = RL router).
     pub comparison: CostComparison,
-    /// Per-phase wall-clock totals, summed over layouts (and therefore over
-    /// workers when the subset ran on a pool).
-    pub times: PhaseTimes,
+    /// Per-phase wall-clock histograms ([`Span::PhaseBaseline`] /
+    /// [`Span::PhaseSelect`] / [`Span::PhaseRoute`]), one record per layout,
+    /// summed over workers when the subset ran on a pool. The nanoseconds
+    /// are measured inside each job and folded deterministically, so the
+    /// spans populate regardless of the `telemetry-timing` feature.
+    pub spans: SpanSet,
+    /// Deterministic work counters, per-job deltas folded in index order.
+    pub counters: CounterSet,
     /// Per-layout `(obstacle_ratio, improvement_ratio)` points (Fig. 10).
     pub obstacle_points: Vec<(f64, f64)>,
     /// Layouts skipped because their pins were walled off.
@@ -81,7 +87,8 @@ enum LayoutOutcome {
     Row {
         base_cost: f64,
         ours_cost: f64,
-        times: PhaseTimes,
+        /// `(baseline, select, route)` wall-clock nanoseconds.
+        phase_ns: [u64; 3],
         obstacle_point: (f64, f64),
     },
 }
@@ -112,13 +119,19 @@ pub fn run_subset(
         seed,
         threads,
         || RlRouter::new(selector.clone()),
-        |router, _idx, layout_seed| -> Result<LayoutOutcome, RouteError> {
+        |router, _idx, layout_seed| -> Result<(LayoutOutcome, CounterSet), RouteError> {
             let graph = spec.generator(layout_seed).generate();
+            // Each job reports its counter delta (the worker's router
+            // context is reused, so absolute readings mix layouts).
+            let before = router.counters();
             let t0 = std::time::Instant::now();
             let base = match lin18.route(&graph) {
                 Ok(t) => t,
                 Err(RouteError::Disconnected { .. }) | Err(RouteError::BlockedTerminal(_)) => {
-                    return Ok(LayoutOutcome::Skipped);
+                    return Ok((
+                        LayoutOutcome::Skipped,
+                        router.counters().delta_since(&before),
+                    ));
                 }
                 Err(e) => return Err(e),
             };
@@ -127,42 +140,55 @@ pub fn run_subset(
             let outcome = match router.route(&graph) {
                 Ok(o) => o,
                 Err(oarsmt::CoreError::Route(RouteError::Disconnected { .. })) => {
-                    return Ok(LayoutOutcome::Skipped);
+                    return Ok((
+                        LayoutOutcome::Skipped,
+                        router.counters().delta_since(&before),
+                    ));
                 }
                 Err(oarsmt::CoreError::Route(e)) => return Err(e),
                 Err(e) => panic!("unexpected selector error: {e}"),
             };
             let base_cost = base.cost();
             let ours_cost = outcome.tree.cost();
-            Ok(LayoutOutcome::Row {
+            let row = LayoutOutcome::Row {
                 base_cost,
                 ours_cost,
-                times: PhaseTimes {
-                    baseline,
-                    select: outcome.select_time,
-                    route: outcome.total_time.saturating_sub(outcome.select_time),
-                },
+                phase_ns: [
+                    baseline.as_nanos() as u64,
+                    outcome.select_time.as_nanos() as u64,
+                    outcome
+                        .total_time
+                        .saturating_sub(outcome.select_time)
+                        .as_nanos() as u64,
+                ],
                 obstacle_point: (graph.obstacle_ratio(), (base_cost - ours_cost) / base_cost),
-            })
+            };
+            Ok((row, router.counters().delta_since(&before)))
         },
     );
 
-    // Fold in submission order: f64 accumulation sees a fixed visit order.
+    // Fold in submission order: f64 accumulation and the counter reduction
+    // see a fixed visit order.
     let mut comparison = CostComparison::new();
-    let mut times = PhaseTimes::default();
+    let mut spans = SpanSet::new();
+    let mut counters = CounterSet::new();
     let mut obstacle_points = Vec::new();
     let mut skipped = 0usize;
     for outcome in outcomes {
-        match outcome? {
+        let (layout, delta) = outcome?;
+        counters.merge_from(&delta);
+        match layout {
             LayoutOutcome::Skipped => skipped += 1,
             LayoutOutcome::Row {
                 base_cost,
                 ours_cost,
-                times: t,
+                phase_ns,
                 obstacle_point,
             } => {
                 comparison.record(base_cost, ours_cost);
-                times.absorb(&t);
+                spans.record_ns(Span::PhaseBaseline, phase_ns[0]);
+                spans.record_ns(Span::PhaseSelect, phase_ns[1]);
+                spans.record_ns(Span::PhaseRoute, phase_ns[2]);
                 obstacle_points.push(obstacle_point);
             }
         }
@@ -170,7 +196,8 @@ pub fn run_subset(
     Ok(SubsetResult {
         name: spec.name,
         comparison,
-        times,
+        spans,
+        counters,
         obstacle_points,
         skipped,
     })
@@ -407,5 +434,12 @@ mod tests {
         assert_eq!(one.comparison, four.comparison);
         assert_eq!(one.obstacle_points, four.obstacle_points);
         assert_eq!(one.skipped, four.skipped);
+        // Counters are bit-identical too, modulo the pool hit/miss split
+        // (each worker warms its own context).
+        let (mut c1, mut c4) = (one.counters, four.counters);
+        c1.fold_pool_splits();
+        c4.fold_pool_splits();
+        assert_eq!(c1, c4, "counter totals are thread-count invariant");
+        assert!(!c1.is_zero());
     }
 }

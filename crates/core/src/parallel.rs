@@ -27,10 +27,8 @@
 //! assert_eq!(one[3].1, derive_seed(42, 3).wrapping_mul(derive_seed(42, 3)));
 //! ```
 
-use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::time::Duration;
 
 /// Environment variable consulted by [`thread_count`] when no explicit
 /// thread count is given: `OARSMT_THREADS=N` caps the pool at `N` workers
@@ -121,51 +119,6 @@ pub fn take_threads_flag(args: &mut Vec<String>) -> Result<Option<usize>, String
 fn parse_threads(v: &str) -> Result<usize, String> {
     v.parse::<usize>()
         .map_err(|_| format!("--threads expects a non-negative integer, got {v:?}"))
-}
-
-/// Wall-clock totals of the router phases, accumulated at one
-/// instrumentation point so every table reports the same split.
-///
-/// `select` is Steiner-point selection (feature encoding, one U-Net
-/// inference, top-k); `route` is everything after selection (OARMST
-/// construction, safeguard, refinement); `baseline` is the \[14\] reference
-/// router. Durations are summed per layout, so on a pool they represent CPU
-/// time across workers, not elapsed wall time.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PhaseTimes {
-    /// Total \[14\] baseline routing time.
-    pub baseline: Duration,
-    /// Total Steiner-point selection time of our router.
-    pub select: Duration,
-    /// Total post-selection routing time of our router.
-    pub route: Duration,
-}
-
-impl PhaseTimes {
-    /// Total time in our router (selection + routing).
-    #[must_use]
-    pub fn ours(&self) -> Duration {
-        self.select + self.route
-    }
-
-    /// Adds another measurement into this one.
-    pub fn absorb(&mut self, other: &PhaseTimes) {
-        self.baseline += other.baseline;
-        self.select += other.select;
-        self.route += other.route;
-    }
-}
-
-impl fmt::Display for PhaseTimes {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "baseline {:.3}s, select {:.3}s, route {:.3}s",
-            self.baseline.as_secs_f64(),
-            self.select.as_secs_f64(),
-            self.route.as_secs_f64()
-        )
-    }
 }
 
 /// Runs `tasks` independent jobs across `threads` workers and returns their
@@ -346,22 +299,5 @@ mod tests {
         assert!(take_threads_flag(&mut args).is_err());
         let mut args = vec!["--threads=abc".to_string()];
         assert!(take_threads_flag(&mut args).is_err());
-    }
-
-    #[test]
-    fn phase_times_accumulate() {
-        let mut a = PhaseTimes {
-            baseline: Duration::from_millis(10),
-            select: Duration::from_millis(20),
-            route: Duration::from_millis(30),
-        };
-        let b = PhaseTimes {
-            baseline: Duration::from_millis(1),
-            select: Duration::from_millis(2),
-            route: Duration::from_millis(3),
-        };
-        a.absorb(&b);
-        assert_eq!(a.baseline, Duration::from_millis(11));
-        assert_eq!(a.ours(), Duration::from_millis(55));
     }
 }

@@ -103,6 +103,16 @@ impl<S: Selector> RlRouter<S> {
         &self.selector
     }
 
+    /// Telemetry counters accumulated by every route through this router
+    /// (context + Dijkstra workspace + NN workspace, merged in index order).
+    /// Monotone across calls; diff with
+    /// [`oarsmt_telemetry::CounterSet::delta_since`] to attribute work to a
+    /// single route.
+    #[must_use]
+    pub fn counters(&self) -> oarsmt_telemetry::CounterSet {
+        self.ctx.counters_total()
+    }
+
     /// Routes a layout: one selector inference, top `n − 2` Steiner points,
     /// OARMST construction with pruning.
     ///
@@ -260,6 +270,23 @@ mod tests {
         let mut router = RlRouter::new(tiny_neural(1));
         let out = router.route(&g).unwrap();
         assert!(out.select_time <= out.total_time);
+    }
+
+    #[test]
+    fn router_counters_are_monotone_and_deterministic() {
+        use oarsmt_telemetry::Counter;
+        let g = cross_graph();
+        let mut router = RlRouter::new(MedianHeuristicSelector::new());
+        router.route(&g).unwrap();
+        let first = router.counters();
+        assert!(first.get(Counter::DijkstraPops) > 0);
+        router.route(&g).unwrap();
+        let delta = router.counters().delta_since(&first);
+        assert_eq!(
+            delta.get(Counter::DijkstraPops),
+            first.get(Counter::DijkstraPops),
+            "identical routes cost identical counted work"
+        );
     }
 
     #[test]

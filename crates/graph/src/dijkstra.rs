@@ -14,6 +14,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_telemetry::{Counter, CounterSet};
 
 use crate::error::GraphError;
 use crate::path::GridPath;
@@ -116,6 +117,10 @@ pub struct DijkstraWorkspace {
     stamp: Vec<u32>,
     epoch: u32,
     heap: BinaryHeap<Entry>,
+    /// Tier A telemetry: settled pops, relaxation attempts, heap pushes
+    /// ([`Counter::DijkstraPops`] and friends). Monotone across queries;
+    /// owners read deltas (see `oarsmt-telemetry`).
+    pub counters: CounterSet,
 }
 
 /// The pre-refactor name of [`DijkstraWorkspace`], kept as an alias so
@@ -211,6 +216,7 @@ impl DijkstraWorkspace {
                 self.stamp[idx] = self.epoch;
                 self.dist[idx] = 0.0;
                 self.prev[idx] = NO_PREV;
+                self.counters.bump(Counter::DijkstraPushes);
                 self.heap.push(Entry {
                     cost: 0.0,
                     idx: idx as u32,
@@ -227,6 +233,7 @@ impl DijkstraWorkspace {
             if cost > self.dist[idx] {
                 continue; // stale heap entry
             }
+            self.counters.bump(Counter::DijkstraPops);
             if is_target(idx) {
                 return Ok(self.reconstruct_into(graph, idx, out));
             }
@@ -239,10 +246,12 @@ impl DijkstraWorkspace {
                 }
                 let qi = graph.index(q);
                 let nd = cost + w;
+                self.counters.bump(Counter::DijkstraRelaxations);
                 if self.fresh(qi) || nd < self.dist[qi] {
                     self.stamp[qi] = self.epoch;
                     self.dist[qi] = nd;
                     self.prev[qi] = idx as u32;
+                    self.counters.bump(Counter::DijkstraPushes);
                     self.heap.push(Entry {
                         cost: nd,
                         idx: qi as u32,
@@ -333,6 +342,7 @@ impl DijkstraWorkspace {
                 self.stamp[idx] = self.epoch;
                 self.dist[idx] = 0.0;
                 self.prev[idx] = NO_PREV;
+                self.counters.bump(Counter::DijkstraPushes);
                 self.heap.push(Entry {
                     cost: 0.0,
                     idx: idx as u32,
@@ -349,16 +359,19 @@ impl DijkstraWorkspace {
             if cost > self.dist[idx] {
                 continue; // stale heap entry
             }
+            self.counters.bump(Counter::DijkstraPops);
             if is_target(idx) {
                 return Ok(self.reconstruct_into(graph, idx, out));
             }
             for (qi, w) in adj.neighbors(idx) {
                 let qi = qi as usize;
                 let nd = cost + w;
+                self.counters.bump(Counter::DijkstraRelaxations);
                 if self.fresh(qi) || nd < self.dist[qi] {
                     self.stamp[qi] = self.epoch;
                     self.dist[qi] = nd;
                     self.prev[qi] = idx as u32;
+                    self.counters.bump(Counter::DijkstraPushes);
                     self.heap.push(Entry {
                         cost: nd,
                         idx: qi as u32,
@@ -391,6 +404,7 @@ impl DijkstraWorkspace {
         self.stamp[s] = self.epoch;
         self.dist[s] = 0.0;
         self.prev[s] = NO_PREV;
+        self.counters.bump(Counter::DijkstraPushes);
         self.heap.push(Entry {
             cost: 0.0,
             idx: s as u32,
@@ -400,14 +414,17 @@ impl DijkstraWorkspace {
             if cost > self.dist[idx] {
                 continue;
             }
+            self.counters.bump(Counter::DijkstraPops);
             let p = graph.point(idx);
             for (q, w) in graph.neighbors(p) {
                 let qi = graph.index(q);
                 let nd = cost + w;
+                self.counters.bump(Counter::DijkstraRelaxations);
                 if self.fresh(qi) || nd < self.dist[qi] {
                     self.stamp[qi] = self.epoch;
                     self.dist[qi] = nd;
                     self.prev[qi] = idx as u32;
+                    self.counters.bump(Counter::DijkstraPushes);
                     self.heap.push(Entry {
                         cost: nd,
                         idx: qi as u32,
@@ -694,6 +711,27 @@ mod tests {
             assert_eq!(a.cost.to_bits(), b.cost.to_bits());
             assert_eq!(a.points, b.points);
         }
+    }
+
+    #[test]
+    fn counters_track_pops_relaxations_and_pushes() {
+        let g = open_grid(6, 6, 1);
+        let mut ws = DijkstraWorkspace::new();
+        let t = g.index(GridPoint::new(5, 5, 0));
+        ws.shortest_path_to_set(&g, &[GridPoint::new(0, 0, 0)], |i| i == t, None)
+            .unwrap();
+        let after = ws.counters;
+        assert!(after.get(Counter::DijkstraPops) > 0);
+        assert!(after.get(Counter::DijkstraRelaxations) >= after.get(Counter::DijkstraPops));
+        assert!(after.get(Counter::DijkstraPushes) > 0);
+        // A second identical query adds an identical delta.
+        ws.shortest_path_to_set(&g, &[GridPoint::new(0, 0, 0)], |i| i == t, None)
+            .unwrap();
+        let d = ws.counters.delta_since(&after);
+        assert_eq!(
+            d.get(Counter::DijkstraPops),
+            after.get(Counter::DijkstraPops)
+        );
     }
 
     #[test]

@@ -4,6 +4,8 @@
 //! state, and that `search_in` reaches a stable per-call allocation count
 //! (its [`SearchOutcome`] owns freshly allocated label/counter vectors, so
 //! zero is not the target there — stability across identical runs is).
+//! It also proves the always-on Tier A telemetry counters advance *inside*
+//! those zero-alloc windows: observability costs no heap traffic.
 //!
 //! Build and run with:
 //!
@@ -23,6 +25,7 @@ use oarsmt::selector::{MedianHeuristicSelector, Selector, UniformSelector};
 use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_mcts::{CombinatorialMcts, Critic, MctsConfig};
 use oarsmt_router::{OarmstRouter, RouteContext};
+use oarsmt_telemetry::Counter;
 
 /// Counts every allocation and reallocation made through the global
 /// allocator. Deallocations are not counted: a hot path that frees memory
@@ -95,6 +98,7 @@ fn hot_paths_are_allocation_free_in_steady_state() {
         warm_cost = tree.cost();
         ctx.recycle_tree(tree);
     }
+    let pops_before = ctx.counters_total().get(Counter::DijkstraPops);
     let (n, steady_cost) = allocs_during(|| {
         let mut cost = 0.0;
         for _ in 0..8 {
@@ -106,6 +110,12 @@ fn hot_paths_are_allocation_free_in_steady_state() {
     });
     assert_eq!(n, 0, "route_in allocated {n} times in steady state");
     assert_eq!(steady_cost, warm_cost, "steady-state result drifted");
+    // The always-on Tier A counters advanced inside that zero-alloc window:
+    // counting is free, not just cheap.
+    assert!(
+        ctx.counters_total().get(Counter::DijkstraPops) > pops_before,
+        "Tier A counters did not advance during the zero-alloc routes"
+    );
 
     // --- predict_with_fsp_in: zero allocations with a precomputed fsp. ---
     let critic = Critic::new();
@@ -118,6 +128,7 @@ fn hot_paths_are_allocation_free_in_steady_state() {
             .predict_with_fsp_in(&mut ctx, &g, &selected, &fsp)
             .unwrap();
     }
+    let rollout_pops_before = ctx.counters_total().get(Counter::DijkstraPops);
     let (n, steady_value) = allocs_during(|| {
         let mut value = 0.0;
         for _ in 0..8 {
@@ -132,6 +143,10 @@ fn hot_paths_are_allocation_free_in_steady_state() {
         "predict_with_fsp_in allocated {n} times in steady state"
     );
     assert_eq!(steady_value, warm_value, "steady-state result drifted");
+    assert!(
+        ctx.counters_total().get(Counter::DijkstraPops) > rollout_pops_before,
+        "rollout counters did not advance during the zero-alloc predicts"
+    );
 
     // --- search_in: identical runs must cost an identical (small) number
     // of allocations — the SearchOutcome's owned vectors and nothing that
@@ -141,12 +156,20 @@ fn hot_paths_are_allocation_free_in_steady_state() {
     for _ in 0..2 {
         mcts.search_in(&mut ctx, &g, &mut uniform).unwrap();
     }
+    let c0 = ctx.counters_total();
     let (a, first) = allocs_during(|| mcts.search_in(&mut ctx, &g, &mut uniform).unwrap());
+    let c1 = ctx.counters_total();
     let (b, second) = allocs_during(|| mcts.search_in(&mut ctx, &g, &mut uniform).unwrap());
+    let c2 = ctx.counters_total();
     assert_eq!(
         a, b,
         "search_in allocation count changed between identical runs ({a} vs {b})"
     );
     assert_eq!(first.final_cost, second.final_cost);
     assert_eq!(first.executed, second.executed);
+    // Identical searches on a warm context produce bit-identical counter
+    // deltas, and nonzero ones: the counters observed real work.
+    let (da, db) = (c1.delta_since(&c0), c2.delta_since(&c1));
+    assert_eq!(da, db, "counter deltas differ between identical searches");
+    assert!(da.get(Counter::MctsRollouts) > 0);
 }

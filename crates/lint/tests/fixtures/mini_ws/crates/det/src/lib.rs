@@ -5,5 +5,6 @@
 
 pub mod determinism;
 pub mod hot;
+pub mod telemetry;
 pub mod unsafety;
 pub mod wrappers;

@@ -1,0 +1,31 @@
+//! Tier-boundary fixtures: a deterministic counter helper that smuggles a
+//! wall-clock read past the Tier A contract (violation), plus the marked
+//! Tier-B recorder that is allowed to touch the clock. Both are registered
+//! zero-alloc in the fixture `lint.toml` and must stay silent under D2.
+
+use std::time::Instant;
+
+/// Miniature Tier-A/Tier-B telemetry block.
+pub struct Counters {
+    pub bumps: u64,
+    pub span_ns: u64,
+}
+
+/// VIOLATION (D1-timing): a Tier-A counter bump must never read the
+/// clock — the "count" silently becomes environment-dependent.
+pub fn bump_smuggled(c: &mut Counters) -> u64 {
+    let t0 = Instant::now();
+    c.bumps += 1;
+    c.span_ns += t0.elapsed().as_nanos() as u64;
+    c.bumps
+}
+
+/// CLEAN: the Tier-B span recorder reads the clock behind an audited
+/// marker — recorded durations never feed back into results.
+pub fn record_span(c: &mut Counters) -> u64 {
+    c.bumps += 1;
+    // lint: timing-ok(Tier B span clock; feature-gated, never feeds results)
+    let t0 = Instant::now();
+    c.span_ns = c.span_ns.saturating_add(t0.elapsed().as_nanos() as u64);
+    c.bumps
+}

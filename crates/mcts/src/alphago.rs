@@ -16,6 +16,7 @@ use oarsmt::selector::Selector;
 use oarsmt::topk::steiner_budget;
 use oarsmt_geom::{GridPoint, HananGraph, VertexKind};
 use oarsmt_router::{RouteContext, RouteError};
+use oarsmt_telemetry::{Counter, CounterSet};
 
 use crate::config::MctsConfig;
 use crate::critic::Critic;
@@ -107,6 +108,9 @@ struct SearchBuffers {
     /// Selection path of one exploration iteration, reused across all
     /// `α` iterations of a search.
     path: Vec<(u32, usize)>,
+    /// Search-side telemetry (expansions, rollouts, backprop steps);
+    /// folded into `ctx.counters` when the buffers are restored.
+    counters: CounterSet,
 }
 
 impl SearchBuffers {
@@ -116,6 +120,7 @@ impl SearchBuffers {
             sel_pts: std::mem::take(&mut ctx.selected_points),
             fsp: std::mem::take(&mut ctx.fsp),
             path: Vec::new(),
+            counters: CounterSet::new(),
         }
     }
 
@@ -123,6 +128,7 @@ impl SearchBuffers {
         ctx.selected_idx = self.sel_idx;
         ctx.selected_points = self.sel_pts;
         ctx.fsp = self.fsp;
+        ctx.counters.merge_from(&self.counters);
     }
 
     fn load_state(&mut self, nodes: &[Node], node: u32, graph: &HananGraph) {
@@ -331,8 +337,10 @@ impl AlphaGoMcts {
                         })
                         .collect();
                     nodes[cur as usize].expanded = true;
+                    bufs.counters.bump(Counter::MctsExpansions);
                 }
                 *simulations += 1;
+                bufs.counters.bump(Counter::MctsRollouts);
                 let predicted = if self.config.use_critic {
                     self.critic
                         .predict_with_fsp_in(ctx, graph, &bufs.sel_pts, &bufs.fsp)?
@@ -345,6 +353,8 @@ impl AlphaGoMcts {
             v
         };
 
+        bufs.counters
+            .add(Counter::MctsBackpropSteps, path.len() as u64);
         for &(node_id, edge_idx) in &path {
             let e = &mut nodes[node_id as usize].edges[edge_idx];
             e.n += 1;

@@ -6,6 +6,7 @@ use oarsmt::selector::Selector;
 use oarsmt::topk::steiner_budget;
 use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_router::{RouteContext, RouteError};
+use oarsmt_telemetry::{Counter, CounterSet};
 
 use crate::actor::{action_policy_into, ActionProb};
 use crate::config::MctsConfig;
@@ -119,6 +120,9 @@ struct SearchBuffers {
     /// Selection path of one exploration iteration, reused across all
     /// `α` iterations of a search.
     path: Vec<(u32, usize)>,
+    /// Search-side telemetry (expansions, rollouts, backprop steps);
+    /// folded into `ctx.counters` when the buffers are restored.
+    counters: CounterSet,
 }
 
 impl SearchBuffers {
@@ -129,6 +133,7 @@ impl SearchBuffers {
             fsp: std::mem::take(&mut ctx.fsp),
             policy: Vec::new(),
             path: Vec::new(),
+            counters: CounterSet::new(),
         }
     }
 
@@ -136,6 +141,7 @@ impl SearchBuffers {
         ctx.selected_idx = self.sel_idx;
         ctx.selected_points = self.sel_pts;
         ctx.fsp = self.fsp;
+        ctx.counters.merge_from(&self.counters);
     }
 
     /// Rebuilds the selected combination of `node` into `sel_idx` /
@@ -357,8 +363,10 @@ impl CombinatorialMcts {
                         })
                         .collect();
                     nodes[cur as usize].expanded = true;
+                    bufs.counters.bump(Counter::MctsExpansions);
                 }
                 *simulations += 1;
+                bufs.counters.bump(Counter::MctsRollouts);
                 let predicted = if self.config.use_critic {
                     self.critic
                         .predict_with_fsp_in(ctx, graph, &bufs.sel_pts, &bufs.fsp)?
@@ -372,6 +380,8 @@ impl CombinatorialMcts {
         };
 
         // Backpropagation: N += 1, W += v, Q = W / N along the path.
+        bufs.counters
+            .add(Counter::MctsBackpropSteps, path.len() as u64);
         for &(node_id, edge_idx) in &path {
             let e = &mut nodes[node_id as usize].edges[edge_idx];
             e.n += 1;
@@ -618,6 +628,36 @@ mod tests {
             assert_eq!(fresh.nodes_created, reused.nodes_created);
             assert_eq!(fresh.simulations, reused.simulations);
         }
+    }
+
+    #[test]
+    fn search_counters_accumulate_into_the_context() {
+        use oarsmt_router::RouteContext;
+        let g = cross();
+        let mcts = CombinatorialMcts::new(MctsConfig::tiny());
+        let mut ctx = RouteContext::new();
+        let out = mcts
+            .search_in(&mut ctx, &g, &mut UniformSelector::new(0.4))
+            .unwrap();
+        let totals = ctx.counters_total();
+        assert_eq!(
+            totals.get(Counter::MctsRollouts),
+            out.simulations as u64,
+            "every critic rollout is counted"
+        );
+        assert!(totals.get(Counter::MctsExpansions) >= 1);
+        assert!(totals.get(Counter::DijkstraPops) > 0, "routing is counted");
+        // A second identical search adds an identical delta: counters are
+        // deterministic functions of the work, not of the environment.
+        let before = ctx.counters_total();
+        mcts.search_in(&mut ctx, &g, &mut UniformSelector::new(0.4))
+            .unwrap();
+        let delta = ctx.counters_total().delta_since(&before);
+        assert_eq!(delta.get(Counter::MctsRollouts), out.simulations as u64);
+        assert_eq!(
+            delta.get(Counter::DijkstraPops),
+            before.get(Counter::DijkstraPops)
+        );
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::init::Initializer;
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
 use crate::workspace::{NnWorkspace, ProfKind};
+use oarsmt_telemetry::Counter;
 
 /// Micro-kernel rows (output channels per forward register tile).
 const MR: usize = 4;
@@ -145,6 +146,12 @@ impl Conv3d {
         assert_eq!(shape.len(), 4, "conv3d expects [c, d1, d2, d3]");
         assert_eq!(shape[0], self.in_c, "conv3d channel mismatch");
         let (d1, d2, d3) = (shape[1], shape[2], shape[3]);
+        // Tier A: forward multiply-accumulates, attributed to the layer the
+        // workspace is currently tagged with (same count on every path,
+        // including the naive oracle).
+        let macs =
+            (self.out_c * self.in_c * self.k * self.k * self.k) as u64 * (d1 * d2 * d3) as u64;
+        ws.counters.add_at(ws.mac_slot, macs);
 
         #[cfg(any(test, feature = "naive-ref"))]
         if self.use_naive {
@@ -167,6 +174,7 @@ impl Conv3d {
         tap_offsets(self.in_c, k, pd1, pd2, pd3, &mut off);
         if p == 0 {
             if d3 >= NR {
+                ws.counters.bump(Counter::GemmDirect);
                 conv_fwd(
                     x.data(),
                     &off,
@@ -184,6 +192,7 @@ impl Conv3d {
                 // 1×1×1 on a shallow grid: the patch matrix is the input
                 // itself with flat `[n]` columns, so the GEMM tiles span
                 // row boundaries instead of degrading to narrow z tiles.
+                ws.counters.bump(Counter::GemmFlat);
                 let n = d1 * d2 * d3;
                 gemm_bias(
                     self.out_c,
@@ -202,6 +211,7 @@ impl Conv3d {
         } else {
             let xp = pad_input(x, p, ws);
             if d3 >= NR {
+                ws.counters.bump(Counter::GemmDirect);
                 conv_fwd(
                     xp.data(),
                     &off,
@@ -220,6 +230,7 @@ impl Conv3d {
                 // patch panel so GEMM tiles run over flat row-spanning
                 // columns — with `d3 < NR` the implicit-im2col tiles would
                 // mostly be scalar edges.
+                ws.counters.bump(Counter::GemmPanel);
                 let n = d1 * d2 * d3;
                 let rows = d1 * d2;
                 let kd = self.in_c * k * k * k;
@@ -270,6 +281,10 @@ impl Conv3d {
             (s[1] - 2 * p, s[2] - 2 * p, s[3] - 2 * p)
         };
         assert_eq!(grad_out.shape(), &[self.out_c, d1, d2, d3]);
+        // Tier A: backward runs the weight-gradient and input-gradient
+        // passes, each the forward's MAC count.
+        let macs = (self.out_c * self.in_c * k * k * k) as u64 * (d1 * d2 * d3) as u64;
+        ws.counters.add_at(ws.mac_slot, 2 * macs);
 
         #[cfg(any(test, feature = "naive-ref"))]
         if self.use_naive {

@@ -18,6 +18,7 @@ use crate::residual::ResidualBlock;
 use crate::tensor::Tensor;
 use crate::upsample::Upsample3d;
 use crate::workspace::NnWorkspace;
+use oarsmt_telemetry::Counter;
 
 /// Configuration of a [`UNet3d`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -186,8 +187,10 @@ impl Layer for UNet3d {
         assert_eq!(x.shape().len(), 4);
         assert_eq!(x.shape()[0], self.config.in_channels, "channel mismatch");
         debug_assert!(self.scratch.is_empty());
+        let outer_slot = ws.set_mac_slot(Counter::MacsOther);
         let mut cur: Option<Tensor> = None;
         for i in 0..self.config.levels {
+            ws.set_mac_slot(Counter::enc_macs(i));
             let y = self.enc[i].forward_in(cur.as_ref().unwrap_or(x), ws);
             if let Some(t) = cur.take() {
                 ws.free(t);
@@ -198,11 +201,13 @@ impl Layer for UNet3d {
         }
         let mut cur = {
             let t = cur.expect("levels > 0");
+            ws.set_mac_slot(Counter::MacsBottleneck);
             let b = self.bottleneck.forward_in(&t, ws);
             ws.free(t);
             b
         };
         for i in (0..self.config.levels).rev() {
+            ws.set_mac_slot(Counter::dec_macs(i));
             let skip = self.scratch.pop().expect("one skip per level");
             let s = skip.shape().to_vec();
             self.ups[i].set_target([s[1], s[2], s[3]]);
@@ -218,8 +223,10 @@ impl Layer for UNet3d {
             ws.free(cat);
         }
         self.forward_ran = true;
+        ws.set_mac_slot(Counter::MacsHead);
         let out = self.head.forward_in(&cur, ws);
         ws.free(cur);
+        ws.restore_mac_slot(outer_slot);
         out
     }
 
@@ -227,8 +234,10 @@ impl Layer for UNet3d {
         assert!(self.forward_ran, "unet backward without forward");
         self.forward_ran = false;
         debug_assert!(self.scratch.is_empty());
+        let outer_slot = ws.set_mac_slot(Counter::MacsHead);
         let mut grad = self.head.backward_in(grad_out, ws);
         for i in 0..self.config.levels {
+            ws.set_mac_slot(Counter::dec_macs(i));
             grad = self.dec[i].backward_in(grad, ws);
             // Split [g_up ; g_skip] along channels (pooled buffers).
             let c0 = self.up_channels[i];
@@ -246,14 +255,17 @@ impl Layer for UNet3d {
             self.scratch.push(g_skip);
             grad = self.ups[i].backward_in(g_up, ws);
         }
+        ws.set_mac_slot(Counter::MacsBottleneck);
         grad = self.bottleneck.backward_in(grad, ws);
         for i in (0..self.config.levels).rev() {
+            ws.set_mac_slot(Counter::enc_macs(i));
             grad = self.pools[i].backward_in(grad, ws);
             let g_skip = self.scratch.pop().expect("one skip gradient per level");
             grad.add_assign(&g_skip);
             ws.free(g_skip);
             grad = self.enc[i].backward_in(grad, ws);
         }
+        ws.restore_mac_slot(outer_slot);
         grad
     }
 

@@ -13,8 +13,12 @@
 //!   of the implicit-im2col GEMM convolution kernels (see
 //!   [`conv3d`](crate::conv3d));
 //! * GroupNorm backward scratch;
-//! * an optional per-layer-kind [`Profile`] used by the `unet_throughput`
-//!   bench to attribute time to conv/norm/activation/pool/upsample.
+//! * the Tier A telemetry [`CounterSet`] of the NN subsystem (pool
+//!   hits/misses, GEMM dispatch mix, per-U-Net-layer MACs) plus an
+//!   optional per-layer-kind Tier B [`SpanSet`] used by the
+//!   `unet_throughput` bench to attribute time to
+//!   conv/norm/activation/pool/upsample (real durations only under the
+//!   `telemetry-timing` feature of `oarsmt-telemetry`).
 //!
 //! Ownership follows the `RouteContext` model of DESIGN.md: whoever owns an
 //! inference or training loop owns one workspace (`RouteContext` embeds one
@@ -23,11 +27,12 @@
 //! never shared across threads. All workspace state is scratch: reusing a
 //! workspace never changes results, only allocation behavior.
 
-use std::time::Instant;
+use oarsmt_telemetry::{Counter, CounterSet, Span, SpanSet, SpanStart};
 
 use crate::tensor::Tensor;
 
-/// Layer-kind/direction buckets for the optional profile.
+/// Layer-kind/direction buckets for the optional profile (mapped onto the
+/// statically registered `oarsmt-telemetry` [`Span`]s).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProfKind {
     /// Convolution forward (incl. `1×1×1` heads and projections).
@@ -52,28 +57,23 @@ pub enum ProfKind {
     UpBwd,
 }
 
-/// Number of [`ProfKind`] buckets.
-pub const PROF_KINDS: usize = 10;
-
-/// Names matching the [`ProfKind`] discriminants, for reports.
-pub const PROF_NAMES: [&str; PROF_KINDS] = [
-    "conv fwd",
-    "conv bwd",
-    "norm fwd",
-    "norm bwd",
-    "act fwd",
-    "act bwd",
-    "pool fwd",
-    "pool bwd",
-    "upsample fwd",
-    "upsample bwd",
-];
-
-/// Accumulated per-kind wall-clock, filled when profiling is enabled.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Profile {
-    /// Seconds per [`ProfKind`] (indexed by discriminant order).
-    pub secs: [f64; PROF_KINDS],
+impl ProfKind {
+    /// The telemetry span this bucket records into.
+    #[must_use]
+    pub fn span(self) -> Span {
+        match self {
+            ProfKind::ConvFwd => Span::NnConvFwd,
+            ProfKind::ConvBwd => Span::NnConvBwd,
+            ProfKind::NormFwd => Span::NnNormFwd,
+            ProfKind::NormBwd => Span::NnNormBwd,
+            ProfKind::ActFwd => Span::NnActFwd,
+            ProfKind::ActBwd => Span::NnActBwd,
+            ProfKind::PoolFwd => Span::NnPoolFwd,
+            ProfKind::PoolBwd => Span::NnPoolBwd,
+            ProfKind::UpFwd => Span::NnUpFwd,
+            ProfKind::UpBwd => Span::NnUpBwd,
+        }
+    }
 }
 
 /// The reusable scratch arena threaded through `forward_in`/`backward_in`
@@ -99,7 +99,14 @@ pub struct NnWorkspace {
     /// `true` so `forward_in`/`backward_in` pairs always work.
     pub(crate) training: bool,
     profiling: bool,
-    profile: Profile,
+    spans: SpanSet,
+    /// Tier A telemetry of the NN subsystem: pool hits/misses, GEMM
+    /// dispatch per path, per-U-Net-layer MACs. Always on; monotone.
+    pub counters: CounterSet,
+    /// The counter index MACs are attributed to (`Counter::MacsOther`
+    /// outside a tagged U-Net layer; `UNet3d::forward_in`/`backward_in`
+    /// retag it per block via [`NnWorkspace::set_mac_slot`]).
+    pub(crate) mac_slot: usize,
 }
 
 impl Default for NnWorkspace {
@@ -120,14 +127,25 @@ impl NnWorkspace {
             dxhat: Vec::new(),
             training: true,
             profiling: false,
-            profile: Profile::default(),
+            spans: SpanSet::new(),
+            counters: CounterSet::new(),
+            mac_slot: Counter::MacsOther as usize,
         }
     }
 
     /// Acquires a zeroed tensor of the given shape from the pool.
     pub fn alloc(&mut self, shape: &[usize]) -> Tensor {
         let n: usize = shape.iter().product();
-        let mut data = self.pool.pop().unwrap_or_default();
+        let mut data = match self.pool.pop() {
+            Some(d) => {
+                self.counters.bump(Counter::NnPoolHits);
+                d
+            }
+            None => {
+                self.counters.bump(Counter::NnPoolMisses);
+                Vec::new()
+            }
+        };
         data.clear();
         data.resize(n, 0.0);
         Tensor::from_vec(shape, data).expect("pool tensor shape/len agree")
@@ -167,35 +185,52 @@ impl NnWorkspace {
         self.im2col = b;
     }
 
-    /// Enables per-layer-kind profiling (cleared stats).
+    /// Enables per-layer-kind profiling (cleared stats). Durations are
+    /// non-zero only when `oarsmt-telemetry` is built with its
+    /// `telemetry-timing` feature; counts are recorded either way.
     pub fn enable_profiling(&mut self) {
         self.profiling = true;
-        self.profile = Profile::default();
+        self.spans = SpanSet::new();
     }
 
-    /// Disables profiling, returning the accumulated stats.
-    pub fn take_profile(&mut self) -> Profile {
+    /// Disables profiling, returning the accumulated per-layer spans.
+    pub fn take_spans(&mut self) -> SpanSet {
         self.profiling = false;
-        std::mem::take(&mut self.profile)
+        std::mem::take(&mut self.spans)
     }
 
-    /// Starts a profiled span; pair with [`NnWorkspace::prof_end`].
+    /// Starts a profiled span; pair with [`NnWorkspace::prof_end`]. The
+    /// clock read (if any) happens inside `oarsmt-telemetry` behind its
+    /// feature gate — this crate never observes time.
     #[inline]
-    pub(crate) fn prof_start(&self) -> Option<Instant> {
+    pub(crate) fn prof_start(&self) -> SpanStart {
         if self.profiling {
-            // lint: timing-ok(opt-in bench profiling; results never depend on it)
-            Some(Instant::now())
+            SpanStart::now()
         } else {
-            None
+            SpanStart::disabled()
         }
     }
 
     /// Ends a profiled span started by [`NnWorkspace::prof_start`].
     #[inline]
-    pub(crate) fn prof_end(&mut self, start: Option<Instant>, kind: ProfKind) {
-        if let Some(t0) = start {
-            self.profile.secs[kind as usize] += t0.elapsed().as_secs_f64();
+    pub(crate) fn prof_end(&mut self, start: SpanStart, kind: ProfKind) {
+        if self.profiling {
+            self.spans.stop(start, kind.span());
         }
+    }
+
+    /// Retags the MAC-attribution counter slot, returning the previous tag
+    /// (callers restore it on the way out of a layer).
+    #[inline]
+    pub fn set_mac_slot(&mut self, c: Counter) -> usize {
+        std::mem::replace(&mut self.mac_slot, c as usize)
+    }
+
+    /// Restores a MAC-attribution slot returned by
+    /// [`NnWorkspace::set_mac_slot`].
+    #[inline]
+    pub fn restore_mac_slot(&mut self, slot: usize) {
+        self.mac_slot = slot;
     }
 }
 
@@ -228,13 +263,40 @@ mod tests {
     #[test]
     fn profiling_accumulates_spans() {
         let mut ws = NnWorkspace::new();
-        assert!(ws.prof_start().is_none());
+        let t = ws.prof_start();
+        ws.prof_end(t, ProfKind::ConvFwd);
+        assert!(
+            ws.take_spans().is_empty(),
+            "disabled profiling records nothing"
+        );
         ws.enable_profiling();
         let t = ws.prof_start();
-        assert!(t.is_some());
         ws.prof_end(t, ProfKind::ConvFwd);
-        let p = ws.take_profile();
-        assert!(p.secs[ProfKind::ConvFwd as usize] >= 0.0);
-        assert!(ws.prof_start().is_none());
+        let spans = ws.take_spans();
+        assert_eq!(spans.get(Span::NnConvFwd).count, 1);
+        let t = ws.prof_start();
+        ws.prof_end(t, ProfKind::ConvFwd);
+        assert!(ws.take_spans().is_empty(), "take_spans disables profiling");
+    }
+
+    #[test]
+    fn pool_hits_and_misses_are_counted() {
+        let mut ws = NnWorkspace::new();
+        let t = ws.alloc(&[4]); // miss: empty pool
+        ws.free(t);
+        let t = ws.alloc(&[2, 2]); // hit: recycled storage
+        ws.free(t);
+        assert_eq!(ws.counters.get(Counter::NnPoolMisses), 1);
+        assert_eq!(ws.counters.get(Counter::NnPoolHits), 1);
+    }
+
+    #[test]
+    fn mac_slot_retag_restores() {
+        let mut ws = NnWorkspace::new();
+        assert_eq!(ws.mac_slot, Counter::MacsOther as usize);
+        let prev = ws.set_mac_slot(Counter::MacsEnc1);
+        assert_eq!(ws.mac_slot, Counter::MacsEnc1 as usize);
+        ws.restore_mac_slot(prev);
+        assert_eq!(ws.mac_slot, Counter::MacsOther as usize);
     }
 }

@@ -19,6 +19,7 @@ use oarsmt_nn::loss::bce_with_logits;
 use oarsmt_nn::optim::Adam;
 use oarsmt_nn::NnWorkspace;
 use oarsmt_router::OarmstRouter;
+use oarsmt_telemetry::CounterSet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -134,6 +135,9 @@ pub struct Trainer {
     /// `oarsmt_nn::NnWorkspace`); sample *generation* workers each carry
     /// their own inside their `RouteContext`.
     ws: NnWorkspace,
+    /// Telemetry counters from sample generation, folded from the per-job
+    /// deltas in index order (thread-count invariant).
+    gen_counters: CounterSet,
 }
 
 impl Trainer {
@@ -147,6 +151,7 @@ impl Trainer {
             optimizer,
             rng,
             ws: NnWorkspace::new(),
+            gen_counters: CounterSet::new(),
         }
     }
 
@@ -161,6 +166,17 @@ impl Trainer {
     /// The configuration.
     pub fn config(&self) -> &TrainerConfig {
         &self.config
+    }
+
+    /// Telemetry counters accumulated so far: MCTS/routing work from sample
+    /// generation (per-job deltas folded in index order, so totals are
+    /// bit-identical for any thread count) plus the fit loop's NN workspace
+    /// counters (MACs, pool traffic, GEMM dispatch).
+    #[must_use]
+    pub fn counters(&self) -> CounterSet {
+        let mut total = self.gen_counters;
+        total.merge_from(&self.ws.counters);
+        total
     }
 
     /// Runs all configured stages, returning one report per stage.
@@ -338,7 +354,7 @@ impl Trainer {
             // the master RNG advances identically for any thread count.
             let size_seed: u64 = self.rng.gen();
             type LayoutSamples =
-                Result<Option<(Vec<TrainingSample>, f64)>, oarsmt_router::RouteError>;
+                Result<(Option<(Vec<TrainingSample>, f64)>, CounterSet), oarsmt_router::RouteError>;
             let per_layout = parallel::run_seeded_with(
                 self.config.layouts_per_size,
                 size_seed,
@@ -346,17 +362,21 @@ impl Trainer {
                 || (proto.clone(), oarsmt_router::RouteContext::new()),
                 |(sel, ctx), _idx, layout_seed| -> LayoutSamples {
                     let graph = CaseGenerator::new(cfg.clone(), layout_seed).generate();
-                    match scheme {
+                    // Contexts are reused across a worker's layouts, so
+                    // each job reports its counter *delta*; the index-order
+                    // fold below makes the totals partition-independent.
+                    let before = ctx.counters_total();
+                    let payload = match scheme {
                         Scheme::Combinatorial => {
                             let mcts = CombinatorialMcts::new(mcts_config.clone());
                             match mcts.search_in(ctx, &graph, sel) {
                                 Ok(out) => {
                                     let ratio = out.final_cost / out.initial_cost;
                                     let sample = TrainingSample::new(graph, vec![], out.label);
-                                    Ok(Some((vec![sample], ratio)))
+                                    Some((vec![sample], ratio))
                                 }
-                                Err(oarsmt_router::RouteError::Disconnected { .. }) => Ok(None),
-                                Err(e) => Err(e),
+                                Err(oarsmt_router::RouteError::Disconnected { .. }) => None,
+                                Err(e) => return Err(e),
                             }
                         }
                         Scheme::AlphaGo => {
@@ -371,19 +391,22 @@ impl Trainer {
                                             TrainingSample::new(graph.clone(), s.state, s.label)
                                         })
                                         .collect();
-                                    Ok(Some((per_move, ratio)))
+                                    Some((per_move, ratio))
                                 }
-                                Err(oarsmt_router::RouteError::Disconnected { .. }) => Ok(None),
-                                Err(e) => Err(e),
+                                Err(oarsmt_router::RouteError::Disconnected { .. }) => None,
+                                Err(e) => return Err(e),
                             }
                         }
-                    }
+                    };
+                    Ok((payload, ctx.counters_total().delta_since(&before)))
                 },
             );
-            // Fold in index order: sample order and float accumulation are
-            // independent of the worker partition.
+            // Fold in index order: sample order, float accumulation, and
+            // counter totals are independent of the worker partition.
             for item in per_layout {
-                if let Some((layout_samples, ratio)) = item? {
+                let (payload, delta) = item?;
+                self.gen_counters.merge_from(&delta);
+                if let Some((layout_samples, ratio)) = payload {
                     ratio_sum += ratio;
                     ratio_count += 1;
                     samples.extend(layout_samples);

@@ -22,6 +22,7 @@ use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_graph::dijkstra::{DijkstraWorkspace, SearchBounds};
 use oarsmt_graph::{GridAdjacency, StampMap, StampSet};
 use oarsmt_nn::NnWorkspace;
+use oarsmt_telemetry::{Counter, CounterSet};
 
 use crate::tree::{RouteTree, TreeAdjacency};
 
@@ -115,6 +116,10 @@ pub struct RouteContext {
     /// (`Selector::fsp_into_ws` threads this through `UNet3d::predict_in`
     /// so repeated inference performs no tensor allocation).
     pub nn: NnWorkspace,
+    /// Tier A telemetry owned at the router level (pruned Steiner points,
+    /// tree-pool hits/misses, merged MCTS counters). Read the whole
+    /// context's totals with [`RouteContext::counters_total`].
+    pub counters: CounterSet,
 }
 
 impl RouteContext {
@@ -208,9 +213,30 @@ impl RouteContext {
     /// pool is empty). Return it with [`RouteContext::recycle_tree`] to keep
     /// its allocations alive for the next query.
     pub fn take_tree(&mut self) -> RouteTree {
-        let mut t = self.tree_pool.pop().unwrap_or_default();
+        let mut t = match self.tree_pool.pop() {
+            Some(t) => {
+                self.counters.bump(Counter::TreePoolHits);
+                t
+            }
+            None => {
+                self.counters.bump(Counter::TreePoolMisses);
+                RouteTree::default()
+            }
+        };
         t.clear();
         t
+    }
+
+    /// The context's merged Tier A counters: router-level counters plus the
+    /// embedded Dijkstra and NN workspace counters, summed index by index.
+    /// Monotone across queries; callers wanting per-phase numbers take a
+    /// reading before and use [`CounterSet::delta_since`].
+    #[must_use]
+    pub fn counters_total(&self) -> CounterSet {
+        let mut total = self.counters;
+        total.merge_from(&self.space.counters);
+        total.merge_from(&self.nn.counters);
+        total
     }
 
     /// Returns a tree to the pool for later reuse.

@@ -137,6 +137,8 @@ impl OarmstRouter {
         }
         for _ in 0..max_rounds {
             let removed = retain_irredundant_in(&mut ctx.cand_degrees, graph, &tree, &mut kept);
+            ctx.counters
+                .add(oarsmt_telemetry::Counter::SteinerPruned, removed as u64);
             if removed == 0 {
                 break;
             }

@@ -1,0 +1,43 @@
+//! Two-tier telemetry for the OARSMT router/MCTS/NN stack.
+//!
+//! The repo's headline numbers are throughput and cost; this crate exists so
+//! a slow rung can be *explained* (Dijkstra pops? GEMM panel fallbacks? MCTS
+//! re-expansions?) without compromising the determinism and zero-allocation
+//! invariants that `oarsmt-lint` enforces. Two strictly separated tiers:
+//!
+//! * **Tier A — deterministic counters** ([`counters`]): a statically
+//!   registered [`Counter`] enum backed by a plain `u64` array
+//!   ([`CounterSet`]) embedded in the hot-path workspaces (`RouteContext`,
+//!   `SearchBuffers`, `NnWorkspace`, `DijkstraWorkspace`). Increments are
+//!   branch-free array adds — always on, alloc-free, no clock reads — and
+//!   `u64` addition is commutative, so per-job counter deltas folded in
+//!   index order by `oarsmt::parallel` are **bit-identical for any thread
+//!   count**.
+//! * **Tier B — span timing** ([`timing`]): scoped wall-clock spans with
+//!   fixed log2-nanosecond-bucket histograms ([`SpanSet`]). The clock reads
+//!   are compiled in only under the `telemetry-timing` feature and live in
+//!   this crate alone, behind `timing-ok` lint markers at the tier
+//!   boundary; result-affecting crates record spans through the no-op API
+//!   and never observe time.
+//!
+//! [`snapshot`] bundles a run [`Manifest`], a counter set and a span set
+//! into a [`TelemetrySnapshot`] with a line-oriented JSONL wire form that
+//! bench artifacts embed; [`report`] renders and diffs snapshots for the
+//! `oarsmt report` CLI subcommand.
+
+#![forbid(unsafe_code)]
+
+pub mod counters;
+pub mod report;
+pub mod snapshot;
+pub mod timing;
+
+pub use counters::{Counter, CounterSet, COUNTER_NAMES, NUM_COUNTERS};
+pub use snapshot::{Manifest, TelemetrySnapshot};
+pub use timing::{Span, SpanHist, SpanSet, SpanStart, NUM_SPANS, SPAN_BUCKETS, SPAN_NAMES};
+
+/// Whether Tier B actually reads clocks in this build (the
+/// `telemetry-timing` feature). When `false`, [`SpanStart::now`] and
+/// [`SpanStart::elapsed_ns`] are free no-ops and every recorded duration is
+/// zero; counters (Tier A) are unaffected.
+pub const TIMING_ENABLED: bool = cfg!(feature = "telemetry-timing");

@@ -6,6 +6,7 @@
 //! oarsmt compare FILE                 run all routers on a case
 //! oarsmt train OUT.bin [STAGES] [--threads N]
 //!                                     train a selector, save weights
+//! oarsmt report FILE [FILE2]          render (or diff) telemetry snapshots
 //! ```
 //!
 //! Case files use the text format of [`oarsmt_geom::io`]. `train`
@@ -41,9 +42,10 @@ fn main() -> ExitCode {
         Some("route") => cmd_route(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("train") => cmd_train(&args[1..], threads_flag),
+        Some("report") => cmd_report(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  oarsmt gen H V M PINS SEED [FILE]\n  oarsmt route FILE [--selector WEIGHTS.bin]\n  oarsmt compare FILE\n  oarsmt train OUT.bin [STAGES] [--threads N]\n\nOARSMT_THREADS=N sets the default worker count."
+                "usage:\n  oarsmt gen H V M PINS SEED [FILE]\n  oarsmt route FILE [--selector WEIGHTS.bin]\n  oarsmt compare FILE\n  oarsmt train OUT.bin [STAGES] [--threads N]\n  oarsmt report FILE [FILE2]\n\nreport renders the telemetry snapshot embedded in a BENCH_*.json artifact\n(or a raw .jsonl snapshot); with two files it prints a counter/span diff.\nOARSMT_THREADS=N sets the default worker count."
             );
             return ExitCode::from(2);
         }
@@ -164,5 +166,24 @@ fn cmd_train(args: &[String], threads_flag: Option<usize>) -> CliResult {
     }
     selector.save(out)?;
     println!("weights saved to {out}");
+    Ok(())
+}
+
+fn cmd_report(args: &[String]) -> CliResult {
+    let first = args.first().ok_or("report expects: FILE [FILE2]")?;
+    let load =
+        |path: &str| -> Result<oarsmt_telemetry::TelemetrySnapshot, Box<dyn std::error::Error>> {
+            let text = std::fs::read_to_string(path)?;
+            oarsmt_telemetry::TelemetrySnapshot::from_jsonl(&text)
+                .map_err(|e| format!("{path}: {e}").into())
+        };
+    let a = load(first)?;
+    match args.get(1) {
+        Some(second) => {
+            let b = load(second)?;
+            print!("{}", oarsmt_telemetry::report::diff(&a, &b));
+        }
+        None => print!("{}", oarsmt_telemetry::report::render(&a)),
+    }
     Ok(())
 }

@@ -11,7 +11,8 @@ use oarsmt::selector::NeuralSelector;
 use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
 use oarsmt_mcts::{CombinatorialMcts, MctsConfig};
 use oarsmt_nn::unet::UNetConfig;
-use oarsmt_router::Lin18Router;
+use oarsmt_router::{Lin18Router, RouteContext};
+use oarsmt_telemetry::{Counter, CounterSet};
 
 fn small_selector(seed: u64) -> NeuralSelector {
     NeuralSelector::with_config(UNetConfig {
@@ -98,6 +99,57 @@ fn mcts_labels_are_bit_identical_across_thread_counts() {
         one.iter().any(|l| !l.is_empty()),
         "some searches must succeed"
     );
+}
+
+/// Runs the golden searches of the label test above with per-job counter
+/// deltas (the same capture/fold pattern the sample-generation engine
+/// uses) and returns the folded totals.
+fn search_counters(threads: usize) -> CounterSet {
+    let config = MctsConfig {
+        base_iterations: 8,
+        base_size: 25,
+        ..MctsConfig::default()
+    };
+    let deltas = run_seeded_with(
+        6,
+        99,
+        threads,
+        || (RouteContext::new(), small_selector(7)),
+        |state, _i, seed| {
+            let (ctx, sel) = state;
+            let graph = layout(seed);
+            let mcts = CombinatorialMcts::new(config.clone());
+            let before = ctx.counters_total();
+            let _ = mcts.search_in(ctx, &graph, sel);
+            ctx.counters_total().delta_since(&before)
+        },
+    );
+    let mut total = CounterSet::new();
+    for delta in &deltas {
+        total.merge_from(delta);
+    }
+    total
+}
+
+#[test]
+fn search_counter_totals_are_bit_identical_across_thread_counts() {
+    let mut one = search_counters(1);
+    let mut four = search_counters(4);
+    // Pure work counters must agree with no caveats at all.
+    for c in [
+        Counter::DijkstraPops,
+        Counter::DijkstraRelaxations,
+        Counter::MctsExpansions,
+        Counter::MctsRollouts,
+    ] {
+        assert_eq!(one.get(c), four.get(c), "{c:?} depends on thread count");
+    }
+    // Pool hit/miss *splits* legitimately differ (each worker warms its own
+    // context), but their sums are pure functions of the work.
+    one.fold_pool_splits();
+    four.fold_pool_splits();
+    assert_eq!(one, four, "counter totals depend on the worker partition");
+    assert!(!one.is_zero(), "golden searches must count real work");
 }
 
 #[test]
