@@ -32,6 +32,13 @@ cargo test --release -q -p oarsmt-lint --features alloc-count --test alloc_sanit
 echo "==> route-context property tests"
 cargo test -q -p oarsmt-router --test context_properties
 
+echo "==> queue-policy equivalence (Dial == heap oracle bit-identity, A* golden pins)"
+cargo test -q -p oarsmt-router --test queue_equivalence
+
+echo "==> dijkstra_bench smoke (quick mode, asserts heap/Dial checksum + op-count identity)"
+cargo run --release -q -p oarsmt-bench --bin dijkstra_bench -- --quick \
+    --out target/BENCH_dijkstra_smoke.json
+
 echo "==> critic_throughput smoke (quick mode, checks fresh/reused bit-identity)"
 cargo run --release -q -p oarsmt-bench --bin critic_throughput -- --quick \
     --out target/BENCH_critic_smoke.json

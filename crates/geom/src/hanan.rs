@@ -375,6 +375,30 @@ impl HananGraph {
         &self.y_costs
     }
 
+    /// The largest edge cost, when **every** edge cost (per-gap and via) is
+    /// a positive integer exactly represented in `f64`; `None` otherwise.
+    ///
+    /// This is the eligibility check of the paper's bounded-integer cost
+    /// model (Section 2.2: gap costs in `1..=1000`, via costs in `3..=5`):
+    /// when it returns `Some(c)`, every path cost is an exact integer sum
+    /// and a Dial bucket queue with span `c` can replace the maze router's
+    /// binary heap (see `oarsmt-graph::dijkstra::QueuePolicy` and
+    /// DESIGN.md §12). `O(H + V)`, allocation-free.
+    #[must_use]
+    pub fn integer_cost_ceiling(&self) -> Option<u64> {
+        let mut max = self.via_cost;
+        for &c in self.x_costs.iter().chain(self.y_costs.iter()) {
+            if c.fract() != 0.0 {
+                return None;
+            }
+            max = max.max(c);
+        }
+        if self.via_cost.fract() != 0.0 || max > (1u64 << 32) as f64 {
+            return None;
+        }
+        Some(max as u64)
+    }
+
     /// Physical x coordinates of the grid columns.
     pub fn xs(&self) -> &[i64] {
         &self.xs

@@ -1,0 +1,335 @@
+//! Integer-keyed bucket priority queue (Dial's algorithm substrate).
+//!
+//! The paper's cost model bounds every Hanan-grid edge cost to a small
+//! positive integer (PAPER.md §2.2: per-gap costs in `1..=1000`, via costs
+//! in `3..=5`), which makes Dial's bucket queue a drop-in replacement for
+//! the binary heap inside the maze router: pushes and pops become `O(1)`
+//! array operations plus a monotone cursor scan, instead of `O(log n)`
+//! sift operations over a heap that holds millions of entries on the large
+//! Table 1 rungs.
+//!
+//! Keys must be monotone: once an entry with key `k` has been popped, every
+//! later push must use a key `≥ k` (true for Dijkstra with non-negative
+//! edge costs). Entries alive at any instant span at most `span`
+//! consecutive keys (for Dijkstra, `span` = the largest edge cost), so the
+//! queue keeps `span + 1` buckets addressed circularly by
+//! `key % nbuckets`.
+//!
+//! Pop order is part of the repo's determinism contract (DESIGN.md §12):
+//! within one key, the entries present when the cursor reaches that key
+//! drain in ascending vertex index (the bucket is sorted once, when
+//! opened), and entries that arrive while their key is open drain
+//! afterwards in arrival order. Dijkstra with edge costs `≥ 1` never
+//! appends to the open bucket, so its pop order is exactly the binary
+//! heap's `(cost, vertex index)` order — bit-identical results. The
+//! open-bucket append behaviour is still defined (and tested) so the queue
+//! stays correct for cost models with zero-cost edges.
+//!
+//! ```
+//! use oarsmt_graph::bucket::BucketQueue;
+//!
+//! let mut q = BucketQueue::new();
+//! q.reset(3); // largest key step between a pop and a push is 3
+//! q.push(2, 7);
+//! q.push(0, 9);
+//! q.push(2, 4);
+//! let mut scans = 0u64;
+//! assert_eq!(q.pop_min(&mut scans), Some((0, 9)));
+//! // Key 2 drains in ascending vertex index.
+//! assert_eq!(q.pop_min(&mut scans), Some((2, 4)));
+//! q.push(2, 6); // arrived while key 2 was open: drains after the batch
+//! assert_eq!(q.pop_min(&mut scans), Some((2, 7)));
+//! assert_eq!(q.pop_min(&mut scans), Some((2, 6)));
+//! assert_eq!(q.pop_min(&mut scans), None);
+//! ```
+
+/// A reusable circular bucket queue over `u64` keys and `u32` payloads.
+///
+/// Created empty; [`BucketQueue::reset`] sizes it for a query and
+/// invalidates previous contents by bumping an epoch (no `O(buckets)`
+/// clear). All storage is retained across queries, so a warm queue
+/// performs no allocation (the dynamic twin of the `oarsmt-lint`
+/// `[[zero_alloc]]` registration).
+#[derive(Debug, Clone, Default)]
+pub struct BucketQueue {
+    /// Bucket payloads; only `buckets[b][pos[b]..]` is live.
+    buckets: Vec<Vec<u32>>,
+    /// Epoch stamp per bucket: contents are valid only when equal to
+    /// `epoch` (stale buckets are treated as empty and cleared on reuse).
+    bucket_epoch: Vec<u32>,
+    /// Drain position per bucket (entries before it are already popped).
+    pos: Vec<u32>,
+    epoch: u32,
+    /// Absolute key the cursor is currently draining.
+    cursor: u64,
+    /// The key most recently sorted-on-open (cursor keys are monotone, so
+    /// one scalar suffices).
+    opened: u64,
+    /// Live (un-popped) entries.
+    len: usize,
+    /// Whether a pop has happened: before the first pop any key may be
+    /// seeded (the cursor tracks the minimum); after it the monotone
+    /// contract binds.
+    draining: bool,
+    /// Largest key seeded before draining began (debug-only span check).
+    seed_max: u64,
+}
+
+/// Sentinel for "no key opened yet".
+const NO_KEY: u64 = u64::MAX;
+
+impl BucketQueue {
+    /// Creates an empty queue; [`BucketQueue::reset`] sizes it on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        BucketQueue::default()
+    }
+
+    /// Prepares the queue for a fresh query whose alive entries never span
+    /// more than `span` consecutive keys (for Dijkstra: the largest edge
+    /// cost; for A* with a consistent heuristic: twice that). Previous
+    /// contents are invalidated in `O(1)` via the epoch stamp; bucket
+    /// storage is retained.
+    pub fn reset(&mut self, span: usize) {
+        let need = span + 1;
+        if self.buckets.len() < need {
+            self.buckets.resize_with(need, Vec::new);
+            self.bucket_epoch.resize(need, 0);
+            self.pos.resize(need, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: reset all stamps once.
+            self.bucket_epoch.fill(0);
+            self.epoch = 1;
+        }
+        self.cursor = NO_KEY;
+        self.opened = NO_KEY;
+        self.len = 0;
+        self.draining = false;
+        self.seed_max = 0;
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue holds no live entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes `idx` with the given key.
+    ///
+    /// Keys must be monotone with respect to pops: once
+    /// [`BucketQueue::pop_min`] has returned an entry, `key` must be `≥`
+    /// its key (checked in debug builds) and within `span` of it so the
+    /// circular addressing cannot collide. Before the first pop any keys
+    /// may be seeded, as long as they span at most `span` between
+    /// themselves.
+    pub fn push(&mut self, key: u64, idx: u32) {
+        if self.draining {
+            debug_assert!(
+                key >= self.cursor,
+                "non-monotone bucket push: key {key} < cursor {}",
+                self.cursor
+            );
+            debug_assert!(
+                key - self.cursor < self.buckets.len() as u64,
+                "bucket span exceeded: key {key}, cursor {}, buckets {}",
+                self.cursor,
+                self.buckets.len()
+            );
+        } else {
+            // Seeding phase: the cursor starts at the smallest pushed key.
+            self.cursor = self.cursor.min(key);
+            #[cfg(debug_assertions)]
+            {
+                self.seed_max = self.seed_max.max(key);
+                debug_assert!(
+                    self.seed_max - self.cursor < self.buckets.len() as u64,
+                    "seed span exceeded: keys {}..={}, buckets {}",
+                    self.cursor,
+                    self.seed_max,
+                    self.buckets.len()
+                );
+            }
+        }
+        let b = (key % self.buckets.len() as u64) as usize;
+        if self.bucket_epoch[b] != self.epoch {
+            self.buckets[b].clear();
+            self.pos[b] = 0;
+            self.bucket_epoch[b] = self.epoch;
+        }
+        self.buckets[b].push(idx);
+        self.len += 1;
+    }
+
+    /// Pops the minimum-key entry, advancing the cursor over empty buckets
+    /// (each advance adds one to `scans` — the `dijkstra_bucket_scans`
+    /// telemetry counter). Returns `None` when the queue is empty.
+    pub fn pop_min(&mut self, scans: &mut u64) -> Option<(u64, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        self.draining = true;
+        let nb = self.buckets.len() as u64;
+        loop {
+            let b = (self.cursor % nb) as usize;
+            if self.bucket_epoch[b] == self.epoch {
+                let live = self.pos[b] as usize;
+                let bucket = &mut self.buckets[b];
+                if live < bucket.len() {
+                    if self.opened != self.cursor {
+                        // First visit at this key: the entries present
+                        // drain in ascending vertex index. Entries whose
+                        // key was already drained on a previous cursor lap
+                        // sit before `pos` and are untouched.
+                        bucket[live..].sort_unstable();
+                        self.opened = self.cursor;
+                    }
+                    let idx = bucket[live];
+                    self.pos[b] += 1;
+                    self.len -= 1;
+                    return Some((self.cursor, idx));
+                }
+                // Fully drained on a previous lap or this one: reset the
+                // bucket so the next lap starts clean.
+                bucket.clear();
+                self.pos[b] = 0;
+            }
+            self.cursor += 1;
+            *scans += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_then_index_order() {
+        let mut q = BucketQueue::new();
+        q.reset(5);
+        for &(k, i) in &[(3u64, 9u32), (1, 4), (3, 2), (1, 11), (5, 0)] {
+            q.push(k, i);
+        }
+        let mut scans = 0;
+        let mut out = Vec::new();
+        while let Some(e) = q.pop_min(&mut scans) {
+            out.push(e);
+        }
+        assert_eq!(out, vec![(1, 4), (1, 11), (3, 2), (3, 9), (5, 0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn open_bucket_appends_drain_in_arrival_order() {
+        let mut q = BucketQueue::new();
+        q.reset(2);
+        q.push(4, 8);
+        q.push(4, 3);
+        let mut scans = 0;
+        assert_eq!(q.pop_min(&mut scans), Some((4, 3)));
+        // Key 4 is open: a same-key arrival goes behind the sorted batch.
+        q.push(4, 1);
+        q.push(4, 2);
+        assert_eq!(q.pop_min(&mut scans), Some((4, 8)));
+        assert_eq!(q.pop_min(&mut scans), Some((4, 1)));
+        assert_eq!(q.pop_min(&mut scans), Some((4, 2)));
+        assert_eq!(q.pop_min(&mut scans), None);
+    }
+
+    #[test]
+    fn circular_reuse_across_many_keys() {
+        // Far more distinct keys than buckets: the modulus wraps and the
+        // queue must keep draining correctly.
+        let mut q = BucketQueue::new();
+        q.reset(3);
+        q.push(0, 0);
+        let mut scans = 0;
+        let mut expected_key = 0u64;
+        while let Some((k, i)) = q.pop_min(&mut scans) {
+            assert_eq!(k, expected_key);
+            assert_eq!(i, (k % 100) as u32);
+            if k < 50 {
+                // Simulate a relaxation with edge costs 2 and 3.
+                q.push(k + 2, ((k + 2) % 100) as u32);
+                expected_key = k + 2;
+                if q.len() == 1 {
+                    continue;
+                }
+            }
+            if q.is_empty() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn reset_invalidates_without_clearing_storage() {
+        let mut q = BucketQueue::new();
+        q.reset(4);
+        q.push(1, 10);
+        q.push(2, 20);
+        let mut scans = 0;
+        assert_eq!(q.pop_min(&mut scans), Some((1, 10)));
+        // Abandon mid-drain; the next query must not see leftovers.
+        q.reset(4);
+        assert!(q.is_empty());
+        assert_eq!(q.pop_min(&mut scans), None);
+        q.push(7, 1);
+        assert_eq!(q.pop_min(&mut scans), Some((7, 1)));
+    }
+
+    #[test]
+    fn scan_counter_counts_cursor_advances() {
+        let mut q = BucketQueue::new();
+        q.reset(10);
+        q.push(0, 1);
+        q.push(8, 2);
+        let mut scans = 0;
+        q.pop_min(&mut scans);
+        assert_eq!(scans, 0);
+        q.pop_min(&mut scans);
+        assert_eq!(scans, 8, "eight empty keys between 0 and 8");
+    }
+
+    #[test]
+    fn randomized_against_sorted_reference() {
+        // Deterministic pseudo-random workload compared against a sorted
+        // reference: keys ascend in waves like a Dijkstra frontier.
+        let mut q = BucketQueue::new();
+        let span = 16usize;
+        q.reset(span);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        q.push(0, (next() % 1000) as u32);
+        let mut popped = Vec::new();
+        let mut scans = 0;
+        let mut budget = 500;
+        while let Some((k, i)) = q.pop_min(&mut scans) {
+            popped.push((k, i));
+            if budget > 0 {
+                budget -= 1;
+                let fan = next() % 3;
+                for _ in 0..fan {
+                    q.push(k + 1 + next() % span as u64, (next() % 1000) as u32);
+                }
+            }
+        }
+        // Keys must be non-decreasing.
+        for w in popped.windows(2) {
+            assert!(w[0].0 <= w[1].0, "keys out of order: {w:?}");
+        }
+    }
+}

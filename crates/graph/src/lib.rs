@@ -5,7 +5,15 @@
 //!
 //! * [`dijkstra`] — single- and multi-source Dijkstra over a
 //!   [`HananGraph`](oarsmt_geom::HananGraph), the "maze router" of the
-//!   paper's OARMST construction (Section 3.1, following \[14\]),
+//!   paper's OARMST construction (Section 3.1, following \[14\]). Each
+//!   query picks a [`QueuePolicy`]: the retained binary-heap oracle, the
+//!   [`bucket`]-queue (Dial) fast path — bit-identical to the heap on the
+//!   paper's bounded-integer cost models — or an A\* lower-bound search
+//!   ([`RectilinearBound`]), the one documented divergence (DESIGN.md
+//!   §12),
+//! * [`bucket`] — the circular bucket ring behind the Dial policy,
+//! * [`csr`] — flattened CSR adjacency for the relaxation inner loop,
+//! * [`stamp`] — `O(1)`-reset stamped index sets,
 //! * [`mst`] — Prim's algorithm over dense terminal-distance matrices,
 //! * [`union_find`] — disjoint sets, used for tree validation,
 //! * [`path`] — grid paths with costs.
@@ -24,6 +32,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod bucket;
 pub mod csr;
 pub mod dijkstra;
 pub mod error;
@@ -32,10 +41,11 @@ pub mod path;
 pub mod stamp;
 pub mod union_find;
 
+pub use bucket::BucketQueue;
 pub use csr::GridAdjacency;
 pub use dijkstra::{
     distances_from, shortest_path, shortest_path_in, shortest_path_to_set, shortest_path_to_set_in,
-    DijkstraWorkspace, SearchSpace,
+    DijkstraWorkspace, QueuePolicy, RectilinearBound, SearchSpace, DIAL_MAX_EDGE_COST,
 };
 pub use error::GraphError;
 pub use mst::{prim_mst, MstEdge};

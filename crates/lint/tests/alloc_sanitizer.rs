@@ -117,6 +117,29 @@ fn hot_paths_are_allocation_free_in_steady_state() {
         "Tier A counters did not advance during the zero-alloc routes"
     );
 
+    // --- route_in under QueuePolicy::AStar: the f = g + h heap search and
+    // its per-iteration target-hint rebuild are also allocation-free once
+    // warm (the Auto default above already exercised the Dial bucket
+    // queue — integral costs make this graph Dial-eligible). ---
+    let astar = OarmstRouter::new().with_queue_policy(oarsmt_router::QueuePolicy::AStar);
+    let mut warm_astar = 0.0;
+    for _ in 0..3 {
+        let tree = astar.route_in(&mut ctx, &g, &candidates).unwrap();
+        warm_astar = tree.cost();
+        ctx.recycle_tree(tree);
+    }
+    let (n, steady_astar) = allocs_during(|| {
+        let mut cost = 0.0;
+        for _ in 0..8 {
+            let tree = astar.route_in(&mut ctx, &g, &candidates).unwrap();
+            cost = tree.cost();
+            ctx.recycle_tree(tree);
+        }
+        cost
+    });
+    assert_eq!(n, 0, "A* route_in allocated {n} times in steady state");
+    assert_eq!(steady_astar, warm_astar, "steady-state A* result drifted");
+
     // --- predict_with_fsp_in: zero allocations with a precomputed fsp. ---
     let critic = Critic::new();
     let mut median = MedianHeuristicSelector::new();

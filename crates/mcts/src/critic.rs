@@ -10,7 +10,7 @@
 use oarsmt::selector::Selector;
 use oarsmt::topk::{select_top_k_into, steiner_budget};
 use oarsmt_geom::{GridPoint, HananGraph};
-use oarsmt_router::{OarmstRouter, RouteContext, RouteError};
+use oarsmt_router::{OarmstRouter, QueuePolicy, RouteContext, RouteError};
 
 /// The critic built on top of a Steiner-point selector.
 #[derive(Debug)]
@@ -30,6 +30,15 @@ impl Critic {
     /// Creates a critic.
     pub fn new() -> Self {
         Critic::default()
+    }
+
+    /// Selects the [`QueuePolicy`] for the critic's OARMST maze queries
+    /// (builder style; default `Auto`, which is bit-identical to the heap
+    /// oracle — see DESIGN.md §12).
+    #[must_use]
+    pub fn with_queue_policy(mut self, policy: QueuePolicy) -> Self {
+        self.oarmst = self.oarmst.with_queue_policy(policy);
+        self
     }
 
     /// Predicts the final routing cost of a state given the selector's

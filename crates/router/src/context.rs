@@ -92,6 +92,10 @@ pub struct RouteContext {
     /// Maze-query result buffer (`shortest_path_to_set_*_into` writes
     /// here), so the Prim/retrace loops never allocate a `GridPath`.
     pub(crate) path_buf: Vec<GridPoint>,
+    /// Currently-unconnected terminal points, maintained per Prim
+    /// iteration as the A\* target hint (only filled under
+    /// [`QueuePolicy::AStar`](oarsmt_graph::QueuePolicy)).
+    pub(crate) unconnected_points: Vec<GridPoint>,
     /// Sorted-half-edge adjacency of the tree under polish.
     pub(crate) tree_adj: TreeAdjacency,
     /// Per-vertex tree degrees of the redundant-candidate prune.

@@ -40,6 +40,7 @@ pub mod prune;
 pub mod retrace;
 pub mod segments;
 pub mod spanning;
+pub mod sweep;
 pub mod tree;
 
 pub use context::RouteContext;
@@ -47,5 +48,9 @@ pub use error::RouteError;
 pub use lin18::Lin18Router;
 pub use liu14::Liu14Router;
 pub use oarmst::OarmstRouter;
+// Re-exported so routing callers can pick a policy without depending on
+// `oarsmt-graph` directly.
+pub use oarsmt_graph::QueuePolicy;
 pub use spanning::SpanningRouter;
+pub use sweep::SweepSchedule;
 pub use tree::{RouteTree, TreeAdjacency};

@@ -25,6 +25,7 @@ use oarsmt_geom::HananGraph;
 
 use crate::error::RouteError;
 use crate::oarmst::OarmstRouter;
+use crate::sweep::SweepSchedule;
 use crate::tree::RouteTree;
 
 /// The \[14\]-style algorithmic ML-OARSMT router.
@@ -98,16 +99,12 @@ impl Lin18Router {
     /// back to an unbounded search before reporting
     /// [`RouteError::Disconnected`].
     pub fn route(&self, graph: &HananGraph) -> Result<RouteTree, RouteError> {
-        let bounded = OarmstRouter::new().with_bounds_margin(self.margin);
-        let unbounded = OarmstRouter::new();
-        let build = |router: &OarmstRouter, cands: &[oarsmt_geom::GridPoint]| match router
-            .route(graph, cands)
-        {
-            Ok(t) => Ok(t),
-            Err(RouteError::Disconnected { .. }) => unbounded.route(graph, cands),
-            Err(e) => Err(e),
-        };
-        let mut best = build(&bounded, &[])?;
+        // [14]'s bounded→unbounded fallback, expressed as the general
+        // escalating-sweep schedule (identical behaviour: one bounded
+        // stage, unbounded only on disconnection).
+        let base = OarmstRouter::new();
+        let sweep = SweepSchedule::bounded_then_unbounded(self.margin);
+        let mut best = sweep.route(&base, graph, &[])?;
 
         // Path-assessed retracing: for each pin, rip up its branch (the
         // degree-≤2 path from the pin to the first branch vertex or other
@@ -137,7 +134,7 @@ impl Lin18Router {
             if implied.is_empty() {
                 break;
             }
-            let retraced = build(&bounded, &implied)?;
+            let retraced = sweep.route(&base, graph, &implied)?;
             if retraced.cost() + 1e-9 < best.cost() {
                 best = retraced;
             } else {

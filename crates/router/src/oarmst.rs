@@ -14,6 +14,7 @@
 //!    irredundant candidates, repeating until no candidate is redundant.
 
 use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_graph::QueuePolicy;
 
 use crate::context::RouteContext;
 use crate::error::RouteError;
@@ -30,13 +31,20 @@ use crate::tree::RouteTree;
 /// * `bounds_margin` — optional bounded-exploration margin in grid steps:
 ///   when set, every maze query is restricted to the bounding box of the
 ///   remaining terminals expanded by the margin (used by the \[14\]
-///   baseline; `None` searches the whole grid).
+///   baseline; `None` searches the whole grid),
+/// * `queue_policy` — the [`QueuePolicy`] every maze query runs under.
+///   The default `Auto` selects Dial's bucket queue on bounded-integer
+///   cost models (bit-identical to the heap, DESIGN.md §12.3);
+///   `QueuePolicy::Heap` forces the oracle and `QueuePolicy::AStar` opts
+///   into the goal-directed search with its documented tie-break
+///   divergence (§12.4).
 #[derive(Debug, Clone)]
 pub struct OarmstRouter {
     max_prune_rounds: Option<usize>,
     bounds_margin: Option<usize>,
     start: usize,
     polish_rounds: usize,
+    queue_policy: QueuePolicy,
 }
 
 impl Default for OarmstRouter {
@@ -46,6 +54,7 @@ impl Default for OarmstRouter {
             bounds_margin: None,
             start: 0,
             polish_rounds: 1,
+            queue_policy: QueuePolicy::Auto,
         }
     }
 }
@@ -77,6 +86,31 @@ impl OarmstRouter {
     pub fn with_bounds_margin(mut self, margin: usize) -> Self {
         self.bounds_margin = Some(margin);
         self
+    }
+
+    /// Removes any bounded-exploration margin, restoring whole-grid
+    /// searches (builder style; used by
+    /// [`SweepSchedule`](crate::sweep::SweepSchedule) to derive the
+    /// unbounded fallback stage from a bounded base router).
+    #[must_use]
+    pub fn without_bounds_margin(mut self) -> Self {
+        self.bounds_margin = None;
+        self
+    }
+
+    /// Selects the [`QueuePolicy`] for every maze query this router issues,
+    /// including the polish pass (builder style; default
+    /// [`QueuePolicy::Auto`]).
+    #[must_use]
+    pub fn with_queue_policy(mut self, policy: QueuePolicy) -> Self {
+        self.queue_policy = policy;
+        self
+    }
+
+    /// The [`QueuePolicy`] this router's maze queries run under.
+    #[must_use]
+    pub fn queue_policy(&self) -> QueuePolicy {
+        self.queue_policy
     }
 
     /// Starts Prim's construction from the `start`-th terminal (modulo the
@@ -156,7 +190,13 @@ impl OarmstRouter {
         terminals.extend_from_slice(&kept);
         ctx.kept = kept;
         for _ in 0..self.polish_rounds {
-            match crate::retrace::polish_round_in(ctx, graph, tree, &terminals) {
+            match crate::retrace::polish_round_policy_in(
+                ctx,
+                graph,
+                tree,
+                &terminals,
+                self.queue_policy,
+            ) {
                 Ok((polished, improved)) => {
                     tree = polished;
                     if !improved {
@@ -306,20 +346,37 @@ impl OarmstRouter {
             unconnected_pins -= 1;
         }
 
+        let use_astar = self.queue_policy == QueuePolicy::AStar;
         while !ctx.unconnected.is_empty() {
+            if use_astar {
+                // The A* target hint: the terminals still unconnected.
+                // Exactly the set `is_target` accepts, as the hint
+                // contract requires.
+                ctx.unconnected_points.clear();
+                for k in 0..ctx.terminals.len() {
+                    let t = ctx.terminals[k];
+                    if ctx.unconnected.contains(graph.index(t)) {
+                        ctx.unconnected_points.push(t);
+                    }
+                }
+            }
             let searched = match bounds {
-                None => ctx.space.shortest_path_to_set_csr_into(
+                None => ctx.space.shortest_path_to_set_csr_policy_into(
                     graph,
                     &ctx.adj,
                     &ctx.tree_vertices,
                     |i| ctx.unconnected.contains(i),
+                    self.queue_policy,
+                    &ctx.unconnected_points,
                     &mut ctx.path_buf,
                 ),
-                Some(_) => ctx.space.shortest_path_to_set_into(
+                Some(_) => ctx.space.shortest_path_to_set_policy_into(
                     graph,
                     &ctx.tree_vertices,
                     |i| ctx.unconnected.contains(i),
                     bounds,
+                    self.queue_policy,
+                    &ctx.unconnected_points,
                     &mut ctx.path_buf,
                 ),
             };

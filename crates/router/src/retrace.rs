@@ -4,6 +4,7 @@
 //! iterated reassessment).
 
 use oarsmt_geom::{GridPoint, HananGraph};
+use oarsmt_graph::QueuePolicy;
 
 use crate::context::RouteContext;
 use crate::error::RouteError;
@@ -53,14 +54,23 @@ pub fn reroute_terminal_in(
 ) -> Result<Option<RouteTree>, RouteError> {
     let mut adj = std::mem::take(&mut ctx.tree_adj);
     adj.rebuild(tree);
-    let result = reroute_with_adj(ctx, graph, tree, &adj, terminals, terminal_idx);
+    let result = reroute_with_adj(
+        ctx,
+        graph,
+        tree,
+        &adj,
+        terminals,
+        terminal_idx,
+        QueuePolicy::Auto,
+    );
     ctx.tree_adj = adj;
     result
 }
 
 /// [`reroute_terminal_in`] against a caller-supplied adjacency of `tree`
 /// (the polish loop builds it once per accepted tree instead of once per
-/// terminal).
+/// terminal), under the caller's [`QueuePolicy`].
+#[allow(clippy::too_many_arguments)]
 fn reroute_with_adj(
     ctx: &mut RouteContext,
     graph: &HananGraph,
@@ -68,6 +78,7 @@ fn reroute_with_adj(
     adj: &TreeAdjacency,
     terminals: &[GridPoint],
     terminal_idx: usize,
+    policy: QueuePolicy,
 ) -> Result<Option<RouteTree>, RouteError> {
     let terminal = terminals[terminal_idx];
     let term_v = graph.index(terminal) as u32;
@@ -121,11 +132,14 @@ fn reroute_with_adj(
     }
     let target = graph.index(terminal);
     ctx.adj.ensure(graph);
-    if let Err(e) = ctx.space.shortest_path_to_set_csr_into(
+    // Single-target reroute: the terminal itself is the exact A* hint.
+    if let Err(e) = ctx.space.shortest_path_to_set_csr_policy_into(
         graph,
         &ctx.adj,
         &ctx.tree_vertices,
         |i| i == target,
+        policy,
+        std::slice::from_ref(&terminal),
         &mut ctx.path_buf,
     ) {
         ctx.recycle_tree(stripped);
@@ -164,12 +178,29 @@ pub fn polish_round_in(
     tree: RouteTree,
     terminals: &[GridPoint],
 ) -> Result<(RouteTree, bool), RouteError> {
+    polish_round_policy_in(ctx, graph, tree, terminals, QueuePolicy::Auto)
+}
+
+/// [`polish_round_in`] under an explicit [`QueuePolicy`] (the
+/// [`OarmstRouter`](crate::OarmstRouter) threads its configured policy
+/// through so an oracle-policy route stays heap-driven end to end).
+///
+/// # Errors
+///
+/// See [`reroute_terminal`].
+pub fn polish_round_policy_in(
+    ctx: &mut RouteContext,
+    graph: &HananGraph,
+    tree: RouteTree,
+    terminals: &[GridPoint],
+    policy: QueuePolicy,
+) -> Result<(RouteTree, bool), RouteError> {
     let mut best = tree;
     let mut improved = false;
     let mut adj = std::mem::take(&mut ctx.tree_adj);
     adj.rebuild(&best);
     for idx in 0..terminals.len() {
-        match reroute_with_adj(ctx, graph, &best, &adj, terminals, idx) {
+        match reroute_with_adj(ctx, graph, &best, &adj, terminals, idx, policy) {
             Ok(Some(candidate)) => {
                 if candidate.cost() + 1e-9 < best.cost() {
                     ctx.recycle_tree(std::mem::replace(&mut best, candidate));

@@ -1,0 +1,223 @@
+//! Bounded exploration sweeps: escalating search-window schedules over
+//! the OARMST router.
+//!
+//! \[14\]'s bounded exploration (DESIGN.md §5) restricts every maze query
+//! to the terminals' bounding box plus a margin — fast, but a layout whose
+//! cheapest connection detours outside the window routes worse or not at
+//! all. The original baseline hard-codes one recovery: retry unbounded
+//! when the bounded pass disconnects. A [`SweepSchedule`] generalizes that
+//! into a reusable policy — try a sequence of margins, escalating only
+//! when the current window cannot connect the pins, with a final unbounded
+//! stage as the safety net. [`SweepSchedule::bounded_then_unbounded`] is
+//! exactly the \[14\] behaviour; wider ladders trade extra routing
+//! attempts for tighter windows on easy layouts.
+//!
+//! Escalation triggers **only** on
+//! [`RouteError::Disconnected`](crate::RouteError) — a stage that routes
+//! successfully is final even if a wider window might be cheaper, which is
+//! what keeps the schedule's result deterministic and the \[14\]
+//! behaviour unchanged.
+
+use oarsmt_geom::{GridPoint, HananGraph};
+
+use crate::context::RouteContext;
+use crate::error::RouteError;
+use crate::oarmst::OarmstRouter;
+use crate::tree::RouteTree;
+
+/// An escalating bounded-exploration schedule: a sequence of margins to
+/// try in order, optionally ending in an unbounded search.
+///
+/// ```
+/// use oarsmt_geom::{GridPoint, HananGraph};
+/// use oarsmt_router::{OarmstRouter, SweepSchedule};
+///
+/// // Two pins whose cheapest route must leave their bounding box: a wall
+/// // between them forces a detour around its far end.
+/// let mut g = HananGraph::uniform(9, 9, 1, 1.0, 1.0, 3.0);
+/// for v in 0..8 {
+///     g.add_obstacle_vertex(GridPoint::new(4, v, 0))?;
+/// }
+/// g.add_pin(GridPoint::new(3, 0, 0))?;
+/// g.add_pin(GridPoint::new(5, 0, 0))?;
+///
+/// // Margin 1 cannot connect them; the schedule escalates to unbounded.
+/// let schedule = SweepSchedule::bounded_then_unbounded(1);
+/// let tree = schedule.route(&OarmstRouter::new(), &g, &[])?;
+/// assert!(tree.spans_in(&g, g.pins()));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SweepSchedule {
+    /// Margins to try, in order.
+    margins: Vec<usize>,
+    /// Whether an unbounded stage follows the margins.
+    unbounded_fallback: bool,
+}
+
+impl SweepSchedule {
+    /// The \[14\] schedule: one bounded pass at `margin`, then unbounded
+    /// if the window cannot connect the pins.
+    #[must_use]
+    pub fn bounded_then_unbounded(margin: usize) -> Self {
+        SweepSchedule {
+            margins: vec![margin],
+            unbounded_fallback: true,
+        }
+    }
+
+    /// A ladder of margins tried in order, then unbounded. Margins should
+    /// ascend (not enforced — a descending ladder just wastes stages).
+    #[must_use]
+    pub fn escalating(margins: &[usize]) -> Self {
+        SweepSchedule {
+            margins: margins.to_vec(),
+            unbounded_fallback: true,
+        }
+    }
+
+    /// Only the given margins, with **no** unbounded safety net: a layout
+    /// no window can connect returns
+    /// [`RouteError::Disconnected`](crate::RouteError).
+    #[must_use]
+    pub fn bounded_only(margins: &[usize]) -> Self {
+        SweepSchedule {
+            margins: margins.to_vec(),
+            unbounded_fallback: false,
+        }
+    }
+
+    /// A single unbounded search (no windows at all).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        SweepSchedule {
+            margins: Vec::new(),
+            unbounded_fallback: true,
+        }
+    }
+
+    /// The number of stages this schedule can run.
+    #[must_use]
+    pub fn stages(&self) -> usize {
+        self.margins.len() + usize::from(self.unbounded_fallback)
+    }
+
+    /// Routes `graph.pins()` plus `candidates` through the schedule:
+    /// each stage clones `base` with its margin (the final stage, when
+    /// enabled, clears the margin) and escalates on
+    /// [`RouteError::Disconnected`](crate::RouteError). All other router
+    /// settings — prune rounds, polish rounds, start terminal, queue
+    /// policy — come from `base` unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`OarmstRouter::route`]; `Disconnected` is only returned
+    /// once every stage has failed with it.
+    pub fn route(
+        &self,
+        base: &OarmstRouter,
+        graph: &HananGraph,
+        candidates: &[GridPoint],
+    ) -> Result<RouteTree, RouteError> {
+        self.route_in(&mut RouteContext::new(), base, graph, candidates)
+    }
+
+    /// [`SweepSchedule::route`] through a caller-owned [`RouteContext`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SweepSchedule::route`].
+    pub fn route_in(
+        &self,
+        ctx: &mut RouteContext,
+        base: &OarmstRouter,
+        graph: &HananGraph,
+        candidates: &[GridPoint],
+    ) -> Result<RouteTree, RouteError> {
+        let mut last_disconnect: Option<RouteError> = None;
+        for &margin in &self.margins {
+            let stage = base.clone().with_bounds_margin(margin);
+            match stage.route_in(ctx, graph, candidates) {
+                Err(e @ RouteError::Disconnected { .. }) => last_disconnect = Some(e),
+                other => return other,
+            }
+        }
+        if self.unbounded_fallback {
+            return base
+                .clone()
+                .without_bounds_margin()
+                .route_in(ctx, graph, candidates);
+        }
+        Err(last_disconnect.unwrap_or(RouteError::TooFewTerminals(graph.pins().len())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oarsmt_geom::GridPoint;
+
+    /// A wall between two pins that margin 1 cannot route around.
+    fn walled() -> HananGraph {
+        let mut g = HananGraph::uniform(9, 9, 1, 1.0, 1.0, 3.0);
+        for v in 0..8 {
+            g.add_obstacle_vertex(GridPoint::new(4, v, 0)).unwrap();
+        }
+        g.add_pin(GridPoint::new(3, 0, 0)).unwrap();
+        g.add_pin(GridPoint::new(5, 0, 0)).unwrap();
+        g
+    }
+
+    #[test]
+    fn matches_manual_bounded_then_unbounded_fallback() {
+        let g = walled();
+        let base = OarmstRouter::new();
+        // The hand-written [14] fallback this schedule replaces.
+        let manual = match base.clone().with_bounds_margin(1).route(&g, &[]) {
+            Ok(t) => t,
+            Err(RouteError::Disconnected { .. }) => base.route(&g, &[]).unwrap(),
+            Err(e) => panic!("unexpected: {e}"),
+        };
+        let swept = SweepSchedule::bounded_then_unbounded(1)
+            .route(&base, &g, &[])
+            .unwrap();
+        assert_eq!(manual.cost().to_bits(), swept.cost().to_bits());
+        assert_eq!(manual.edges(), swept.edges());
+    }
+
+    #[test]
+    fn first_connecting_stage_wins() {
+        // An open grid: margin 0 already connects, so the result equals a
+        // plain bounded route and no escalation happens.
+        let mut g = HananGraph::uniform(7, 7, 1, 1.0, 1.0, 3.0);
+        g.add_pin(GridPoint::new(1, 1, 0)).unwrap();
+        g.add_pin(GridPoint::new(5, 5, 0)).unwrap();
+        let base = OarmstRouter::new();
+        let direct = base.clone().with_bounds_margin(0).route(&g, &[]).unwrap();
+        let swept = SweepSchedule::escalating(&[0, 2, 4])
+            .route(&base, &g, &[])
+            .unwrap();
+        assert_eq!(direct.cost().to_bits(), swept.cost().to_bits());
+        assert_eq!(direct.edges(), swept.edges());
+    }
+
+    #[test]
+    fn bounded_only_reports_disconnected() {
+        let g = walled();
+        let err = SweepSchedule::bounded_only(&[0, 1])
+            .route(&OarmstRouter::new(), &g, &[])
+            .unwrap_err();
+        assert!(matches!(err, RouteError::Disconnected { .. }));
+    }
+
+    #[test]
+    fn unbounded_schedule_equals_plain_route() {
+        let g = walled();
+        let base = OarmstRouter::new();
+        let plain = base.route(&g, &[]).unwrap();
+        let swept = SweepSchedule::unbounded().route(&base, &g, &[]).unwrap();
+        assert_eq!(plain.cost().to_bits(), swept.cost().to_bits());
+        assert_eq!(plain.edges(), swept.edges());
+        assert_eq!(SweepSchedule::unbounded().stages(), 1);
+    }
+}

@@ -27,6 +27,9 @@ pub enum Counter {
     DijkstraRelaxations,
     /// Entries pushed onto the Dijkstra heap.
     DijkstraPushes,
+    /// Empty-bucket cursor advances of the Dial bucket queue (zero under
+    /// the binary-heap policy; the Dial overhead diagnostic).
+    DijkstraBucketScans,
     /// Steiner points discarded by the irredundancy prune.
     SteinerPruned,
     /// `RouteTree` acquisitions served from the context pool.
@@ -77,7 +80,7 @@ pub enum Counter {
 }
 
 /// Number of [`Counter`] variants.
-pub const NUM_COUNTERS: usize = 25;
+pub const NUM_COUNTERS: usize = 26;
 
 /// Snake-case wire names, indexed by [`Counter`] discriminant. These are
 /// the JSONL `"name"` values, so renaming one is a wire-format change.
@@ -85,6 +88,7 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "dijkstra_pops",
     "dijkstra_relaxations",
     "dijkstra_pushes",
+    "dijkstra_bucket_scans",
     "steiner_pruned",
     "tree_pool_hits",
     "tree_pool_misses",
@@ -149,6 +153,7 @@ pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
     Counter::DijkstraPops,
     Counter::DijkstraRelaxations,
     Counter::DijkstraPushes,
+    Counter::DijkstraBucketScans,
     Counter::SteinerPruned,
     Counter::TreePoolHits,
     Counter::TreePoolMisses,
