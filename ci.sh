@@ -35,6 +35,11 @@ cargo test -q -p oarsmt-router --test context_properties
 echo "==> queue-policy equivalence (Dial == heap oracle bit-identity, A* golden pins)"
 cargo test -q -p oarsmt-router --test queue_equivalence
 
+echo "==> batched-path equivalence (batch == sequential bit-identity at nn/core/rl levels)"
+cargo test -q -p oarsmt-nn batch
+cargo test -q -p oarsmt batch
+cargo test -q -p oarsmt-rl --test batch_equivalence
+
 echo "==> dijkstra_bench smoke (quick mode, asserts heap/Dial checksum + op-count identity)"
 cargo run --release -q -p oarsmt-bench --bin dijkstra_bench -- --quick \
     --out target/BENCH_dijkstra_smoke.json
@@ -46,6 +51,10 @@ cargo run --release -q -p oarsmt-bench --bin critic_throughput -- --quick \
 echo "==> unet_throughput smoke (quick mode, asserts GEMM == naive oracle and baseline checksums)"
 cargo run --release -q -p oarsmt-bench --bin unet_throughput -- --quick \
     --out target/BENCH_unet_smoke.json
+
+echo "==> selector_batch_bench smoke (quick mode, asserts batch == single bit-identity at B in {1,4,16})"
+cargo run --release -q -p oarsmt-bench --bin selector_batch_bench -- --quick \
+    --out target/BENCH_batch_smoke.json
 
 echo "==> oarsmt report smoke (renders the telemetry embedded in the quick artifacts)"
 cargo run --release -q -p oarsmt-repro --bin oarsmt -- report \

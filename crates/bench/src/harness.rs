@@ -100,8 +100,10 @@ enum LayoutOutcome {
 /// Layout `i` is generated from `parallel::derive_seed(seed, i)` and the
 /// per-layout results are folded in index order, so costs, win/loss tallies
 /// and obstacle points are **bit-identical for every thread count**; only
-/// the measured times vary. Each worker routes with its own clone of
-/// `selector`.
+/// the measured times vary. Workers share `selector` read-only (a
+/// `&NeuralSelector` is itself a `Selector`, running the cache-free
+/// inference path, which is bit-identical to the owned path) — no worker
+/// clones the weight set.
 ///
 /// # Errors
 ///
@@ -118,7 +120,7 @@ pub fn run_subset(
         spec.layouts,
         seed,
         threads,
-        || RlRouter::new(selector.clone()),
+        || RlRouter::new(selector),
         |router, _idx, layout_seed| -> Result<(LayoutOutcome, CounterSet), RouteError> {
             let graph = spec.generator(layout_seed).generate();
             // Each job reports its counter delta (the worker's router

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
 use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_nn::serialize::{load_from_file, save_to_file};
@@ -9,7 +10,7 @@ use oarsmt_nn::unet::{UNet3d, UNetConfig};
 use oarsmt_nn::NnWorkspace;
 
 use crate::error::CoreError;
-use crate::features::{encode_features_into, FEATURE_CHANNELS};
+use crate::features::{encode_features_batch_into, encode_features_into, FEATURE_CHANNELS};
 
 /// A Steiner-point selector: anything that can produce the paper's *final
 /// selected probability* `fsp(v)` for every vertex of a Hanan graph.
@@ -47,6 +48,59 @@ pub trait Selector {
         let _ = ws;
         self.fsp_into(graph, extra_pins, out);
     }
+
+    /// Batched [`Selector::fsp_into_ws`] over several MCTS states of **one**
+    /// graph. State `b`'s extra pins are the `lens[b]` points at their
+    /// running offset into `pts` (a flattened state list — see
+    /// `oarsmt_router::EvalQueue`); `out` is cleared, then receives the
+    /// `lens.len() · graph.len()` per-state probabilities concatenated in
+    /// state order, each block bit-identical to the single-state call.
+    ///
+    /// The default loops over states through `fsp_into_ws`. Neural
+    /// selectors override it to stack same-shape states into one
+    /// channel-major batch and run the network once (GEMM `N = B·spatial`).
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `pts.len()` differs from the sum of
+    /// `lens`.
+    fn fsp_batch_into_ws(
+        &mut self,
+        graph: &HananGraph,
+        pts: &[GridPoint],
+        lens: &[u32],
+        out: &mut Vec<f32>,
+        ws: &mut NnWorkspace,
+    ) {
+        if let [l] = lens {
+            // Single-state queue: identical (bits, allocations) to calling
+            // `fsp_into_ws` directly, so the MCTS B=1 flush costs nothing.
+            debug_assert_eq!(pts.len(), *l as usize);
+            self.fsp_into_ws(graph, pts, out, ws);
+            return;
+        }
+        let mut tmp = Vec::new(); // default path only; overrides are pooled
+        out.clear();
+        let mut off = 0usize;
+        for &l in lens {
+            let pins = &pts[off..off + l as usize];
+            off += l as usize;
+            self.fsp_into_ws(graph, pins, &mut tmp, ws);
+            out.extend_from_slice(&tmp);
+        }
+    }
+
+    /// [`Selector::fsp_batch_into_ws`] with a throwaway workspace — test
+    /// and offline convenience.
+    fn fsp_batch_into(
+        &mut self,
+        graph: &HananGraph,
+        pts: &[GridPoint],
+        lens: &[u32],
+        out: &mut Vec<f32>,
+    ) {
+        self.fsp_batch_into_ws(graph, pts, lens, out, &mut NnWorkspace::new());
+    }
 }
 
 /// Mutable references are selectors too, so routers can borrow a selector
@@ -68,6 +122,29 @@ impl<S: Selector + ?Sized> Selector for &mut S {
         ws: &mut NnWorkspace,
     ) {
         (**self).fsp_into_ws(graph, extra_pins, out, ws);
+    }
+
+    // The batch methods must forward explicitly too, or a `&mut S` would
+    // fall back to the sequential default and lose the batched kernels.
+    fn fsp_batch_into_ws(
+        &mut self,
+        graph: &HananGraph,
+        pts: &[GridPoint],
+        lens: &[u32],
+        out: &mut Vec<f32>,
+        ws: &mut NnWorkspace,
+    ) {
+        (**self).fsp_batch_into_ws(graph, pts, lens, out, ws);
+    }
+
+    fn fsp_batch_into(
+        &mut self,
+        graph: &HananGraph,
+        pts: &[GridPoint],
+        lens: &[u32],
+        out: &mut Vec<f32>,
+    ) {
+        (**self).fsp_batch_into(graph, pts, lens, out);
     }
 }
 
@@ -158,13 +235,124 @@ impl Selector for NeuralSelector {
         out: &mut Vec<f32>,
         ws: &mut NnWorkspace,
     ) {
+        // Thin batch-of-one wrapper (wrapper-discipline D3): the real
+        // inference lives in `fsp_batch_into_ws`, whose single-state branch
+        // is the classic per-sample path.
+        self.fsp_batch_into_ws(graph, extra_pins, &[extra_pins.len() as u32], out, ws);
+    }
+
+    fn fsp_batch_into_ws(
+        &mut self,
+        graph: &HananGraph,
+        pts: &[GridPoint],
+        lens: &[u32],
+        out: &mut Vec<f32>,
+        ws: &mut NnWorkspace,
+    ) {
+        if lens.len() == 1 {
+            // Single-state fast path: rank-4 tensors end to end (the MCTS
+            // B=1 hot path keeps its exact allocation and counter profile).
+            let x = encode_features_into(graph, pts, ws);
+            // The network emits a [1, M, H, V] probability volume (see the
+            // layout note in `features`); reorder it to graph-index order.
+            let probs = self.net.predict_in(&x, ws);
+            crate::features::to_graph_order_into(probs.data(), graph, out);
+            ws.free(probs);
+            ws.free(x);
+            return;
+        }
+        // True batch: one channel-major [7, B, M, H, V] encode, one network
+        // pass (GEMM N = B·spatial), per-state reorder of the contiguous
+        // [1, B, M, H, V] probability blocks.
+        let x = encode_features_batch_into(graph, pts, lens, ws);
+        let probs = self.net.predict_batch_in(&x, ws);
+        let spatial = graph.len();
+        out.clear();
+        for b in 0..lens.len() {
+            crate::features::to_graph_order_append(
+                &probs.data()[b * spatial..(b + 1) * spatial],
+                graph,
+                out,
+            );
+        }
+        ws.free(probs);
+        ws.free(x);
+    }
+}
+
+/// Shared-reference inference: a `&NeuralSelector` is itself a selector,
+/// running the cache-free `&self` network path
+/// ([`UNet3d::infer_in`]) — bit-identical to the owned path. This is what
+/// lets parallel workers and the training harness evaluate one weight set
+/// without cloning it per thread.
+impl Selector for &NeuralSelector {
+    fn fsp(&mut self, graph: &HananGraph, extra_pins: &[GridPoint]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(graph.len());
+        self.fsp_into(graph, extra_pins, &mut out);
+        out
+    }
+
+    fn fsp_into(&mut self, graph: &HananGraph, extra_pins: &[GridPoint], out: &mut Vec<f32>) {
+        self.fsp_into_ws(graph, extra_pins, out, &mut NnWorkspace::new());
+    }
+
+    fn fsp_into_ws(
+        &mut self,
+        graph: &HananGraph,
+        extra_pins: &[GridPoint],
+        out: &mut Vec<f32>,
+        ws: &mut NnWorkspace,
+    ) {
         let x = encode_features_into(graph, extra_pins, ws);
-        // The network emits a [1, M, H, V] probability volume (see the
-        // layout note in `features`); reorder it to graph-index order.
-        let probs = self.net.predict_in(&x, ws);
+        let probs = self.net.infer_in(&x, ws);
         crate::features::to_graph_order_into(probs.data(), graph, out);
         ws.free(probs);
         ws.free(x);
+    }
+}
+
+/// A [`NeuralSelector`] behind an [`Arc`]: cloning is a reference-count
+/// bump instead of a full weight copy, and every clone routes inference
+/// through the shared `&self` path. The selector deduplication layer of
+/// the parallel sample generators and bench harness.
+#[derive(Debug, Clone)]
+pub struct SharedSelector(Arc<NeuralSelector>);
+
+impl SharedSelector {
+    /// Wraps a selector for shared, clone-cheap use.
+    pub fn new(selector: NeuralSelector) -> Self {
+        SharedSelector(Arc::new(selector))
+    }
+
+    /// The shared underlying selector.
+    pub fn inner(&self) -> &NeuralSelector {
+        &self.0
+    }
+}
+
+impl From<NeuralSelector> for SharedSelector {
+    fn from(s: NeuralSelector) -> Self {
+        SharedSelector::new(s)
+    }
+}
+
+impl Selector for SharedSelector {
+    fn fsp(&mut self, graph: &HananGraph, extra_pins: &[GridPoint]) -> Vec<f32> {
+        (&*self.0).fsp(graph, extra_pins)
+    }
+
+    fn fsp_into(&mut self, graph: &HananGraph, extra_pins: &[GridPoint], out: &mut Vec<f32>) {
+        (&*self.0).fsp_into(graph, extra_pins, out);
+    }
+
+    fn fsp_into_ws(
+        &mut self,
+        graph: &HananGraph,
+        extra_pins: &[GridPoint],
+        out: &mut Vec<f32>,
+        ws: &mut NnWorkspace,
+    ) {
+        (&*self.0).fsp_into_ws(graph, extra_pins, out, ws);
     }
 }
 
@@ -338,6 +526,82 @@ mod tests {
         let mut uniform = UniformSelector::new(0.7);
         uniform.fsp_into(&g, &extra, &mut buf);
         assert_eq!(buf, uniform.fsp(&g, &extra));
+    }
+
+    /// The batched neural path must be bit-identical, per state, to the
+    /// single-state path — and so must the default (looping) batch path of
+    /// the heuristic selectors.
+    #[test]
+    fn fsp_batch_matches_single_state_bitwise() {
+        let g = graph();
+        // Three states: no extras, one extra, two extras.
+        let states: [&[GridPoint]; 3] = [
+            &[],
+            &[GridPoint::new(3, 3, 1)],
+            &[GridPoint::new(1, 4, 0), GridPoint::new(4, 4, 1)],
+        ];
+        let mut pts = Vec::new();
+        let mut lens = Vec::new();
+        for s in &states {
+            pts.extend_from_slice(s);
+            lens.push(s.len() as u32);
+        }
+        let mut neural = NeuralSelector::with_config(UNetConfig {
+            in_channels: 7,
+            base_channels: 2,
+            levels: 2,
+            seed: 5,
+        });
+        let mut ws = NnWorkspace::new();
+        let mut batched = Vec::new();
+        neural.fsp_batch_into_ws(&g, &pts, &lens, &mut batched, &mut ws);
+        assert_eq!(batched.len(), 3 * g.len());
+        let mut single = Vec::new();
+        for (b, s) in states.iter().enumerate() {
+            neural.fsp_into_ws(&g, s, &mut single, &mut ws);
+            for (i, (x, y)) in batched[b * g.len()..(b + 1) * g.len()]
+                .iter()
+                .zip(&single)
+                .enumerate()
+            {
+                assert_eq!(x.to_bits(), y.to_bits(), "state {b} vertex {i}");
+            }
+        }
+        // Heuristic selectors ride the default loop.
+        let mut median = MedianHeuristicSelector::new();
+        let mut mb = Vec::new();
+        median.fsp_batch_into(&g, &pts, &lens, &mut mb);
+        for (b, s) in states.iter().enumerate() {
+            assert_eq!(&mb[b * g.len()..(b + 1) * g.len()], &median.fsp(&g, s)[..]);
+        }
+    }
+
+    /// Shared (`&NeuralSelector` / `SharedSelector`) inference must
+    /// reproduce the owned selector bit for bit.
+    #[test]
+    fn shared_selector_matches_owned_bitwise() {
+        let g = graph();
+        let extra = [GridPoint::new(3, 3, 1)];
+        let mut owned = NeuralSelector::with_config(UNetConfig {
+            in_channels: 7,
+            base_channels: 2,
+            levels: 2,
+            seed: 9,
+        });
+        let reference = owned.fsp(&g, &extra);
+        let mut by_ref = &owned;
+        let via_ref = by_ref.fsp(&g, &extra);
+        let mut shared = SharedSelector::new(owned);
+        let via_arc = shared.fsp(&g, &extra);
+        let cheap_clone = shared.clone();
+        assert!(
+            Arc::ptr_eq(&shared.0, &cheap_clone.0),
+            "clone shares weights"
+        );
+        for i in 0..reference.len() {
+            assert_eq!(reference[i].to_bits(), via_ref[i].to_bits(), "vertex {i}");
+            assert_eq!(reference[i].to_bits(), via_arc[i].to_bits(), "vertex {i}");
+        }
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Dynamic counterpart of the static D2 zero-alloc rule: a counting
 //! `#[global_allocator]` proves the registered hot paths (`route_in`,
-//! `predict_with_fsp_in`) perform **zero** heap allocations in steady
-//! state, and that `search_in` reaches a stable per-call allocation count
+//! `predict_with_fsp_in`, the batched `fsp_batch_into_ws` flush) perform
+//! **zero** heap allocations in steady state,
+//! and that `search_in` reaches a stable per-call allocation count
 //! (its [`SearchOutcome`] owns freshly allocated label/counter vectors, so
 //! zero is not the target there — stability across identical runs is).
 //! It also proves the always-on Tier A telemetry counters advance *inside*
@@ -21,9 +22,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use oarsmt::selector::{MedianHeuristicSelector, Selector, UniformSelector};
+use oarsmt::selector::{MedianHeuristicSelector, NeuralSelector, Selector, UniformSelector};
 use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_mcts::{CombinatorialMcts, Critic, MctsConfig};
+use oarsmt_nn::NnWorkspace;
 use oarsmt_router::{OarmstRouter, RouteContext};
 use oarsmt_telemetry::Counter;
 
@@ -169,6 +171,50 @@ fn hot_paths_are_allocation_free_in_steady_state() {
     assert!(
         ctx.counters_total().get(Counter::DijkstraPops) > rollout_pops_before,
         "rollout counters did not advance during the zero-alloc predicts"
+    );
+
+    // --- fsp_batch_into_ws: the batched GEMM flush (DESIGN.md §13) is
+    // allocation-free once the workspace pools and the output vector are
+    // warm, at B = 1 (the single-state fast path) and B = 4 alike. ---
+    let mut neural = NeuralSelector::random(0xA110C);
+    let mut ws = NnWorkspace::new();
+    let states: Vec<Vec<GridPoint>> = vec![
+        vec![],
+        vec![GridPoint::new(1, 1, 0)],
+        vec![GridPoint::new(2, 3, 1), GridPoint::new(4, 2, 0)],
+        vec![GridPoint::new(3, 3, 0)],
+    ];
+    let mut pts = Vec::new();
+    let mut lens = Vec::new();
+    for s in &states {
+        pts.extend_from_slice(s);
+        lens.push(s.len() as u32);
+    }
+    let mut batch_out = Vec::new();
+    let mut warm_sum = 0.0f32;
+    for _ in 0..3 {
+        neural.fsp_batch_into_ws(&g, &pts, &lens, &mut batch_out, &mut ws);
+        neural.fsp_batch_into_ws(&g, &pts[..1], &lens[1..2], &mut batch_out, &mut ws);
+        warm_sum = batch_out.iter().sum();
+    }
+    let flushes_before = ws.counters.get(Counter::BatchFlushes);
+    let (n, steady_sum) = allocs_during(|| {
+        let mut sum = 0.0f32;
+        for _ in 0..8 {
+            neural.fsp_batch_into_ws(&g, &pts, &lens, &mut batch_out, &mut ws);
+            neural.fsp_batch_into_ws(&g, &pts[..1], &lens[1..2], &mut batch_out, &mut ws);
+            sum = batch_out.iter().sum();
+        }
+        sum
+    });
+    assert_eq!(
+        n, 0,
+        "fsp_batch_into_ws allocated {n} times in steady state"
+    );
+    assert_eq!(steady_sum, warm_sum, "steady-state batched result drifted");
+    assert!(
+        ws.counters.get(Counter::BatchFlushes) > flushes_before,
+        "batch-flush counters did not advance during the zero-alloc flushes"
     );
 
     // --- search_in: identical runs must cost an identical (small) number

@@ -310,7 +310,16 @@ impl AlphaGoMcts {
                 (initial_cost - nodes[cur as usize].cost) / initial_cost
             } else {
                 bufs.load_state(nodes, cur, graph);
-                selector.fsp_into_ws(graph, &bufs.sel_pts, &mut bufs.fsp, &mut ctx.nn);
+                // Same queue-and-flush protocol as `search.rs` (B = 1).
+                ctx.evals.clear();
+                ctx.evals.push_state(&bufs.sel_pts);
+                selector.fsp_batch_into_ws(
+                    graph,
+                    ctx.evals.pts(),
+                    ctx.evals.lens(),
+                    &mut bufs.fsp,
+                    &mut ctx.nn,
+                );
                 let fsp = &bufs.fsp;
                 // Conventional prior: fsp normalized over ALL valid
                 // vertices, no priority cutoff.

@@ -67,6 +67,17 @@ impl Layer for Relu {
         ws.prof_end(t, ProfKind::ActBwd);
         grad_out
     }
+
+    // Elementwise and shape-agnostic: the batched rank-5 layout needs no
+    // special handling, and the mask cache is a flat element vector either
+    // way.
+    fn forward_batch_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        self.forward_in(x, ws)
+    }
+
+    fn backward_batch_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        self.backward_in(grad_out, ws)
+    }
 }
 
 /// Logistic sigmoid, `y = 1 / (1 + e^{-x})` — the paper's output activation
@@ -128,6 +139,15 @@ impl Layer for Sigmoid {
         ws.free(y);
         ws.prof_end(t, ProfKind::ActBwd);
         grad_out
+    }
+
+    // Elementwise and shape-agnostic, like ReLU.
+    fn forward_batch_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        self.forward_in(x, ws)
+    }
+
+    fn backward_batch_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        self.backward_in(grad_out, ws)
     }
 }
 

@@ -142,6 +142,23 @@ impl Conv3d {
     }
 
     fn forward_impl(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let want_cache = ws.training();
+        let (out, cache) = self.forward_core(x, ws, want_cache);
+        self.cache_input = cache;
+        out
+    }
+
+    /// The shared forward machinery behind [`Layer::forward_in`] and
+    /// [`Conv3d::infer_in`]: computes the output and, when `want_cache`,
+    /// the backward cache (a plain copy for `k == 1`, the zero-padded copy
+    /// otherwise). `&self` so read-only shared selectors can run inference
+    /// without cloning weights.
+    fn forward_core(
+        &self,
+        x: &Tensor,
+        ws: &mut NnWorkspace,
+        want_cache: bool,
+    ) -> (Tensor, Option<Tensor>) {
         let shape = x.shape();
         assert_eq!(shape.len(), 4, "conv3d expects [c, d1, d2, d3]");
         assert_eq!(shape[0], self.in_c, "conv3d channel mismatch");
@@ -156,12 +173,8 @@ impl Conv3d {
         #[cfg(any(test, feature = "naive-ref"))]
         if self.use_naive {
             let out = self.forward_naive(x);
-            self.cache_input = if ws.training() {
-                Some(self.cache_of(x, ws))
-            } else {
-                None
-            };
-            return out;
+            let cache = want_cache.then(|| self.cache_of(x, ws));
+            return (out, cache);
         }
 
         let k = self.k;
@@ -187,6 +200,8 @@ impl Conv3d {
                     bias,
                     self.out_c,
                     out.data_mut(),
+                    d1 * d2 * d3,
+                    0,
                 );
             } else {
                 // 1×1×1 on a shallow grid: the patch matrix is the input
@@ -207,7 +222,9 @@ impl Conv3d {
                     0,
                 );
             }
-            self.cache_input = ws.training().then(|| ws.alloc_copy(x));
+            let cache = want_cache.then(|| ws.alloc_copy(x));
+            ws.tap_off = off;
+            (out, cache)
         } else {
             let xp = pad_input(x, p, ws);
             if d3 >= NR {
@@ -224,6 +241,8 @@ impl Conv3d {
                     bias,
                     self.out_c,
                     out.data_mut(),
+                    d1 * d2 * d3,
+                    0,
                 );
             } else {
                 // Shallow grids (the pooled U-Net levels): materialize the
@@ -240,7 +259,19 @@ impl Conv3d {
                 while r0 < rows {
                     let r1 = (r0 + rows_per_panel).min(rows);
                     let cols = (r1 - r0) * d3;
-                    im2col_from_padded(xp.data(), &off, d2, d3, pd2, pd3, r0, r1, &mut bbuf, cols);
+                    im2col_from_padded(
+                        xp.data(),
+                        &off,
+                        d2,
+                        d3,
+                        pd2,
+                        pd3,
+                        r0,
+                        r1,
+                        &mut bbuf,
+                        cols,
+                        0,
+                    );
                     gemm_bias(
                         self.out_c,
                         kd,
@@ -257,6 +288,204 @@ impl Conv3d {
                 }
                 ws.put_im2col(bbuf);
             }
+            let cache = if want_cache {
+                Some(xp)
+            } else {
+                ws.free(xp);
+                None
+            };
+            ws.tap_off = off;
+            (out, cache)
+        }
+    }
+
+    /// Read-only inference forward: identical arithmetic to
+    /// [`Layer::forward_in`] (bit for bit) but takes `&self` and records no
+    /// backward cache, so one selector instance can serve many workers
+    /// without cloning its weights.
+    pub fn infer_in(&self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let (out, cache) = self.forward_core(x, ws, false);
+        debug_assert!(cache.is_none());
+        ws.prof_end(t, ProfKind::ConvFwd);
+        out
+    }
+
+    /// Builds the sample-major zero-padded batch cache
+    /// `[B, in_c, d1+2p, d2+2p, d3+2p]` from a channel-major batched input
+    /// `[in_c, B, d1, d2, d3]`. Sample `b`'s subtensor is exactly what the
+    /// single-sample kernels consume, so backward runs the per-sample
+    /// primitives unchanged (`p == 0` degenerates to a plain re-layout).
+    fn build_xp5(&self, x: &Tensor, p: usize, ws: &mut NnWorkspace) -> Tensor {
+        let s = x.shape();
+        let (bsz, d1, d2, d3) = (s[1], s[2], s[3], s[4]);
+        let (pd1, pd2, pd3) = (d1 + 2 * p, d2 + 2 * p, d3 + 2 * p);
+        let spatial = d1 * d2 * d3;
+        let pvol = pd1 * pd2 * pd3;
+        let mut xp = ws.alloc(&[bsz, self.in_c, pd1, pd2, pd3]);
+        let xd = x.data();
+        let xpd = xp.data_mut();
+        for b in 0..bsz {
+            for ic in 0..self.in_c {
+                let sbase = (ic * bsz + b) * spatial;
+                let dbase = (b * self.in_c + ic) * pvol;
+                for x1 in 0..d1 {
+                    for y in 0..d2 {
+                        let src = sbase + (x1 * d2 + y) * d3;
+                        let dst = dbase + ((x1 + p) * pd2 + y + p) * pd3 + p;
+                        xpd[dst..dst + d3].copy_from_slice(&xd[src..src + d3]);
+                    }
+                }
+            }
+        }
+        xp
+    }
+
+    fn forward_batch_impl(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let s = x.shape();
+        assert_eq!(s.len(), 5, "conv3d batch expects [c, b, d1, d2, d3]");
+        assert_eq!(s[0], self.in_c, "conv3d channel mismatch");
+        let (bsz, d1, d2, d3) = (s[1], s[2], s[3], s[4]);
+        let spatial = d1 * d2 * d3;
+        // Tier A MACs: exactly the sum of the per-sample counts.
+        let macs =
+            (self.out_c * self.in_c * self.k * self.k * self.k) as u64 * (bsz * spatial) as u64;
+        ws.counters.add_at(ws.mac_slot, macs);
+
+        let k = self.k;
+        let p = k / 2;
+        let (pd1, pd2, pd3) = (d1 + 2 * p, d2 + 2 * p, d3 + 2 * p);
+        let pvol = pd1 * pd2 * pd3;
+        let mut out = ws.alloc(&[self.out_c, bsz, d1, d2, d3]);
+
+        #[cfg(any(test, feature = "naive-ref"))]
+        if self.use_naive {
+            // Oracle route: per-sample seven-loop forward, scattered into
+            // the batched layout; the cache is the batched padded copy
+            // (identical state to the GEMM route).
+            let mut xb = ws.alloc(&[self.in_c, d1, d2, d3]);
+            for b in 0..bsz {
+                gather_sample(x.data(), bsz, b, spatial, xb.data_mut());
+                let yb = self.forward_naive(&xb);
+                scatter_sample(yb.data(), bsz, b, spatial, out.data_mut());
+                ws.free(yb);
+            }
+            ws.free(xb);
+            self.cache_input = ws.training().then(|| self.build_xp5(x, p, ws));
+            return out;
+        }
+
+        let w = self.weight.value.data();
+        let bias = self.bias.value.data();
+        if p == 0 {
+            // 1×1×1: the batched input *is* the patch matrix with flat
+            // `[B·n]` columns — one GEMM serves the whole batch. Per-element
+            // accumulation (bias first, K ascending) is unchanged, so this
+            // is bit-identical to the per-sample direct/flat paths.
+            ws.counters.bump(Counter::GemmFlat);
+            let n = bsz * spatial;
+            gemm_bias(
+                self.out_c,
+                self.in_c,
+                n,
+                w,
+                bias,
+                x.data(),
+                n,
+                out.data_mut(),
+                n,
+                0,
+            );
+            self.cache_input = ws.training().then(|| self.build_xp5(x, 0, ws));
+        } else {
+            let xp = self.build_xp5(x, p, ws);
+            let mut off = std::mem::take(&mut ws.tap_off);
+            tap_offsets(self.in_c, k, pd1, pd2, pd3, &mut off);
+            if d3 >= NR {
+                // Deep-z grids: the implicit-im2col kernel is already
+                // tile-efficient; run it per sample, writing each sample's
+                // rows straight into the batched layout via the kernel's
+                // output stride — no staging copy.
+                ws.counters.bump(Counter::GemmDirect);
+                let n = bsz * spatial;
+                for b in 0..bsz {
+                    let xpb = &xp.data()[b * self.in_c * pvol..][..self.in_c * pvol];
+                    conv_fwd(
+                        xpb,
+                        &off,
+                        d2,
+                        d3,
+                        d1 * d2,
+                        pd2,
+                        pd3,
+                        w,
+                        bias,
+                        self.out_c,
+                        out.data_mut(),
+                        n,
+                        b * spatial,
+                    );
+                }
+            } else {
+                // Shallow-z grids (the pooled U-Net levels, where batching
+                // pays most): assemble panels over *global* rows
+                // `0 .. B·rows` so GEMM tiles span sample boundaries and
+                // the ragged `d3 < NR` columns fatten up.
+                ws.counters.bump(Counter::GemmPanel);
+                let rows = d1 * d2;
+                let rows_g = bsz * rows;
+                let kd = self.in_c * k * k * k;
+                // Panels chunk *global* rows, so their upper bound is
+                // `rows_g`, not the per-sample row count — a panel spanning
+                // several samples is exactly the batching win.
+                let rows_per_panel = (PANEL_COLS / d3).clamp(1, rows_g);
+                let mut bbuf = ws.take_im2col(kd * rows_per_panel * d3);
+                let n = bsz * spatial;
+                let xpd = xp.data();
+                let mut r0g = 0;
+                while r0g < rows_g {
+                    let r1g = (r0g + rows_per_panel).min(rows_g);
+                    let cols = (r1g - r0g) * d3;
+                    // A panel may span samples: fill it from each sample's
+                    // padded volume at its column offset within the panel.
+                    let mut r = r0g;
+                    while r < r1g {
+                        let b = r / rows;
+                        let r0 = r % rows;
+                        let r1 = rows.min(r0 + (r1g - r));
+                        let xpb = &xpd[b * self.in_c * pvol..][..self.in_c * pvol];
+                        im2col_from_padded(
+                            xpb,
+                            &off,
+                            d2,
+                            d3,
+                            pd2,
+                            pd3,
+                            r0,
+                            r1,
+                            &mut bbuf,
+                            cols,
+                            (r - r0g) * d3,
+                        );
+                        r += r1 - r0;
+                    }
+                    gemm_bias(
+                        self.out_c,
+                        kd,
+                        cols,
+                        w,
+                        bias,
+                        &bbuf,
+                        cols,
+                        out.data_mut(),
+                        n,
+                        r0g * d3,
+                    );
+                    r0g = r1g;
+                }
+                ws.put_im2col(bbuf);
+            }
+            ws.tap_off = off;
             if ws.training() {
                 self.cache_input = Some(xp);
             } else {
@@ -264,8 +493,137 @@ impl Conv3d {
                 self.cache_input = None;
             }
         }
-        ws.tap_off = off;
         out
+    }
+
+    fn backward_batch_impl(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let xc = self
+            .cache_input
+            .take()
+            .expect("conv3d batched backward without forward");
+        assert_eq!(
+            xc.shape().len(),
+            5,
+            "batched backward needs a batched forward"
+        );
+        let k = self.k;
+        let p = k / 2;
+        let bsz = xc.shape()[0];
+        let (d1, d2, d3) = {
+            let s = xc.shape();
+            (s[2] - 2 * p, s[3] - 2 * p, s[4] - 2 * p)
+        };
+        let (pd1, pd2, pd3) = (d1 + 2 * p, d2 + 2 * p, d3 + 2 * p);
+        assert_eq!(grad_out.shape(), &[self.out_c, bsz, d1, d2, d3]);
+        let spatial = d1 * d2 * d3;
+        let pvol = pd1 * pd2 * pd3;
+        let rows = d1 * d2;
+        let macs = (self.out_c * self.in_c * k * k * k) as u64 * (bsz * spatial) as u64;
+        ws.counters.add_at(ws.mac_slot, 2 * macs);
+
+        #[cfg(any(test, feature = "naive-ref"))]
+        if self.use_naive {
+            // Oracle route: per-sample naive backward over per-sample
+            // copies, samples ascending — the exact sequential `+=` order
+            // on every weight/bias-gradient element.
+            let mut grad_in = ws.alloc(&[self.in_c, bsz, d1, d2, d3]);
+            let mut xb = ws.alloc(&[self.in_c, pd1, pd2, pd3]);
+            let mut gb = ws.alloc(&[self.out_c, d1, d2, d3]);
+            for b in 0..bsz {
+                xb.data_mut()
+                    .copy_from_slice(&xc.data()[b * self.in_c * pvol..][..self.in_c * pvol]);
+                gather_sample(grad_out.data(), bsz, b, spatial, gb.data_mut());
+                let gi = self.backward_naive(&xb, &gb);
+                scatter_sample(gi.data(), bsz, b, spatial, grad_in.data_mut());
+                ws.free(gi);
+            }
+            ws.free(xb);
+            ws.free(gb);
+            ws.free(xc);
+            ws.free(grad_out);
+            return grad_in;
+        }
+
+        let g = grad_out.data();
+        let n = bsz * spatial;
+
+        // Bias gradient: per element `gb[oc]`, fresh z-ascending row sums
+        // added samples-ascending then rows-ascending — the sequential
+        // per-sample order.
+        {
+            let gbias = self.bias.grad.data_mut();
+            for (oc, gbv) in gbias.iter_mut().enumerate().take(self.out_c) {
+                for b in 0..bsz {
+                    for r in 0..rows {
+                        let base = (oc * bsz + b) * spatial + r * d3;
+                        *gbv += g[base..base + d3].iter().sum::<f32>();
+                    }
+                }
+            }
+        }
+
+        // Weight gradient: one transpose of the whole batched gradient
+        // (sample `b`'s `[spatial][out_c]` block lands contiguously), then
+        // the unchanged per-sample kernel, samples ascending.
+        let mut gt = std::mem::take(&mut ws.g_t);
+        transpose_into(g, self.out_c, n, &mut gt);
+        let mut off = std::mem::take(&mut ws.tap_off);
+        tap_offsets(self.in_c, k, pd1, pd2, pd3, &mut off);
+        {
+            let gw = self.weight.grad.data_mut();
+            for b in 0..bsz {
+                let gtb = &gt[b * spatial * self.out_c..][..spatial * self.out_c];
+                let xpb = &xc.data()[b * self.in_c * pvol..][..self.in_c * pvol];
+                weight_grad(gtb, self.out_c, xpb, &off, d2, d3, rows, pd2, pd3, gw);
+            }
+        }
+        ws.tap_off = off;
+        ws.g_t = gt;
+
+        // Input gradient: per sample, gather the strided batched gradient
+        // into a contiguous zero-padded copy (a plain re-layout when
+        // `p == 0`), then run the gather kernel with the batched output
+        // stride so sample `b`'s rows land straight in the `[C, B, …]`
+        // layout — no staging volume, no scatter.
+        let mut grad_in = ws.alloc(&[self.in_c, bsz, d1, d2, d3]);
+        let mut gpad = std::mem::take(&mut ws.g_pad);
+        // One memset for the whole batch: every interior cell is
+        // overwritten per sample below, so only the (always-zero) padding
+        // halo needs clearing — not once per sample.
+        gpad.clear();
+        gpad.resize(self.out_c * pvol, 0.0);
+        for b in 0..bsz {
+            for oc in 0..self.out_c {
+                for x1 in 0..d1 {
+                    for y in 0..d2 {
+                        let src = (oc * bsz + b) * spatial + (x1 * d2 + y) * d3;
+                        let dst = ((oc * pd1 + x1 + p) * pd2 + y + p) * pd3 + p;
+                        gpad[dst..dst + d3].copy_from_slice(&g[src..src + d3]);
+                    }
+                }
+            }
+            input_grad_gather(
+                &gpad,
+                self.out_c,
+                self.in_c,
+                k,
+                p,
+                d1,
+                d2,
+                d3,
+                pd1,
+                pd2,
+                pd3,
+                self.weight.value.data(),
+                grad_in.data_mut(),
+                n,
+                b * spatial,
+            );
+        }
+        ws.g_pad = gpad;
+        ws.free(xc);
+        ws.free(grad_out);
+        grad_in
     }
 
     fn backward_impl(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
@@ -343,6 +701,8 @@ impl Conv3d {
                 d3,
                 self.weight.value.data(),
                 grad_in.data_mut(),
+                n,
+                0,
             );
         } else {
             let mut gpad = std::mem::take(&mut ws.g_pad);
@@ -371,6 +731,8 @@ impl Conv3d {
                 pd3,
                 self.weight.value.data(),
                 grad_in.data_mut(),
+                n,
+                0,
             );
             ws.g_pad = gpad;
         }
@@ -564,9 +926,11 @@ fn tap_offsets(in_c: usize, k: usize, pd1: usize, pd2: usize, pd3: usize, off: &
 }
 
 /// Fills the im2col panel for output rows `[r0, r1)` from the *padded*
-/// input: `bbuf[kx · cols + j]` holds tap `kx` of output voxel `j`
-/// (columns are `(row − r0) · d3 + z`). Because `xp` is zero-padded the
-/// extraction is pure row copies through the tap-offset table.
+/// input: `bbuf[kx · cols + col0 + j]` holds tap `kx` of output voxel `j`
+/// (columns are `col0 + (row − r0) · d3 + z`). Because `xp` is zero-padded
+/// the extraction is pure row copies through the tap-offset table. `col0`
+/// lets the batched path assemble one panel from several samples' padded
+/// volumes; the single-sample path passes `0`.
 #[allow(clippy::too_many_arguments)]
 fn im2col_from_padded(
     xp: &[f32],
@@ -579,12 +943,14 @@ fn im2col_from_padded(
     r1: usize,
     bbuf: &mut [f32],
     cols: usize,
+    col0: usize,
 ) {
     for (kx, &o) in off.iter().enumerate() {
         let krow = &mut bbuf[kx * cols..(kx + 1) * cols];
         for r in r0..r1 {
             let src = o + ((r / d2) * pd2 + r % d2) * pd3;
-            krow[(r - r0) * d3..(r - r0 + 1) * d3].copy_from_slice(&xp[src..src + d3]);
+            let dst = col0 + (r - r0) * d3;
+            krow[dst..dst + d3].copy_from_slice(&xp[src..src + d3]);
         }
     }
 }
@@ -651,7 +1017,10 @@ fn gemm_bias(
 /// Forward: `out[oc][r][z] = bias[oc] + Σ_kx w[oc][kx] · xp[off[kx] + …]`
 /// with the K loop strictly ascending per output element. Register-blocked
 /// [`MR`]×[`NR`] tiles; ragged edges use narrower tiles with the same
-/// per-element order.
+/// per-element order. Output channel `oc` lands at row `oc * ldo + col0`,
+/// so a batched caller can write sample `b` straight into the channel-major
+/// `[C, B, …]` layout (`ldo = B·spatial`, `col0 = b·spatial`) with no
+/// staging copy; single-sample callers pass `ldo = spatial`, `col0 = 0`.
 #[allow(clippy::too_many_arguments)]
 fn conv_fwd(
     xp: &[f32],
@@ -665,14 +1034,20 @@ fn conv_fwd(
     bias: &[f32],
     out_c: usize,
     out: &mut [f32],
+    ldo: usize,
+    col0: usize,
 ) {
     let mut oc0 = 0;
     while oc0 < out_c {
         if out_c - oc0 >= MR {
-            fwd_rows::<MR>(xp, off, d2, d3, rows, pd2, pd3, w, bias, oc0, out);
+            fwd_rows::<MR>(
+                xp, off, d2, d3, rows, pd2, pd3, w, bias, oc0, out, ldo, col0,
+            );
             oc0 += MR;
         } else {
-            fwd_rows::<1>(xp, off, d2, d3, rows, pd2, pd3, w, bias, oc0, out);
+            fwd_rows::<1>(
+                xp, off, d2, d3, rows, pd2, pd3, w, bias, oc0, out, ldo, col0,
+            );
             oc0 += 1;
         }
     }
@@ -692,22 +1067,23 @@ fn fwd_rows<const M: usize>(
     bias: &[f32],
     oc0: usize,
     out: &mut [f32],
+    ldo: usize,
+    col0: usize,
 ) {
-    let n = rows * d3;
     for r in 0..rows {
         let src_r = ((r / d2) * pd2 + r % d2) * pd3;
-        let out_r = r * d3;
+        let out_r = col0 + r * d3;
         let mut zc = 0;
         while d3 - zc >= NR {
-            fwd_tile::<M, NR>(xp, off, src_r + zc, w, bias, oc0, out, n, out_r + zc);
+            fwd_tile::<M, NR>(xp, off, src_r + zc, w, bias, oc0, out, ldo, out_r + zc);
             zc += NR;
         }
         while d3 - zc >= 4 {
-            fwd_tile::<M, 4>(xp, off, src_r + zc, w, bias, oc0, out, n, out_r + zc);
+            fwd_tile::<M, 4>(xp, off, src_r + zc, w, bias, oc0, out, ldo, out_r + zc);
             zc += 4;
         }
         while zc < d3 {
-            fwd_tile::<M, 1>(xp, off, src_r + zc, w, bias, oc0, out, n, out_r + zc);
+            fwd_tile::<M, 1>(xp, off, src_r + zc, w, bias, oc0, out, ldo, out_r + zc);
             zc += 1;
         }
     }
@@ -745,6 +1121,30 @@ fn fwd_tile<const M: usize, const N: usize>(
     for (i, row) in acc.iter().enumerate() {
         let ob = (oc0 + i) * n + out_base;
         out[ob..ob + N].copy_from_slice(row);
+    }
+}
+
+/// Copies sample `b` out of a channel-major batched volume (`[C, B, …]`,
+/// flat per-channel stride `bsz * spatial`) into a contiguous `[C, …]`
+/// destination. Only the batched naive-oracle routes gather whole samples;
+/// the GEMM routes read the batched layout in place.
+#[cfg(any(test, feature = "naive-ref"))]
+fn gather_sample(src: &[f32], bsz: usize, b: usize, spatial: usize, dst: &mut [f32]) {
+    let channels = dst.len() / spatial;
+    for c in 0..channels {
+        dst[c * spatial..(c + 1) * spatial]
+            .copy_from_slice(&src[(c * bsz + b) * spatial..][..spatial]);
+    }
+}
+
+/// Inverse of [`gather_sample`]: writes a contiguous `[C, …]` sample into
+/// slot `b` of a channel-major batched volume.
+#[cfg(any(test, feature = "naive-ref"))]
+fn scatter_sample(src: &[f32], bsz: usize, b: usize, spatial: usize, dst: &mut [f32]) {
+    let channels = src.len() / spatial;
+    for c in 0..channels {
+        dst[(c * bsz + b) * spatial..][..spatial]
+            .copy_from_slice(&src[c * spatial..(c + 1) * spatial]);
     }
 }
 
@@ -827,6 +1227,10 @@ fn wg_lanes<const L: usize>(
 /// of padded dims `[out_c][pd1][pd2][pd3]`. [`ICT`] input channels share
 /// each padded-row read; out-of-range `(a, b)` planes are skipped exactly
 /// as the naive loops skip them.
+/// Input-channel row `ic` lands at `ic * ldo + col0`, so a batched caller
+/// can write sample `b` straight into the channel-major `[C, B, …]` layout
+/// (`ldo = B·spatial`, `col0 = b·spatial`) with no staging copy;
+/// single-sample callers pass `ldo = spatial`, `col0 = 0`.
 #[allow(clippy::too_many_arguments)]
 fn input_grad_gather(
     gsrc: &[f32],
@@ -842,28 +1246,30 @@ fn input_grad_gather(
     pd3: usize,
     w: &[f32],
     gi: &mut [f32],
+    ldo: usize,
+    col0: usize,
 ) {
     let mut ic0 = 0;
     while ic0 < in_c {
         let rem = in_c - ic0;
         if rem >= ICT {
             ig_rows::<ICT>(
-                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0,
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0,
             );
             ic0 += ICT;
         } else if rem == 3 {
             ig_rows::<3>(
-                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0,
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0,
             );
             ic0 += 3;
         } else if rem == 2 {
             ig_rows::<2>(
-                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0,
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0,
             );
             ic0 += 2;
         } else {
             ig_rows::<1>(
-                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0,
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0,
             );
             ic0 += 1;
         }
@@ -887,6 +1293,8 @@ fn ig_rows<const L: usize>(
     w: &[f32],
     gi: &mut [f32],
     ic0: usize,
+    ldo: usize,
+    col0: usize,
 ) {
     for ix in 0..d1 {
         for iy in 0..d2 {
@@ -894,18 +1302,21 @@ fn ig_rows<const L: usize>(
             while d3 - zc >= NR {
                 ig_tile::<L, NR>(
                     gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy, zc,
+                    ldo, col0,
                 );
                 zc += NR;
             }
             while d3 - zc >= 4 {
                 ig_tile::<L, 4>(
                     gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy, zc,
+                    ldo, col0,
                 );
                 zc += 4;
             }
             while zc < d3 {
                 ig_tile::<L, 1>(
                     gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy, zc,
+                    ldo, col0,
                 );
                 zc += 1;
             }
@@ -936,6 +1347,8 @@ fn ig_tile<const L: usize, const N: usize>(
     ix: usize,
     iy: usize,
     zc: usize,
+    ldo: usize,
+    col0: usize,
 ) {
     let p2 = 2 * p;
     let kk = k * k * k;
@@ -966,7 +1379,7 @@ fn ig_tile<const L: usize, const N: usize>(
         }
     }
     for (l, accl) in acc.iter().enumerate() {
-        let gb = (((ic0 + l) * d1 + ix) * d2 + iy) * d3 + zc;
+        let gb = (ic0 + l) * ldo + col0 + (ix * d2 + iy) * d3 + zc;
         gi[gb..gb + N].copy_from_slice(accl);
     }
 }
@@ -992,6 +1405,20 @@ impl Layer for Conv3d {
     fn backward_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
         let t = ws.prof_start();
         let g = self.backward_impl(grad_out, ws);
+        ws.prof_end(t, ProfKind::ConvBwd);
+        g
+    }
+
+    fn forward_batch_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let out = self.forward_batch_impl(x, ws);
+        ws.prof_end(t, ProfKind::ConvFwd);
+        out
+    }
+
+    fn backward_batch_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let g = self.backward_batch_impl(grad_out, ws);
         ws.prof_end(t, ProfKind::ConvBwd);
         g
     }
@@ -1134,6 +1561,94 @@ mod tests {
             );
             assert_bits_eq(&fast.bias.grad, &slow.bias.grad, &format!("{what} grad_b"));
         }
+    }
+
+    #[test]
+    fn batched_path_matches_sequential_bitwise() {
+        // For every oracle case and batch size, the batched forward and
+        // backward must be bit-identical, per sample, to running the
+        // single-sample path over the samples in order — including the
+        // accumulated weight/bias gradients.
+        for (case, &(in_c, out_c, k, [d1, d2, d3])) in ORACLE_CASES.iter().enumerate() {
+            for &bsz in &[1usize, 4, 16] {
+                let seed = 0xBA7C + case as u64;
+                let proto = conv(in_c, out_c, k, seed);
+                let xs: Vec<Tensor> = (0..bsz)
+                    .map(|b| {
+                        Initializer::new(seed ^ (2 * b as u64 + 2))
+                            .uniform(&[in_c, d1, d2, d3], 1.0)
+                    })
+                    .collect();
+                let gs: Vec<Tensor> = (0..bsz)
+                    .map(|b| {
+                        Initializer::new(seed ^ (2 * b as u64 + 3))
+                            .uniform(&[out_c, d1, d2, d3], 1.0)
+                    })
+                    .collect();
+
+                // Sequential reference: one layer, samples in order,
+                // gradients accumulating.
+                let mut seq = proto.clone();
+                let mut ws = NnWorkspace::new();
+                let mut ys = Vec::new();
+                let mut gis = Vec::new();
+                for b in 0..bsz {
+                    ys.push(seq.forward_in(&xs[b], &mut ws));
+                    gis.push(seq.backward_in(ws.alloc_copy(&gs[b]), &mut ws));
+                }
+
+                // Batched run.
+                let mut bat = proto.clone();
+                let mut wsb = NnWorkspace::new();
+                let x5 = Tensor::stack_batch(&xs.iter().collect::<Vec<_>>());
+                let g5 = Tensor::stack_batch(&gs.iter().collect::<Vec<_>>());
+                let y5 = bat.forward_batch_in(&x5, &mut wsb);
+                let gi5 = bat.backward_batch_in(wsb.alloc_copy(&g5), &mut wsb);
+
+                let what = format!("case {case} B{bsz} ({in_c}->{out_c} k{k} {d1}x{d2}x{d3})");
+                for b in 0..bsz {
+                    assert_bits_eq(&y5.unstack_sample(b), &ys[b], &format!("{what} y[{b}]"));
+                    assert_bits_eq(
+                        &gi5.unstack_sample(b),
+                        &gis[b],
+                        &format!("{what} grad_in[{b}]"),
+                    );
+                }
+                assert_bits_eq(
+                    &bat.weight.grad,
+                    &seq.weight.grad,
+                    &format!("{what} grad_w"),
+                );
+                assert_bits_eq(&bat.bias.grad, &seq.bias.grad, &format!("{what} grad_b"));
+
+                // The batched naive oracle agrees too (same per-sample
+                // seven-loop kernels, batched layout).
+                let mut nv = proto.clone();
+                nv.set_naive(true);
+                let mut wsn = NnWorkspace::new();
+                let yn = nv.forward_batch_in(&x5, &mut wsn);
+                let gin = nv.backward_batch_in(wsn.alloc_copy(&g5), &mut wsn);
+                assert_bits_eq(&yn, &y5, &format!("{what} naive y"));
+                assert_bits_eq(&gin, &gi5, &format!("{what} naive grad_in"));
+                assert_bits_eq(
+                    &nv.weight.grad,
+                    &bat.weight.grad,
+                    &format!("{what} naive gw"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infer_in_matches_forward_without_cache() {
+        let proto = conv(3, 5, 3, 11);
+        let x = Initializer::new(12).uniform(&[3, 4, 5, 3], 1.0);
+        let mut m = proto.clone();
+        let y_ref = m.forward(&x);
+        let shared = proto.clone();
+        let mut ws = NnWorkspace::new();
+        let y = shared.infer_in(&x, &mut ws);
+        assert_bits_eq(&y, &y_ref, "infer_in");
     }
 
     #[test]

@@ -76,6 +76,36 @@ pub trait Layer {
         g
     }
 
+    /// Batched variant of [`Layer::forward_in`] over rank-5
+    /// `[C, B, d1, d2, d3]` activations (channel-major: channel `c` holds
+    /// the `B` samples' volumes back to back, so convolutions flatten the
+    /// trailing axes into one GEMM `N = B·d1·d2·d3` and a single weight
+    /// load serves every sample). Per-sample results are bit-identical to
+    /// running [`Layer::forward_in`] on each sample alone: batching only
+    /// regroups *independent* output elements, never the terms of one
+    /// element's sum.
+    ///
+    /// The default panics — every layer used inside the batched selector
+    /// stack overrides it (a generic per-sample fallback would silently
+    /// clobber single-sample caches and break `backward_batch_in`).
+    fn forward_batch_in(&mut self, _x: &Tensor, _ws: &mut NnWorkspace) -> Tensor {
+        unimplemented!("layer has no batched forward path")
+    }
+
+    /// Batched variant of [`Layer::backward_in`] consuming a rank-5
+    /// `[C, B, d1, d2, d3]` output gradient. Parameter-gradient
+    /// accumulation visits samples in ascending batch order, so every
+    /// `+=` sequence per gradient element matches the sequential
+    /// per-sample loop bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// The default panics; implementations may panic if called without a
+    /// matching preceding [`Layer::forward_batch_in`].
+    fn backward_batch_in(&mut self, _grad_out: Tensor, _ws: &mut NnWorkspace) -> Tensor {
+        unimplemented!("layer has no batched backward path")
+    }
+
     /// The layer's trainable parameters (empty for activations and pooling).
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()

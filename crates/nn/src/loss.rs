@@ -62,6 +62,71 @@ pub fn bce_with_logits(logits: &Tensor, targets: &Tensor, mask: Option<&Tensor>)
     }
 }
 
+/// Batched [`bce_with_logits`] over the channel-major `[1, B, d…]` logits
+/// layout of the batched network path (sample `b`'s logits occupy the
+/// contiguous block `b·S..(b+1)·S`).
+///
+/// `targets[b]` / `masks[b]` are sample `b`'s single-sample `[1, d…]`
+/// tensors. Every sample is normalized by its **own** mask weight and its
+/// mean loss is evaluated element-by-element exactly like the
+/// single-sample function, so gradient block `b` and per-sample loss `b`
+/// are bit-for-bit what `B` separate [`bce_with_logits`] calls produce.
+/// The returned loss is the ascending-`b` `f32` sum of per-sample mean
+/// losses (the caller's `1/B` scale turns it into the batch mean, matching
+/// the sequential `loss_sum * scale` fold).
+///
+/// # Panics
+///
+/// Panics if `logits` is not `[1, B, d…]` with `B == targets.len() ==
+/// masks.len()`, a per-sample tensor's length disagrees with the logits
+/// block, or a sample's mask weight sums to zero.
+pub fn bce_with_logits_batch(
+    logits: &Tensor,
+    targets: &[&Tensor],
+    masks: &[&Tensor],
+) -> LossOutput {
+    let shape = logits.shape();
+    assert!(
+        shape.len() >= 2 && shape[0] == 1,
+        "expected [1, B, d…] logits, got {shape:?}"
+    );
+    let bsz = shape[1];
+    assert_eq!(targets.len(), bsz, "targets/batch mismatch");
+    assert_eq!(masks.len(), bsz, "masks/batch mismatch");
+    let spatial = logits.len() / bsz;
+
+    let mut grad = Tensor::zeros(shape);
+    let mut loss_sum = 0.0f32;
+    for b in 0..bsz {
+        let tgt = targets[b].data();
+        let msk = masks[b].data();
+        assert_eq!(tgt.len(), spatial, "targets[{b}]/logits mismatch");
+        assert_eq!(msk.len(), spatial, "masks[{b}]/logits mismatch");
+        let total_w: f32 = msk.iter().sum();
+        assert!(total_w > 0.0, "mask must select at least one element");
+        let z_blk = &logits.data()[b * spatial..(b + 1) * spatial];
+        let g_blk = &mut grad.data_mut()[b * spatial..(b + 1) * spatial];
+        let mut loss = 0.0f64;
+        for i in 0..spatial {
+            let w = msk[i];
+            if w == 0.0 {
+                continue;
+            }
+            let z = z_blk[i];
+            let t = tgt[i];
+            debug_assert!((0.0..=1.0).contains(&t), "targets must be probabilities");
+            let l = z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln();
+            loss += (w * l) as f64;
+            g_blk[i] = w * (sigmoid(z) - t) / total_w;
+        }
+        loss_sum += (loss / total_w as f64) as f32;
+    }
+    LossOutput {
+        loss: loss_sum,
+        grad,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +189,49 @@ mod tests {
         let out = bce_with_logits(&logits, &targets, None);
         assert!(out.loss.is_finite());
         assert!(out.grad.data().iter().all(|g| g.is_finite()));
+    }
+
+    #[test]
+    fn batched_bce_matches_per_sample_calls_bitwise() {
+        // Three samples with distinct targets/masks, stacked [1, 3, S].
+        let spatial = 6;
+        let bsz = 3;
+        let mut zs = Vec::new();
+        let mut tgts = Vec::new();
+        let mut msks = Vec::new();
+        for b in 0..bsz {
+            let z: Vec<f32> = (0..spatial)
+                .map(|i| ((i + b * spatial) as f32) * 0.37 - 1.1)
+                .collect();
+            let t: Vec<f32> = (0..spatial)
+                .map(|i| ((i * 7 + b) % 10) as f32 / 10.0)
+                .collect();
+            let m: Vec<f32> = (0..spatial)
+                .map(|i| if (i + b) % 4 == 0 { 0.0 } else { 1.0 })
+                .collect();
+            zs.push(Tensor::from_vec(&[1, spatial], z).unwrap());
+            tgts.push(Tensor::from_vec(&[1, spatial], t).unwrap());
+            msks.push(Tensor::from_vec(&[1, spatial], m).unwrap());
+        }
+        let flat: Vec<f32> = zs.iter().flat_map(|z| z.data().iter().copied()).collect();
+        let logits = Tensor::from_vec(&[1, bsz, spatial], flat).unwrap();
+        let t_refs: Vec<&Tensor> = tgts.iter().collect();
+        let m_refs: Vec<&Tensor> = msks.iter().collect();
+        let batched = bce_with_logits_batch(&logits, &t_refs, &m_refs);
+
+        let mut loss_sum = 0.0f32;
+        for b in 0..bsz {
+            let single = bce_with_logits(&zs[b], &tgts[b], Some(&msks[b]));
+            loss_sum += single.loss;
+            for i in 0..spatial {
+                assert_eq!(
+                    single.grad.data()[i].to_bits(),
+                    batched.grad.data()[b * spatial + i].to_bits(),
+                    "grad mismatch at b={b} i={i}"
+                );
+            }
+        }
+        assert_eq!(loss_sum.to_bits(), batched.loss.to_bits());
     }
 
     #[test]

@@ -60,6 +60,40 @@ impl GroupNorm {
     pub fn groups(&self) -> usize {
         self.groups
     }
+
+    /// Cache-free `&self` forward for the shared-selector inference path
+    /// (rank-4 single-sample only). Bit-identical to
+    /// [`Layer::forward_in`]: the normalize and scale-shift steps apply
+    /// the same operation sequence per element, just without storing
+    /// `x_hat`.
+    pub fn infer_in(&self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let s = x.shape();
+        assert_eq!(s.len(), 4, "groupnorm expects [c, d1, d2, d3]");
+        assert_eq!(s[0], self.channels, "groupnorm channel mismatch");
+        let spatial: usize = s[1..].iter().product();
+        let per_group = self.channels / self.groups;
+        let group_len = per_group * spatial;
+        let mut y = ws.alloc(s);
+        let data = x.data();
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+        for g in 0..self.groups {
+            let start = g * group_len;
+            let slice = &data[start..start + group_len];
+            let mean: f32 = slice.iter().sum::<f32>() / group_len as f32;
+            let var: f32 =
+                slice.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / group_len as f32;
+            let is = 1.0 / (var + self.eps).sqrt();
+            let dst = &mut y.data_mut()[start..start + group_len];
+            for (i, (o, &v)) in dst.iter_mut().zip(slice).enumerate() {
+                let c = g * per_group + i / spatial;
+                *o = gamma[c] * ((v - mean) * is) + beta[c];
+            }
+        }
+        ws.prof_end(t, ProfKind::NormFwd);
+        y
+    }
 }
 
 impl Layer for GroupNorm {
@@ -174,6 +208,152 @@ impl Layer for GroupNorm {
             for i in 0..group_len {
                 grad_in.data_mut()[start + i] =
                     (is / n) * (n * dxhat[i] - sum_dxhat - x_hat[start + i] * sum_dxhat_xhat);
+            }
+        }
+        ws.dxhat = dxhat;
+        ws.free(cache.x_hat);
+        self.spare_inv = cache.inv_std;
+        ws.free(grad_out);
+        ws.prof_end(t, ProfKind::NormBwd);
+        grad_in
+    }
+
+    fn forward_batch_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let s = x.shape();
+        assert_eq!(s.len(), 5, "groupnorm batch expects [c, b, d1, d2, d3]");
+        assert_eq!(s[0], self.channels, "groupnorm channel mismatch");
+        let bsz = s[1];
+        let spatial: usize = s[2..].iter().product();
+        let per_group = self.channels / self.groups;
+        let group_len = per_group * spatial;
+
+        // Per-(sample, group) statistics. The batched layout strides a
+        // sample's group across channels, so iterate channels ascending
+        // then positions ascending — the exact element order of the
+        // contiguous single-sample slice, keeping each single-accumulator
+        // sum bitwise identical to the sequential pass.
+        let mut x_hat = ws.alloc(s);
+        let mut inv_std = std::mem::take(&mut self.spare_inv);
+        inv_std.clear();
+        inv_std.resize(bsz * self.groups, 0.0);
+        let data = x.data();
+        for b in 0..bsz {
+            for g in 0..self.groups {
+                let mut sum = 0.0f32;
+                for cl in 0..per_group {
+                    let base = ((g * per_group + cl) * bsz + b) * spatial;
+                    for &v in &data[base..base + spatial] {
+                        sum += v;
+                    }
+                }
+                let mean = sum / group_len as f32;
+                let mut var_sum = 0.0f32;
+                for cl in 0..per_group {
+                    let base = ((g * per_group + cl) * bsz + b) * spatial;
+                    for &v in &data[base..base + spatial] {
+                        var_sum += (v - mean) * (v - mean);
+                    }
+                }
+                let is = 1.0 / (var_sum / group_len as f32 + self.eps).sqrt();
+                inv_std[b * self.groups + g] = is;
+                for cl in 0..per_group {
+                    let base = ((g * per_group + cl) * bsz + b) * spatial;
+                    let dst = &mut x_hat.data_mut()[base..base + spatial];
+                    for (o, &v) in dst.iter_mut().zip(&data[base..base + spatial]) {
+                        *o = (v - mean) * is;
+                    }
+                }
+            }
+        }
+        // y = gamma[c] * x_hat + beta[c]: per-channel blocks stay
+        // contiguous (all samples back to back) in the batched layout.
+        let mut y = ws.alloc(s);
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+        let cblk = bsz * spatial;
+        for c in 0..self.channels {
+            let base = c * cblk;
+            let src = &x_hat.data()[base..base + cblk];
+            let dst = &mut y.data_mut()[base..base + cblk];
+            for (o, &v) in dst.iter_mut().zip(src) {
+                *o = gamma[c] * v + beta[c];
+            }
+        }
+        if ws.training() {
+            self.cache = Some(NormCache { x_hat, inv_std });
+        } else {
+            ws.free(x_hat);
+            self.spare_inv = inv_std;
+            self.cache = None;
+        }
+        ws.prof_end(t, ProfKind::NormFwd);
+        y
+    }
+
+    fn backward_batch_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let cache = self
+            .cache
+            .take()
+            .expect("groupnorm backward without forward");
+        let s = grad_out.shape();
+        assert_eq!(s.len(), 5, "groupnorm batch backward expects rank 5");
+        let bsz = s[1];
+        let spatial: usize = s[2..].iter().product();
+        let per_group = self.channels / self.groups;
+        let group_len = per_group * spatial;
+
+        // Parameter gradients: per element `grad[c]`, one fresh per-sample
+        // sum added samples-ascending — the sequential accumulation order.
+        let g_out = grad_out.data();
+        let x_hat = cache.x_hat.data();
+        for c in 0..self.channels {
+            for b in 0..bsz {
+                let base = (c * bsz + b) * spatial;
+                let mut dg = 0.0f32;
+                let mut db = 0.0f32;
+                for i in 0..spatial {
+                    dg += g_out[base + i] * x_hat[base + i];
+                    db += g_out[base + i];
+                }
+                self.gamma.grad.data_mut()[c] += dg;
+                self.beta.grad.data_mut()[c] += db;
+            }
+        }
+
+        // Input gradient per (sample, group), channels-ascending element
+        // order as in the forward pass.
+        let gamma = self.gamma.value.data();
+        let mut grad_in = ws.alloc(&[self.channels, bsz, s[2], s[3], s[4]]);
+        let mut dxhat = std::mem::take(&mut ws.dxhat);
+        dxhat.clear();
+        dxhat.resize(group_len, 0.0);
+        for b in 0..bsz {
+            for g in 0..self.groups {
+                let mut sum_dxhat = 0.0f32;
+                let mut sum_dxhat_xhat = 0.0f32;
+                for cl in 0..per_group {
+                    let c = g * per_group + cl;
+                    let base = (c * bsz + b) * spatial;
+                    for i in 0..spatial {
+                        let d = g_out[base + i] * gamma[c];
+                        dxhat[cl * spatial + i] = d;
+                        sum_dxhat += d;
+                        sum_dxhat_xhat += d * x_hat[base + i];
+                    }
+                }
+                let n = group_len as f32;
+                let is = cache.inv_std[b * self.groups + g];
+                for cl in 0..per_group {
+                    let base = ((g * per_group + cl) * bsz + b) * spatial;
+                    for i in 0..spatial {
+                        grad_in.data_mut()[base + i] = (is / n)
+                            * (n * dxhat[cl * spatial + i]
+                                - sum_dxhat
+                                - x_hat[base + i] * sum_dxhat_xhat);
+                    }
+                }
             }
         }
         ws.dxhat = dxhat;

@@ -36,6 +36,109 @@ impl MaxPool3d {
     pub fn new() -> Self {
         MaxPool3d::default()
     }
+
+    /// Shared forward over any rank (the trailing three axes pool, leading
+    /// axes pass through), recording the backward cache.
+    fn forward_any(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let (ps, pn) = pooled_shape(x.shape());
+        let mut out = ws.alloc(&ps[..pn]);
+        // `spare` is refilled by backward; inference-only callers never run
+        // one, so recycle the previous forward's cache storage instead of
+        // dropping it (both vectors are fully overwritten below).
+        let mut cache = self
+            .spare
+            .take()
+            .or_else(|| self.cache.take())
+            .unwrap_or_default();
+        cache.in_shape.clear();
+        cache.in_shape.extend_from_slice(x.shape());
+        cache.argmax.clear();
+        cache.argmax.resize(out.len(), 0);
+        pool_core(x.data(), x.shape(), out.data_mut(), Some(&mut cache.argmax));
+        self.cache = Some(cache);
+        ws.prof_end(t, ProfKind::PoolFwd);
+        out
+    }
+
+    /// Stateless pooling apply for the shared-selector inference path: same
+    /// kernel as [`Layer::forward_in`] without recording an argmax cache.
+    /// Works on rank-4 and (channel-major) rank-5 inputs alike.
+    pub fn infer_apply(x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let (ps, pn) = pooled_shape(x.shape());
+        let mut out = ws.alloc(&ps[..pn]);
+        pool_core(x.data(), x.shape(), out.data_mut(), None);
+        ws.prof_end(t, ProfKind::PoolFwd);
+        out
+    }
+}
+
+/// Output shape of one pooling step: trailing three axes halve (ceil mode),
+/// leading channel (and batch) axes pass through. Returned on the stack
+/// (fixed rank ≤ 5) so the warm inference loop stays allocation-free.
+fn pooled_shape(s: &[usize]) -> ([usize; 5], usize) {
+    let n = s.len();
+    let mut out = [0usize; 5];
+    out[..n].copy_from_slice(s);
+    for d in &mut out[n - 3..n] {
+        *d = pooled(*d);
+    }
+    (out, n)
+}
+
+/// The pooling kernel over the trailing three spatial axes; every leading
+/// axis is an independent volume (`c` for rank-4, `c·b` channel-major for
+/// rank-5, making the batched pass per-sample bit-identical for free).
+/// `argmax`, when recording, receives the **absolute** linear input index
+/// of each output's maximum, so the backward scatter is layout-agnostic.
+fn pool_core(xd: &[f32], s: &[usize], out: &mut [f32], mut argmax: Option<&mut Vec<u32>>) {
+    let n = s.len();
+    let c_eff: usize = s[..n - 3].iter().product();
+    let (d1, d2, d3) = (s[n - 3], s[n - 2], s[n - 1]);
+    let (o1, o2, o3) = (pooled(d1), pooled(d2), pooled(d3));
+    let spatial = d1 * d2 * d3;
+    let mut oi = 0;
+    for ci in 0..c_eff {
+        let base = ci * spatial;
+        for x1 in 0..o1 {
+            for y in 0..o2 {
+                for z in 0..o3 {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0usize;
+                    for dx in 0..2 {
+                        let ix = x1 * 2 + dx;
+                        if ix >= d1 {
+                            continue;
+                        }
+                        for dy in 0..2 {
+                            let iy = y * 2 + dy;
+                            if iy >= d2 {
+                                continue;
+                            }
+                            for dz in 0..2 {
+                                let iz = z * 2 + dz;
+                                if iz >= d3 {
+                                    continue;
+                                }
+                                let idx = base + (ix * d2 + iy) * d3 + iz;
+                                let v = xd[idx];
+                                if v > best {
+                                    best = v;
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                    }
+                    out[oi] = best;
+                    if let Some(am) = argmax.as_deref_mut() {
+                        am[oi] = best_idx as u32;
+                    }
+                    oi += 1;
+                }
+            }
+        }
+    }
 }
 
 impl Layer for MaxPool3d {
@@ -51,59 +154,8 @@ impl Layer for MaxPool3d {
     }
 
     fn forward_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
-        let t = ws.prof_start();
-        let s = x.shape();
-        assert_eq!(s.len(), 4, "maxpool expects [c, d1, d2, d3]");
-        let (c, d1, d2, d3) = (s[0], s[1], s[2], s[3]);
-        let (o1, o2, o3) = (pooled(d1), pooled(d2), pooled(d3));
-        let mut out = ws.alloc(&[c, o1, o2, o3]);
-        let mut cache = self.spare.take().unwrap_or_default();
-        cache.in_shape.clear();
-        cache.in_shape.extend_from_slice(s);
-        cache.argmax.clear();
-        cache.argmax.resize(out.len(), 0);
-        let argmax = &mut cache.argmax;
-        let mut oi = 0;
-        for ci in 0..c {
-            for x1 in 0..o1 {
-                for y in 0..o2 {
-                    for z in 0..o3 {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_idx = 0usize;
-                        for dx in 0..2 {
-                            let ix = x1 * 2 + dx;
-                            if ix >= d1 {
-                                continue;
-                            }
-                            for dy in 0..2 {
-                                let iy = y * 2 + dy;
-                                if iy >= d2 {
-                                    continue;
-                                }
-                                for dz in 0..2 {
-                                    let iz = z * 2 + dz;
-                                    if iz >= d3 {
-                                        continue;
-                                    }
-                                    let idx = x.idx4(ci, ix, iy, iz);
-                                    let v = x.data()[idx];
-                                    if v > best {
-                                        best = v;
-                                        best_idx = idx;
-                                    }
-                                }
-                            }
-                        }
-                        out.data_mut()[oi] = best;
-                        argmax[oi] = best_idx as u32;
-                        oi += 1;
-                    }
-                }
-            }
-        }
-        self.cache = Some(cache);
-        ws.prof_end(t, ProfKind::PoolFwd);
-        out
+        assert_eq!(x.shape().len(), 4, "maxpool expects [c, d1, d2, d3]");
+        self.forward_any(x, ws)
     }
 
     fn backward_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
@@ -118,6 +170,24 @@ impl Layer for MaxPool3d {
         ws.free(grad_out);
         ws.prof_end(t, ProfKind::PoolBwd);
         grad_in
+    }
+
+    // Batched `[c, b, d1, d2, d3]` pooling is the rank-4 kernel with
+    // `c·b` leading volumes (channel-major keeps each sample's volume
+    // contiguous); the absolute argmax indices make the backward scatter
+    // identical in both layouts. Windows are disjoint, so there is no
+    // accumulation-order question — per-sample bit identity is structural.
+    fn forward_batch_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        assert_eq!(
+            x.shape().len(),
+            5,
+            "maxpool batch expects [c, b, d1, d2, d3]"
+        );
+        self.forward_any(x, ws)
+    }
+
+    fn backward_batch_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        self.backward_in(grad_out, ws)
     }
 }
 

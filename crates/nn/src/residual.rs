@@ -66,6 +66,43 @@ impl ResidualBlock {
         self.conv2.out_channels()
     }
 
+    /// Cache-free `&self` forward for the shared-selector inference path
+    /// (rank-4 single-sample only; the ReLUs clamp inline — the same
+    /// `max(0, ·)` per element as `forward_owned`, without masks).
+    /// Bit-identical to [`Layer::forward_in`].
+    pub fn infer_in(&self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let mut h = self.conv1.infer_in(x, ws);
+        if let Some(n) = &self.norm1 {
+            let y = n.infer_in(&h, ws);
+            ws.free(h);
+            h = y;
+        }
+        for v in h.data_mut() {
+            *v = v.max(0.0);
+        }
+        let y = self.conv2.infer_in(&h, ws);
+        ws.free(h);
+        h = y;
+        if let Some(n) = &self.norm2 {
+            let y = n.infer_in(&h, ws);
+            ws.free(h);
+            h = y;
+        }
+        let mut sum = h;
+        match &self.projection {
+            Some(proj) => {
+                let skip = proj.infer_in(x, ws);
+                sum.add_assign(&skip);
+                ws.free(skip);
+            }
+            None => sum.add_assign(x),
+        }
+        for v in sum.data_mut() {
+            *v = v.max(0.0);
+        }
+        sum
+    }
+
     /// Routes every convolution through the naive reference loops
     /// (bit-identity oracle; see [`Conv3d::set_naive`]).
     #[cfg(any(test, feature = "naive-ref"))]
@@ -144,6 +181,60 @@ impl Layer for ResidualBlock {
         g_main
     }
 
+    // Batched passes: the same dataflow with every sublayer's batched
+    // variant (elementwise add/ReLU are layout-agnostic).
+    fn forward_batch_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let mut h = self.conv1.forward_batch_in(x, ws);
+        if let Some(n) = &mut self.norm1 {
+            let y = n.forward_batch_in(&h, ws);
+            ws.free(h);
+            h = y;
+        }
+        h = self.relu1.forward_owned(h, ws);
+        let y = self.conv2.forward_batch_in(&h, ws);
+        ws.free(h);
+        h = y;
+        if let Some(n) = &mut self.norm2 {
+            let y = n.forward_batch_in(&h, ws);
+            ws.free(h);
+            h = y;
+        }
+        let mut sum = h;
+        match &mut self.projection {
+            Some(proj) => {
+                let skip = proj.forward_batch_in(x, ws);
+                sum.add_assign(&skip);
+                ws.free(skip);
+            }
+            None => sum.add_assign(x),
+        }
+        self.forward_ran = true;
+        self.relu_out.forward_owned(sum, ws)
+    }
+
+    fn backward_batch_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        assert!(self.forward_ran, "residual backward without forward");
+        self.forward_ran = false;
+        let grad_sum = self.relu_out.backward_in(grad_out, ws);
+        let mut g = ws.alloc_copy(&grad_sum);
+        if let Some(n) = &mut self.norm2 {
+            g = n.backward_batch_in(g, ws);
+        }
+        g = self.conv2.backward_batch_in(g, ws);
+        g = self.relu1.backward_in(g, ws);
+        if let Some(n) = &mut self.norm1 {
+            g = n.backward_batch_in(g, ws);
+        }
+        let mut g_main = self.conv1.backward_batch_in(g, ws);
+        let g_skip = match &mut self.projection {
+            Some(proj) => proj.backward_batch_in(grad_sum, ws),
+            None => grad_sum,
+        };
+        g_main.add_assign(&g_skip);
+        ws.free(g_skip);
+        g_main
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Param> {
         let mut ps = self.conv1.params_mut();
         if let Some(n) = &mut self.norm1 {
@@ -207,6 +298,71 @@ mod tests {
         let mut b = ResidualBlock::new_normed(2, 4, 3, 2, &mut Initializer::new(11));
         let x = Initializer::new(12).uniform(&[2, 2, 2, 1], 1.0);
         check_layer_gradients(&mut b, &x, 1e-2, 4e-2);
+    }
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (p, q)) in a.data().iter().zip(b.data()).enumerate() {
+            assert_eq!(p.to_bits(), q.to_bits(), "{what}: element {i}: {p} vs {q}");
+        }
+    }
+
+    /// Batched-vs-sequential bit identity through a **normed** block — the
+    /// U-Net itself carries no GroupNorms, so this is where the batched
+    /// normalization path gets its per-sample-identity coverage (per-sample
+    /// statistics, strided accumulation order, parameter gradients).
+    #[test]
+    fn normed_block_batched_matches_sequential_bitwise() {
+        for &bsz in &[1usize, 3] {
+            let proto = ResidualBlock::new_normed(2, 4, 3, 2, &mut Initializer::new(21));
+            let xs: Vec<Tensor> = (0..bsz)
+                .map(|b| Initializer::new(30 + b as u64).uniform(&[2, 3, 2, 2], 1.0))
+                .collect();
+            let gs: Vec<Tensor> = (0..bsz)
+                .map(|b| Initializer::new(40 + b as u64).uniform(&[4, 3, 2, 2], 1.0))
+                .collect();
+
+            let mut seq = proto.clone();
+            let mut ws = NnWorkspace::new();
+            let mut ys = Vec::new();
+            let mut gis = Vec::new();
+            for b in 0..bsz {
+                ys.push(seq.forward_in(&xs[b], &mut ws));
+                gis.push(seq.backward_in(ws.alloc_copy(&gs[b]), &mut ws));
+            }
+
+            let mut bat = proto.clone();
+            let mut wsb = NnWorkspace::new();
+            let x5 = Tensor::stack_batch(&xs.iter().collect::<Vec<_>>());
+            let g5 = Tensor::stack_batch(&gs.iter().collect::<Vec<_>>());
+            let y5 = bat.forward_batch_in(&x5, &mut wsb);
+            let gi5 = bat.backward_batch_in(wsb.alloc_copy(&g5), &mut wsb);
+
+            for b in 0..bsz {
+                assert_bits_eq(&y5.unstack_sample(b), &ys[b], &format!("B{bsz} y[{b}]"));
+                assert_bits_eq(
+                    &gi5.unstack_sample(b),
+                    &gis[b],
+                    &format!("B{bsz} grad_in[{b}]"),
+                );
+            }
+            for (pb, ps) in bat.params_mut().iter().zip(seq.params_mut().iter()) {
+                assert_bits_eq(&pb.grad, &ps.grad, &format!("B{bsz} param grad"));
+            }
+        }
+    }
+
+    /// The `&self` inference path through a normed, projected block must
+    /// match the training forward bit for bit.
+    #[test]
+    fn infer_in_matches_forward_bitwise() {
+        let proto = ResidualBlock::new_normed(2, 4, 3, 2, &mut Initializer::new(51));
+        let x = Initializer::new(52).uniform(&[2, 3, 2, 2], 1.0);
+        let mut owned = proto.clone();
+        let y_ref = owned.forward(&x);
+        let mut ws = NnWorkspace::new();
+        let y = proto.infer_in(&x, &mut ws);
+        assert_bits_eq(&y, &y_ref, "shared inference");
     }
 
     #[test]

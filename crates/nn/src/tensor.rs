@@ -77,6 +77,88 @@ impl Tensor {
         t
     }
 
+    /// An empty storage husk for the workspace pool. Crate-internal: it
+    /// violates the non-empty invariant only transiently, until the pool
+    /// calls [`Tensor::refit`].
+    pub(crate) fn pool_seed() -> Tensor {
+        Tensor {
+            shape: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Reshapes recycled storage in place to a zeroed tensor of `shape` —
+    /// both the shape and data vectors reuse their existing capacity, so a
+    /// warm workspace pool performs no heap traffic here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty or has a zero dimension.
+    pub(crate) fn refit(&mut self, shape: &[usize]) {
+        let n: usize = shape.iter().product();
+        assert!(
+            n > 0 && !shape.is_empty(),
+            "tensor shapes must be non-empty and positive, got {shape:?}"
+        );
+        self.shape.clear();
+        self.shape.extend_from_slice(shape);
+        self.data.clear();
+        self.data.resize(n, 0.0);
+    }
+
+    /// Stacks same-shape rank-4 `[C, d1, d2, d3]` tensors into the batched
+    /// rank-5 layout `[C, B, d1, d2, d3]`: channel `c` holds the `B`
+    /// samples' `c`-th volumes back to back, so a GEMM over the flattened
+    /// `[C, B·d1·d2·d3]` view serves every sample with one weight load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty, any tensor is not rank 4, or shapes
+    /// disagree.
+    pub fn stack_batch(samples: &[&Tensor]) -> Tensor {
+        assert!(!samples.is_empty(), "stack_batch needs at least one sample");
+        let s = samples[0].shape();
+        assert_eq!(s.len(), 4, "stack_batch expects rank-4 samples");
+        let bsz = samples.len();
+        let (c, d1, d2, d3) = (s[0], s[1], s[2], s[3]);
+        let spatial = d1 * d2 * d3;
+        let mut out = Tensor::zeros(&[c, bsz, d1, d2, d3]);
+        for (b, t) in samples.iter().enumerate() {
+            assert_eq!(t.shape(), s, "stack_batch shape mismatch at sample {b}");
+            for ci in 0..c {
+                let src = &t.data[ci * spatial..(ci + 1) * spatial];
+                out.data[(ci * bsz + b) * spatial..][..spatial].copy_from_slice(src);
+            }
+        }
+        out
+    }
+
+    /// Extracts sample `b` of a batched rank-5 `[C, B, d1, d2, d3]` tensor
+    /// as a rank-4 `[C, d1, d2, d3]` tensor — the inverse of
+    /// [`Tensor::stack_batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 5 or `b` is out of range.
+    pub fn unstack_sample(&self, b: usize) -> Tensor {
+        assert_eq!(self.shape.len(), 5, "unstack_sample expects rank 5");
+        let (c, bsz, d1, d2, d3) = (
+            self.shape[0],
+            self.shape[1],
+            self.shape[2],
+            self.shape[3],
+            self.shape[4],
+        );
+        assert!(b < bsz, "sample index {b} out of range ({bsz})");
+        let spatial = d1 * d2 * d3;
+        let mut out = Tensor::zeros(&[c, d1, d2, d3]);
+        for ci in 0..c {
+            let src = &self.data[(ci * bsz + b) * spatial..][..spatial];
+            out.data[ci * spatial..(ci + 1) * spatial].copy_from_slice(src);
+        }
+        out
+    }
+
     /// The tensor's shape.
     pub fn shape(&self) -> &[usize] {
         &self.shape
@@ -278,6 +360,20 @@ mod tests {
         let (a2, b2) = cat.split_channels(2);
         assert_eq!(a, a2);
         assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn stack_batch_is_channel_major_and_round_trips() {
+        let a = Tensor::from_fn4(&[2, 2, 1, 3], |c, x, _, z| (c * 100 + x * 10 + z) as f32);
+        let b = Tensor::from_fn4(&[2, 2, 1, 3], |c, x, _, z| -((c * 100 + x * 10 + z) as f32));
+        let batch = Tensor::stack_batch(&[&a, &b]);
+        assert_eq!(batch.shape(), &[2, 2, 2, 1, 3]);
+        // Channel 0 holds sample 0's then sample 1's channel-0 volume.
+        let spatial = 6;
+        assert_eq!(&batch.data()[..spatial], &a.data()[..spatial]);
+        assert_eq!(&batch.data()[spatial..2 * spatial], &b.data()[..spatial]);
+        assert_eq!(batch.unstack_sample(0), a);
+        assert_eq!(batch.unstack_sample(1), b);
     }
 
     #[test]

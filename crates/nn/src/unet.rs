@@ -156,6 +156,88 @@ impl UNet3d {
         logits
     }
 
+    /// Batched [`UNet3d::predict_in`] over a channel-major
+    /// `[in_channels, B, H, V, M]` stack of same-shape inputs: one pass
+    /// through the batched layers (GEMM `N = B·H·V·M`), sigmoid applied in
+    /// place. Sample `b` of the `[1, B, H, V, M]` result is bit-identical
+    /// to `predict_in` on that sample alone.
+    pub fn predict_batch_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let saved = ws.training;
+        ws.training = false;
+        let mut probs = self.forward_batch_in(x, ws);
+        ws.training = saved;
+        self.forward_ran = false; // inference leaves no pending backward
+        for v in probs.data_mut() {
+            *v = sigmoid(*v);
+        }
+        probs
+    }
+
+    /// Shared-selector inference: [`UNet3d::predict_in`] through `&self`,
+    /// so one network can serve many threads (or sit behind an `Arc`)
+    /// without cloning weights. No caches are written; results are
+    /// bit-identical to `predict_in`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has more than 8 levels (fixed skip scratch).
+    pub fn infer_in(&self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        assert_eq!(x.shape().len(), 4);
+        assert_eq!(x.shape()[0], self.config.in_channels, "channel mismatch");
+        assert!(
+            self.config.levels <= 8,
+            "infer_in supports at most 8 levels"
+        );
+        ws.counters.add(Counter::GemmBatchCols, 1);
+        ws.counters.bump(Counter::BatchFlushes);
+        let outer_slot = ws.set_mac_slot(Counter::MacsOther);
+        let mut skips: [Option<Tensor>; 8] = std::array::from_fn(|_| None);
+        let mut cur: Option<Tensor> = None;
+        #[allow(clippy::needless_range_loop)] // `i` drives enc, skips, and the MAC slot
+        for i in 0..self.config.levels {
+            ws.set_mac_slot(Counter::enc_macs(i));
+            let y = self.enc[i].infer_in(cur.as_ref().unwrap_or(x), ws);
+            if let Some(t) = cur.take() {
+                ws.free(t);
+            }
+            let pooled = MaxPool3d::infer_apply(&y, ws);
+            skips[i] = Some(y);
+            cur = Some(pooled);
+        }
+        let mut cur = {
+            let t = cur.expect("levels > 0");
+            ws.set_mac_slot(Counter::MacsBottleneck);
+            let b = self.bottleneck.infer_in(&t, ws);
+            ws.free(t);
+            b
+        };
+        for i in (0..self.config.levels).rev() {
+            ws.set_mac_slot(Counter::dec_macs(i));
+            let skip = skips[i].take().expect("one skip per level");
+            let (s0, s1, s2, s3) = {
+                let s = skip.shape();
+                (s[0], s[1], s[2], s[3])
+            };
+            let up = Upsample3d::infer_apply(&cur, [s1, s2, s3], ws);
+            ws.free(cur);
+            let mut cat = ws.alloc(&[up.shape()[0] + s0, s1, s2, s3]);
+            cat.data_mut()[..up.len()].copy_from_slice(up.data());
+            cat.data_mut()[up.len()..].copy_from_slice(skip.data());
+            ws.free(up);
+            ws.free(skip);
+            cur = self.dec[i].infer_in(&cat, ws);
+            ws.free(cat);
+        }
+        ws.set_mac_slot(Counter::MacsHead);
+        let mut out = self.head.infer_in(&cur, ws);
+        ws.free(cur);
+        ws.restore_mac_slot(outer_slot);
+        for v in out.data_mut() {
+            *v = sigmoid(*v);
+        }
+        out
+    }
+
     /// Routes every convolution through the naive reference loops
     /// (bit-identity oracle; see [`Conv3d::set_naive`]).
     #[cfg(any(test, feature = "naive-ref"))]
@@ -187,6 +269,10 @@ impl Layer for UNet3d {
         assert_eq!(x.shape().len(), 4);
         assert_eq!(x.shape()[0], self.config.in_channels, "channel mismatch");
         debug_assert!(self.scratch.is_empty());
+        // A single-sample forward is a batch of one for the occupancy
+        // telemetry (`gemm_batch_cols / batch_flushes`).
+        ws.counters.add(Counter::GemmBatchCols, 1);
+        ws.counters.bump(Counter::BatchFlushes);
         let outer_slot = ws.set_mac_slot(Counter::MacsOther);
         let mut cur: Option<Tensor> = None;
         for i in 0..self.config.levels {
@@ -209,12 +295,15 @@ impl Layer for UNet3d {
         for i in (0..self.config.levels).rev() {
             ws.set_mac_slot(Counter::dec_macs(i));
             let skip = self.scratch.pop().expect("one skip per level");
-            let s = skip.shape().to_vec();
-            self.ups[i].set_target([s[1], s[2], s[3]]);
+            let (s0, s1, s2, s3) = {
+                let s = skip.shape();
+                (s[0], s[1], s[2], s[3])
+            };
+            self.ups[i].set_target([s1, s2, s3]);
             let up = self.ups[i].forward_in(&cur, ws);
             ws.free(cur);
             // cat = [up ; skip] along channels, into a pooled buffer.
-            let mut cat = ws.alloc(&[up.shape()[0] + s[0], s[1], s[2], s[3]]);
+            let mut cat = ws.alloc(&[up.shape()[0] + s0, s1, s2, s3]);
             cat.data_mut()[..up.len()].copy_from_slice(up.data());
             cat.data_mut()[up.len()..].copy_from_slice(skip.data());
             ws.free(up);
@@ -264,6 +353,102 @@ impl Layer for UNet3d {
             grad.add_assign(&g_skip);
             ws.free(g_skip);
             grad = self.enc[i].backward_in(grad, ws);
+        }
+        ws.restore_mac_slot(outer_slot);
+        grad
+    }
+
+    /// Batched forward over channel-major `[in_channels, B, H, V, M]`
+    /// stacks, producing `[1, B, H, V, M]` logits. Same dataflow as
+    /// [`Layer::forward_in`] with every sublayer's batched variant; the
+    /// skip concatenation stays two `copy_from_slice`s because rank-5 is
+    /// channel-major too.
+    fn forward_batch_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        assert_eq!(x.shape().len(), 5);
+        assert_eq!(x.shape()[0], self.config.in_channels, "channel mismatch");
+        debug_assert!(self.scratch.is_empty());
+        ws.counters.add(Counter::GemmBatchCols, x.shape()[1] as u64);
+        ws.counters.bump(Counter::BatchFlushes);
+        let outer_slot = ws.set_mac_slot(Counter::MacsOther);
+        let mut cur: Option<Tensor> = None;
+        for i in 0..self.config.levels {
+            ws.set_mac_slot(Counter::enc_macs(i));
+            let y = self.enc[i].forward_batch_in(cur.as_ref().unwrap_or(x), ws);
+            if let Some(t) = cur.take() {
+                ws.free(t);
+            }
+            let pooled = self.pools[i].forward_batch_in(&y, ws);
+            self.scratch.push(y);
+            cur = Some(pooled);
+        }
+        let mut cur = {
+            let t = cur.expect("levels > 0");
+            ws.set_mac_slot(Counter::MacsBottleneck);
+            let b = self.bottleneck.forward_batch_in(&t, ws);
+            ws.free(t);
+            b
+        };
+        for i in (0..self.config.levels).rev() {
+            ws.set_mac_slot(Counter::dec_macs(i));
+            let skip = self.scratch.pop().expect("one skip per level");
+            let (s0, sb, s1, s2, s3) = {
+                let s = skip.shape();
+                (s[0], s[1], s[2], s[3], s[4])
+            };
+            self.ups[i].set_target([s1, s2, s3]);
+            let up = self.ups[i].forward_batch_in(&cur, ws);
+            ws.free(cur);
+            let mut cat = ws.alloc(&[up.shape()[0] + s0, sb, s1, s2, s3]);
+            cat.data_mut()[..up.len()].copy_from_slice(up.data());
+            cat.data_mut()[up.len()..].copy_from_slice(skip.data());
+            ws.free(up);
+            ws.free(skip);
+            cur = self.dec[i].forward_batch_in(&cat, ws);
+            ws.free(cat);
+        }
+        self.forward_ran = true;
+        ws.set_mac_slot(Counter::MacsHead);
+        let out = self.head.forward_batch_in(&cur, ws);
+        ws.free(cur);
+        ws.restore_mac_slot(outer_slot);
+        out
+    }
+
+    fn backward_batch_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        assert!(self.forward_ran, "unet backward without forward");
+        self.forward_ran = false;
+        debug_assert!(self.scratch.is_empty());
+        let outer_slot = ws.set_mac_slot(Counter::MacsHead);
+        let mut grad = self.head.backward_batch_in(grad_out, ws);
+        for i in 0..self.config.levels {
+            ws.set_mac_slot(Counter::dec_macs(i));
+            grad = self.dec[i].backward_batch_in(grad, ws);
+            let c0 = self.up_channels[i];
+            let (sc, sb, s1, s2, s3) = {
+                let s = grad.shape();
+                (s[0], s[1], s[2], s[3], s[4])
+            };
+            assert!(c0 < sc, "split point must leave both halves");
+            let stride = sb * s1 * s2 * s3;
+            let mut g_up = ws.alloc(&[c0, sb, s1, s2, s3]);
+            let mut g_skip = ws.alloc(&[sc - c0, sb, s1, s2, s3]);
+            g_up.data_mut().copy_from_slice(&grad.data()[..c0 * stride]);
+            g_skip
+                .data_mut()
+                .copy_from_slice(&grad.data()[c0 * stride..]);
+            ws.free(grad);
+            self.scratch.push(g_skip);
+            grad = self.ups[i].backward_batch_in(g_up, ws);
+        }
+        ws.set_mac_slot(Counter::MacsBottleneck);
+        grad = self.bottleneck.backward_batch_in(grad, ws);
+        for i in (0..self.config.levels).rev() {
+            ws.set_mac_slot(Counter::enc_macs(i));
+            grad = self.pools[i].backward_batch_in(grad, ws);
+            let g_skip = self.scratch.pop().expect("one skip gradient per level");
+            grad.add_assign(&g_skip);
+            ws.free(g_skip);
+            grad = self.enc[i].backward_batch_in(grad, ws);
         }
         ws.restore_mac_slot(outer_slot);
         grad
@@ -410,6 +595,120 @@ mod tests {
             for (pf, pn) in fast.params_mut().iter().zip(naive.params_mut().iter()) {
                 assert_bits_eq(&pf.grad, &pn.grad, "param grad");
             }
+        }
+    }
+
+    /// Whole-network batched-vs-sequential bit identity: logits, input
+    /// gradients and accumulated parameter gradients of one batched pass
+    /// must equal running the single-sample pass over the samples in
+    /// order, for every batch size — and the batched naive oracle must
+    /// agree with the batched GEMM route.
+    #[test]
+    fn batched_network_matches_sequential_bitwise() {
+        for (levels, dims, seed) in [
+            (1usize, [3usize, 5, 7], 51u64),
+            (2, [5, 4, 6], 52),
+            (3, [7, 3, 5], 53),
+        ] {
+            for &bsz in &[1usize, 4] {
+                let proto = UNet3d::new(UNetConfig {
+                    in_channels: 3,
+                    base_channels: 2,
+                    levels,
+                    seed,
+                });
+                let xs: Vec<Tensor> = (0..bsz)
+                    .map(|b| {
+                        Initializer::new(seed + 100 + b as u64)
+                            .uniform(&[3, dims[0], dims[1], dims[2]], 1.0)
+                    })
+                    .collect();
+
+                let mut seq = proto.clone();
+                let mut ws = NnWorkspace::new();
+                let mut ys = Vec::new();
+                let mut gis = Vec::new();
+                for x in &xs {
+                    let y = seq.forward_in(x, &mut ws);
+                    let g = ws.alloc_copy(&y);
+                    gis.push(seq.backward_in(g, &mut ws));
+                    ys.push(y);
+                }
+
+                let mut bat = proto.clone();
+                let mut wsb = NnWorkspace::new();
+                let x5 = Tensor::stack_batch(&xs.iter().collect::<Vec<_>>());
+                let y5 = bat.forward_batch_in(&x5, &mut wsb);
+                let g5 = wsb.alloc_copy(&y5);
+                let gi5 = bat.backward_batch_in(g5, &mut wsb);
+
+                let what = format!("levels {levels} B{bsz}");
+                for b in 0..bsz {
+                    assert_bits_eq(&y5.unstack_sample(b), &ys[b], &format!("{what} y[{b}]"));
+                    assert_bits_eq(
+                        &gi5.unstack_sample(b),
+                        &gis[b],
+                        &format!("{what} grad_in[{b}]"),
+                    );
+                }
+                for (pb, ps) in bat.params_mut().iter().zip(seq.params_mut().iter()) {
+                    assert_bits_eq(&pb.grad, &ps.grad, &format!("{what} param grad"));
+                }
+
+                let mut nv = proto.clone();
+                nv.set_naive(true);
+                let mut wsn = NnWorkspace::new();
+                let yn = nv.forward_batch_in(&x5, &mut wsn);
+                let gn = wsn.alloc_copy(&yn);
+                let gin = nv.backward_batch_in(gn, &mut wsn);
+                assert_bits_eq(&yn, &y5, &format!("{what} naive y"));
+                assert_bits_eq(&gin, &gi5, &format!("{what} naive grad_in"));
+            }
+        }
+    }
+
+    /// `predict_batch_in` per-sample bit identity with `predict_in`, plus
+    /// the occupancy counters: B columns, one flush.
+    #[test]
+    fn predict_batch_in_matches_predict_in_per_sample() {
+        let proto = tiny_net(61);
+        let xs: Vec<Tensor> = (0..3)
+            .map(|b| Initializer::new(62 + b).uniform(&[2, 5, 3, 4], 1.0))
+            .collect();
+        let mut single = proto.clone();
+        let mut ws = NnWorkspace::new();
+        let ps: Vec<Tensor> = xs.iter().map(|x| single.predict_in(x, &mut ws)).collect();
+
+        let mut bat = proto.clone();
+        let mut wsb = NnWorkspace::new();
+        let x5 = Tensor::stack_batch(&xs.iter().collect::<Vec<_>>());
+        let p5 = bat.predict_batch_in(&x5, &mut wsb);
+        assert!(
+            wsb.training(),
+            "predict_batch_in must restore training mode"
+        );
+        for (b, p) in ps.iter().enumerate() {
+            assert_bits_eq(&p5.unstack_sample(b), p, &format!("probs[{b}]"));
+        }
+        assert_eq!(wsb.counters.get(Counter::GemmBatchCols), 3);
+        assert_eq!(wsb.counters.get(Counter::BatchFlushes), 1);
+    }
+
+    /// The `&self` shared-inference path must reproduce `predict_in`
+    /// bit for bit (and leave no caches behind by construction).
+    #[test]
+    fn infer_in_matches_predict_in() {
+        let proto = tiny_net(71);
+        let mut owned = proto.clone();
+        let mut ws = NnWorkspace::new();
+        for (i, dims) in [[4, 4, 2], [5, 3, 1], [7, 2, 3]].iter().enumerate() {
+            let x = Initializer::new(72 + i as u64).uniform(&[2, dims[0], dims[1], dims[2]], 1.0);
+            let p_ref = owned.predict_in(&x, &mut ws);
+            let shared = &proto;
+            let p = shared.infer_in(&x, &mut ws);
+            assert_bits_eq(&p, &p_ref, "shared inference");
+            ws.free(p_ref);
+            ws.free(p);
         }
     }
 

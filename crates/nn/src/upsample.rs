@@ -15,6 +15,9 @@ use crate::workspace::{NnWorkspace, ProfKind};
 pub struct Upsample3d {
     target: [usize; 3],
     in_shape: Option<[usize; 4]>,
+    /// `0` after a rank-4 forward; the batch size after a batched rank-5
+    /// forward (which way to rebuild the input-gradient shape).
+    in_batch: usize,
 }
 
 impl Upsample3d {
@@ -24,6 +27,7 @@ impl Upsample3d {
         Upsample3d {
             target,
             in_shape: None,
+            in_batch: 0,
         }
     }
 
@@ -37,6 +41,74 @@ impl Upsample3d {
     #[inline]
     fn src(i: usize, in_d: usize, out_d: usize) -> usize {
         (i * in_d / out_d).min(in_d - 1)
+    }
+
+    /// Stateless upsample to `target` for the shared-selector inference
+    /// path. Works on rank-4 and (channel-major) rank-5 inputs alike.
+    pub fn infer_apply(x: &Tensor, target: [usize; 3], ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let s = x.shape();
+        let n = s.len();
+        let c_eff: usize = s[..n - 3].iter().product();
+        let [o1, o2, o3] = target;
+        // Fixed rank ≤ 5: build the output shape on the stack so the warm
+        // inference loop stays allocation-free.
+        let mut shape = [0usize; 5];
+        shape[..n].copy_from_slice(s);
+        shape[n - 3..n].copy_from_slice(&target);
+        let mut out = ws.alloc(&shape[..n]);
+        up_core(
+            x.data(),
+            c_eff,
+            [s[n - 3], s[n - 2], s[n - 1]],
+            [o1, o2, o3],
+            out.data_mut(),
+        );
+        ws.prof_end(t, ProfKind::UpFwd);
+        out
+    }
+}
+
+/// The nearest-neighbor kernel: every leading axis is an independent
+/// volume (`c` for rank-4, `c·b` channel-major for rank-5 — per-sample
+/// bit identity is structural because outputs are pure copies).
+fn up_core(xd: &[f32], c_eff: usize, din: [usize; 3], dout: [usize; 3], od: &mut [f32]) {
+    let [d1, d2, d3] = din;
+    let [o1, o2, o3] = dout;
+    for ci in 0..c_eff {
+        for x1 in 0..o1 {
+            let ix = Upsample3d::src(x1, d1, o1);
+            for y in 0..o2 {
+                let iy = Upsample3d::src(y, d2, o2);
+                let xrow = &xd[((ci * d1 + ix) * d2 + iy) * d3..][..d3];
+                let orow = &mut od[((ci * o1 + x1) * o2 + y) * o3..][..o3];
+                for (z, o) in orow.iter_mut().enumerate() {
+                    *o = xrow[Upsample3d::src(z, d3, o3)];
+                }
+            }
+        }
+    }
+}
+
+/// Backward of [`up_core`]: accumulates replicated gradients onto source
+/// cells. Output cells of one source cell are visited in the same ascending
+/// order regardless of leading-axis count, so the per-element `+=` order
+/// matches the sequential per-sample pass bit for bit.
+fn up_back_core(gd: &[f32], c_eff: usize, din: [usize; 3], dout: [usize; 3], gi: &mut [f32]) {
+    let [d1, d2, d3] = din;
+    let [o1, o2, o3] = dout;
+    for ci in 0..c_eff {
+        for x1 in 0..o1 {
+            let ix = Upsample3d::src(x1, d1, o1);
+            for y in 0..o2 {
+                let iy = Upsample3d::src(y, d2, o2);
+                let grow = &gd[((ci * o1 + x1) * o2 + y) * o3..][..o3];
+                let irow = &mut gi[((ci * d1 + ix) * d2 + iy) * d3..][..d3];
+                for (z, &g) in grow.iter().enumerate() {
+                    irow[Upsample3d::src(z, d3, o3)] += g;
+                }
+            }
+        }
     }
 }
 
@@ -59,22 +131,9 @@ impl Layer for Upsample3d {
         let (c, d1, d2, d3) = (s[0], s[1], s[2], s[3]);
         let [o1, o2, o3] = self.target;
         let mut out = ws.alloc(&[c, o1, o2, o3]);
-        let xd = x.data();
-        let od = out.data_mut();
-        for ci in 0..c {
-            for x1 in 0..o1 {
-                let ix = Self::src(x1, d1, o1);
-                for y in 0..o2 {
-                    let iy = Self::src(y, d2, o2);
-                    let xrow = &xd[((ci * d1 + ix) * d2 + iy) * d3..][..d3];
-                    let orow = &mut od[((ci * o1 + x1) * o2 + y) * o3..][..o3];
-                    for (z, o) in orow.iter_mut().enumerate() {
-                        *o = xrow[Self::src(z, d3, o3)];
-                    }
-                }
-            }
-        }
+        up_core(x.data(), c, [d1, d2, d3], self.target, out.data_mut());
         self.in_shape = Some([c, d1, d2, d3]);
+        self.in_batch = 0;
         ws.prof_end(t, ProfKind::UpFwd);
         out
     }
@@ -87,26 +146,43 @@ impl Layer for Upsample3d {
             .expect("upsample backward without forward");
         let [c, d1, d2, d3] = in_shape;
         let [o1, o2, o3] = self.target;
-        assert_eq!(grad_out.shape(), &[c, o1, o2, o3]);
-        let mut grad_in = ws.alloc(&in_shape);
-        let gd = grad_out.data();
-        let gi = grad_in.data_mut();
-        for ci in 0..c {
-            for x1 in 0..o1 {
-                let ix = Self::src(x1, d1, o1);
-                for y in 0..o2 {
-                    let iy = Self::src(y, d2, o2);
-                    let grow = &gd[((ci * o1 + x1) * o2 + y) * o3..][..o3];
-                    let irow = &mut gi[((ci * d1 + ix) * d2 + iy) * d3..][..d3];
-                    for (z, &g) in grow.iter().enumerate() {
-                        irow[Self::src(z, d3, o3)] += g;
-                    }
-                }
-            }
-        }
+        let bsz = self.in_batch;
+        let mut grad_in = if bsz == 0 {
+            assert_eq!(grad_out.shape(), &[c, o1, o2, o3]);
+            ws.alloc(&in_shape)
+        } else {
+            assert_eq!(grad_out.shape(), &[c, bsz, o1, o2, o3]);
+            ws.alloc(&[c, bsz, d1, d2, d3])
+        };
+        let c_eff = c * bsz.max(1);
+        up_back_core(
+            grad_out.data(),
+            c_eff,
+            [d1, d2, d3],
+            self.target,
+            grad_in.data_mut(),
+        );
         ws.free(grad_out);
         ws.prof_end(t, ProfKind::UpBwd);
         grad_in
+    }
+
+    fn forward_batch_in(&mut self, x: &Tensor, ws: &mut NnWorkspace) -> Tensor {
+        let t = ws.prof_start();
+        let s = x.shape();
+        assert_eq!(s.len(), 5, "upsample batch expects [c, b, d1, d2, d3]");
+        let (c, bsz, d1, d2, d3) = (s[0], s[1], s[2], s[3], s[4]);
+        let [o1, o2, o3] = self.target;
+        let mut out = ws.alloc(&[c, bsz, o1, o2, o3]);
+        up_core(x.data(), c * bsz, [d1, d2, d3], self.target, out.data_mut());
+        self.in_shape = Some([c, d1, d2, d3]);
+        self.in_batch = bsz;
+        ws.prof_end(t, ProfKind::UpFwd);
+        out
+    }
+
+    fn backward_batch_in(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        self.backward_in(grad_out, ws)
     }
 }
 

@@ -80,8 +80,10 @@ impl ProfKind {
 /// (see [`Layer`](crate::layer::Layer)).
 #[derive(Debug, Clone)]
 pub struct NnWorkspace {
-    /// Recycled tensor storage, LIFO.
-    pool: Vec<Vec<f32>>,
+    /// Recycled tensor storage, LIFO. Whole tensors are pooled (shape and
+    /// data vectors both), so a warm [`NnWorkspace::alloc`] performs zero
+    /// heap allocation — including the shape metadata.
+    pool: Vec<Tensor>,
     /// Per-tap padded-volume offsets (the K axis of the convolution's
     /// implicit patch matrix).
     pub(crate) tap_off: Vec<usize>,
@@ -135,20 +137,18 @@ impl NnWorkspace {
 
     /// Acquires a zeroed tensor of the given shape from the pool.
     pub fn alloc(&mut self, shape: &[usize]) -> Tensor {
-        let n: usize = shape.iter().product();
-        let mut data = match self.pool.pop() {
-            Some(d) => {
+        let mut t = match self.pool.pop() {
+            Some(t) => {
                 self.counters.bump(Counter::NnPoolHits);
-                d
+                t
             }
             None => {
                 self.counters.bump(Counter::NnPoolMisses);
-                Vec::new()
+                Tensor::pool_seed()
             }
         };
-        data.clear();
-        data.resize(n, 0.0);
-        Tensor::from_vec(shape, data).expect("pool tensor shape/len agree")
+        t.refit(shape);
+        t
     }
 
     /// Acquires a tensor holding a copy of `src` from the pool.
@@ -158,9 +158,10 @@ impl NnWorkspace {
         t
     }
 
-    /// Returns a tensor's storage to the pool for reuse.
+    /// Returns a tensor's storage (shape and data vectors) to the pool for
+    /// reuse.
     pub fn free(&mut self, t: Tensor) {
-        self.pool.push(t.into_data());
+        self.pool.push(t);
     }
 
     /// Whether backward caches are being recorded (`true` outside

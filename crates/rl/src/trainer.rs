@@ -15,9 +15,10 @@ use oarsmt_geom::HananGraph;
 use oarsmt_mcts::alphago::{sequential_select, AlphaGoMcts};
 use oarsmt_mcts::{CombinatorialMcts, MctsConfig};
 use oarsmt_nn::layer::Layer;
-use oarsmt_nn::loss::bce_with_logits;
+use oarsmt_nn::loss::{bce_with_logits, bce_with_logits_batch};
 use oarsmt_nn::optim::Adam;
 use oarsmt_nn::NnWorkspace;
+use oarsmt_nn::Tensor;
 use oarsmt_router::OarmstRouter;
 use oarsmt_telemetry::CounterSet;
 use rand::rngs::StdRng;
@@ -340,11 +341,14 @@ impl Trainer {
         };
         let scheme = self.scheme;
         let threads = parallel::thread_count(Some(self.config.threads));
-        // Workers search with clones of the stage's frozen selector; the
-        // caller's selector is only updated by the subsequent fit. Each
-        // worker also carries one RouteContext, reused across all of its
-        // layouts (the per-layout results are bit-identical either way).
-        let proto: NeuralSelector = selector.clone();
+        // Workers share the stage's frozen selector read-only: a
+        // `&NeuralSelector` is itself a `Selector` (the cache-free
+        // inference path, bit-identical to the owned path), so no worker
+        // clones the weight set. The caller's selector is only updated by
+        // the subsequent fit. Each worker also carries one RouteContext,
+        // reused across all of its layouts (the per-layout results are
+        // bit-identical either way).
+        let proto: &NeuralSelector = selector;
         let mut samples = Vec::new();
         let mut ratio_sum = 0.0f64;
         let mut ratio_count = 0usize;
@@ -359,7 +363,7 @@ impl Trainer {
                 self.config.layouts_per_size,
                 size_seed,
                 threads,
-                || (proto.clone(), oarsmt_router::RouteContext::new()),
+                || (proto, oarsmt_router::RouteContext::new()),
                 |(sel, ctx), _idx, layout_seed| -> LayoutSamples {
                     let graph = CaseGenerator::new(cfg.clone(), layout_seed).generate();
                     // Contexts are reused across a worker's layouts, so
@@ -422,7 +426,53 @@ impl Trainer {
     }
 
     /// Fits one batch with accumulated gradients; returns the mean loss.
-    fn fit_batch(&mut self, selector: &mut NeuralSelector, batch: &[&TrainingSample]) -> f32 {
+    ///
+    /// When every sample shares the same layout dimensions (and the batch
+    /// holds more than one sample), the batch is stacked channel-major and
+    /// driven through the network's batched forward/backward — one GEMM
+    /// with `N = B·spatial` per conv instead of `B` — which is bit-identical
+    /// to [`Trainer::fit_batch_sequential`]: same loss, same post-step
+    /// weights (see `crates/rl/tests/batch_equivalence.rs`). Mixed-size
+    /// batches fall back to the sequential path, so training trajectories
+    /// never depend on how the mixed-size schedule happens to batch.
+    pub fn fit_batch(&mut self, selector: &mut NeuralSelector, batch: &[&TrainingSample]) -> f32 {
+        let homogeneous = batch.len() > 1 && batch.windows(2).all(|w| w[0].dims() == w[1].dims());
+        if !homogeneous {
+            return self.fit_batch_sequential(selector, batch);
+        }
+        let ws = &mut self.ws;
+        let net = selector.net_mut();
+        net.zero_grad();
+        let scale = 1.0 / batch.len() as f32;
+        // Per-sample encoding is identical to the sequential path; only the
+        // stacking into the rank-5 [7, B, M, H, V] layout is new.
+        let encoded: Vec<(Tensor, Tensor, Tensor)> = batch.iter().map(|s| s.to_tensors()).collect();
+        let xs: Vec<&Tensor> = encoded.iter().map(|(x, _, _)| x).collect();
+        let x = Tensor::stack_batch(&xs);
+        let logits = net.forward_batch_in(&x, ws);
+        let targets: Vec<&Tensor> = encoded.iter().map(|(_, t, _)| t).collect();
+        let masks: Vec<&Tensor> = encoded.iter().map(|(_, _, m)| m).collect();
+        let out = bce_with_logits_batch(&logits, &targets, &masks);
+        let mut grad = out.grad;
+        grad.scale(scale);
+        let grad_in = net.backward_batch_in(grad, ws);
+        ws.free(grad_in);
+        ws.free(logits);
+        ws.free(x);
+        self.optimizer.step(net);
+        out.loss * scale
+    }
+
+    /// The reference batch fit: one forward/backward per sample, gradients
+    /// accumulated in sample order. [`Trainer::fit_batch`] must match this
+    /// bit-for-bit on homogeneous batches; it also serves as the fallback
+    /// for mixed-size batches and as the baseline arm of
+    /// `selector_batch_bench`.
+    pub fn fit_batch_sequential(
+        &mut self,
+        selector: &mut NeuralSelector,
+        batch: &[&TrainingSample],
+    ) -> f32 {
         let ws = &mut self.ws;
         let net = selector.net_mut();
         net.zero_grad();

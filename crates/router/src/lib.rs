@@ -43,7 +43,7 @@ pub mod spanning;
 pub mod sweep;
 pub mod tree;
 
-pub use context::RouteContext;
+pub use context::{EvalQueue, RouteContext};
 pub use error::RouteError;
 pub use lin18::Lin18Router;
 pub use liu14::Liu14Router;

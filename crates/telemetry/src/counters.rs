@@ -55,6 +55,12 @@ pub enum Counter {
     /// Conv3d forwards dispatched to the flat `1×1×1` fallback
     /// (`d3 < 8`, unpadded).
     GemmFlat,
+    /// Sample columns pushed through the selector network, summed over
+    /// every forward pass (a batch-`B` pass adds `B`). Divided by
+    /// [`Counter::BatchFlushes`] this is the mean batch occupancy.
+    GemmBatchCols,
+    /// Selector-network forward passes (a batch of any width counts once).
+    BatchFlushes,
     /// Multiply-accumulates in encoder level 0 (deeper levels clamp to 3).
     MacsEnc0,
     /// Multiply-accumulates in encoder level 1.
@@ -80,7 +86,7 @@ pub enum Counter {
 }
 
 /// Number of [`Counter`] variants.
-pub const NUM_COUNTERS: usize = 26;
+pub const NUM_COUNTERS: usize = 28;
 
 /// Snake-case wire names, indexed by [`Counter`] discriminant. These are
 /// the JSONL `"name"` values, so renaming one is a wire-format change.
@@ -100,6 +106,8 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "gemm_direct",
     "gemm_panel",
     "gemm_flat",
+    "gemm_batch_cols",
+    "batch_flushes",
     "macs_enc0",
     "macs_enc1",
     "macs_enc2",
@@ -165,6 +173,8 @@ pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
     Counter::GemmDirect,
     Counter::GemmPanel,
     Counter::GemmFlat,
+    Counter::GemmBatchCols,
+    Counter::BatchFlushes,
     Counter::MacsEnc0,
     Counter::MacsEnc1,
     Counter::MacsEnc2,

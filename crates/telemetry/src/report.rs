@@ -6,7 +6,7 @@
 //! counter and span by span with absolute deltas and ratios, so "what got
 //! slower between these two `BENCH_*.json` runs, and why" is one command.
 
-use crate::counters::{ALL_COUNTERS, COUNTER_NAMES};
+use crate::counters::{Counter, ALL_COUNTERS, COUNTER_NAMES};
 use crate::snapshot::TelemetrySnapshot;
 use crate::timing::{ALL_SPANS, SPAN_NAMES};
 
@@ -34,6 +34,16 @@ fn fmt_ratio(a: u64, b: u64) -> String {
     }
 }
 
+/// Mean selector batch occupancy (`gemm_batch_cols / batch_flushes`), or
+/// `None` when the snapshot recorded no network forwards.
+fn occupancy(snap: &TelemetrySnapshot) -> Option<f64> {
+    let flushes = snap.counters.get(Counter::BatchFlushes);
+    if flushes == 0 {
+        return None;
+    }
+    Some(snap.counters.get(Counter::GemmBatchCols) as f64 / flushes as f64)
+}
+
 fn manifest_line(snap: &TelemetrySnapshot) -> String {
     let m = &snap.manifest;
     format!(
@@ -58,6 +68,9 @@ pub fn render(snap: &TelemetrySnapshot) -> String {
     }
     if !any {
         out.push_str("  (all zero)\n");
+    }
+    if let Some(occ) = occupancy(snap) {
+        out.push_str(&format!("  {:<22} {:>20.2}\n", "batch_occupancy", occ));
     }
     out.push_str("\nspans:\n");
     any = false;
@@ -118,6 +131,18 @@ pub fn diff(a: &TelemetrySnapshot, b: &TelemetrySnapshot) -> String {
     if !any {
         out.push_str("  (all zero in both)\n");
     }
+    match (occupancy(a), occupancy(b)) {
+        (None, None) => {}
+        (oa, ob) => {
+            let f = |o: Option<f64>| o.map_or("-".to_string(), |v| format!("{v:.2}"));
+            out.push_str(&format!(
+                "  {:<22} {:>16} {:>16}\n",
+                "batch_occupancy",
+                f(oa),
+                f(ob)
+            ));
+        }
+    }
     out.push_str("\nspans, total ns (a -> b):\n");
     any = false;
     for (i, name) in SPAN_NAMES.iter().enumerate() {
@@ -163,6 +188,20 @@ mod tests {
             s.spans.record_ns(Span::NnConvFwd, ns);
         }
         s
+    }
+
+    #[test]
+    fn render_reports_batch_occupancy() {
+        let mut s = snap(0, 0);
+        assert!(!render(&s).contains("batch_occupancy"));
+        s.counters.add(Counter::BatchFlushes, 4);
+        s.counters.add(Counter::GemmBatchCols, 10);
+        let r = render(&s);
+        assert!(r.contains("batch_occupancy"), "{r}");
+        assert!(r.contains("2.50"), "{r}");
+        let d = diff(&snap(0, 0), &s);
+        assert!(d.contains("batch_occupancy"), "{d}");
+        assert!(d.contains("2.50"), "{d}");
     }
 
     #[test]
