@@ -20,14 +20,21 @@ cargo check -q --workspace --no-default-features
 cargo check -q -p oarsmt-telemetry --features telemetry-timing
 cargo test -q -p oarsmt-telemetry --features telemetry-timing
 
+echo "==> simd lane (AVX2+FMA kernels build, lint clean, tests pass on any host)"
+cargo clippy -q -p oarsmt-nn --all-targets --features simd -- -D warnings
+cargo test -q -p oarsmt-nn --features simd
+cargo test -q -p oarsmt --features simd batch
+cargo check -q -p oarsmt-bench --features simd
+cargo check -q -p oarsmt-repro --features simd
+
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
 echo "==> counter determinism (bit-identical totals across thread counts)"
 cargo test -q --test parallel_determinism search_counter_totals
 
-echo "==> allocation sanitizer (zero steady-state allocs on registered hot paths)"
-cargo test --release -q -p oarsmt-lint --features alloc-count --test alloc_sanitizer
+echo "==> allocation sanitizer (zero steady-state allocs on registered hot paths, both kernel lanes)"
+cargo test --release -q -p oarsmt-lint --features alloc-count,simd --test alloc_sanitizer
 
 echo "==> route-context property tests"
 cargo test -q -p oarsmt-router --test context_properties

@@ -35,7 +35,20 @@
 //! a CPU fit speedup — so the fit gate here is a no-regression floor,
 //! not the 1.3× the inference flush clears.
 //!
-//! Usage: `selector_batch_bench [--quick] [--out PATH] [--baseline PATH]`
+//! With `--simd` (requires building `-p oarsmt-bench --features simd` on
+//! an AVX2+FMA host) the *timed* arms run through the wide GEMM kernels
+//! (DESIGN.md §9 opt-out) and the artifact defaults to
+//! `BENCH_batch_simd.json`. The bit-identity sweeps stay on the scalar
+//! lane — batch-vs-single bitwise equality is a scalar-lane contract
+//! (the SIMD tiles land on different column boundaries at different
+//! batch offsets, so cross-B agreement there is tolerance-bounded, not
+//! bitwise) — and the `cs_fsp` baseline pin therefore still holds. The
+//! fit arms' per-step loss trajectories likewise only compare bitwise on
+//! the scalar lane; under `--simd` the first step (identical weights) is
+//! checked tolerance-close and the trajectories must stay finite.
+//!
+//! Usage: `selector_batch_bench [--quick] [--simd] [--out PATH]
+//! [--baseline PATH]`
 
 #![forbid(unsafe_code)]
 
@@ -48,7 +61,7 @@ use oarsmt_bench::Table;
 use oarsmt_geom::gen::{CaseGenerator, GeneratorConfig};
 use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_nn::unet::UNetConfig;
-use oarsmt_nn::NnWorkspace;
+use oarsmt_nn::{KernelPolicy, NnWorkspace};
 use oarsmt_rl::sample::TrainingSample;
 use oarsmt_rl::trainer::{Trainer, TrainerConfig};
 use oarsmt_telemetry::{Counter, CounterSet, Manifest, SpanSet, TelemetrySnapshot, TIMING_ENABLED};
@@ -200,9 +213,10 @@ struct RungResult {
     counters: CounterSet,
 }
 
-/// One rung's inference arms: bitwise equivalence sweep, then timed
-/// batched and single-sample loops through one reused workspace each.
-fn run_fwd_rung(r: &Rung, iters: usize, repeats: usize) -> RungResult {
+/// One rung's inference arms: bitwise equivalence sweep (always scalar —
+/// see the module docs), then timed batched and single-sample loops
+/// through one reused workspace on the requested kernel lane.
+fn run_fwd_rung(r: &Rung, iters: usize, repeats: usize, simd: bool) -> RungResult {
     let graph = rung_graph(r);
     let states = rung_states(&graph);
     let mut sel = selector();
@@ -232,6 +246,20 @@ fn run_fwd_rung(r: &Rung, iters: usize, repeats: usize) -> RungResult {
         if b == BATCH {
             cs_fsp = f64_sum(&batch_out).to_bits();
         }
+    }
+
+    // --- switch the timed arms to the wide kernels; the dispatch counter
+    // must prove they actually ran (a silent scalar fallback would fake
+    // SIMD-labeled numbers). ---
+    if simd {
+        ws.set_kernel_policy(KernelPolicy::Simd);
+        let simd_before = ws.counters.get(Counter::GemmKernelSimd);
+        sel.fsp_into_ws(&graph, &states[0], &mut single_out, &mut ws);
+        assert!(
+            ws.counters.get(Counter::GemmKernelSimd) > simd_before,
+            "{}: --simd given but the wide kernels never dispatched",
+            r.name
+        );
     }
 
     // --- timed arms (B = 16 per flush, best of `repeats`) ---
@@ -285,9 +313,13 @@ struct FitResult {
 }
 
 /// One rung's fit arms: both start from identical weights and Adam state,
-/// so the (bit-identical) trajectories make the timing an apples-to-apples
-/// comparison of the same computation.
-fn run_fit_rung(r: &Rung, iters: usize, repeats: usize) -> FitResult {
+/// so the (bit-identical on the scalar lane) trajectories make the timing
+/// an apples-to-apples comparison of the same computation. Under `simd`
+/// both arms run the wide kernels; the batched arm's tile boundaries then
+/// differ from the sequential arm's, so only the first step (identical
+/// weights) is compared — tolerance-close — and both trajectories are
+/// required to stay finite.
+fn run_fit_rung(r: &Rung, iters: usize, repeats: usize, simd: bool) -> FitResult {
     let samples = fit_samples(r);
     let refs: Vec<&TrainingSample> = samples.iter().collect();
     let cfg = TrainerConfig {
@@ -299,6 +331,10 @@ fn run_fit_rung(r: &Rung, iters: usize, repeats: usize) -> FitResult {
     let mut s_batch = selector();
     let mut t_seq = Trainer::new(cfg);
     let mut s_seq = selector();
+    if simd {
+        t_batch.set_kernel_policy(KernelPolicy::Simd);
+        t_seq.set_kernel_policy(KernelPolicy::Simd);
+    }
 
     // Best-of-REPEATS rounds; the two arms stay in weight lockstep, so
     // each round's loss trajectories must agree bitwise and each round
@@ -319,11 +355,30 @@ fn run_fit_rung(r: &Rung, iters: usize, repeats: usize) -> FitResult {
             .collect();
         seq_secs = seq_secs.min(t0.elapsed().as_secs_f64());
 
-        assert_eq!(
-            batch_losses, seq_losses,
-            "{}: fit_batch loss trajectory diverged from sequential",
-            r.name
-        );
+        if simd {
+            let (b0, s0) = (
+                f32::from_bits(batch_losses[0]),
+                f32::from_bits(seq_losses[0]),
+            );
+            assert!(
+                (b0 - s0).abs() <= 1e-3,
+                "{}: SIMD first-step losses diverged beyond tolerance ({b0} vs {s0})",
+                r.name
+            );
+            for &bits in batch_losses.iter().chain(&seq_losses) {
+                assert!(
+                    f32::from_bits(bits).is_finite(),
+                    "{}: non-finite loss in a SIMD fit trajectory",
+                    r.name
+                );
+            }
+        } else {
+            assert_eq!(
+                batch_losses, seq_losses,
+                "{}: fit_batch loss trajectory diverged from sequential",
+                r.name
+            );
+        }
         cs_loss = batch_losses
             .iter()
             .fold(cs_loss, |acc, &b| acc.rotate_left(7) ^ u64::from(b));
@@ -341,13 +396,25 @@ fn run_fit_rung(r: &Rung, iters: usize, repeats: usize) -> FitResult {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let simd = args.iter().any(|a| a == "--simd");
+    if simd && !oarsmt_nn::simd_available() {
+        eprintln!(
+            "error: --simd needs `cargo ... -p oarsmt-bench --features simd` and an \
+             AVX2+FMA host (refusing to record SIMD-labeled scalar numbers)"
+        );
+        std::process::exit(2);
+    }
     let arg_val = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path =
-        arg_val("--out").unwrap_or_else(|| "crates/bench/artifacts/BENCH_batch.json".to_string());
+    let default_out = if simd {
+        "crates/bench/artifacts/BENCH_batch_simd.json"
+    } else {
+        "crates/bench/artifacts/BENCH_batch.json"
+    };
+    let out_path = arg_val("--out").unwrap_or_else(|| default_out.to_string());
     let baseline_path = arg_val("--baseline")
         .unwrap_or_else(|| "crates/bench/artifacts/BENCH_batch_baseline.json".to_string());
     let baseline = Artifact::load(&baseline_path).ok();
@@ -375,7 +442,7 @@ fn main() {
 
     for r in &rungs {
         let iters = (r.flush_iters / scale).max(1);
-        let res = run_fwd_rung(r, iters, if quick { 1 } else { REPEATS });
+        let res = run_fwd_rung(r, iters, if quick { 1 } else { REPEATS }, simd);
         counters_tot.merge_from(&res.counters);
 
         // Bit-identity vs the recorded baseline, when one exists: the
@@ -420,7 +487,7 @@ fn main() {
 
         if r.fit_iters > 0 {
             let fit_iters = (r.fit_iters / scale).max(1);
-            let fit = run_fit_rung(r, fit_iters, if quick { 1 } else { REPEATS });
+            let fit = run_fit_rung(r, fit_iters, if quick { 1 } else { REPEATS }, simd);
             counters_tot.merge_from(&fit.counters);
             let fit_name = format!("fit{}", r.name);
             let base_seq = baseline.as_ref().and_then(|b| {
@@ -452,8 +519,9 @@ fn main() {
     }
 
     println!(
-        "batched selector throughput ({} mode, B = {BATCH}; speedups vs {})\n",
+        "batched selector throughput ({} mode, {} kernels, B = {BATCH}; speedups vs {})\n",
         if quick { "quick" } else { "full" },
+        if simd { "avx2+fma" } else { "scalar" },
         if baseline.is_some() {
             baseline_path.as_str()
         } else {
@@ -464,11 +532,19 @@ fn main() {
     println!();
     fit_table.print();
     println!(
-        "\nchecksums: every rung bit-identical to the single-sample path at B in {{1, 4, 16}}"
+        "\nchecksums: every rung bit-identical to the single-sample path at B in {{1, 4, 16}}{}",
+        if simd {
+            " (scalar lane; timed arms ran avx2+fma)"
+        } else {
+            ""
+        }
     );
 
     let write_artifact = |path: &str, mode: &str| {
-        let mut json = format!("{{\n  \"mode\": \"{mode}\",\n  \"rungs\": [\n");
+        let mut json = format!(
+            "{{\n  \"mode\": \"{mode}\",\n  \"kernel\": \"{}\",\n  \"rungs\": [\n",
+            if simd { "simd" } else { "scalar" }
+        );
         let total = fwd_rows.len() + fit_rows.len();
         for (i, (name, iters, res)) in fwd_rows.iter().enumerate() {
             json.push_str(&format!(
@@ -520,7 +596,7 @@ fn main() {
     };
 
     write_artifact(&out_path, "batch");
-    if baseline.is_none() && !quick {
+    if baseline.is_none() && !quick && !simd {
         // Bootstrap: record this run's single-sample arm as the baseline
         // for future comparisons (honest-comparison policy: the recorded
         // denominator predates any further batched-path tuning).

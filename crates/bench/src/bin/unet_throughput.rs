@@ -20,7 +20,16 @@
 //! 3. implicitly, across workspace reuse (the timed loops reuse one
 //!    workspace; any drift would change the artifact checksums).
 //!
-//! Usage: `unet_throughput [--quick] [--profile] [--out PATH]
+//! With `--simd` (requires building `-p oarsmt-bench --features simd` on
+//! an AVX2+FMA host) the *timed* loops run through the wide GEMM kernels
+//! (DESIGN.md §9 opt-out): the untimed checksum pass stays on the scalar
+//! lane so all three bit-identity properties above still hold and are
+//! still asserted, the SIMD forward output is checked ULP-close to the
+//! scalar one, the dispatch counter must prove the wide kernels actually
+//! ran, and the artifact defaults to `BENCH_unet_simd.json` (recorded
+//! checksums remain the scalar anchors; `kernel` names the timed lane).
+//!
+//! Usage: `unet_throughput [--quick] [--profile] [--simd] [--out PATH]
 //! [--baseline PATH]`
 
 #![forbid(unsafe_code)]
@@ -38,7 +47,7 @@ use oarsmt_nn::layer::Layer;
 use oarsmt_nn::loss::bce_with_logits;
 use oarsmt_nn::tensor::Tensor;
 use oarsmt_nn::unet::{UNet3d, UNetConfig};
-use oarsmt_nn::NnWorkspace;
+use oarsmt_nn::{KernelPolicy, NnWorkspace};
 use oarsmt_telemetry::{Counter, CounterSet, Manifest, SpanSet, TelemetrySnapshot, TIMING_ENABLED};
 
 /// One rung of the size ladder.
@@ -189,9 +198,10 @@ fn checksum_pass(net: &mut UNet3d, x: &Tensor, targets: &Tensor, mask: &Tensor) 
     }
 }
 
-/// Runs one rung: oracle + checksum passes first (untimed), then timing
-/// loops through one reused workspace.
-fn run_rung(r: &Rung, profile: bool) -> RungResult {
+/// Runs one rung: oracle + checksum passes first (untimed, always on the
+/// scalar lane — the bit-identity contract lives there), then timing
+/// loops through one reused workspace on the requested kernel lane.
+fn run_rung(r: &Rung, profile: bool, simd: bool) -> RungResult {
     let (_graph, x, targets, mask) = rung_inputs(r);
     let mut net = net();
     let mut ws = NnWorkspace::new();
@@ -199,6 +209,7 @@ fn run_rung(r: &Rung, profile: bool) -> RungResult {
     // --- checksum pass through the GEMM + workspace path ---
     let probs = net.predict_in(&x, &mut ws);
     let cs_predict = f64_sum(probs.data()).to_bits();
+    let scalar_probs: Vec<f32> = probs.data().to_vec();
     ws.free(probs);
     net.zero_grad();
     let logits = net.forward_in(&x, &mut ws);
@@ -229,6 +240,34 @@ fn run_rung(r: &Rung, profile: bool) -> RungResult {
         "{}: GEMM path diverged from naive reference convolutions",
         r.name
     );
+
+    // --- switch the timed loops to the wide kernels, with two checks:
+    // the forward output must stay within the DESIGN.md §9 tolerance of
+    // the scalar lane, and the dispatch counter must prove the SIMD
+    // kernels actually ran (a silent scalar fallback would fake numbers).
+    if simd {
+        ws.set_kernel_policy(KernelPolicy::Simd);
+        let simd_before = ws.counters.get(Counter::GemmKernelSimd);
+        let p = net.predict_in(&x, &mut ws);
+        let ulp = oarsmt_nn::kernels::max_ulp_distance(p.data(), &scalar_probs);
+        let close = p
+            .data()
+            .iter()
+            .zip(&scalar_probs)
+            .all(|(&a, &b)| oarsmt_nn::kernels::close_enough(a, b));
+        assert!(
+            close,
+            "{}: SIMD forward outside the ULP contract (max {ulp} ULPs)",
+            r.name
+        );
+        ws.free(p);
+        assert!(
+            ws.counters.get(Counter::GemmKernelSimd) > simd_before,
+            "{}: --simd given but the wide kernels never dispatched",
+            r.name
+        );
+    }
+    drop(scalar_probs);
 
     if profile {
         ws.enable_profiling();
@@ -287,13 +326,25 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let profile = args.iter().any(|a| a == "--profile");
+    let simd = args.iter().any(|a| a == "--simd");
+    if simd && !oarsmt_nn::simd_available() {
+        eprintln!(
+            "error: --simd needs `cargo ... -p oarsmt-bench --features simd` and an \
+             AVX2+FMA host (refusing to record SIMD-labeled scalar numbers)"
+        );
+        std::process::exit(2);
+    }
     let arg_val = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
-    let out_path =
-        arg_val("--out").unwrap_or_else(|| "crates/bench/artifacts/BENCH_unet.json".to_string());
+    let default_out = if simd {
+        "crates/bench/artifacts/BENCH_unet_simd.json"
+    } else {
+        "crates/bench/artifacts/BENCH_unet.json"
+    };
+    let out_path = arg_val("--out").unwrap_or_else(|| default_out.to_string());
     let baseline_path = arg_val("--baseline")
         .unwrap_or_else(|| "crates/bench/artifacts/BENCH_unet_baseline.json".to_string());
     let baseline = Artifact::load(&baseline_path)
@@ -326,7 +377,7 @@ fn main() {
             train_iters: (r.train_iters / scale).max(1),
             ..**r
         };
-        let res = run_rung(&scaled, profile);
+        let res = run_rung(&scaled, profile, simd);
         let base_line = baseline
             .rung(r.name)
             .unwrap_or_else(|| panic!("{}: missing from {baseline_path}", r.name));
@@ -360,8 +411,9 @@ fn main() {
     }
 
     println!(
-        "unet selector throughput ({} mode; speedups vs {})\n",
+        "unet selector throughput ({} mode, {} kernels; speedups vs {})\n",
         if quick { "quick" } else { "full" },
+        if simd { "avx2+fma" } else { "scalar" },
         baseline_path
     );
     table.print();
@@ -382,7 +434,16 @@ fn main() {
             );
         }
     }
-    println!("checksums: all rungs bit-identical to naive reference and recorded baseline");
+    if simd {
+        println!(
+            "checksums: scalar lane bit-identical to naive reference and recorded \
+             baseline; SIMD forward within {} ULPs / {} abs of scalar on every rung",
+            oarsmt_nn::kernels::MAX_ULP,
+            oarsmt_nn::kernels::ABS_TOL
+        );
+    } else {
+        println!("checksums: all rungs bit-identical to naive reference and recorded baseline");
+    }
 
     if profile {
         let total: f64 = spans_tot.iter().map(|(_, h)| h.total_ns as f64 / 1e9).sum();
@@ -405,10 +466,13 @@ fn main() {
         pt.print();
     }
 
-    let mut json = String::from("{\n  \"mode\": \"gemm-workspace\",\n  \"rungs\": [\n");
+    let mut json = format!(
+        "{{\n  \"mode\": \"gemm-workspace\",\n  \"kernel\": \"{}\",\n  \"rungs\": [\n",
+        if simd { "simd" } else { "scalar" }
+    );
     for (i, (name, scaled, res, fwd_per_s, train_per_s)) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"fwd_iters\": {}, \"fwd_secs\": {:.6}, \"fwd_per_s\": {:.3}, \"train_iters\": {}, \"train_secs\": {:.6}, \"train_per_s\": {:.3}, \"gemm_direct\": {}, \"gemm_panel\": {}, \"gemm_flat\": {}, \"macs\": {}, \"cs_predict\": \"{:016x}\", \"cs_logits\": \"{:016x}\", \"cs_grad_in\": \"{:016x}\", \"cs_param_grads\": \"{:016x}\"}}{}\n",
+            "    {{\"name\": \"{}\", \"fwd_iters\": {}, \"fwd_secs\": {:.6}, \"fwd_per_s\": {:.3}, \"train_iters\": {}, \"train_secs\": {:.6}, \"train_per_s\": {:.3}, \"gemm_direct\": {}, \"gemm_panel\": {}, \"gemm_flat\": {}, \"gemm_simd\": {}, \"macs\": {}, \"cs_predict\": \"{:016x}\", \"cs_logits\": \"{:016x}\", \"cs_grad_in\": \"{:016x}\", \"cs_param_grads\": \"{:016x}\"}}{}\n",
             name,
             scaled.fwd_iters,
             res.fwd_secs,
@@ -419,6 +483,7 @@ fn main() {
             res.counters.get(Counter::GemmDirect),
             res.counters.get(Counter::GemmPanel),
             res.counters.get(Counter::GemmFlat),
+            res.counters.get(Counter::GemmKernelSimd),
             res.counters.total_macs(),
             res.cs.predict,
             res.cs.logits,

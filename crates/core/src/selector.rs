@@ -261,24 +261,50 @@ impl Selector for NeuralSelector {
             ws.free(x);
             return;
         }
-        // True batch: one channel-major [7, B, M, H, V] encode, one network
-        // pass (GEMM N = B·spatial), per-state reorder of the contiguous
-        // [1, B, M, H, V] probability blocks.
-        let x = encode_features_batch_into(graph, pts, lens, ws);
-        let probs = self.net.predict_batch_in(&x, ws);
+        // True batch: channel-major [7, B, M, H, V] encodes, one network
+        // pass per chunk (GEMM N = B·spatial), per-state reorder of the
+        // contiguous [1, B, M, H, V] probability blocks. Large flushes are
+        // chunked so each pass's working set stays cache-resident (see
+        // `FLUSH_CHUNK_VOXELS`); every state's arithmetic is independent of
+        // its batch-mates, so the chunk boundary never changes a bit of
+        // output — only which GEMM panel a state's columns land in.
         let spatial = graph.len();
+        let max_chunk = (FLUSH_CHUNK_VOXELS / spatial).max(1);
         out.clear();
-        for b in 0..lens.len() {
-            crate::features::to_graph_order_append(
-                &probs.data()[b * spatial..(b + 1) * spatial],
-                graph,
-                out,
-            );
+        let mut p0 = 0;
+        let mut b0 = 0;
+        while b0 < lens.len() {
+            let b1 = (b0 + max_chunk).min(lens.len());
+            let npts: usize = lens[b0..b1].iter().map(|&l| l as usize).sum();
+            let x = encode_features_batch_into(graph, &pts[p0..p0 + npts], &lens[b0..b1], ws);
+            let probs = self.net.predict_batch_in(&x, ws);
+            for b in 0..b1 - b0 {
+                crate::features::to_graph_order_append(
+                    &probs.data()[b * spatial..(b + 1) * spatial],
+                    graph,
+                    out,
+                );
+            }
+            ws.free(probs);
+            ws.free(x);
+            p0 += npts;
+            b0 = b1;
         }
-        ws.free(probs);
-        ws.free(x);
     }
 }
+
+/// Ceiling on `B_chunk · spatial` — the voxel count one batched selector
+/// flush feeds the network at once. Above it, `fsp_batch_into_ws` splits
+/// the flush into chunks: at the large rungs a full 16-state batch's
+/// activations (tens of floats live per voxel across the U-Net levels)
+/// overflow the last-level cache and the batched GEMM starts streaming
+/// from memory, so capping the per-pass working set beats maximal GEMM
+/// width (measured at S48, B = 16 — see EXPERIMENTS.md). Chunking is
+/// invisible in the output: states are arithmetically independent, so
+/// every block stays bit-identical to the single-state path at any chunk
+/// size. The telemetry occupancy metric (`gemm_batch_cols` per
+/// `batch_flushes`) makes the chunk width observable per run.
+const FLUSH_CHUNK_VOXELS: usize = 32 * 1024;
 
 /// Shared-reference inference: a `&NeuralSelector` is itself a selector,
 /// running the cache-free `&self` network path

@@ -31,7 +31,10 @@ use std::path::{Path, PathBuf};
 
 use config::Config;
 use report::{keyed, Report};
-use rules::{check_file, has_forbid_unsafe, has_unsafe, hash_returning_fns, FileAnalysis, Finding};
+use rules::{
+    check_file, has_forbid_unsafe, has_gated_forbid_unsafe, has_unsafe, hash_returning_fns,
+    FileAnalysis, Finding,
+};
 
 /// Directory names never descended into.
 const SKIP_DIRS: [&str; 4] = ["target", ".git", "fixtures", ".claude"];
@@ -83,12 +86,22 @@ pub fn analyze_tree(root: &Path) -> std::io::Result<Vec<FileAnalysis>> {
     Ok(files)
 }
 
-/// The D4 package pass: every package (a directory holding `Cargo.toml`
-/// and `src/`) whose `src/` tree is unsafe-free must declare
-/// `#![forbid(unsafe_code)]` in each crate/binary root (`src/lib.rs`,
-/// `src/main.rs`, `src/bin/*.rs`). Integration tests and benches are
-/// separate crates and intentionally out of scope (the alloc sanitizer
-/// itself needs `unsafe` for its `GlobalAlloc`).
+/// The D4 package pass over every package (a directory holding
+/// `Cargo.toml` and `src/`):
+///
+/// * unsafe-free packages must declare `#![forbid(unsafe_code)]` in each
+///   crate/binary root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`) —
+///   rule `D4-forbid`;
+/// * packages whose `src/` tree *does* contain `unsafe` must still gate
+///   it: each crate/binary root needs either the plain forbid or the
+///   feature-gated form
+///   `#![cfg_attr(not(feature = "…"), forbid(unsafe_code))]`, so the
+///   default build stays unsafe-free and the opt-in lane keeps per-site
+///   `// SAFETY:` duty under `D4-safety` — rule `D4-gate`.
+///
+/// Integration tests and benches are separate crates and intentionally
+/// out of scope (the alloc sanitizer itself needs `unsafe` for its
+/// `GlobalAlloc`).
 pub fn check_forbid_unsafe(root: &Path, files: &[FileAnalysis], findings: &mut Vec<Finding>) {
     let mut pkg_dirs: Vec<String> = Vec::new();
     collect_packages(root, root, &mut pkg_dirs);
@@ -103,24 +116,42 @@ pub fn check_forbid_unsafe(root: &Path, files: &[FileAnalysis], findings: &mut V
             .iter()
             .filter(|f| f.path.starts_with(&prefix))
             .collect();
-        if src_files.is_empty() || src_files.iter().any(|f| has_unsafe(f)) {
-            continue; // packages with real unsafe justify it per-site (D4-safety)
+        if src_files.is_empty() {
+            continue;
         }
+        let pkg_has_unsafe = src_files.iter().any(|f| has_unsafe(f));
         for f in &src_files {
             let is_root = f.path == format!("{prefix}lib.rs")
                 || f.path == format!("{prefix}main.rs")
                 || (f.path.starts_with(&format!("{prefix}bin/"))
                     && f.path.matches('/').count() == prefix.matches('/').count() + 1);
-            if is_root && !has_forbid_unsafe(f) {
+            if !is_root {
+                continue;
+            }
+            let ident = if pkg.is_empty() {
+                "workspace-root".to_string()
+            } else {
+                pkg.rsplit('/').next().unwrap_or(&pkg).to_string()
+            };
+            if pkg_has_unsafe {
+                if !has_forbid_unsafe(f) && !has_gated_forbid_unsafe(f) {
+                    findings.push(Finding {
+                        rule: "D4-gate",
+                        path: f.path.clone(),
+                        line: 1,
+                        ident,
+                        message: "package uses `unsafe`; this crate/binary root must gate it \
+                                  behind an opt-in feature with `#![cfg_attr(not(feature = \
+                                  \"…\"), forbid(unsafe_code))]` (or forbid it outright)"
+                            .to_string(),
+                    });
+                }
+            } else if !has_forbid_unsafe(f) {
                 findings.push(Finding {
                     rule: "D4-forbid",
                     path: f.path.clone(),
                     line: 1,
-                    ident: if pkg.is_empty() {
-                        "workspace-root".to_string()
-                    } else {
-                        pkg.rsplit('/').next().unwrap_or(&pkg).to_string()
-                    },
+                    ident,
                     message: "unsafe-free package must declare `#![forbid(unsafe_code)]` in \
                               this crate/binary root"
                         .to_string(),

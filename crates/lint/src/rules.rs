@@ -26,7 +26,8 @@ use crate::lexer::{lex, LexedFile, Marker, MarkerKind, Token, TokenKind};
 #[derive(Debug, Clone)]
 pub struct Finding {
     /// Stable rule identifier (`D1-hash-iter`, `D1-timing`, `D2-alloc`,
-    /// `D2-missing`, `D3-wrapper`, `D4-safety`, `D4-forbid`, `marker`).
+    /// `D2-missing`, `D3-wrapper`, `D4-safety`, `D4-forbid`, `D4-gate`,
+    /// `marker`).
     pub rule: &'static str,
     /// Repo-relative path with forward slashes.
     pub path: String,
@@ -702,6 +703,43 @@ pub fn has_forbid_unsafe(f: &FileAnalysis) -> bool {
     })
 }
 
+/// Whether a crate/binary root declares a *feature-gated* forbid:
+/// `#![cfg_attr(not(feature = "…"), forbid(unsafe_code))]`. This is the
+/// sanctioned shape for a crate whose `unsafe` is confined to an opt-in
+/// feature (e.g. `oarsmt-nn`'s `simd` kernels): the default build still
+/// forbids `unsafe_code` outright, and the feature build keeps per-site
+/// `// SAFETY:` duty under D4-safety. The scan is token-order based
+/// (inner `cfg_attr` attribute containing `not`, `feature`, `forbid`,
+/// `unsafe_code` in sequence), so formatting does not matter.
+pub fn has_gated_forbid_unsafe(f: &FileAnalysis) -> bool {
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len().saturating_sub(4) {
+        if !(toks[i].is_punct('#')
+            && toks[i + 1].is_punct('!')
+            && toks[i + 2].is_punct('[')
+            && toks[i + 3].is_ident("cfg_attr"))
+        {
+            continue;
+        }
+        let Some(close) = matching(toks, i + 2, '[', ']') else {
+            continue;
+        };
+        let mut want = ["not", "feature", "forbid", "unsafe_code"].iter();
+        let mut next = want.next();
+        for t in &toks[i + 4..close] {
+            if let Some(&w) = next {
+                if t.is_ident(w) {
+                    next = want.next();
+                }
+            }
+        }
+        if next.is_none() {
+            return true;
+        }
+    }
+    false
+}
+
 /// Whether a file contains any `unsafe` token.
 pub fn has_unsafe(f: &FileAnalysis) -> bool {
     f.lexed.tokens.iter().any(|t| t.is_ident("unsafe"))
@@ -903,5 +941,28 @@ mod tests {
             "//! docs\n#![forbid(unsafe_code)]\nfn f() {}"
         )));
         assert!(!has_forbid_unsafe(&FileAnalysis::new("x", "fn f() {}")));
+    }
+
+    #[test]
+    fn gated_forbid_attribute_is_detected() {
+        assert!(has_gated_forbid_unsafe(&FileAnalysis::new(
+            "x",
+            "//! docs\n#![cfg_attr(not(feature = \"simd\"), forbid(unsafe_code))]\nfn f() {}"
+        )));
+        // Outer attribute on an item is not a crate-root gate.
+        assert!(!has_gated_forbid_unsafe(&FileAnalysis::new(
+            "x",
+            "#[cfg_attr(not(feature = \"simd\"), forbid(unsafe_code))]\nfn f() {}"
+        )));
+        // A cfg_attr that gates something else does not count.
+        assert!(!has_gated_forbid_unsafe(&FileAnalysis::new(
+            "x",
+            "#![cfg_attr(not(feature = \"simd\"), deny(missing_docs))]\nfn f() {}"
+        )));
+        // Plain forbid is the other sanctioned shape, not this one.
+        assert!(!has_gated_forbid_unsafe(&FileAnalysis::new(
+            "x",
+            "#![forbid(unsafe_code)]\nfn f() {}"
+        )));
     }
 }

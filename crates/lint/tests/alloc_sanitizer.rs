@@ -217,6 +217,39 @@ fn hot_paths_are_allocation_free_in_steady_state() {
         "batch-flush counters did not advance during the zero-alloc flushes"
     );
 
+    // --- the AVX2+FMA kernel lane (feature `simd`) allocates nothing
+    // either: the wide microkernels write through the same pooled buffers
+    // as the scalar path. Skipped silently on non-AVX2 hosts, where the
+    // policy resolves back to scalar (already covered above). ---
+    #[cfg(feature = "simd")]
+    if oarsmt_nn::simd_available() {
+        let mut simd_ws = NnWorkspace::new();
+        simd_ws.set_kernel_policy(oarsmt_nn::KernelPolicy::Simd);
+        let mut warm_simd = 0.0f32;
+        for _ in 0..3 {
+            neural.fsp_batch_into_ws(&g, &pts, &lens, &mut batch_out, &mut simd_ws);
+            warm_simd = batch_out.iter().sum();
+        }
+        let simd_before = simd_ws.counters.get(Counter::GemmKernelSimd);
+        let (n, steady_simd) = allocs_during(|| {
+            let mut sum = 0.0f32;
+            for _ in 0..8 {
+                neural.fsp_batch_into_ws(&g, &pts, &lens, &mut batch_out, &mut simd_ws);
+                sum = batch_out.iter().sum();
+            }
+            sum
+        });
+        assert_eq!(
+            n, 0,
+            "SIMD fsp_batch_into_ws allocated {n} times in steady state"
+        );
+        assert_eq!(steady_simd, warm_simd, "steady-state SIMD result drifted");
+        assert!(
+            simd_ws.counters.get(Counter::GemmKernelSimd) > simd_before,
+            "SIMD dispatch counter did not advance: the lane ran scalar"
+        );
+    }
+
     // --- search_in: identical runs must cost an identical (small) number
     // of allocations — the SearchOutcome's owned vectors and nothing that
     // grows run over run. ---

@@ -1,7 +1,9 @@
 //! Fixture crate root. This crate *uses* `unsafe` (see `unsafety`), so
-//! D4-forbid demands nothing here — the unsafe-free `clean` package next
-//! door is the one that must carry `#![forbid(unsafe_code)]` (and
-//! deliberately does not).
+//! D4-gate demands a feature-gated forbid here —
+//! `#![cfg_attr(not(feature = "…"), forbid(unsafe_code))]` — and this
+//! root deliberately omits it (the `gated` package next door is the
+//! clean counterpart). The unsafe-free `clean` package is likewise the
+//! deliberate D4-forbid violation.
 
 pub mod determinism;
 pub mod hot;

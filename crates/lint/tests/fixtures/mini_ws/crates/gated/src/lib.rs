@@ -1,0 +1,20 @@
+//! Clean counterpart of D4-gate: this crate confines its `unsafe` to the
+//! opt-in `wide` feature and gates the default build back to
+//! unsafe-free, so the package produces no findings.
+
+#![cfg_attr(not(feature = "wide"), forbid(unsafe_code))]
+
+/// Safe default-build implementation.
+pub fn first(xs: &[u32]) -> u32 {
+    xs[0]
+}
+
+/// CLEAN: feature-gated `unsafe` with a per-site justification, as
+/// D4-safety requires.
+#[cfg(feature = "wide")]
+pub fn first_unchecked(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // SAFETY: the assert above guarantees at least one element, so the
+    // pointer read is in bounds.
+    unsafe { *xs.as_ptr() }
+}

@@ -24,7 +24,7 @@ fn mini_cfg() -> config::Config {
 /// per deliberate violation; every clean counterpart must stay silent.
 /// Order follows the report sort: (path, line, rule, ident), with
 /// file-level findings (D2-missing, D4-forbid) anchored at line 0.
-const EXPECTED_KEYS: [&str; 11] = [
+const EXPECTED_KEYS: [&str; 12] = [
     "D4-forbid|crates/clean/src/lib.rs|clean|0",
     "D1-hash-iter|crates/det/src/determinism.rs|m|0",
     "D1-hash-iter|crates/det/src/determinism.rs|s|0",
@@ -33,6 +33,7 @@ const EXPECTED_KEYS: [&str; 11] = [
     "D2-alloc|crates/det/src/hot.rs|hot_in|0",
     "D2-alloc|crates/det/src/hot.rs|hot_in|1",
     "D2-alloc|crates/det/src/hot.rs|hot_in|2",
+    "D4-gate|crates/det/src/lib.rs|det|0",
     "D1-timing|crates/det/src/telemetry.rs|Instant|0",
     "D4-safety|crates/det/src/unsafety.rs|unsafe|0",
     "D3-wrapper|crates/det/src/wrappers.rs|route|0",

@@ -17,7 +17,7 @@
 //!
 //! Every kernel in this module preserves the *per-output-element*
 //! accumulation order of the naive seven-loop implementation (kept below as
-//! the [`cfg`-gated reference oracle](Conv3d::set_naive)):
+//! the `cfg`-gated reference oracle, `Conv3d::set_naive`):
 //!
 //! * forward: bias first, then taps in `(ic, a, b, c)` ascending order;
 //! * weight grad: for each element, one *fresh* z-ascending dot per output
@@ -38,20 +38,11 @@
 //! unchanged by this lowering.
 
 use crate::init::Initializer;
+use crate::kernels::{self, ICT, MR, NR, WL};
 use crate::layer::{Layer, Param};
 use crate::tensor::Tensor;
 use crate::workspace::{NnWorkspace, ProfKind};
 use oarsmt_telemetry::Counter;
-
-/// Micro-kernel rows (output channels per forward register tile).
-const MR: usize = 4;
-/// Micro-kernel columns (z lanes per register tile).
-const NR: usize = 8;
-/// Output-channel lanes of the weight-gradient kernel.
-const WL: usize = 8;
-/// Input-channel lanes of the input-gradient gather (share each padded
-/// gradient-row read across `ICT` register accumulator rows).
-const ICT: usize = 4;
 /// Target im2col panel width in columns for the small-`d3` forward path
 /// (panels are whole output rows, so the actual width is the nearest
 /// multiple of `d3`). Keeps the patch panel cache-resident.
@@ -180,6 +171,10 @@ impl Conv3d {
         let k = self.k;
         let p = k / 2;
         let (pd1, pd2, pd3) = (d1 + 2 * p, d2 + 2 * p, d3 + 2 * p);
+        let simd = ws.simd_active();
+        if simd {
+            ws.counters.bump(Counter::GemmKernelSimd);
+        }
         let mut out = ws.alloc(&[self.out_c, d1, d2, d3]);
         let w = self.weight.value.data();
         let bias = self.bias.value.data();
@@ -202,6 +197,7 @@ impl Conv3d {
                     out.data_mut(),
                     d1 * d2 * d3,
                     0,
+                    simd,
                 );
             } else {
                 // 1×1×1 on a shallow grid: the patch matrix is the input
@@ -220,6 +216,7 @@ impl Conv3d {
                     out.data_mut(),
                     n,
                     0,
+                    simd,
                 );
             }
             let cache = want_cache.then(|| ws.alloc_copy(x));
@@ -243,6 +240,7 @@ impl Conv3d {
                     out.data_mut(),
                     d1 * d2 * d3,
                     0,
+                    simd,
                 );
             } else {
                 // Shallow grids (the pooled U-Net levels): materialize the
@@ -262,6 +260,7 @@ impl Conv3d {
                     im2col_from_padded(
                         xp.data(),
                         &off,
+                        k,
                         d2,
                         d3,
                         pd2,
@@ -283,6 +282,7 @@ impl Conv3d {
                         out.data_mut(),
                         n,
                         r0 * d3,
+                        simd,
                     );
                     r0 = r1;
                 }
@@ -377,6 +377,10 @@ impl Conv3d {
 
         let w = self.weight.value.data();
         let bias = self.bias.value.data();
+        let simd = ws.simd_active();
+        if simd {
+            ws.counters.bump(Counter::GemmKernelSimd);
+        }
         if p == 0 {
             // 1×1×1: the batched input *is* the patch matrix with flat
             // `[B·n]` columns — one GEMM serves the whole batch. Per-element
@@ -395,6 +399,7 @@ impl Conv3d {
                 out.data_mut(),
                 n,
                 0,
+                simd,
             );
             self.cache_input = ws.training().then(|| self.build_xp5(x, 0, ws));
         } else {
@@ -424,6 +429,7 @@ impl Conv3d {
                         out.data_mut(),
                         n,
                         b * spatial,
+                        simd,
                     );
                 }
             } else {
@@ -457,6 +463,7 @@ impl Conv3d {
                         im2col_from_padded(
                             xpb,
                             &off,
+                            k,
                             d2,
                             d3,
                             pd2,
@@ -480,6 +487,7 @@ impl Conv3d {
                         out.data_mut(),
                         n,
                         r0g * d3,
+                        simd,
                     );
                     r0g = r1g;
                 }
@@ -546,6 +554,10 @@ impl Conv3d {
 
         let g = grad_out.data();
         let n = bsz * spatial;
+        let simd = ws.simd_active();
+        if simd {
+            ws.counters.bump(Counter::GemmKernelSimd);
+        }
 
         // Bias gradient: per element `gb[oc]`, fresh z-ascending row sums
         // added samples-ascending then rows-ascending — the sequential
@@ -574,7 +586,7 @@ impl Conv3d {
             for b in 0..bsz {
                 let gtb = &gt[b * spatial * self.out_c..][..spatial * self.out_c];
                 let xpb = &xc.data()[b * self.in_c * pvol..][..self.in_c * pvol];
-                weight_grad(gtb, self.out_c, xpb, &off, d2, d3, rows, pd2, pd3, gw);
+                weight_grad(gtb, self.out_c, xpb, &off, d2, d3, rows, pd2, pd3, gw, simd);
             }
         }
         ws.tap_off = off;
@@ -618,6 +630,7 @@ impl Conv3d {
                 grad_in.data_mut(),
                 n,
                 b * spatial,
+                simd,
             );
         }
         ws.g_pad = gpad;
@@ -655,6 +668,10 @@ impl Conv3d {
         let n = d1 * d2 * d3;
         let rows = d1 * d2;
         let (pd1, pd2, pd3) = (d1 + 2 * p, d2 + 2 * p, d3 + 2 * p);
+        let simd = ws.simd_active();
+        if simd {
+            ws.counters.bump(Counter::GemmKernelSimd);
+        }
         let g = grad_out.data();
 
         // Bias gradient: identical row-sum loop to the naive path.
@@ -677,7 +694,19 @@ impl Conv3d {
         tap_offsets(self.in_c, k, pd1, pd2, pd3, &mut off);
         {
             let gw = self.weight.grad.data_mut();
-            weight_grad(&gt, self.out_c, xc.data(), &off, d2, d3, rows, pd2, pd3, gw);
+            weight_grad(
+                &gt,
+                self.out_c,
+                xc.data(),
+                &off,
+                d2,
+                d3,
+                rows,
+                pd2,
+                pd3,
+                gw,
+                simd,
+            );
         }
         ws.tap_off = off;
         ws.g_t = gt;
@@ -703,6 +732,7 @@ impl Conv3d {
                 grad_in.data_mut(),
                 n,
                 0,
+                simd,
             );
         } else {
             let mut gpad = std::mem::take(&mut ws.g_pad);
@@ -733,6 +763,7 @@ impl Conv3d {
                 grad_in.data_mut(),
                 n,
                 0,
+                simd,
             );
             ws.g_pad = gpad;
         }
@@ -931,10 +962,19 @@ fn tap_offsets(in_c: usize, k: usize, pd1: usize, pd2: usize, pd3: usize, off: &
 /// the extraction is pure row copies through the tap-offset table. `col0`
 /// lets the batched path assemble one panel from several samples' padded
 /// volumes; the single-sample path passes `0`.
+///
+/// Taps come in `(ic, a, b)` groups of `k` consecutive z offsets
+/// (`off[g + c] == off[g] + c`), so one padded row segment of
+/// `d3 + k − 1` floats serves all `k` tap rows of a group: read it once
+/// and write the `k` shifted copies together, instead of re-reading the
+/// row per tap. The copies are explicit element loops — this path only
+/// runs for `d3 <` [`NR`], where segments are short enough that a
+/// `memcpy` call would cost more than the moves.
 #[allow(clippy::too_many_arguments)]
 fn im2col_from_padded(
     xp: &[f32],
     off: &[usize],
+    k: usize,
     d2: usize,
     d3: usize,
     pd2: usize,
@@ -945,20 +985,107 @@ fn im2col_from_padded(
     cols: usize,
     col0: usize,
 ) {
-    for (kx, &o) in off.iter().enumerate() {
-        let krow = &mut bbuf[kx * cols..(kx + 1) * cols];
-        for r in r0..r1 {
-            let src = o + ((r / d2) * pd2 + r % d2) * pd3;
-            let dst = col0 + (r - r0) * d3;
-            krow[dst..dst + d3].copy_from_slice(&xp[src..src + d3]);
+    debug_assert_eq!(off.len() % k, 0);
+    let mut g = 0;
+    while g < off.len() {
+        let base = off[g];
+        debug_assert_eq!(off[g + k - 1], base + k - 1);
+        // Const-specialize the pooled U-Net geometries (`k = 3`,
+        // `d3 ∈ {2, 3}`) so the per-row copies fully unroll; the third
+        // const is `d3 + k − 1` spelled out (const generics cannot be
+        // computed at the call site).
+        match (k, d3) {
+            (3, 2) => im2col_group::<3, 2, 4>(xp, base, d2, pd2, pd3, r0, r1, bbuf, cols, col0, g),
+            (3, 3) => im2col_group::<3, 3, 5>(xp, base, d2, pd2, pd3, r0, r1, bbuf, cols, col0, g),
+            _ => im2col_group_any(xp, base, k, d2, d3, pd2, pd3, r0, r1, bbuf, cols, col0, g),
+        }
+        g += k;
+    }
+}
+
+/// One `(ic, a, b)` tap group of the im2col fill, `K` and `D3` known at
+/// compile time (`SEG = D3 + K − 1` is the padded row-segment length).
+/// Row coordinates advance incrementally — no division in the row loop.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn im2col_group<const K: usize, const D3: usize, const SEG: usize>(
+    xp: &[f32],
+    base: usize,
+    d2: usize,
+    pd2: usize,
+    pd3: usize,
+    r0: usize,
+    r1: usize,
+    bbuf: &mut [f32],
+    cols: usize,
+    col0: usize,
+    g: usize,
+) {
+    debug_assert_eq!(SEG, D3 + K - 1);
+    let (mut x, mut y) = (r0 / d2, r0 % d2);
+    let mut dst = col0;
+    for _ in r0..r1 {
+        let src = base + (x * pd2 + y) * pd3;
+        let seg: &[f32; SEG] = xp[src..src + SEG].try_into().expect("segment length");
+        for c in 0..K {
+            let o0 = (g + c) * cols + dst;
+            bbuf[o0..o0 + D3].copy_from_slice(&seg[c..c + D3]);
+        }
+        dst += D3;
+        y += 1;
+        if y == d2 {
+            y = 0;
+            x += 1;
+        }
+    }
+}
+
+/// Runtime-size fallback of [`im2col_group`] for geometries outside the
+/// specialized set.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn im2col_group_any(
+    xp: &[f32],
+    base: usize,
+    k: usize,
+    d2: usize,
+    d3: usize,
+    pd2: usize,
+    pd3: usize,
+    r0: usize,
+    r1: usize,
+    bbuf: &mut [f32],
+    cols: usize,
+    col0: usize,
+    g: usize,
+) {
+    let (mut x, mut y) = (r0 / d2, r0 % d2);
+    let mut dst = col0;
+    for _ in r0..r1 {
+        let src = base + (x * pd2 + y) * pd3;
+        let seg = &xp[src..src + d3 + k - 1];
+        for c in 0..k {
+            let o0 = (g + c) * cols + dst;
+            let krow = &mut bbuf[o0..o0 + d3];
+            for (o, &v) in krow.iter_mut().zip(&seg[c..c + d3]) {
+                *o = v;
+            }
+        }
+        dst += d3;
+        y += 1;
+        if y == d2 {
+            y = 0;
+            x += 1;
         }
     }
 }
 
 /// `out[i][col0 + j] = bias[i] + Σ_k a[i][k] · b[k][j]` for `i < m`,
 /// `j < n`, with the K loop strictly ascending per output element.
-/// Register-blocked [`MR`]×[`NR`] tiles; edges fall back to scalar columns
-/// (same per-element order either way).
+/// Dispatched whole through [`kernels::gemm_bias`]: the scalar lane walks
+/// [`MR`]×[`NR`] register tiles (the bit-identity layout), the AVX2 lane
+/// walks wider column-major panels with the same per-element accumulation
+/// order.
 #[allow(clippy::too_many_arguments)]
 fn gemm_bias(
     m: usize,
@@ -971,47 +1098,9 @@ fn gemm_bias(
     out: &mut [f32],
     ldo: usize,
     col0: usize,
+    simd: bool,
 ) {
-    let mut i0 = 0;
-    while i0 < m {
-        let mr = MR.min(m - i0);
-        let mut j0 = 0;
-        while j0 < n {
-            let nr = NR.min(n - j0);
-            if mr == MR && nr == NR {
-                let mut acc = [[0.0f32; NR]; MR];
-                for (i, row) in acc.iter_mut().enumerate() {
-                    *row = [bias[i0 + i]; NR];
-                }
-                for kx in 0..kd {
-                    let brow = &b[kx * ldb + j0..kx * ldb + j0 + NR];
-                    for (i, row) in acc.iter_mut().enumerate() {
-                        let av = a[(i0 + i) * kd + kx];
-                        for (v, &bv) in row.iter_mut().zip(brow) {
-                            *v += av * bv;
-                        }
-                    }
-                }
-                for (i, row) in acc.iter().enumerate() {
-                    let o = (i0 + i) * ldo + col0 + j0;
-                    out[o..o + NR].copy_from_slice(row);
-                }
-            } else {
-                for i in 0..mr {
-                    let arow = &a[(i0 + i) * kd..(i0 + i + 1) * kd];
-                    for jj in 0..nr {
-                        let mut acc = bias[i0 + i];
-                        for (kx, &av) in arow.iter().enumerate() {
-                            acc += av * b[kx * ldb + j0 + jj];
-                        }
-                        out[(i0 + i) * ldo + col0 + j0 + jj] = acc;
-                    }
-                }
-            }
-            j0 += nr;
-        }
-        i0 += mr;
-    }
+    kernels::gemm_bias(simd, m, kd, n, a, bias, b, ldb, out, ldo, col0);
 }
 
 /// Forward: `out[oc][r][z] = bias[oc] + Σ_kx w[oc][kx] · xp[off[kx] + …]`
@@ -1036,17 +1125,18 @@ fn conv_fwd(
     out: &mut [f32],
     ldo: usize,
     col0: usize,
+    simd: bool,
 ) {
     let mut oc0 = 0;
     while oc0 < out_c {
         if out_c - oc0 >= MR {
             fwd_rows::<MR>(
-                xp, off, d2, d3, rows, pd2, pd3, w, bias, oc0, out, ldo, col0,
+                xp, off, d2, d3, rows, pd2, pd3, w, bias, oc0, out, ldo, col0, simd,
             );
             oc0 += MR;
         } else {
             fwd_rows::<1>(
-                xp, off, d2, d3, rows, pd2, pd3, w, bias, oc0, out, ldo, col0,
+                xp, off, d2, d3, rows, pd2, pd3, w, bias, oc0, out, ldo, col0, simd,
             );
             oc0 += 1;
         }
@@ -1069,58 +1159,57 @@ fn fwd_rows<const M: usize>(
     out: &mut [f32],
     ldo: usize,
     col0: usize,
+    simd: bool,
 ) {
     for r in 0..rows {
         let src_r = ((r / d2) * pd2 + r % d2) * pd3;
         let out_r = col0 + r * d3;
         let mut zc = 0;
         while d3 - zc >= NR {
-            fwd_tile::<M, NR>(xp, off, src_r + zc, w, bias, oc0, out, ldo, out_r + zc);
+            kernels::fwd_tile::<M, NR>(
+                simd,
+                xp,
+                off,
+                src_r + zc,
+                w,
+                bias,
+                oc0,
+                out,
+                ldo,
+                out_r + zc,
+            );
             zc += NR;
         }
         while d3 - zc >= 4 {
-            fwd_tile::<M, 4>(xp, off, src_r + zc, w, bias, oc0, out, ldo, out_r + zc);
+            kernels::fwd_tile::<M, 4>(
+                simd,
+                xp,
+                off,
+                src_r + zc,
+                w,
+                bias,
+                oc0,
+                out,
+                ldo,
+                out_r + zc,
+            );
             zc += 4;
         }
         while zc < d3 {
-            fwd_tile::<M, 1>(xp, off, src_r + zc, w, bias, oc0, out, ldo, out_r + zc);
+            kernels::fwd_tile::<M, 1>(
+                simd,
+                xp,
+                off,
+                src_r + zc,
+                w,
+                bias,
+                oc0,
+                out,
+                ldo,
+                out_r + zc,
+            );
             zc += 1;
         }
-    }
-}
-
-/// The forward register tile: `M` output channels × `N` z lanes, bias
-/// first, K strictly ascending per element.
-#[inline(always)]
-#[allow(clippy::too_many_arguments)]
-fn fwd_tile<const M: usize, const N: usize>(
-    xp: &[f32],
-    off: &[usize],
-    src_base: usize,
-    w: &[f32],
-    bias: &[f32],
-    oc0: usize,
-    out: &mut [f32],
-    n: usize,
-    out_base: usize,
-) {
-    let kd = off.len();
-    let mut acc = [[0.0f32; N]; M];
-    for (i, row) in acc.iter_mut().enumerate() {
-        *row = [bias[oc0 + i]; N];
-    }
-    for (kx, &o) in off.iter().enumerate() {
-        let src = &xp[o + src_base..o + src_base + N];
-        for (i, row) in acc.iter_mut().enumerate() {
-            let wv = w[(oc0 + i) * kd + kx];
-            for (v, &s) in row.iter_mut().zip(src) {
-                *v += wv * s;
-            }
-        }
-    }
-    for (i, row) in acc.iter().enumerate() {
-        let ob = (oc0 + i) * n + out_base;
-        out[ob..ob + N].copy_from_slice(row);
     }
 }
 
@@ -1175,6 +1264,7 @@ fn weight_grad(
     pd2: usize,
     pd3: usize,
     gw: &mut [f32],
+    simd: bool,
 ) {
     let kd = off.len();
     for r in 0..rows {
@@ -1185,39 +1275,14 @@ fn weight_grad(
             let mut oc0 = 0;
             while oc0 < out_c {
                 if out_c - oc0 >= WL {
-                    wg_lanes::<WL>(xrow, gt, gt_base, out_c, oc0, gw, kd, kx);
+                    kernels::wg_lanes::<WL>(simd, xrow, gt, gt_base, out_c, oc0, gw, kd, kx);
                     oc0 += WL;
                 } else {
-                    wg_lanes::<1>(xrow, gt, gt_base, out_c, oc0, gw, kd, kx);
+                    kernels::wg_lanes::<1>(simd, xrow, gt, gt_base, out_c, oc0, gw, kd, kx);
                     oc0 += 1;
                 }
             }
         }
-    }
-}
-
-/// One fresh z-ascending dot for `L` output-channel lanes of tap `kx`.
-#[inline(always)]
-#[allow(clippy::too_many_arguments)]
-fn wg_lanes<const L: usize>(
-    xrow: &[f32],
-    gt: &[f32],
-    gt_base: usize,
-    out_c: usize,
-    oc0: usize,
-    gw: &mut [f32],
-    kd: usize,
-    kx: usize,
-) {
-    let mut acc = [0.0f32; L];
-    for (z, &xv) in xrow.iter().enumerate() {
-        let lane = gt_base + z * out_c + oc0;
-        for (av, &gv) in acc.iter_mut().zip(&gt[lane..lane + L]) {
-            *av += xv * gv;
-        }
-    }
-    for (l, &av) in acc.iter().enumerate() {
-        gw[(oc0 + l) * kd + kx] += av;
     }
 }
 
@@ -1248,28 +1313,29 @@ fn input_grad_gather(
     gi: &mut [f32],
     ldo: usize,
     col0: usize,
+    simd: bool,
 ) {
     let mut ic0 = 0;
     while ic0 < in_c {
         let rem = in_c - ic0;
         if rem >= ICT {
             ig_rows::<ICT>(
-                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0,
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0, simd,
             );
             ic0 += ICT;
         } else if rem == 3 {
             ig_rows::<3>(
-                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0,
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0, simd,
             );
             ic0 += 3;
         } else if rem == 2 {
             ig_rows::<2>(
-                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0,
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0, simd,
             );
             ic0 += 2;
         } else {
             ig_rows::<1>(
-                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0,
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ldo, col0, simd,
             );
             ic0 += 1;
         }
@@ -1295,92 +1361,33 @@ fn ig_rows<const L: usize>(
     ic0: usize,
     ldo: usize,
     col0: usize,
+    simd: bool,
 ) {
     for ix in 0..d1 {
         for iy in 0..d2 {
             let mut zc = 0;
             while d3 - zc >= NR {
-                ig_tile::<L, NR>(
-                    gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy, zc,
-                    ldo, col0,
+                kernels::ig_tile::<L, NR>(
+                    simd, gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy,
+                    zc, ldo, col0,
                 );
                 zc += NR;
             }
             while d3 - zc >= 4 {
-                ig_tile::<L, 4>(
-                    gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy, zc,
-                    ldo, col0,
+                kernels::ig_tile::<L, 4>(
+                    simd, gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy,
+                    zc, ldo, col0,
                 );
                 zc += 4;
             }
             while zc < d3 {
-                ig_tile::<L, 1>(
-                    gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy, zc,
-                    ldo, col0,
+                kernels::ig_tile::<L, 1>(
+                    simd, gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy,
+                    zc, ldo, col0,
                 );
                 zc += 1;
             }
         }
-    }
-}
-
-/// The gather register tile: `L` input channels × `N` z lanes of one
-/// `(ix, iy)` input row, accumulated in `oc asc, a desc, b desc, c asc`
-/// order and stored once.
-#[inline(always)]
-#[allow(clippy::too_many_arguments)]
-fn ig_tile<const L: usize, const N: usize>(
-    gsrc: &[f32],
-    out_c: usize,
-    in_c: usize,
-    k: usize,
-    p: usize,
-    d1: usize,
-    d2: usize,
-    d3: usize,
-    pd1: usize,
-    pd2: usize,
-    pd3: usize,
-    w: &[f32],
-    gi: &mut [f32],
-    ic0: usize,
-    ix: usize,
-    iy: usize,
-    zc: usize,
-    ldo: usize,
-    col0: usize,
-) {
-    let p2 = 2 * p;
-    let kk = k * k * k;
-    let mut acc = [[0.0f32; N]; L];
-    for oc in 0..out_c {
-        for a in (0..k).rev() {
-            let px = ix + p2 - a;
-            if px < p || px - p >= d1 {
-                continue;
-            }
-            for b in (0..k).rev() {
-                let py = iy + p2 - b;
-                if py < p || py - p >= d2 {
-                    continue;
-                }
-                let w_base = (((oc * in_c + ic0) * k + a) * k + b) * k;
-                for c in 0..k {
-                    let g_base = ((oc * pd1 + px) * pd2 + py) * pd3 + (p2 - c) + zc;
-                    let gch = &gsrc[g_base..g_base + N];
-                    for (l, accl) in acc.iter_mut().enumerate() {
-                        let wv = w[w_base + l * kk + c];
-                        for (v, &gv) in accl.iter_mut().zip(gch) {
-                            *v += wv * gv;
-                        }
-                    }
-                }
-            }
-        }
-    }
-    for (l, accl) in acc.iter().enumerate() {
-        let gb = (ic0 + l) * ldo + col0 + (ix * d2 + iy) * d3 + zc;
-        gi[gb..gb + N].copy_from_slice(accl);
     }
 }
 
@@ -1673,6 +1680,178 @@ mod tests {
             assert_bits_eq(&reused.weight.grad, &fresh.weight.grad, "reused grad_w");
             ws.free(y);
             ws.free(gi);
+        }
+    }
+
+    /// Asserts two tensors agree under the documented SIMD tolerance
+    /// (DESIGN.md §9): [`kernels::MAX_ULP`] ULPs or [`kernels::ABS_TOL`]
+    /// absolute, elementwise, with exact shape equality.
+    fn assert_close_ulp(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!(a.shape(), b.shape(), "{what}: shape");
+        for (i, (&x, &y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert!(
+                kernels::close_enough(x, y),
+                "{what}: element {i} out of tolerance ({x:e} vs {y:e}, {} ulp)",
+                kernels::ulp_distance(x, y)
+            );
+        }
+    }
+
+    /// A workspace with the SIMD kernel policy requested (which resolves
+    /// to the scalar tiles when the build or host can't run them).
+    fn simd_ws() -> NnWorkspace {
+        let mut ws = NnWorkspace::new();
+        ws.set_kernel_policy(crate::kernels::KernelPolicy::Simd);
+        ws
+    }
+
+    #[test]
+    fn kernel_policy_defaults_to_scalar_and_resolves_against_host() {
+        let mut ws = NnWorkspace::new();
+        assert_eq!(ws.kernel_policy(), crate::kernels::KernelPolicy::Scalar);
+        assert!(!ws.simd_active(), "scalar policy never runs the wide lane");
+        ws.set_kernel_policy(crate::kernels::KernelPolicy::Simd);
+        assert_eq!(ws.kernel_policy(), crate::kernels::KernelPolicy::Simd);
+        assert_eq!(
+            ws.simd_active(),
+            kernels::simd_available(),
+            "Simd policy resolves to exactly what the build+host supports"
+        );
+        ws.set_kernel_policy(crate::kernels::KernelPolicy::Scalar);
+        assert!(!ws.simd_active(), "policy change re-resolves");
+    }
+
+    /// Runtime-dispatch fallback: when the wide lane can't run (feature
+    /// off, or an AVX2-less host), requesting `KernelPolicy::Simd` must
+    /// produce bit-identical results and never touch the dispatch counter.
+    /// On a host where the lane *can* run this degenerates into the
+    /// dispatch-counter assertion instead — both sides are exercised by CI
+    /// running the test with and without `--features simd`.
+    #[test]
+    fn simd_policy_falls_back_to_scalar_bits_when_unavailable() {
+        let (in_c, out_c, k, [d1, d2, d3]) = (2usize, 3usize, 3usize, [3usize, 5, 7]);
+        let proto = conv(in_c, out_c, k, 77);
+        let x = Initializer::new(78).uniform(&[in_c, d1, d2, d3], 1.0);
+        let gout = Initializer::new(79).uniform(&[out_c, d1, d2, d3], 1.0);
+
+        let mut scalar = proto.clone();
+        let mut ws_s = NnWorkspace::new();
+        let y_s = scalar.forward_in(&x, &mut ws_s);
+        let gi_s = scalar.backward_in(ws_s.alloc_copy(&gout), &mut ws_s);
+
+        let mut simd = proto.clone();
+        let mut ws_v = simd_ws();
+        let y_v = simd.forward_in(&x, &mut ws_v);
+        let gi_v = simd.backward_in(ws_v.alloc_copy(&gout), &mut ws_v);
+
+        if kernels::simd_available() {
+            assert!(
+                ws_v.counters.get(Counter::GemmKernelSimd) >= 2,
+                "wide lane must have dispatched on forward and backward"
+            );
+            assert_close_ulp(&y_v, &y_s, "simd forward vs scalar");
+            assert_close_ulp(&gi_v, &gi_s, "simd grad_in vs scalar");
+        } else {
+            assert_eq!(
+                ws_v.counters.get(Counter::GemmKernelSimd),
+                0,
+                "fallback must not claim the wide lane ran"
+            );
+            assert_bits_eq(&y_v, &y_s, "fallback forward");
+            assert_bits_eq(&gi_v, &gi_s, "fallback grad_in");
+            assert_bits_eq(&simd.weight.grad, &scalar.weight.grad, "fallback grad_w");
+        }
+    }
+
+    /// ULP-tolerance oracle check for every SIMD kernel across the oracle
+    /// case matrix: forward (direct, flat and panel dispatch), weight
+    /// grad, bias grad and the input-gradient gather all stay within the
+    /// documented tolerance of the naive oracle, and the dispatch counter
+    /// proves the wide lane actually ran when the host supports it.
+    #[test]
+    fn simd_kernels_match_naive_oracle_within_ulp() {
+        for (case, &(in_c, out_c, k, [d1, d2, d3])) in ORACLE_CASES.iter().enumerate() {
+            let seed = 0x51D + case as u64;
+            let proto = conv(in_c, out_c, k, seed);
+            let x = Initializer::new(seed ^ 1).uniform(&[in_c, d1, d2, d3], 1.0);
+            let gout = Initializer::new(seed ^ 2).uniform(&[out_c, d1, d2, d3], 1.0);
+
+            let mut fast = proto.clone();
+            let mut ws = simd_ws();
+            let y_fast = fast.forward_in(&x, &mut ws);
+            let gi_fast = fast.backward_in(ws.alloc_copy(&gout), &mut ws);
+
+            let mut slow = proto.clone();
+            slow.set_naive(true);
+            let y_slow = slow.forward(&x);
+            let gi_slow = slow.backward(&gout);
+
+            let what = format!("simd case {case} ({in_c}->{out_c} k{k} {d1}x{d2}x{d3})");
+            assert_close_ulp(&y_fast, &y_slow, &format!("{what} forward"));
+            assert_close_ulp(&gi_fast, &gi_slow, &format!("{what} grad_in"));
+            assert_close_ulp(
+                &fast.weight.grad,
+                &slow.weight.grad,
+                &format!("{what} grad_w"),
+            );
+            assert_close_ulp(&fast.bias.grad, &slow.bias.grad, &format!("{what} grad_b"));
+            if kernels::simd_available() {
+                assert_eq!(
+                    ws.counters.get(Counter::GemmKernelSimd),
+                    2,
+                    "{what}: one forward + one backward wide-lane dispatch"
+                );
+            } else {
+                assert_eq!(ws.counters.get(Counter::GemmKernelSimd), 0, "{what}");
+                assert_bits_eq(&y_fast, &y_slow, &format!("{what} fallback bits"));
+            }
+        }
+    }
+
+    /// Batched SIMD: the batched forward/backward under `KernelPolicy::
+    /// Simd` stays within tolerance of the batched scalar path (which is
+    /// itself bitwise-pinned to the sequential oracle above), including
+    /// the global-row panel path (`d3 < NR`).
+    #[test]
+    fn simd_batched_path_matches_scalar_within_ulp() {
+        // One direct-dispatch case and one panel-dispatch case.
+        for &(in_c, out_c, k, [d1, d2, d3]) in &[ORACLE_CASES[4], ORACLE_CASES[2]] {
+            let bsz = 4usize;
+            let seed = 0x5BA7;
+            let proto = conv(in_c, out_c, k, seed);
+            let xs: Vec<Tensor> = (0..bsz)
+                .map(|b| {
+                    Initializer::new(seed ^ (2 * b as u64 + 2)).uniform(&[in_c, d1, d2, d3], 1.0)
+                })
+                .collect();
+            let gs: Vec<Tensor> = (0..bsz)
+                .map(|b| {
+                    Initializer::new(seed ^ (2 * b as u64 + 3)).uniform(&[out_c, d1, d2, d3], 1.0)
+                })
+                .collect();
+            let x5 = Tensor::stack_batch(&xs.iter().collect::<Vec<_>>());
+            let g5 = Tensor::stack_batch(&gs.iter().collect::<Vec<_>>());
+
+            let mut sc = proto.clone();
+            let mut ws_s = NnWorkspace::new();
+            let y_s = sc.forward_batch_in(&x5, &mut ws_s);
+            let gi_s = sc.backward_batch_in(ws_s.alloc_copy(&g5), &mut ws_s);
+
+            let mut sv = proto.clone();
+            let mut ws_v = simd_ws();
+            let y_v = sv.forward_batch_in(&x5, &mut ws_v);
+            let gi_v = sv.backward_batch_in(ws_v.alloc_copy(&g5), &mut ws_v);
+
+            let what = format!("simd batch ({in_c}->{out_c} k{k} {d1}x{d2}x{d3})");
+            assert_close_ulp(&y_v, &y_s, &format!("{what} y"));
+            assert_close_ulp(&gi_v, &gi_s, &format!("{what} grad_in"));
+            assert_close_ulp(&sv.weight.grad, &sc.weight.grad, &format!("{what} grad_w"));
+            assert_close_ulp(&sv.bias.grad, &sc.bias.grad, &format!("{what} grad_b"));
+            if kernels::simd_available() {
+                assert_eq!(ws_v.counters.get(Counter::GemmKernelSimd), 2, "{what}");
+            } else {
+                assert_bits_eq(&y_v, &y_s, &format!("{what} fallback bits"));
+            }
         }
     }
 

@@ -1,0 +1,346 @@
+//! GEMM micro-kernel family and runtime kernel dispatch.
+//!
+//! The convolution lowering in [`conv3d`](crate::conv3d) funnels every
+//! FLOP through four register tiles: the forward tile (`MR` output
+//! channels × `NR` z lanes), the panel GEMM tile (same geometry over a
+//! materialized patch panel), the weight-gradient lanes (`WL` output
+//! channels) and the input-gradient gather tile (`ICT` input channels ×
+//! `NR` z lanes). This module owns those tiles in two flavors:
+//!
+//! * `scalar` — the default. Bit-identical to the naive seven-loop
+//!   oracle (the per-element accumulation-order contract of DESIGN.md §9).
+//! * `avx2` — AVX2+FMA ports of the same tiles, compiled only under the
+//!   `simd` cargo feature on `x86_64`. FMA contracts each
+//!   multiply-then-add into one rounding, so this lane is a **documented
+//!   opt-out of the bit-identity guarantee**: results agree with the
+//!   scalar tiles to a small ULP bound (see [`close_enough`]) but not bit
+//!   for bit.
+//!
+//! Selection is explicit and never automatic: callers set a
+//! [`KernelPolicy`] on their [`NnWorkspace`](crate::workspace::NnWorkspace)
+//! (default [`KernelPolicy::Scalar`]), and [`KernelPolicy::Simd`] engages
+//! the wide tiles only when [`simd_available`] — a cached
+//! `is_x86_feature_detected!` probe — confirms AVX2 and FMA at runtime.
+//! On any other host (or with the feature off) the policy silently
+//! resolves back to the scalar tiles, so requesting SIMD is always safe
+//! and always deterministic for a given host. The telemetry counter
+//! `gemm_kernel_simd` records each conv kernel entry that actually ran
+//! the wide lane, making the dispatch observable in tests and bench
+//! artifacts.
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) mod avx2;
+pub(crate) mod scalar;
+
+/// Micro-kernel rows (output channels per forward register tile).
+pub(crate) const MR: usize = 4;
+/// Micro-kernel columns (z lanes per register tile).
+pub(crate) const NR: usize = 8;
+/// Output-channel lanes of the weight-gradient kernel.
+pub(crate) const WL: usize = 8;
+/// Input-channel lanes of the input-gradient gather (share each padded
+/// gradient-row read across `ICT` register accumulator rows).
+pub(crate) const ICT: usize = 4;
+
+/// Which micro-kernel family a workspace routes conv GEMM calls through.
+///
+/// `Scalar` is the default and the only policy that preserves the
+/// bit-identity contract against the naive oracle. `Simd` *requests* the
+/// AVX2+FMA tiles; it engages only when the crate was built with the
+/// `simd` feature **and** [`simd_available`] holds on this host, and
+/// falls back to the scalar tiles (bit-identical results) otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPolicy {
+    /// Scalar register tiles; bit-identical to the naive oracle.
+    #[default]
+    Scalar,
+    /// AVX2+FMA register tiles where supported; ULP-bounded, not
+    /// bit-identical (DESIGN.md §9 opt-out).
+    Simd,
+}
+
+/// Whether the AVX2+FMA kernel lane can run on this build and host:
+/// `true` iff the `simd` feature is compiled in, the target is `x86_64`,
+/// and the CPU reports both `avx2` and `fma`. The CPUID probe runs once
+/// and is cached in a process-wide dispatch table (`OnceLock`), so the
+/// hot path pays one relaxed atomic load, not a CPUID.
+#[must_use]
+pub fn simd_available() -> bool {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    {
+        use std::sync::OnceLock;
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+    #[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+    {
+        false
+    }
+}
+
+/// Resolves a policy against the build and host: `true` means the wide
+/// tiles will actually run.
+/// [`NnWorkspace::set_kernel_policy`](crate::workspace::NnWorkspace::set_kernel_policy)
+/// calls this once per policy change and caches the answer, so kernels
+/// branch on a plain `bool`.
+#[must_use]
+pub fn resolve(policy: KernelPolicy) -> bool {
+    match policy {
+        KernelPolicy::Scalar => false,
+        KernelPolicy::Simd => simd_available(),
+    }
+}
+
+/// Maps a float onto a monotonically ordered integer line (negative
+/// floats mirror below zero, `-0.0` and `+0.0` both map to `0`), so ULP
+/// distance is a plain integer difference.
+fn ordered(x: f32) -> i64 {
+    let b = i64::from(x.to_bits() as i32);
+    if b < 0 {
+        i64::from(i32::MIN) - b
+    } else {
+        b
+    }
+}
+
+/// Distance between `a` and `b` in units-in-the-last-place: the number of
+/// representable `f32` values strictly between them (0 when equal, with
+/// `-0.0 == +0.0`). `u64::MAX` if either is NaN.
+#[must_use]
+pub fn ulp_distance(a: f32, b: f32) -> u64 {
+    if a.is_nan() || b.is_nan() {
+        return u64::MAX;
+    }
+    ordered(a).abs_diff(ordered(b))
+}
+
+/// The SIMD validation tolerance (DESIGN.md §9): values agree when they
+/// are within [`MAX_ULP`] units-in-the-last-place *or* within
+/// [`ABS_TOL`] absolutely (the absolute escape covers cancellation, where
+/// a tiny absolute difference can be an unbounded relative one).
+pub const MAX_ULP: u64 = 512;
+/// Absolute tolerance partner of [`MAX_ULP`].
+pub const ABS_TOL: f32 = 1e-5;
+
+/// Whether `a` and `b` agree under the documented SIMD tolerance
+/// ([`MAX_ULP`] ULPs or [`ABS_TOL`] absolute). NaNs never agree.
+#[must_use]
+pub fn close_enough(a: f32, b: f32) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    (a - b).abs() <= ABS_TOL || ulp_distance(a, b) <= MAX_ULP
+}
+
+/// The largest elementwise ULP distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn max_ulp_distance(a: &[f32], b: &[f32]) -> u64 {
+    assert_eq!(a.len(), b.len(), "ULP comparison needs equal shapes");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| ulp_distance(x, y))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Dispatches the forward register tile: `M` output channels × `N` z
+/// lanes, bias first, K strictly ascending per element. The AVX2 lane
+/// runs only for the full `MR`×`NR` geometry; ragged edges always take
+/// the scalar tile (their per-element order is identical either way).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fwd_tile<const M: usize, const N: usize>(
+    simd: bool,
+    xp: &[f32],
+    off: &[usize],
+    src_base: usize,
+    w: &[f32],
+    bias: &[f32],
+    oc0: usize,
+    out: &mut [f32],
+    ldo: usize,
+    out_base: usize,
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd && M == MR && N == NR {
+        // SAFETY: `simd` is only true when `resolve` observed
+        // `simd_available()`, i.e. the running CPU supports AVX2+FMA.
+        unsafe { avx2::fwd_tile_4x8(xp, off, src_base, w, bias, oc0, out, ldo, out_base) };
+        return;
+    }
+    let _ = simd;
+    scalar::fwd_tile::<M, N>(xp, off, src_base, w, bias, oc0, out, ldo, out_base);
+}
+
+/// Dispatches the whole panel/flat GEMM
+/// (`out[i][col0 + j] = bias[i] + Σ_k a[i][k]·b[k][j]`, `i < m`,
+/// `j < n`). The two lanes traverse the output differently — scalar walks
+/// `MR`×`NR` tiles row-block-major (the bit-identity layout), the AVX2
+/// lane walks 16-column panels column-major so each `kd`×16 slice of `b`
+/// stays L1-resident across every row block — but every output element is
+/// still one bias-first K-ascending accumulation in both.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_bias(
+    simd: bool,
+    m: usize,
+    kd: usize,
+    n: usize,
+    a: &[f32],
+    bias: &[f32],
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldo: usize,
+    col0: usize,
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd {
+        // SAFETY: `simd` is only true when `resolve` observed
+        // `simd_available()`, i.e. the running CPU supports AVX2+FMA.
+        unsafe { avx2::gemm_bias_wide(m, kd, n, a, bias, b, ldb, out, ldo, col0) };
+        return;
+    }
+    let _ = simd;
+    scalar::gemm_bias(m, kd, n, a, bias, b, ldb, out, ldo, col0);
+}
+
+/// Dispatches the weight-gradient lanes: one fresh z-ascending dot for
+/// `L` output-channel lanes of tap `kx`. The AVX2 lane runs only for the
+/// full `WL`-lane geometry **and** a z run deep enough (`ICT` taps) to
+/// amortize its horizontal spill — on the shallow pooled grids the spill
+/// costs more than the fused multiply-adds save.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn wg_lanes<const L: usize>(
+    simd: bool,
+    xrow: &[f32],
+    gt: &[f32],
+    gt_base: usize,
+    out_c: usize,
+    oc0: usize,
+    gw: &mut [f32],
+    kd: usize,
+    kx: usize,
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd && L == WL && xrow.len() >= ICT {
+        // SAFETY: `simd` is only true when `resolve` observed
+        // `simd_available()`, i.e. the running CPU supports AVX2+FMA.
+        unsafe { avx2::wg_lanes_8(xrow, gt, gt_base, out_c, oc0, gw, kd, kx) };
+        return;
+    }
+    let _ = simd;
+    scalar::wg_lanes::<L>(xrow, gt, gt_base, out_c, oc0, gw, kd, kx);
+}
+
+/// Dispatches the input-gradient gather tile: `L` input channels × `N` z
+/// lanes of one `(ix, iy)` input row, accumulated in the naive
+/// `oc asc, a desc, b desc, c asc` order. The AVX2 lane runs only for
+/// the full `ICT`×`NR` geometry.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ig_tile<const L: usize, const N: usize>(
+    simd: bool,
+    gsrc: &[f32],
+    out_c: usize,
+    in_c: usize,
+    k: usize,
+    p: usize,
+    d1: usize,
+    d2: usize,
+    d3: usize,
+    pd1: usize,
+    pd2: usize,
+    pd3: usize,
+    w: &[f32],
+    gi: &mut [f32],
+    ic0: usize,
+    ix: usize,
+    iy: usize,
+    zc: usize,
+    ldo: usize,
+    col0: usize,
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd && L == ICT && N == NR {
+        // SAFETY: `simd` is only true when `resolve` observed
+        // `simd_available()`, i.e. the running CPU supports AVX2+FMA.
+        unsafe {
+            avx2::ig_tile_4x8(
+                gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy, zc, ldo,
+                col0,
+            );
+        }
+        return;
+    }
+    let _ = simd;
+    scalar::ig_tile::<L, N>(
+        gsrc, out_c, in_c, k, p, d1, d2, d3, pd1, pd2, pd3, w, gi, ic0, ix, iy, zc, ldo, col0,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_policy_never_resolves_to_simd() {
+        assert!(!resolve(KernelPolicy::Scalar));
+    }
+
+    #[test]
+    fn simd_policy_resolves_to_availability() {
+        // Without the feature this is always false; with it, it matches
+        // the (cached) CPUID probe — either way the two must agree.
+        assert_eq!(resolve(KernelPolicy::Simd), simd_available());
+        #[cfg(not(feature = "simd"))]
+        assert!(
+            !simd_available(),
+            "simd_available is false without the feature"
+        );
+    }
+
+    #[test]
+    fn default_policy_is_scalar() {
+        assert_eq!(KernelPolicy::default(), KernelPolicy::Scalar);
+    }
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_distance(1.0, 1.0), 0);
+        assert_eq!(ulp_distance(0.0, -0.0), 0);
+        assert_eq!(ulp_distance(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        // Symmetric across zero: 1 ULP below +min_positive is -min_positive? No —
+        // one step below the smallest positive subnormal is zero, then the
+        // negative line continues.
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        assert_eq!(ulp_distance(tiny, 0.0), 1);
+        assert_eq!(ulp_distance(tiny, -tiny), 2);
+        assert_eq!(ulp_distance(f32::NAN, 1.0), u64::MAX);
+        assert!(ulp_distance(1.0, -1.0) > 1 << 30, "opposite signs are far");
+    }
+
+    #[test]
+    fn close_enough_accepts_tolerance_and_rejects_gross_error() {
+        assert!(close_enough(1.0, 1.0));
+        assert!(close_enough(1.0, 1.0 + 1e-6), "abs escape");
+        assert!(close_enough(1e20, 1e20 * (1.0 + 1e-6)), "ulp escape");
+        assert!(!close_enough(1.0, 1.1));
+        assert!(!close_enough(f32::NAN, f32::NAN));
+    }
+
+    #[test]
+    fn max_ulp_distance_scans_elementwise() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [1.0f32, f32::from_bits(2.0f32.to_bits() + 3), 3.0];
+        assert_eq!(max_ulp_distance(&a, &b), 3);
+    }
+}

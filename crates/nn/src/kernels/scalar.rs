@@ -1,0 +1,239 @@
+//! The scalar register tiles: the default kernel family, bit-identical to
+//! the naive seven-loop oracle (moved verbatim from `conv3d`; the
+//! accumulation-order contract lives in that module's docs and DESIGN.md
+//! §9).
+
+/// The forward register tile: `M` output channels × `N` z lanes, bias
+/// first, K strictly ascending per element.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fwd_tile<const M: usize, const N: usize>(
+    xp: &[f32],
+    off: &[usize],
+    src_base: usize,
+    w: &[f32],
+    bias: &[f32],
+    oc0: usize,
+    out: &mut [f32],
+    n: usize,
+    out_base: usize,
+) {
+    let kd = off.len();
+    let mut acc = [[0.0f32; N]; M];
+    for (i, row) in acc.iter_mut().enumerate() {
+        *row = [bias[oc0 + i]; N];
+    }
+    for (kx, &o) in off.iter().enumerate() {
+        let src = &xp[o + src_base..o + src_base + N];
+        for (i, row) in acc.iter_mut().enumerate() {
+            let wv = w[(oc0 + i) * kd + kx];
+            for (v, &s) in row.iter_mut().zip(src) {
+                *v += wv * s;
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        let ob = (oc0 + i) * n + out_base;
+        out[ob..ob + N].copy_from_slice(row);
+    }
+}
+
+/// `out[i][col0 + j] = bias[i] + Σ_k a[i][k] · b[k][j]` for `i < m`,
+/// `j < n`, with the K loop strictly ascending per output element.
+/// Register-blocked `MR`×`NR` tiles; edges fall back to scalar columns
+/// (same per-element order either way).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_bias(
+    m: usize,
+    kd: usize,
+    n: usize,
+    a: &[f32],
+    bias: &[f32],
+    b: &[f32],
+    ldb: usize,
+    out: &mut [f32],
+    ldo: usize,
+    col0: usize,
+) {
+    use super::{MR, NR};
+    let mut i0 = 0;
+    while i0 < m {
+        let mr = MR.min(m - i0);
+        let mut j0 = 0;
+        while j0 < n {
+            let nr = NR.min(n - j0);
+            if mr == MR && nr == NR {
+                gemm_tile(a, bias, b, ldb, kd, i0, j0, out, ldo, col0);
+            } else {
+                gemm_cols(
+                    a,
+                    bias,
+                    b,
+                    ldb,
+                    kd,
+                    i0,
+                    i0 + mr,
+                    j0,
+                    j0 + nr,
+                    out,
+                    ldo,
+                    col0,
+                );
+            }
+            j0 += nr;
+        }
+        i0 += mr;
+    }
+}
+
+/// Scalar edge columns of the GEMM: rows `[i0, i1)` × columns `[j0, j1)`,
+/// one fresh bias-first K-ascending accumulation per element (the shared
+/// ragged-edge path of both kernel families).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_cols(
+    a: &[f32],
+    bias: &[f32],
+    b: &[f32],
+    ldb: usize,
+    kd: usize,
+    i0: usize,
+    i1: usize,
+    j0: usize,
+    j1: usize,
+    out: &mut [f32],
+    ldo: usize,
+    col0: usize,
+) {
+    for i in i0..i1 {
+        let arow = &a[i * kd..(i + 1) * kd];
+        for j in j0..j1 {
+            let mut acc = bias[i];
+            for (kx, &av) in arow.iter().enumerate() {
+                acc += av * b[kx * ldb + j];
+            }
+            out[i * ldo + col0 + j] = acc;
+        }
+    }
+}
+
+/// The full `MR`×`NR` GEMM tile of the panel/flat paths:
+/// `out[i0 + i][col0 + j0 + j] = bias[i0 + i] + Σ_k a[i0 + i][k]·b[k][j0 + j]`
+/// with the K loop strictly ascending per output element.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_tile(
+    a: &[f32],
+    bias: &[f32],
+    b: &[f32],
+    ldb: usize,
+    kd: usize,
+    i0: usize,
+    j0: usize,
+    out: &mut [f32],
+    ldo: usize,
+    col0: usize,
+) {
+    use super::{MR, NR};
+    let mut acc = [[0.0f32; NR]; MR];
+    for (i, row) in acc.iter_mut().enumerate() {
+        *row = [bias[i0 + i]; NR];
+    }
+    for kx in 0..kd {
+        let brow = &b[kx * ldb + j0..kx * ldb + j0 + NR];
+        for (i, row) in acc.iter_mut().enumerate() {
+            let av = a[(i0 + i) * kd + kx];
+            for (v, &bv) in row.iter_mut().zip(brow) {
+                *v += av * bv;
+            }
+        }
+    }
+    for (i, row) in acc.iter().enumerate() {
+        let o = (i0 + i) * ldo + col0 + j0;
+        out[o..o + NR].copy_from_slice(row);
+    }
+}
+
+/// One fresh z-ascending dot for `L` output-channel lanes of tap `kx`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn wg_lanes<const L: usize>(
+    xrow: &[f32],
+    gt: &[f32],
+    gt_base: usize,
+    out_c: usize,
+    oc0: usize,
+    gw: &mut [f32],
+    kd: usize,
+    kx: usize,
+) {
+    let mut acc = [0.0f32; L];
+    for (z, &xv) in xrow.iter().enumerate() {
+        let lane = gt_base + z * out_c + oc0;
+        for (av, &gv) in acc.iter_mut().zip(&gt[lane..lane + L]) {
+            *av += xv * gv;
+        }
+    }
+    for (l, &av) in acc.iter().enumerate() {
+        gw[(oc0 + l) * kd + kx] += av;
+    }
+}
+
+/// The gather register tile: `L` input channels × `N` z lanes of one
+/// `(ix, iy)` input row, accumulated in `oc asc, a desc, b desc, c asc`
+/// order and stored once.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ig_tile<const L: usize, const N: usize>(
+    gsrc: &[f32],
+    out_c: usize,
+    in_c: usize,
+    k: usize,
+    p: usize,
+    d1: usize,
+    d2: usize,
+    d3: usize,
+    pd1: usize,
+    pd2: usize,
+    pd3: usize,
+    w: &[f32],
+    gi: &mut [f32],
+    ic0: usize,
+    ix: usize,
+    iy: usize,
+    zc: usize,
+    ldo: usize,
+    col0: usize,
+) {
+    let p2 = 2 * p;
+    let kk = k * k * k;
+    let mut acc = [[0.0f32; N]; L];
+    for oc in 0..out_c {
+        for a in (0..k).rev() {
+            let px = ix + p2 - a;
+            if px < p || px - p >= d1 {
+                continue;
+            }
+            for b in (0..k).rev() {
+                let py = iy + p2 - b;
+                if py < p || py - p >= d2 {
+                    continue;
+                }
+                let w_base = (((oc * in_c + ic0) * k + a) * k + b) * k;
+                for c in 0..k {
+                    let g_base = ((oc * pd1 + px) * pd2 + py) * pd3 + (p2 - c) + zc;
+                    let gch = &gsrc[g_base..g_base + N];
+                    for (l, accl) in acc.iter_mut().enumerate() {
+                        let wv = w[w_base + l * kk + c];
+                        for (v, &gv) in accl.iter_mut().zip(gch) {
+                            *v += wv * gv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (l, accl) in acc.iter().enumerate() {
+        let gb = (ic0 + l) * ldo + col0 + (ix * d2 + iy) * d3 + zc;
+        gi[gb..gb + N].copy_from_slice(accl);
+    }
+}

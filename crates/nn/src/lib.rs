@@ -41,13 +41,18 @@
 //! assert_eq!(y.shape(), &[1, 5, 9, 3]);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is forbidden except under the `simd` feature, whose AVX2+FMA
+// intrinsics in `kernels::avx2` are the one sanctioned use (each site
+// carries a `// SAFETY:` audit; lint rule D4 enforces both halves).
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_op_in_unsafe_fn))]
 
 pub mod activation;
 pub mod conv3d;
 pub mod error;
 pub mod gradcheck;
 pub mod init;
+pub mod kernels;
 pub mod layer;
 pub mod loss;
 pub mod norm;
@@ -61,6 +66,7 @@ pub mod upsample;
 pub mod workspace;
 
 pub use error::NnError;
+pub use kernels::{simd_available, KernelPolicy};
 pub use layer::{Layer, Param};
 pub use tensor::Tensor;
 pub use unet::{UNet3d, UNetConfig};

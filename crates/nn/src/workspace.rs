@@ -29,6 +29,7 @@
 
 use oarsmt_telemetry::{Counter, CounterSet, Span, SpanSet, SpanStart};
 
+use crate::kernels::{self, KernelPolicy};
 use crate::tensor::Tensor;
 
 /// Layer-kind/direction buckets for the optional profile (mapped onto the
@@ -109,6 +110,14 @@ pub struct NnWorkspace {
     /// outside a tagged U-Net layer; `UNet3d::forward_in`/`backward_in`
     /// retag it per block via [`NnWorkspace::set_mac_slot`]).
     pub(crate) mac_slot: usize,
+    /// Which kernel family conv GEMM calls route through (default
+    /// [`KernelPolicy::Scalar`], the bit-identical family).
+    kernel_policy: KernelPolicy,
+    /// The policy resolved against the build and host, cached at
+    /// [`NnWorkspace::set_kernel_policy`] time: `true` iff the AVX2+FMA
+    /// lane will actually run (the kernels branch on this plain bool, not
+    /// on a CPUID probe).
+    simd_active: bool,
 }
 
 impl Default for NnWorkspace {
@@ -132,7 +141,36 @@ impl NnWorkspace {
             spans: SpanSet::new(),
             counters: CounterSet::new(),
             mac_slot: Counter::MacsOther as usize,
+            kernel_policy: KernelPolicy::Scalar,
+            simd_active: false,
         }
+    }
+
+    /// Selects the kernel family for conv GEMM calls through this
+    /// workspace. [`KernelPolicy::Simd`] engages the AVX2+FMA tiles only
+    /// when the `simd` feature is compiled in and the host supports them
+    /// (checked once here, cached in [`NnWorkspace::simd_active`]);
+    /// otherwise it silently falls back to the scalar tiles, so results
+    /// stay bit-identical to the naive oracle.
+    pub fn set_kernel_policy(&mut self, policy: KernelPolicy) {
+        self.kernel_policy = policy;
+        self.simd_active = kernels::resolve(policy);
+    }
+
+    /// The requested kernel policy (not necessarily what runs — see
+    /// [`NnWorkspace::simd_active`]).
+    #[must_use]
+    pub fn kernel_policy(&self) -> KernelPolicy {
+        self.kernel_policy
+    }
+
+    /// Whether conv GEMM calls through this workspace run the AVX2+FMA
+    /// lane: the requested policy resolved against build features and the
+    /// host CPU.
+    #[inline]
+    #[must_use]
+    pub fn simd_active(&self) -> bool {
+        self.simd_active
     }
 
     /// Acquires a zeroed tensor of the given shape from the pool.

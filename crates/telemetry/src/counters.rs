@@ -61,6 +61,11 @@ pub enum Counter {
     GemmBatchCols,
     /// Selector-network forward passes (a batch of any width counts once).
     BatchFlushes,
+    /// Conv3d kernel entries (forward or backward) that ran the AVX2+FMA
+    /// register tiles instead of the scalar bit-identity tiles. Zero
+    /// whenever the workspace kernel policy is `Scalar`, the `simd`
+    /// feature is off, or the host lacks AVX2+FMA.
+    GemmKernelSimd,
     /// Multiply-accumulates in encoder level 0 (deeper levels clamp to 3).
     MacsEnc0,
     /// Multiply-accumulates in encoder level 1.
@@ -86,7 +91,7 @@ pub enum Counter {
 }
 
 /// Number of [`Counter`] variants.
-pub const NUM_COUNTERS: usize = 28;
+pub const NUM_COUNTERS: usize = 29;
 
 /// Snake-case wire names, indexed by [`Counter`] discriminant. These are
 /// the JSONL `"name"` values, so renaming one is a wire-format change.
@@ -108,6 +113,7 @@ pub const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "gemm_flat",
     "gemm_batch_cols",
     "batch_flushes",
+    "gemm_kernel_simd",
     "macs_enc0",
     "macs_enc1",
     "macs_enc2",
@@ -175,6 +181,7 @@ pub const ALL_COUNTERS: [Counter; NUM_COUNTERS] = [
     Counter::GemmFlat,
     Counter::GemmBatchCols,
     Counter::BatchFlushes,
+    Counter::GemmKernelSimd,
     Counter::MacsEnc0,
     Counter::MacsEnc1,
     Counter::MacsEnc2,

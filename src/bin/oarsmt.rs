@@ -4,7 +4,7 @@
 //! oarsmt gen H V M PINS SEED [FILE]   generate a random case (stdout or FILE)
 //! oarsmt route FILE [--selector W]    route a case, print stats + ASCII art
 //! oarsmt compare FILE                 run all routers on a case
-//! oarsmt train OUT.bin [STAGES] [--threads N]
+//! oarsmt train OUT.bin [STAGES] [--threads N] [--simd]
 //!                                     train a selector, save weights
 //! oarsmt report FILE [FILE2]          render (or diff) telemetry snapshots
 //! ```
@@ -13,7 +13,9 @@
 //! parallelizes sample generation across `--threads` workers (default: the
 //! `OARSMT_THREADS` environment variable, else all cores); generated
 //! samples — and therefore the trained weights — are bit-identical for
-//! every thread count.
+//! every thread count. `--simd` opts the fit loop into the AVX2+FMA GEMM
+//! kernels (build with `--features simd`; see DESIGN.md §9 — weights stay
+//! deterministic for a fixed policy but are not bit-identical to scalar).
 
 #![forbid(unsafe_code)]
 
@@ -45,7 +47,7 @@ fn main() -> ExitCode {
         Some("report") => cmd_report(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  oarsmt gen H V M PINS SEED [FILE]\n  oarsmt route FILE [--selector WEIGHTS.bin]\n  oarsmt compare FILE\n  oarsmt train OUT.bin [STAGES] [--threads N]\n  oarsmt report FILE [FILE2]\n\nreport renders the telemetry snapshot embedded in a BENCH_*.json artifact\n(or a raw .jsonl snapshot); with two files it prints a counter/span diff.\nOARSMT_THREADS=N sets the default worker count."
+                "usage:\n  oarsmt gen H V M PINS SEED [FILE]\n  oarsmt route FILE [--selector WEIGHTS.bin]\n  oarsmt compare FILE\n  oarsmt train OUT.bin [STAGES] [--threads N] [--simd]\n  oarsmt report FILE [FILE2]\n\nreport renders the telemetry snapshot embedded in a BENCH_*.json artifact\n(or a raw .jsonl snapshot); with two files it prints a counter/span diff.\nOARSMT_THREADS=N sets the default worker count."
             );
             return ExitCode::from(2);
         }
@@ -148,7 +150,18 @@ fn cmd_train(args: &[String], threads_flag: Option<usize>) -> CliResult {
     let out = args.first().ok_or("train expects an output path")?;
     let stages: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
     let threads = oarsmt::parallel::thread_count(threads_flag);
+    let simd = args.iter().any(|a| a == "--simd");
     eprintln!("[train] generating samples on {threads} worker(s)");
+    if simd {
+        if oarsmt_nn::simd_available() {
+            eprintln!("[train] fit loop: avx2+fma GEMM kernels (ULP-bounded vs scalar)");
+        } else {
+            eprintln!(
+                "[train] --simd requested but unavailable (needs the `simd` build \
+                 feature and an AVX2+FMA host); using scalar kernels"
+            );
+        }
+    }
     let config = oarsmt_rl::trainer::TrainerConfig {
         stages,
         threads,
@@ -161,6 +174,9 @@ fn cmd_train(args: &[String], threads_flag: Option<usize>) -> CliResult {
         seed: 1,
     });
     let mut trainer = oarsmt_rl::Trainer::new(config);
+    if simd {
+        trainer.set_kernel_policy(oarsmt_nn::KernelPolicy::Simd);
+    }
     for report in trainer.run(&mut selector)? {
         println!("{report}");
     }
