@@ -11,8 +11,13 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> oarsmt-lint (determinism / zero-alloc / wrapper / unsafe invariants)"
-cargo run -q -p oarsmt-lint
+echo "==> oarsmt-lint (interprocedural determinism / zero-alloc / panic-freedom invariants)"
+# --deny-stale keeps lint-baseline.txt honest (a fixed finding must leave
+# the baseline); the JSON report is a checked CI artifact with call-chain
+# attribution for every transitive finding.
+mkdir -p target
+cargo run -q -p oarsmt-lint -- --deny-stale --json > target/lint-report.json \
+    || { cat target/lint-report.json; exit 1; }
 
 echo "==> feature matrix (naive-ref oracle, no-default-features, telemetry-timing)"
 cargo check -q -p oarsmt-nn --features naive-ref

@@ -316,6 +316,7 @@ impl HananGraph {
     /// (`RouteContext` in `oarsmt-router`) so the per-query hot path never
     /// re-walks the pin list.
     pub fn pin_index_set(&self) -> Vec<u32> {
+        // lint: alloc-ok(bind-time: RouteContext::bind only calls this on a layout change, never in the warm per-query loop)
         let mut idx: Vec<u32> = self.pins.iter().map(|&p| self.index(p) as u32).collect();
         idx.sort_unstable();
         idx
@@ -333,6 +334,7 @@ impl HananGraph {
     /// These are the valid Steiner candidates: top-k selection only needs
     /// to scan this (often much shorter) list instead of every vertex.
     pub fn empty_index_set(&self) -> Vec<u32> {
+        // lint: alloc-ok(bind-time: RouteContext::bind only calls this on a layout change, never in the warm per-query loop)
         (0..self.kind.len())
             .filter(|&i| self.kind[i] == VertexKind::Empty)
             .map(|i| i as u32)

@@ -93,6 +93,7 @@ impl BucketQueue {
     pub fn reset(&mut self, span: usize) {
         let need = span + 1;
         if self.buckets.len() < need {
+            // lint: alloc-ok(grow-once: the ring only lengthens the first time a larger span appears; the new slots are capacity-0 vecs and warm resets take the epoch path)
             self.buckets.resize_with(need, Vec::new);
             self.bucket_epoch.resize(need, 0);
             self.pos.resize(need, 0);

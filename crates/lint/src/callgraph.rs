@@ -1,0 +1,1273 @@
+//! Workspace call graph: which function calls which, and what is
+//! *transitively* hot.
+//!
+//! The interprocedural rules (transitive D2 zero-alloc, D5 panic-freedom,
+//! D1 clock-reach) need to know the call closure of the registered hot
+//! roots, not just their own bodies. This module resolves `fn`
+//! definitions per file (with their enclosing `impl`/`trait` owner),
+//! extracts call edges from every body, and propagates hot-path
+//! membership breadth-first from the `lint.toml` roots, recording one
+//! shortest `root → … → offender` chain per reached function for
+//! attribution.
+//!
+//! Resolution is token-level and deliberately conservative — when the
+//! receiver type of a method call cannot be inferred from scoped
+//! `name: Type` bindings (function scope, then file scope, then a
+//! workspace-wide annotation map), the call resolves to *every* known
+//! definition of that name, which can only widen the checked closure.
+//! The known blind spots are explicit, not silent:
+//!
+//! * calls through trait objects, `impl Fn…` parameters and fn pointers
+//!   are reported as `callgraph-unresolved` findings inside the hot
+//!   closure (escape: `// lint: dyncall-ok(reason)`);
+//! * method calls on receivers that resolve to std/primitive types are
+//!   treated as external leaves — their allocating behaviour is covered
+//!   by the direct construct scan (`.collect()`, `.to_vec()`, …) at the
+//!   call site, and ultimately by the runtime alloc sanitizer.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::config::{Config, ZeroAllocEntry};
+use crate::lexer::{Token, TokenKind};
+use crate::rules::{matching, matching_angle, FileAnalysis, Finding};
+
+/// Std-library / primitive type names whose methods never resolve into
+/// the workspace: a receiver of one of these types (with no workspace
+/// `impl`) makes the call an external leaf, not an unresolved edge.
+const STD_TYPES: [&str; 38] = [
+    "Vec",
+    "VecDeque",
+    "String",
+    "str",
+    "Box",
+    "Rc",
+    "Arc",
+    "Cell",
+    "RefCell",
+    "Option",
+    "Result",
+    "HashMap",
+    "HashSet",
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "Instant",
+    "Duration",
+    "SystemTime",
+    "Ordering",
+    "Range",
+    "PathBuf",
+    "Path",
+    "[T]",
+    "u8",
+    "u16",
+    "u32",
+    "u64",
+    "u128",
+    "usize",
+    "i8",
+    "i16",
+    "i32",
+    "i64",
+    "i128",
+    "isize",
+    "f32",
+    "f64",
+];
+
+/// Common std iterator/collection/numeric method names that never fall
+/// back to by-name resolution on an *untyped* receiver: an untyped
+/// `.map(…)` or `.collect(…)` is overwhelmingly a std call, and by-name
+/// fallback here would drag same-named workspace impls (`Tensor::map`,
+/// a trainer's `collect`) into every closure. Typed receivers still
+/// resolve these names precisely — only the unknown-receiver fallback is
+/// suppressed, which is the documented soundness trade.
+const STD_METHOD_NAMES: [&str; 78] = [
+    "map",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "and_then",
+    "or_else",
+    "chain",
+    "zip",
+    "fold",
+    "for_each",
+    "collect",
+    "extend",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "drain",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "push_back",
+    "pop_front",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "first",
+    "last",
+    "contains",
+    "contains_key",
+    "clear",
+    "sort",
+    "sort_unstable",
+    "sort_by",
+    "sort_unstable_by",
+    "sort_by_key",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+    "sum",
+    "product",
+    "count",
+    "rev",
+    "take",
+    "skip",
+    "find",
+    "position",
+    "any",
+    "all",
+    "enumerate",
+    "next",
+    "windows",
+    "chunks",
+    "split_at",
+    "join",
+    "resize",
+    "truncate",
+    "reserve",
+    "retain",
+    "copy_from_slice",
+    "fill",
+    "swap",
+    "binary_search",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "map_err",
+    "ok_or",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "to_string",
+    "cmp",
+    "partial_cmp",
+    "fmt",
+];
+
+/// Keywords that can precede `(` without being a call.
+const KEYWORDS: [&str; 28] = [
+    "if", "else", "while", "for", "loop", "match", "return", "in", "as", "move", "let", "mut",
+    "ref", "break", "continue", "where", "impl", "dyn", "fn", "pub", "use", "mod", "struct",
+    "enum", "union", "trait", "unsafe", "await",
+];
+
+/// One resolved `fn` definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index into the analyzed-files slice.
+    pub file: usize,
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type name, if any (method / associated
+    /// fn vs free fn).
+    pub owner: Option<String>,
+    /// Token span from the `fn` keyword to the body's opening brace
+    /// (exclusive) — the signature, used for parameter bindings.
+    pub sig: (usize, usize),
+    /// Inclusive token span of the body, braces excluded.
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the definition sits under `#[cfg(test)]`/`#[test]` — such
+    /// definitions never participate in resolution.
+    pub in_test: bool,
+}
+
+impl FnDef {
+    /// `Owner::name` for methods, `name` for free functions.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(o) => format!("{o}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One `name: Type` (or `let name = Type::…`) binding.
+#[derive(Debug, Clone, Default)]
+pub struct Binding {
+    /// The principal type name (last segment of the leading type path),
+    /// when one could be read off the tokens.
+    pub principal: Option<String>,
+    /// Whether the annotation mentions `HashMap`/`HashSet` anywhere —
+    /// the D1 hash-receiver signal.
+    pub is_hash: bool,
+    /// Whether the annotation mentions `dyn` (trait object).
+    pub is_dyn: bool,
+    /// Whether the annotation is `Fn`/`FnMut`/`FnOnce`/`fn(…)`-like.
+    pub is_callable: bool,
+}
+
+/// Scope-resolved typed bindings of one file: function scopes first,
+/// file scope (struct fields, consts) as fallback. This is the PR-4
+/// caveat fix: a `BTreeMap` local can share a name with a `HashMap`
+/// elsewhere in the file without cross-contaminating.
+#[derive(Debug, Default)]
+pub struct FileScopes {
+    /// Bindings declared outside any `fn` (struct fields, consts).
+    file_level: BTreeMap<String, Binding>,
+    /// Per-`fn` spans (signature start through body end, token indices)
+    /// with the bindings declared inside them, sorted by span start.
+    fns: Vec<(usize, usize, BTreeMap<String, Binding>)>,
+}
+
+impl FileScopes {
+    /// Collects bindings for `f`, scoping them by the `fn` spans in
+    /// `defs` (pre-filtered to this file).
+    pub fn build(f: &FileAnalysis, defs: &[&FnDef]) -> FileScopes {
+        let mut scopes = FileScopes {
+            file_level: BTreeMap::new(),
+            fns: defs
+                .iter()
+                .map(|d| (d.sig.0, d.body.1, BTreeMap::new()))
+                .collect(),
+        };
+        scopes.fns.sort_unstable_by_key(|&(s, _, _)| s);
+        let toks = &f.lexed.tokens;
+        for i in 0..toks.len() {
+            // `name : Type` (params, lets, struct fields) — excluding the
+            // `::` path separator on both sides.
+            if toks[i].kind == TokenKind::Ident
+                && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && !toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+                && !(i > 0 && toks[i - 1].is_punct(':'))
+            {
+                if let Some(b) = parse_type_annotation(toks, i + 2) {
+                    scopes.insert(toks[i].text.clone(), i, b);
+                }
+            }
+            // `let [mut] name = …` constructions.
+            if toks[i].is_ident("let") {
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|t| t.kind == TokenKind::Ident)
+                    && toks.get(j + 1).is_some_and(|t| t.is_punct('='))
+                {
+                    if let Some(b) = parse_ctor_binding(toks, j + 2) {
+                        scopes.insert(toks[j].text.clone(), j, b);
+                    }
+                }
+            }
+        }
+        scopes
+    }
+
+    fn insert(&mut self, name: String, tok: usize, b: Binding) {
+        // Innermost fn span containing the token, else file level. Later
+        // bindings of the same name in the same scope win (closest to a
+        // "last write" reading without real flow analysis).
+        let mut target: Option<usize> = None;
+        for (n, &(s, e, _)) in self.fns.iter().enumerate() {
+            if (s..=e).contains(&tok) && target.is_none_or(|p| self.fns[p].0 < s) {
+                target = Some(n);
+            }
+        }
+        match target {
+            Some(n) => {
+                self.fns[n].2.insert(name, b);
+            }
+            None => {
+                self.file_level.insert(name, b);
+            }
+        }
+    }
+
+    /// Looks `name` up at token position `tok`: innermost enclosing `fn`
+    /// scope first, then file scope.
+    pub fn lookup(&self, name: &str, tok: usize) -> Option<&Binding> {
+        let mut best: Option<&BTreeMap<String, Binding>> = None;
+        let mut best_start = 0usize;
+        for (s, e, map) in &self.fns {
+            if (*s..=*e).contains(&tok) && (best.is_none() || *s >= best_start) {
+                best = Some(map);
+                best_start = *s;
+            }
+        }
+        if let Some(map) = best {
+            if let Some(b) = map.get(name) {
+                return Some(b);
+            }
+        }
+        self.file_level.get(name)
+    }
+}
+
+/// Reads a type annotation starting at `j` (just past `name :`).
+fn parse_type_annotation(toks: &[Token], j: usize) -> Option<Binding> {
+    let mut b = Binding::default();
+    let mut k = j;
+    // Skip reference/mutability/lifetime prefixes.
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('&') || t.is_ident("mut") || t.kind == TokenKind::Lifetime {
+            k += 1;
+        } else {
+            break;
+        }
+    }
+    match toks.get(k) {
+        Some(t) if t.is_punct('[') => b.principal = Some("[T]".to_string()), // slice/array
+        Some(t) if t.is_punct('(') => b.principal = Some("[T]".to_string()), // tuple: external
+        Some(t) if t.is_ident("dyn") => b.is_dyn = true,
+        Some(t) if t.is_ident("fn") => b.is_callable = true,
+        Some(t) if t.is_ident("impl") => {}
+        Some(t) if t.kind == TokenKind::Ident => {
+            // Leading path: `a::b::C` — principal is the last segment.
+            let mut last = t.text.clone();
+            let mut p = k + 1;
+            while toks.get(p).is_some_and(|t| t.is_punct(':'))
+                && toks.get(p + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(p + 2).is_some_and(|t| t.kind == TokenKind::Ident)
+            {
+                last = toks[p + 2].text.clone();
+                p += 3;
+            }
+            b.principal = Some(last);
+        }
+        _ => return None,
+    }
+    // Window scan for the hash / dyn / callable signals (bounded, stops
+    // at statement-ish delimiters at angle depth 0 — same bounds the
+    // old file-wide pass used).
+    let mut angle = 0i32;
+    for p in j..(j + 22).min(toks.len()) {
+        let t = &toks[p];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            if !(p > 0 && toks[p - 1].is_punct('-')) {
+                angle = (angle - 1).max(0);
+            }
+        } else if t.is_punct(';')
+            || t.is_punct('=')
+            || t.is_punct('{')
+            || (angle == 0 && (t.is_punct(',') || t.is_punct(')')))
+        {
+            break;
+        } else if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            b.is_hash = true;
+        } else if t.is_ident("dyn") {
+            b.is_dyn = true;
+        } else if t.is_ident("Fn") || t.is_ident("FnMut") || t.is_ident("FnOnce") {
+            b.is_callable = true;
+        }
+    }
+    Some(b)
+}
+
+/// Reads a `let name = <expr>` initializer for a constructor-shaped type
+/// (`Type::ctor(…)`, `Type { … }`, possibly path-qualified).
+fn parse_ctor_binding(toks: &[Token], j: usize) -> Option<Binding> {
+    let mut b = Binding::default();
+    let mut principal: Option<String> = None;
+    let mut k = j;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('&') || t.is_ident("mut") {
+            k += 1;
+            continue;
+        }
+        break;
+    }
+    // Walk a leading path, remembering the last uppercase-initial segment.
+    while toks.get(k).is_some_and(|t| t.kind == TokenKind::Ident) {
+        let text = &toks[k].text;
+        if text.chars().next().is_some_and(char::is_uppercase) {
+            principal = Some(text.clone());
+        }
+        if toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            k += 3;
+            // Skip a turbofish between segments.
+            if toks.get(k).is_some_and(|t| t.is_punct('<')) {
+                match matching_angle(toks, k) {
+                    Some(close)
+                        if toks.get(close + 1).is_some_and(|t| t.is_punct(':'))
+                            && toks.get(close + 2).is_some_and(|t| t.is_punct(':')) =>
+                    {
+                        k = close + 3;
+                    }
+                    _ => break,
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    // Hash signal within a short window, as the old pass did.
+    for t in toks.iter().take((j + 10).min(toks.len())).skip(j) {
+        if t.is_punct(';') {
+            break;
+        }
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            b.is_hash = true;
+        }
+    }
+    b.principal = principal;
+    if b.principal.is_none() && !b.is_hash {
+        return None;
+    }
+    Some(b)
+}
+
+/// One call the resolver cannot see through (trait object, `impl Fn…`,
+/// fn pointer).
+#[derive(Debug, Clone)]
+pub struct OpaqueCall {
+    /// Caller definition index.
+    pub caller: usize,
+    /// Token index of the call (for escape-marker coverage).
+    pub tok: usize,
+    /// 1-based line.
+    pub line: u32,
+    /// Short description (`f (impl Fn param)` …).
+    pub what: String,
+}
+
+/// The resolved workspace call graph.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// Every `fn` definition, in (file, position) order.
+    pub defs: Vec<FnDef>,
+    /// Callee definition indices per definition (deduplicated, body
+    /// order).
+    pub edges: Vec<Vec<usize>>,
+    /// Calls through opaque callables, per caller.
+    pub opaque: Vec<OpaqueCall>,
+    /// Per-file scope-resolved bindings, parallel to the files slice.
+    pub scopes: Vec<FileScopes>,
+    /// Repo-relative paths, parallel to the files slice.
+    paths: Vec<String>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    owners: BTreeSet<String>,
+    global_types: BTreeMap<String, BTreeSet<String>>,
+}
+
+/// How far a hot root's closure reaches one definition.
+#[derive(Debug, Clone)]
+pub struct Reach {
+    /// BFS parent (`None` for roots) — the chain back to the root.
+    pub parent: Option<usize>,
+    /// Whether a `[[zero_alloc]]` root reaches this definition (D2
+    /// applies); `[[panic_free]]`-only reachability checks D5/clock only.
+    pub zero_alloc: bool,
+}
+
+/// The transitive hot closure: definition index → reach info.
+pub type HotClosure = BTreeMap<usize, Reach>;
+
+impl CallGraph {
+    /// Builds the graph over every analyzed file.
+    pub fn build(files: &[FileAnalysis]) -> CallGraph {
+        let mut g = CallGraph::default();
+        for (fi, f) in files.iter().enumerate() {
+            g.paths.push(f.path.clone());
+            let defs = extract_defs(fi, f);
+            g.defs.extend(defs);
+        }
+        for (n, d) in g.defs.iter().enumerate() {
+            if !d.in_test {
+                g.by_name.entry(d.name.clone()).or_default().push(n);
+            }
+            if let Some(o) = &d.owner {
+                g.owners.insert(o.clone());
+            }
+        }
+        for (fi, f) in files.iter().enumerate() {
+            let file_defs: Vec<&FnDef> = g.defs.iter().filter(|d| d.file == fi).collect();
+            let scopes = FileScopes::build(f, &file_defs);
+            for (name, b) in scopes
+                .file_level
+                .iter()
+                .chain(scopes.fns.iter().flat_map(|(_, _, m)| m.iter()))
+            {
+                if let Some(p) = &b.principal {
+                    g.global_types
+                        .entry(name.clone())
+                        .or_default()
+                        .insert(p.clone());
+                }
+            }
+            g.scopes.push(scopes);
+        }
+        g.edges = vec![Vec::new(); g.defs.len()];
+        let def_ids: Vec<usize> = (0..g.defs.len()).collect();
+        for n in def_ids {
+            if g.defs[n].in_test {
+                continue;
+            }
+            let (callees, opaque) = g.extract_calls(files, n);
+            g.edges[n] = callees;
+            g.opaque.extend(opaque);
+        }
+        g
+    }
+
+    /// Definitions named `name` (resolution index, test code excluded).
+    pub fn defs_named(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    fn is_known_concrete(&self, ty: &str) -> bool {
+        self.owners.contains(ty) || STD_TYPES.contains(&ty)
+    }
+
+    /// Resolves one method call by name against a set of candidate
+    /// receiver types (empty = unknown receiver).
+    fn resolve_method(&self, name: &str, recv_types: &[String]) -> Vec<usize> {
+        let all = self.defs_named(name);
+        if !recv_types.is_empty() {
+            let matched: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&d| {
+                    self.defs[d]
+                        .owner
+                        .as_ref()
+                        .is_some_and(|o| recv_types.iter().any(|t| t == o))
+                })
+                .collect();
+            if !matched.is_empty() {
+                return matched;
+            }
+            if recv_types.iter().all(|t| self.is_known_concrete(t)) {
+                return Vec::new(); // external (std) method
+            }
+        }
+        // Untyped call to a ubiquitous std method name: external.
+        if STD_METHOD_NAMES.contains(&name) {
+            return Vec::new();
+        }
+        // Unknown receiver: every method definition of that name; free
+        // fns as a last resort (trait methods brought in via `use`).
+        let methods: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&d| self.defs[d].owner.is_some())
+            .collect();
+        if methods.is_empty() {
+            all.to_vec()
+        } else {
+            methods
+        }
+    }
+
+    /// Extracts resolved callees + opaque calls from one body.
+    #[allow(clippy::too_many_lines)]
+    fn extract_calls(
+        &self,
+        files: &[FileAnalysis],
+        caller: usize,
+    ) -> (Vec<usize>, Vec<OpaqueCall>) {
+        let def = &self.defs[caller];
+        let f = &files[def.file];
+        let toks = &f.lexed.tokens;
+        let scopes = &self.scopes[def.file];
+        let mut callees: Vec<usize> = Vec::new();
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut opaque = Vec::new();
+        let add = |targets: Vec<usize>, callees: &mut Vec<usize>, seen: &mut BTreeSet<usize>| {
+            for t in targets {
+                if t != caller && seen.insert(t) {
+                    callees.push(t);
+                }
+            }
+        };
+        let (start, end) = def.body;
+        let mut i = start;
+        while i <= end.min(toks.len().saturating_sub(1)) {
+            let t = &toks[i];
+            // Attribute contents are not code: `#[cfg(all(feature = …))]`
+            // would otherwise read as a call to `all`.
+            if t.is_punct('#') && toks.get(i + 1).is_some_and(|n| n.is_punct('[')) {
+                if let Some(close) = crate::rules::matching(toks, i + 1, '[', ']') {
+                    i = close + 1;
+                    continue;
+                }
+            }
+            // Method call: `.name(` or `.name::<…>(`.
+            if t.is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                && call_paren(toks, i + 2).is_some()
+            {
+                let name = toks[i + 1].text.clone();
+                let recv_types: Vec<String> = if i > start {
+                    let r = &toks[i - 1];
+                    if r.is_ident("self") && !(i >= 2 && toks[i - 2].is_punct('.')) {
+                        def.owner.clone().into_iter().collect()
+                    } else if r.kind == TokenKind::Ident {
+                        match scopes.lookup(&r.text, i) {
+                            Some(b) if b.is_dyn || b.is_callable => {
+                                if !f.covered(crate::lexer::MarkerKind::DynOk, i) {
+                                    opaque.push(OpaqueCall {
+                                        caller,
+                                        tok: i,
+                                        line: toks[i + 1].line,
+                                        what: format!(
+                                            "`.{name}()` on opaque receiver `{}`",
+                                            r.text
+                                        ),
+                                    });
+                                }
+                                i += 1;
+                                continue;
+                            }
+                            Some(b) => b.principal.clone().into_iter().collect(),
+                            None => self
+                                .global_types
+                                .get(&r.text)
+                                .map(|s| s.iter().cloned().collect())
+                                .unwrap_or_default(),
+                        }
+                    } else {
+                        Vec::new()
+                    }
+                } else {
+                    Vec::new()
+                };
+                add(
+                    self.resolve_method(&name, &recv_types),
+                    &mut callees,
+                    &mut seen,
+                );
+                i += 2;
+                continue;
+            }
+            // Free / path / associated call: `name(`, `a::b::name(`,
+            // `Type::name(`, `Self::name(`, `name::<T>(`.
+            if t.kind == TokenKind::Ident
+                && !KEYWORDS.contains(&t.text.as_str())
+                && call_paren(toks, i + 1).is_some()
+                && !(i > start && (toks[i - 1].is_punct('.') || toks[i - 1].is_ident("fn")))
+            {
+                // Gather leading `seg::seg::` qualifiers.
+                let mut segments: Vec<&str> = vec![&t.text];
+                let mut k = i;
+                while k >= start + 3
+                    && toks[k - 1].is_punct(':')
+                    && toks[k - 2].is_punct(':')
+                    && toks[k - 3].kind == TokenKind::Ident
+                {
+                    segments.insert(0, &toks[k - 3].text);
+                    k -= 3;
+                }
+                let name = t.text.clone();
+                let first = segments[0];
+                if matches!(first, "std" | "core" | "alloc") {
+                    i += 1;
+                    continue; // std leaf
+                }
+                let targets = if segments.len() >= 2 {
+                    let qual = segments[segments.len() - 2];
+                    if qual == "Self" {
+                        let ty: Vec<String> = def.owner.clone().into_iter().collect();
+                        self.resolve_assoc(&name, &ty)
+                    } else if qual.chars().next().is_some_and(char::is_uppercase) {
+                        self.resolve_assoc(&name, &[qual.to_string()])
+                    } else {
+                        self.resolve_qualified(&name, qual)
+                    }
+                } else {
+                    // Unqualified: a local callable binding shadows any
+                    // same-named fn definition.
+                    match scopes.lookup(&name, i) {
+                        Some(b) if b.is_callable || b.is_dyn => {
+                            if !f.covered(crate::lexer::MarkerKind::DynOk, i) {
+                                opaque.push(OpaqueCall {
+                                    caller,
+                                    tok: i,
+                                    line: t.line,
+                                    what: format!("`{name}(…)` through an opaque callable"),
+                                });
+                            }
+                            i += 1;
+                            continue;
+                        }
+                        _ => self.resolve_free(&name),
+                    }
+                };
+                add(targets, &mut callees, &mut seen);
+            }
+            i += 1;
+        }
+        (callees, opaque)
+    }
+
+    /// Associated-fn resolution: `Type::name` must match an impl of that
+    /// type; no match means an external (derive/std-trait) call.
+    fn resolve_assoc(&self, name: &str, tys: &[String]) -> Vec<usize> {
+        self.defs_named(name)
+            .iter()
+            .copied()
+            .filter(|&d| {
+                self.defs[d]
+                    .owner
+                    .as_ref()
+                    .is_some_and(|o| tys.iter().any(|t| t == o))
+            })
+            .collect()
+    }
+
+    /// Module-qualified resolution: prefer definitions whose file stem or
+    /// crate directory matches the qualifier, fall back to every free fn
+    /// of that name (conservative over-approximation).
+    fn resolve_qualified(&self, name: &str, module: &str) -> Vec<usize> {
+        let all = self.defs_named(name);
+        let matched: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&d| {
+                let def = &self.defs[d];
+                module_matches(self.def_path(def), module)
+            })
+            .collect();
+        if matched.is_empty() {
+            self.resolve_free(name)
+        } else {
+            matched
+        }
+    }
+
+    /// Repo-relative path of the file a definition lives in.
+    pub fn def_path(&self, def: &FnDef) -> &str {
+        self.paths.get(def.file).map_or("", String::as_str)
+    }
+
+    /// Free-fn resolution: free definitions first, any definition as the
+    /// conservative fallback.
+    fn resolve_free(&self, name: &str) -> Vec<usize> {
+        let all = self.defs_named(name);
+        let free: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&d| self.defs[d].owner.is_none())
+            .collect();
+        if free.is_empty() {
+            all.to_vec()
+        } else {
+            free
+        }
+    }
+
+    /// Finds root definitions for registry `entries` (path + fn names),
+    /// reporting missing files / functions as `D2-missing` findings.
+    pub fn roots_for(
+        &self,
+        files: &[FileAnalysis],
+        entries: &[ZeroAllocEntry],
+        findings: &mut Vec<Finding>,
+    ) -> Vec<usize> {
+        let mut roots = Vec::new();
+        for entry in entries {
+            let Some(fi) = files.iter().position(|f| f.path == entry.path) else {
+                findings.push(Finding {
+                    rule: "D2-missing",
+                    path: entry.path.clone(),
+                    line: 1,
+                    ident: "file".to_string(),
+                    message: format!(
+                        "lint.toml registers `{}` but the file does not exist",
+                        entry.path
+                    ),
+                    chain: None,
+                });
+                continue;
+            };
+            for fname in &entry.functions {
+                let matched: Vec<usize> = (0..self.defs.len())
+                    .filter(|&d| {
+                        self.defs[d].file == fi
+                            && self.defs[d].name == *fname
+                            && !self.defs[d].in_test
+                    })
+                    .collect();
+                if matched.is_empty() {
+                    findings.push(Finding {
+                        rule: "D2-missing",
+                        path: entry.path.clone(),
+                        line: 1,
+                        ident: fname.clone(),
+                        message: format!(
+                            "lint.toml registers hot root `{fname}` but `{}` does not define \
+                             it — update the registry",
+                            entry.path
+                        ),
+                        chain: None,
+                    });
+                } else {
+                    roots.extend(matched);
+                }
+            }
+        }
+        roots
+    }
+
+    /// Propagates hot-path membership from the configured roots:
+    /// `[[zero_alloc]]` roots first (D2 + D5 + clock-reach), then
+    /// `[[panic_free]]` roots (D5 + clock-reach only) over whatever the
+    /// first pass did not already reach.
+    pub fn propagate(
+        &self,
+        files: &[FileAnalysis],
+        cfg: &Config,
+        findings: &mut Vec<Finding>,
+    ) -> HotClosure {
+        let mut closure: HotClosure = BTreeMap::new();
+        for (entries, zero_alloc) in [(&cfg.zero_alloc, true), (&cfg.panic_free, false)] {
+            let roots = self.roots_for(files, entries, findings);
+            let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+            for r in roots {
+                if let std::collections::btree_map::Entry::Vacant(e) = closure.entry(r) {
+                    e.insert(Reach {
+                        parent: None,
+                        zero_alloc,
+                    });
+                    queue.push_back(r);
+                }
+            }
+            while let Some(d) = queue.pop_front() {
+                for &callee in &self.edges[d] {
+                    if let std::collections::btree_map::Entry::Vacant(e) = closure.entry(callee) {
+                        e.insert(Reach {
+                            parent: Some(d),
+                            zero_alloc,
+                        });
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+        closure
+    }
+
+    /// The `root → … → def` attribution chain for a reached definition.
+    pub fn chain(&self, closure: &HotClosure, def: usize) -> String {
+        let mut names = vec![self.defs[def].display()];
+        let mut cur = def;
+        while let Some(reach) = closure.get(&cur) {
+            match reach.parent {
+                Some(p) => {
+                    names.push(self.defs[p].display());
+                    cur = p;
+                }
+                None => break,
+            }
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+
+    /// Renders the transitive closure of `roots` as a Graphviz digraph.
+    pub fn to_dot(&self, roots: &[usize]) -> String {
+        use std::fmt::Write as _;
+        let mut reached: BTreeSet<usize> = BTreeSet::new();
+        let mut queue: Vec<usize> = roots.to_vec();
+        while let Some(d) = queue.pop() {
+            if reached.insert(d) {
+                queue.extend(self.edges[d].iter().copied());
+            }
+        }
+        let mut out = String::from(
+            "digraph hot_closure {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n",
+        );
+        for &d in &reached {
+            let def = &self.defs[d];
+            let style = if roots.contains(&d) {
+                ", style=filled, fillcolor=lightgoldenrod"
+            } else {
+                ""
+            };
+            let _ = writeln!(
+                out,
+                "  n{d} [label=\"{}\\n{}:{}\"{style}];",
+                def.display().replace('"', "\\\""),
+                self.def_path(def),
+                def.line,
+            );
+        }
+        for &d in &reached {
+            for &c in &self.edges[d] {
+                if reached.contains(&c) {
+                    let _ = writeln!(out, "  n{d} -> n{c};");
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Whether the qualifier `module` plausibly names the file a definition
+/// lives in (`retrace` → `…/retrace.rs` or `…/retrace/mod.rs`) or its
+/// crate (`oarsmt_graph` → `crates/graph/…`).
+fn module_matches(path: &str, module: &str) -> bool {
+    let stem = path
+        .rsplit('/')
+        .next()
+        .and_then(|f| f.strip_suffix(".rs"))
+        .unwrap_or("");
+    if stem == module || (stem == "mod" && path.contains(&format!("/{module}/"))) {
+        return true;
+    }
+    if module == "crate" || module == "super" || module == "self" {
+        return true; // same-workspace path; name match is the filter
+    }
+    let crate_name = module
+        .strip_prefix("oarsmt_")
+        .map(|m| m.replace('_', "-"))
+        .unwrap_or_default();
+    !crate_name.is_empty()
+        && (path.starts_with(&format!("crates/{crate_name}/"))
+            || path.starts_with(&format!("crates/{}/", crate_name.replace('-', "_"))))
+}
+
+/// `(` directly at `i`, or after a `::<…>` turbofish ending at `(`.
+fn call_paren(toks: &[Token], i: usize) -> Option<usize> {
+    let t = toks.get(i)?;
+    if t.is_punct('(') {
+        return Some(i);
+    }
+    if t.is_punct(':')
+        && toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && toks.get(i + 2).is_some_and(|t| t.is_punct('<'))
+    {
+        let close = matching_angle(toks, i + 2)?;
+        if toks.get(close + 1).is_some_and(|t| t.is_punct('(')) {
+            return Some(close + 1);
+        }
+    }
+    None
+}
+
+/// Extracts every `fn` definition in one file, with impl/trait owners.
+pub fn extract_defs(file_idx: usize, f: &FileAnalysis) -> Vec<FnDef> {
+    let toks = &f.lexed.tokens;
+    let mut owners: Vec<(String, usize)> = Vec::new();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        while owners.last().is_some_and(|&(_, e)| i > e) {
+            owners.pop();
+        }
+        let t = &toks[i];
+        // `impl …` block at item position (not `-> impl Trait` / `&impl T`).
+        if t.is_ident("impl") && at_item_position(toks, i) {
+            if let Some((owner, open, close)) = parse_impl_header(toks, i) {
+                owners.push((owner, close));
+                i = open + 1;
+                continue;
+            }
+        }
+        if t.is_ident("trait") && toks.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            if let Some(open) = (i + 2..toks.len()).find(|&j| toks[j].is_punct('{')) {
+                // Stop at `;` first: `trait Alias = …;` has no block.
+                let semi = (i + 2..open).find(|&j| toks[j].is_punct(';'));
+                if semi.is_none() {
+                    if let Some(close) = matching(toks, open, '{', '}') {
+                        owners.push((name, close));
+                        i = open + 1;
+                        continue;
+                    }
+                }
+            }
+        }
+        if t.is_ident("fn") && toks.get(i + 1).is_some_and(|t| t.kind == TokenKind::Ident) {
+            let name = toks[i + 1].text.clone();
+            let mut depth_p = 0i32;
+            let mut j = i + 2;
+            while j < toks.len() {
+                let tj = &toks[j];
+                if tj.is_punct('(') {
+                    depth_p += 1;
+                } else if tj.is_punct(')') {
+                    depth_p -= 1;
+                } else if depth_p == 0 && tj.is_punct(';') {
+                    break; // bodyless declaration
+                } else if depth_p == 0 && tj.is_punct('{') {
+                    if let Some(close) = matching(toks, j, '{', '}') {
+                        out.push(FnDef {
+                            file: file_idx,
+                            name,
+                            owner: owners.last().map(|(o, _)| o.clone()),
+                            sig: (i, j),
+                            body: (j + 1, close.saturating_sub(1)),
+                            line: toks[i].line,
+                            in_test: f.is_test(i),
+                        });
+                        i = j; // descend into the body for nested fns
+                    }
+                    break;
+                }
+                j += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether the token before `i` allows an item (`impl` block) here.
+fn at_item_position(toks: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let p = &toks[i - 1];
+    p.is_punct('{') || p.is_punct('}') || p.is_punct(';') || p.is_punct(']') || p.is_ident("unsafe")
+}
+
+/// Parses an `impl` header: returns (owner type name, body `{` index,
+/// body `}` index).
+fn parse_impl_header(toks: &[Token], i: usize) -> Option<(String, usize, usize)> {
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.is_punct('<')) {
+        j = matching_angle(toks, j)? + 1;
+    }
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut open = None;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            if !(j > 0 && toks[j - 1].is_punct('-')) {
+                angle = (angle - 1).max(0);
+            }
+        } else if angle == 0 && t.is_punct('{') {
+            open = Some(j);
+            break;
+        } else if angle == 0 && t.is_punct(';') {
+            return None; // `impl Trait for Type;` — not a block
+        } else if angle == 0 && t.is_ident("for") {
+            last_ident = None; // the implementing type follows
+        } else if angle == 0 && t.is_ident("where") {
+            break; // bound idents are not the type name
+        } else if angle == 0 && t.kind == TokenKind::Ident && !t.is_ident("dyn") {
+            last_ident = Some(t.text.clone());
+        }
+        j += 1;
+    }
+    let open = open.or_else(|| (j..toks.len()).find(|&k| toks[k].is_punct('{')))?;
+    let close = matching(toks, open, '{', '}')?;
+    Some((last_ident?, open, close))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze(sources: &[(&str, &str)]) -> Vec<FileAnalysis> {
+        sources
+            .iter()
+            .map(|(p, s)| FileAnalysis::new(*p, s))
+            .collect()
+    }
+
+    fn names(g: &CallGraph, ids: &[usize]) -> Vec<String> {
+        ids.iter().map(|&d| g.defs[d].display()).collect()
+    }
+
+    fn edges_of(g: &CallGraph, name: &str) -> Vec<String> {
+        let d = g.defs.iter().position(|d| d.name == name).unwrap();
+        names(g, &g.edges[d])
+    }
+
+    #[test]
+    fn free_method_and_path_calls_resolve() {
+        let files = analyze(&[(
+            "crates/a/src/lib.rs",
+            "
+            pub struct Ctx { buf: Vec<u32> }
+            impl Ctx {
+                pub fn bind(&mut self) { self.helper(); init(); }
+                fn helper(&mut self) {}
+            }
+            pub fn init() {}
+            pub fn top(ctx: &mut Ctx) { ctx.bind(); crate::init(); }
+            ",
+        )]);
+        let g = CallGraph::build(&files);
+        assert_eq!(edges_of(&g, "bind"), vec!["Ctx::helper", "init"]);
+        assert_eq!(edges_of(&g, "top"), vec!["Ctx::bind", "init"]);
+    }
+
+    #[test]
+    fn method_vs_free_fn_disambiguation() {
+        // A free `step` and a method `step` coexist: `self.step()` takes
+        // the method of the enclosing impl, a bare `step()` the free fn.
+        let files = analyze(&[(
+            "crates/a/src/lib.rs",
+            "
+            pub fn step() {}
+            pub struct M;
+            impl M {
+                fn step(&self) {}
+                fn run(&self) { self.step(); step(); }
+            }
+            ",
+        )]);
+        let g = CallGraph::build(&files);
+        assert_eq!(edges_of(&g, "run"), vec!["M::step", "step"]);
+    }
+
+    #[test]
+    fn typed_receivers_resolve_precisely_and_std_receivers_are_leaves() {
+        let files = analyze(&[(
+            "crates/a/src/lib.rs",
+            "
+            pub struct Pool;
+            impl Pool { pub fn acquire(&mut self) {} }
+            pub struct Other;
+            impl Other { pub fn acquire(&mut self) {} }
+            pub fn use_pool(p: &mut Pool, v: &mut Vec<u32>) {
+                p.acquire();
+                v.clear();
+            }
+            ",
+        )]);
+        let g = CallGraph::build(&files);
+        // Only Pool::acquire, not Other::acquire; Vec::clear is external.
+        assert_eq!(edges_of(&g, "use_pool"), vec!["Pool::acquire"]);
+    }
+
+    #[test]
+    fn recursive_cycles_terminate() {
+        let files = analyze(&[(
+            "crates/a/src/lib.rs",
+            "
+            pub fn a(n: u32) { if n > 0 { b(n - 1); } }
+            pub fn b(n: u32) { a(n); }
+            pub fn looper(n: u32) { if n > 0 { looper(n - 1); } }
+            ",
+        )]);
+        let g = CallGraph::build(&files);
+        let cfg = crate::config::parse(
+            "[[zero_alloc]]\npath = \"crates/a/src/lib.rs\"\nfunctions = [\"a\", \"looper\"]\n",
+        )
+        .unwrap();
+        let mut findings = Vec::new();
+        let closure = g.propagate(&files, &cfg, &mut findings);
+        assert!(findings.is_empty());
+        assert_eq!(closure.len(), 3); // a, b, looper — each exactly once
+        let b = g.defs.iter().position(|d| d.name == "b").unwrap();
+        assert_eq!(g.chain(&closure, b), "a → b");
+    }
+
+    #[test]
+    fn shadowed_fn_names_across_modules_over_approximate() {
+        // Two modules both define `helper`; an unqualified call links to
+        // both (conservative), a module-qualified call to exactly one.
+        let files = analyze(&[
+            ("crates/a/src/alpha.rs", "pub fn helper() {}"),
+            ("crates/a/src/beta.rs", "pub fn helper() {}"),
+            (
+                "crates/a/src/lib.rs",
+                "pub fn go() { helper(); beta::helper(); }",
+            ),
+        ]);
+        let g = CallGraph::build(&files);
+        let d = g.defs.iter().position(|d| d.name == "go").unwrap();
+        let mut targets = names(&g, &g.edges[d]);
+        targets.sort();
+        assert_eq!(targets, vec!["helper", "helper"]); // both modules
+        let qualified = g.resolve_qualified("helper", "beta");
+        assert_eq!(qualified.len(), 1);
+        assert_eq!(g.defs[qualified[0]].file, 1);
+    }
+
+    #[test]
+    fn opaque_callables_are_reported_not_silently_dropped() {
+        let files = analyze(&[(
+            "crates/a/src/lib.rs",
+            "
+            pub fn apply(f: impl Fn(u32) -> u32, x: u32) -> u32 { f(x) }
+            pub fn dispatch(obj: &dyn std::fmt::Debug) { obj.fmt_it(); }
+            pub fn marked(f: impl Fn()) {
+                // lint: dyncall-ok(closure is pure arithmetic by contract)
+                f();
+            }
+            ",
+        )]);
+        let g = CallGraph::build(&files);
+        assert_eq!(g.opaque.len(), 2, "{:?}", g.opaque);
+        assert!(g.opaque[0].what.contains("opaque callable"));
+        assert!(g.opaque[1].what.contains("opaque receiver"));
+    }
+
+    #[test]
+    fn test_code_never_participates_in_resolution() {
+        let files = analyze(&[(
+            "crates/a/src/lib.rs",
+            "
+            pub fn go() { helper(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { let v = Vec::new(); drop(v); }
+            }
+            ",
+        )]);
+        let g = CallGraph::build(&files);
+        let d = g.defs.iter().position(|d| d.name == "go").unwrap();
+        assert!(g.edges[d].is_empty(), "{:?}", names(&g, &g.edges[d]));
+    }
+
+    #[test]
+    fn scoped_bindings_shadow_per_fn() {
+        let f = FileAnalysis::new(
+            "x.rs",
+            "
+            pub fn a(m: &std::collections::HashMap<u32, u32>) -> usize { m.len() }
+            pub fn b(m: &std::collections::BTreeMap<u32, u32>) -> usize { m.len() }
+            ",
+        );
+        let defs = extract_defs(0, &f);
+        let refs: Vec<&FnDef> = defs.iter().collect();
+        let scopes = FileScopes::build(&f, &refs);
+        let a_tok = defs[0].body.0;
+        let b_tok = defs[1].body.0;
+        assert!(scopes.lookup("m", a_tok).unwrap().is_hash);
+        assert!(!scopes.lookup("m", b_tok).unwrap().is_hash);
+        assert_eq!(
+            scopes.lookup("m", b_tok).unwrap().principal.as_deref(),
+            Some("BTreeMap")
+        );
+    }
+
+    #[test]
+    fn dot_output_contains_nodes_and_edges() {
+        let files = analyze(&[(
+            "crates/a/src/lib.rs",
+            "pub fn root() { leaf(); }\npub fn leaf() {}",
+        )]);
+        let g = CallGraph::build(&files);
+        let root = g.defs.iter().position(|d| d.name == "root").unwrap();
+        let dot = g.to_dot(&[root]);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("root"));
+        assert!(dot.contains("leaf"));
+        assert!(dot.contains("->"));
+    }
+}

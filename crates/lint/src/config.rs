@@ -27,8 +27,18 @@ pub struct Config {
     /// Directories whose `src/` trees the wrapper-conformance rule (D3)
     /// applies to.
     pub wrapper_paths: Vec<String>,
-    /// The zero-allocation function registry (D2).
+    /// The zero-allocation root registry (D2): the transitive call closure
+    /// of every registered function must stay allocation-free.
     pub zero_alloc: Vec<ZeroAllocEntry>,
+    /// Additional panic-freedom roots (D5/clock-reach only, no D2) — hot
+    /// entry points that allocate by contract, e.g. an MCTS `search_in`
+    /// whose outcome owns its label vectors.
+    pub panic_free: Vec<ZeroAllocEntry>,
+    /// Whether D5 also flags `expr[idx]` indexing in the hot closure
+    /// (`[panic_freedom] indexing = true`). Off by default: bounds-checked
+    /// indexing is the dominant idiom in the numeric kernels, and the
+    /// explicit-panic constructs are the enforced phase of the policy.
+    pub panic_indexing: bool,
 }
 
 /// A config-file syntax error with its 1-based line.
@@ -110,6 +120,8 @@ pub fn parse(src: &str) -> Result<Config, ConfigError> {
         Determinism,
         Wrappers,
         ZeroAlloc,
+        PanicFree,
+        PanicFreedom,
     }
     let mut cfg = Config::default();
     let mut section = Section::None;
@@ -133,6 +145,10 @@ pub fn parse(src: &str) -> Result<Config, ConfigError> {
                     cfg.zero_alloc.push(ZeroAllocEntry::default());
                     section = Section::ZeroAlloc;
                 }
+                "panic_free" => {
+                    cfg.panic_free.push(ZeroAllocEntry::default());
+                    section = Section::PanicFree;
+                }
                 other => return Err(err(lineno, format!("unknown section [[{other}]]"))),
             }
             i += 1;
@@ -146,6 +162,7 @@ pub fn parse(src: &str) -> Result<Config, ConfigError> {
             section = match name.trim() {
                 "determinism" => Section::Determinism,
                 "wrappers" => Section::Wrappers,
+                "panic_freedom" => Section::PanicFreedom,
                 other => return Err(err(lineno, format!("unknown section [{other}]"))),
             };
             i += 1;
@@ -189,16 +206,41 @@ pub fn parse(src: &str) -> Result<Config, ConfigError> {
                     .ok_or_else(|| err(lineno, "key outside [[zero_alloc]]"))?;
                 entry.functions = parse_string_array(&value, lineno)?;
             }
+            (Section::PanicFree, "path") => {
+                let entry = cfg
+                    .panic_free
+                    .last_mut()
+                    .ok_or_else(|| err(lineno, "key outside [[panic_free]]"))?;
+                entry.path = parse_string(&value, lineno)?;
+            }
+            (Section::PanicFree, "functions") => {
+                let entry = cfg
+                    .panic_free
+                    .last_mut()
+                    .ok_or_else(|| err(lineno, "key outside [[panic_free]]"))?;
+                entry.functions = parse_string_array(&value, lineno)?;
+            }
+            (Section::PanicFreedom, "indexing") => {
+                cfg.panic_indexing = match value.trim() {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(err(lineno, format!("expected true/false, got `{other}`")))
+                    }
+                };
+            }
             _ => return Err(err(lineno, format!("unknown key `{key}` in this section"))),
         }
         i += 1;
     }
-    for (n, entry) in cfg.zero_alloc.iter().enumerate() {
-        if entry.path.is_empty() {
-            return Err(err(
-                0,
-                format!("[[zero_alloc]] entry {n} is missing `path`"),
-            ));
+    for (name, entries) in [
+        ("zero_alloc", &cfg.zero_alloc),
+        ("panic_free", &cfg.panic_free),
+    ] {
+        for (n, entry) in entries.iter().enumerate() {
+            if entry.path.is_empty() {
+                return Err(err(0, format!("[[{name}]] entry {n} is missing `path`")));
+            }
         }
     }
     Ok(cfg)
@@ -242,5 +284,25 @@ mod tests {
         assert!(parse("[nope]\n").is_err());
         assert!(parse("[determinism]\nbogus = \"x\"\n").is_err());
         assert!(parse("[[zero_alloc]]\nfunctions = [\"f\"]\n").is_err());
+        assert!(parse("[[panic_free]]\nfunctions = [\"f\"]\n").is_err());
+        assert!(parse("[panic_freedom]\nindexing = maybe\n").is_err());
+    }
+
+    #[test]
+    fn panic_freedom_sections_parse() {
+        let src = r#"
+            [panic_freedom]
+            indexing = true
+
+            [[panic_free]]
+            path = "crates/mcts/src/search.rs"
+            functions = ["search_in"]
+        "#;
+        let cfg = parse(src).unwrap();
+        assert!(cfg.panic_indexing);
+        assert_eq!(cfg.panic_free.len(), 1);
+        assert_eq!(cfg.panic_free[0].functions, vec!["search_in"]);
+        // Default is off.
+        assert!(!parse("").unwrap().panic_indexing);
     }
 }

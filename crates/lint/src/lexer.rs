@@ -54,6 +54,12 @@ pub enum MarkerKind {
     TimingOk,
     /// `alloc-ok`: an allocation a registered zero-alloc function may keep.
     AllocOk,
+    /// `panic-ok`: a panic construct the hot closure may keep (D5), with
+    /// the justification recorded in the reason.
+    PanicOk,
+    /// `dyncall-ok`: an opaque callable (trait object, `impl Fn`, fn
+    /// pointer) the call-graph resolver is allowed to stay blind to.
+    DynOk,
 }
 
 impl MarkerKind {
@@ -63,6 +69,8 @@ impl MarkerKind {
             MarkerKind::OrderedOk => "ordered-ok",
             MarkerKind::TimingOk => "timing-ok",
             MarkerKind::AllocOk => "alloc-ok",
+            MarkerKind::PanicOk => "panic-ok",
+            MarkerKind::DynOk => "dyncall-ok",
         }
     }
 }
@@ -118,6 +126,8 @@ fn process_comment(out: &mut LexedFile, text: &str, line: u32) {
         MarkerKind::OrderedOk,
         MarkerKind::TimingOk,
         MarkerKind::AllocOk,
+        MarkerKind::PanicOk,
+        MarkerKind::DynOk,
     ];
     for kind in kinds {
         if let Some(tail) = rest.strip_prefix(kind.as_str()) {

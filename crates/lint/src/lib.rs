@@ -20,6 +20,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
 pub mod report;
@@ -29,11 +30,12 @@ use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use callgraph::CallGraph;
 use config::Config;
 use report::{keyed, Report};
 use rules::{
-    check_file, has_forbid_unsafe, has_gated_forbid_unsafe, has_unsafe, hash_returning_fns,
-    FileAnalysis, Finding,
+    check_file, check_hot_closure, has_forbid_unsafe, has_gated_forbid_unsafe, has_unsafe,
+    hash_returning_fns, FileAnalysis, Finding,
 };
 
 /// Directory names never descended into.
@@ -144,6 +146,7 @@ pub fn check_forbid_unsafe(root: &Path, files: &[FileAnalysis], findings: &mut V
                                   behind an opt-in feature with `#![cfg_attr(not(feature = \
                                   \"…\"), forbid(unsafe_code))]` (or forbid it outright)"
                             .to_string(),
+                        chain: None,
                     });
                 }
             } else if !has_forbid_unsafe(f) {
@@ -155,6 +158,7 @@ pub fn check_forbid_unsafe(root: &Path, files: &[FileAnalysis], findings: &mut V
                     message: "unsafe-free package must declare `#![forbid(unsafe_code)]` in \
                               this crate/binary root"
                         .to_string(),
+                    chain: None,
                 });
             }
         }
@@ -193,22 +197,33 @@ pub fn run(root: &Path, cfg: &Config, baseline: &BTreeSet<String>) -> std::io::R
         check_file(f, cfg, &global_hash_fns, &mut findings);
     }
     check_forbid_unsafe(root, &files, &mut findings);
-    // Registered zero-alloc paths that no longer exist are config rot.
-    for entry in &cfg.zero_alloc {
-        if !files.iter().any(|f| f.path == entry.path) {
-            findings.push(Finding {
-                rule: "D2-missing",
-                path: entry.path.clone(),
-                line: 1,
-                ident: "file".to_string(),
-                message: format!(
-                    "lint.toml registers `{}` but the file does not exist",
-                    entry.path
-                ),
-            });
-        }
-    }
+    // The interprocedural pass: build the workspace call graph, propagate
+    // hot-path membership from the lint.toml roots (missing files/fns
+    // surface as D2-missing), then run the transitive rules over the
+    // closure.
+    let graph = CallGraph::build(&files);
+    let closure = graph.propagate(&files, cfg, &mut findings);
+    check_hot_closure(&files, &graph, &closure, cfg, &mut findings);
     let mut report = keyed(findings, baseline);
     report.files_scanned = files.len();
     Ok(report)
+}
+
+/// Renders the transitive hot closure of root function `fn_name` as a
+/// Graphviz digraph (`callgraph --dot ROOT`). Returns `Err` with a usage
+/// message when no non-test definition of `fn_name` exists.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the source walk.
+pub fn render_dot(root: &Path, fn_name: &str) -> std::io::Result<Result<String, String>> {
+    let files = analyze_tree(root)?;
+    let graph = CallGraph::build(&files);
+    let roots = graph.defs_named(fn_name);
+    if roots.is_empty() {
+        return Ok(Err(format!(
+            "no function named `{fn_name}` found in the workspace (test code is excluded)"
+        )));
+    }
+    Ok(Ok(graph.to_dot(roots)))
 }

@@ -2,12 +2,16 @@
 //!
 //! ```text
 //! oarsmt-lint [--root DIR] [--config PATH] [--baseline PATH]
-//!             [--json] [--write-baseline]
+//!             [--json] [--write-baseline] [--deny-stale]
+//! oarsmt-lint --explain RULE
+//! oarsmt-lint callgraph --dot ROOT [--root DIR]
 //! ```
 //!
 //! Exits 0 when every finding is covered by the baseline, 1 when new
-//! findings exist, 2 on usage/configuration errors. CI runs it from the
-//! repository root with all defaults (`lint.toml`, `lint-baseline.txt`).
+//! findings exist (or, with `--deny-stale`, when the baseline holds stale
+//! entries), 2 on usage/configuration errors. CI runs it from the
+//! repository root with `--deny-stale --json` (`lint.toml`,
+//! `lint-baseline.txt`).
 
 #![forbid(unsafe_code)]
 
@@ -16,7 +20,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use oarsmt_lint::report::{parse_baseline, render_baseline, render_human, render_json};
-use oarsmt_lint::{config, run};
+use oarsmt_lint::{config, render_dot, rules, run};
 
 struct Args {
     root: PathBuf,
@@ -24,12 +28,17 @@ struct Args {
     baseline: Option<PathBuf>,
     json: bool,
     write_baseline: bool,
+    deny_stale: bool,
+    explain: Option<String>,
+    dot: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: oarsmt-lint [--root DIR] [--config PATH] [--baseline PATH] \
-         [--json] [--write-baseline]"
+         [--json] [--write-baseline] [--deny-stale]\n\
+         \x20      oarsmt-lint --explain RULE\n\
+         \x20      oarsmt-lint callgraph --dot ROOT [--root DIR]"
     );
     std::process::exit(2);
 }
@@ -41,6 +50,9 @@ fn parse_args() -> Args {
         baseline: None,
         json: false,
         write_baseline: false,
+        deny_stale: false,
+        explain: None,
+        dot: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -52,6 +64,10 @@ fn parse_args() -> Args {
             }
             "--json" => out.json = true,
             "--write-baseline" => out.write_baseline = true,
+            "--deny-stale" => out.deny_stale = true,
+            "--explain" => out.explain = Some(it.next().unwrap_or_else(|| usage())),
+            "callgraph" => {} // subcommand marker; expects --dot next
+            "--dot" => out.dot = Some(it.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -60,6 +76,42 @@ fn parse_args() -> Args {
 
 fn main() -> ExitCode {
     let args = parse_args();
+
+    if let Some(rule) = &args.explain {
+        return match rules::explain(rule) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "oarsmt-lint: unknown rule `{rule}` — known rules: D1-hash-iter, \
+                     D1-timing, D1-clock-reach, D2-alloc, D2-missing, D3-wrapper, \
+                     D4-safety, D4-forbid, D4-gate, D5-panic, D5-index, \
+                     callgraph-unresolved, marker"
+                );
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if let Some(fn_name) = &args.dot {
+        return match render_dot(&args.root, fn_name) {
+            Ok(Ok(dot)) => {
+                print!("{dot}");
+                ExitCode::SUCCESS
+            }
+            Ok(Err(msg)) => {
+                eprintln!("oarsmt-lint: {msg}");
+                ExitCode::from(2)
+            }
+            Err(e) => {
+                eprintln!("oarsmt-lint: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
     let config_path = args.config.unwrap_or_else(|| args.root.join("lint.toml"));
     let baseline_path = args
         .baseline
@@ -110,5 +162,14 @@ fn main() -> ExitCode {
     } else {
         print!("{}", render_human(&report));
     }
-    ExitCode::from(u8::try_from(report.exit_code()).unwrap_or(1))
+    let mut code = report.exit_code();
+    if args.deny_stale && !report.stale_baseline.is_empty() {
+        // A fixed finding whose key lingers in lint-baseline.txt is rot:
+        // CI fails until the entry is removed.
+        for stale in &report.stale_baseline {
+            eprintln!("oarsmt-lint: stale baseline entry `{stale}` — remove it");
+        }
+        code = 1;
+    }
+    ExitCode::from(u8::try_from(code).unwrap_or(1))
 }

@@ -120,6 +120,9 @@ pub fn render_human(report: &Report) -> String {
             "{}:{}: [{}]{} {}",
             k.finding.path, k.finding.line, k.finding.rule, tag, k.finding.message
         );
+        if let Some(chain) = &k.finding.chain {
+            let _ = writeln!(out, "    via {chain}");
+        }
     }
     for stale in &report.stale_baseline {
         let _ = writeln!(out, "note: stale baseline entry `{stale}` matched nothing");
@@ -160,16 +163,23 @@ pub fn render_json(report: &Report) -> String {
         if n > 0 {
             out.push(',');
         }
+        // `chain` is present on every row (null for per-file findings) so
+        // consumers can rely on a fixed shape.
+        let chain = match &k.finding.chain {
+            Some(c) => format!("\"{}\"", json_escape(c)),
+            None => "null".to_string(),
+        };
         let _ = write!(
             out,
             "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"ident\": \"{}\", \
-             \"key\": \"{}\", \"baselined\": {}, \"message\": \"{}\"}}",
+             \"key\": \"{}\", \"baselined\": {}, \"chain\": {}, \"message\": \"{}\"}}",
             json_escape(k.finding.rule),
             json_escape(&k.finding.path),
             k.finding.line,
             json_escape(&k.finding.ident),
             json_escape(&k.key),
             k.baselined,
+            chain,
             json_escape(&k.finding.message),
         );
     }
@@ -194,6 +204,7 @@ mod tests {
             line,
             ident: ident.to_string(),
             message: format!("msg for {ident}"),
+            chain: None,
         }
     }
 

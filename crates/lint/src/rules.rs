@@ -4,8 +4,17 @@
 //!   result-affecting crates (hash order is arbitrary), no
 //!   `Instant`/`SystemTime` reads on result paths. Escapes:
 //!   `// lint: ordered-ok(reason)` / `// lint: timing-ok(reason)`.
-//! * **D2 zero-alloc** — functions registered in `lint.toml` must contain
-//!   no allocating calls outside `// lint: alloc-ok(reason)` escapes.
+//!   The clock-read half also propagates transitively through the call
+//!   graph from the hot roots (`D1-clock-reach`).
+//! * **D2 zero-alloc** — the *transitive call closure* of every
+//!   `[[zero_alloc]]` root in `lint.toml` must contain no allocating
+//!   calls outside `// lint: alloc-ok(reason)` escapes; findings carry
+//!   the `root → … → offender` chain.
+//! * **D5 panic-freedom** — the hot closure (zero-alloc roots plus
+//!   `[[panic_free]]` roots) must not contain `unwrap`/`expect`,
+//!   `panic!`-family macros, or (opt-in) postfix indexing. Escape:
+//!   `// lint: panic-ok(reason)`; pre-existing cold sites live in the
+//!   baseline.
 //! * **D3 wrapper conformance** — a `pub fn foo` with a `foo_in`/`foo_into`
 //!   sibling in the same file must be a thin delegating wrapper.
 //! * **D4 unsafe policy** — every `unsafe` needs a nearby `// SAFETY:`
@@ -39,6 +48,10 @@ pub struct Finding {
     pub ident: String,
     /// Human-readable explanation.
     pub message: String,
+    /// Call-chain attribution `root → … → offender` for findings the
+    /// interprocedural rules reached transitively (`None` for per-file
+    /// rules and for findings directly inside a registered root).
+    pub chain: Option<String>,
 }
 
 /// The lexed + pre-analyzed view of one source file.
@@ -74,8 +87,13 @@ impl FileAnalysis {
         }
     }
 
+    /// Whether token `idx` sits under a `#[cfg(test)]`/`#[test]` item.
+    pub(crate) fn is_test(&self, idx: usize) -> bool {
+        self.in_test.get(idx).copied().unwrap_or(false)
+    }
+
     /// Whether a marker of `kind` covers token `idx`.
-    fn covered(&self, kind: MarkerKind, idx: usize) -> bool {
+    pub(crate) fn covered(&self, kind: MarkerKind, idx: usize) -> bool {
         self.lexed
             .markers
             .iter()
@@ -127,10 +145,43 @@ fn test_spans(tokens: &[Token]) -> Vec<bool> {
                 None => break,
             }
         }
+        // Only items and statements terminate at a `;` or brace block. A
+        // test attribute on anything else — a struct/struct-literal field,
+        // enum variant, or match arm, all `,`-terminated — must not start
+        // the end-scan: it would overrun the comma and swallow the next
+        // unrelated brace block (e.g. a whole `impl`). Mark the attribute
+        // alone in that case.
+        const SPAN_STARTERS: [&str; 22] = [
+            "pub",
+            "fn",
+            "mod",
+            "struct",
+            "enum",
+            "union",
+            "trait",
+            "impl",
+            "type",
+            "const",
+            "static",
+            "use",
+            "unsafe",
+            "async",
+            "extern",
+            "macro_rules",
+            "let",
+            "if",
+            "for",
+            "while",
+            "loop",
+            "match",
+        ];
+        let scans = tokens
+            .get(j)
+            .is_some_and(|t| t.is_punct('{') || SPAN_STARTERS.iter().any(|s| t.is_ident(s)));
         // The item runs to its first top-level `;` or brace block.
-        let mut end = tokens.len() - 1;
+        let mut end = if scans { tokens.len() - 1 } else { attr_end };
         let mut k = j;
-        while k < tokens.len() {
+        while scans && k < tokens.len() {
             if tokens[k].is_punct(';') {
                 end = k;
                 break;
@@ -150,7 +201,12 @@ fn test_spans(tokens: &[Token]) -> Vec<bool> {
 }
 
 /// Index of the delimiter matching `tokens[open]`.
-fn matching(tokens: &[Token], open: usize, open_c: char, close_c: char) -> Option<usize> {
+pub(crate) fn matching(
+    tokens: &[Token],
+    open: usize,
+    open_c: char,
+    close_c: char,
+) -> Option<usize> {
     debug_assert!(tokens[open].is_punct(open_c));
     let mut depth = 0i32;
     for (i, t) in tokens.iter().enumerate().skip(open) {
@@ -176,12 +232,19 @@ fn marker_span(tokens: &[Token], marker: &Marker) -> (usize, usize) {
         return (usize::MAX, usize::MAX); // marker after all code: covers nothing
     };
     let mut rel = 0i32;
+    // Paren/bracket nesting: the `;` in an array type like `[f32; SEG]`
+    // (or inside a nested closure argument) is not a statement end.
+    let mut grouped = 0i32;
     let mut opened = false;
     for (i, t) in tokens.iter().enumerate().skip(start) {
-        if t.is_punct('{') {
+        if t.is_punct('(') || t.is_punct('[') {
+            grouped += 1;
+        } else if t.is_punct(')') || t.is_punct(']') {
+            grouped -= 1;
+        } else if t.is_punct('{') && grouped <= 0 {
             rel += 1;
             opened = true;
-        } else if t.is_punct('}') {
+        } else if t.is_punct('}') && grouped <= 0 {
             if rel == 0 {
                 return (start, i); // enclosing block closed first
             }
@@ -189,7 +252,7 @@ fn marker_span(tokens: &[Token], marker: &Marker) -> (usize, usize) {
             if rel == 0 && opened {
                 return (start, i);
             }
-        } else if t.is_punct(';') && rel == 0 {
+        } else if t.is_punct(';') && rel == 0 && grouped <= 0 {
             return (start, i);
         }
     }
@@ -208,62 +271,10 @@ const ITER_METHODS: [&str; 8] = [
     "retain",
 ];
 
-/// Collects identifiers declared with a `HashMap`/`HashSet` type in this
-/// file: `name: …HashMap<…>` annotations (lets, params, struct fields) and
-/// `let name = HashMap::new()`-style constructions.
-fn hash_typed_idents(f: &FileAnalysis) -> BTreeSet<String> {
-    let toks = &f.lexed.tokens;
-    let mut out = BTreeSet::new();
-    for i in 0..toks.len() {
-        // `name : Type` (excluding the `::` path separator on both sides).
-        if toks[i].kind == TokenKind::Ident
-            && f.is_punct_at(i + 1, ':')
-            && !f.is_punct_at(i + 2, ':')
-            && !(i > 0 && toks[i - 1].is_punct(':'))
-        {
-            let mut angle = 0i32;
-            for j in i + 2..(i + 22).min(toks.len()) {
-                let t = &toks[j];
-                if t.is_punct('<') {
-                    angle += 1;
-                } else if t.is_punct('>') {
-                    if !(j > 0 && toks[j - 1].is_punct('-')) {
-                        angle = (angle - 1).max(0);
-                    }
-                } else if t.is_punct(';')
-                    || t.is_punct('=')
-                    || t.is_punct('{')
-                    || (angle == 0 && (t.is_punct(',') || t.is_punct(')')))
-                {
-                    break;
-                } else if HASH_TYPES.iter().any(|h| t.is_ident(h)) {
-                    out.insert(toks[i].text.clone());
-                    break;
-                }
-            }
-        }
-        // `let [mut] name = …HashMap/HashSet…` within a short window.
-        if toks[i].is_ident("let") {
-            let mut j = i + 1;
-            if f.is_ident_at(j, "mut") {
-                j += 1;
-            }
-            if toks.get(j).is_some_and(|t| t.kind == TokenKind::Ident) && f.is_punct_at(j + 1, '=')
-            {
-                for k in j + 2..(j + 10).min(toks.len()) {
-                    if toks[k].is_punct(';') {
-                        break;
-                    }
-                    if HASH_TYPES.iter().any(|h| toks[k].is_ident(h)) {
-                        out.insert(toks[j].text.clone());
-                        break;
-                    }
-                }
-            }
-        }
-    }
-    out
-}
+// Hash-typed-receiver inference lives in [`crate::callgraph::FileScopes`]:
+// bindings are resolved at block/fn scope (innermost `fn` first, file
+// level as fallback), so a `BTreeMap` local sharing a name with a
+// `HashMap` in another function no longer false-positives D1.
 
 /// Collects names of functions returning `HashMap`/`HashSet` — gathered
 /// across the whole workspace, because hash-returning accessors (e.g. a
@@ -315,10 +326,12 @@ pub fn check_determinism(
     findings: &mut Vec<Finding>,
 ) {
     let toks = &f.lexed.tokens;
-    let local = hash_typed_idents(f);
-    let is_hash_source = |t: &Token, next_is_call: bool| -> bool {
+    let defs = crate::callgraph::extract_defs(0, f);
+    let def_refs: Vec<&crate::callgraph::FnDef> = defs.iter().collect();
+    let scopes = crate::callgraph::FileScopes::build(f, &def_refs);
+    let is_hash_source = |j: usize, t: &Token, next_is_call: bool| -> bool {
         t.kind == TokenKind::Ident
-            && (local.contains(&t.text)
+            && (scopes.lookup(&t.text, j).is_some_and(|b| b.is_hash)
                 || (next_is_call && global_hash_fns.contains(&t.text))
                 || HASH_TYPES.iter().any(|h| t.is_ident(h)))
     };
@@ -374,7 +387,7 @@ pub fn check_determinism(
                 for j in in_at + 1..header_end {
                     let t = &toks[j];
                     let next_is_call = f.is_punct_at(j + 1, '(');
-                    if is_hash_source(t, next_is_call) {
+                    if is_hash_source(j, t, next_is_call) {
                         if !f.covered(MarkerKind::OrderedOk, i) {
                             findings.push(Finding {
                                 rule: "D1-hash-iter",
@@ -386,6 +399,7 @@ pub fn check_determinism(
                                      arbitrary; sort first or mark `// lint: ordered-ok(reason)`",
                                     t.text
                                 ),
+                                chain: None,
                             });
                         }
                         break;
@@ -419,7 +433,7 @@ pub fn check_determinism(
                     break;
                 }
                 let next_is_call = f.is_punct_at(j + 1, '(');
-                if is_hash_source(t, next_is_call) {
+                if is_hash_source(j, t, next_is_call) {
                     matched = Some(t.text.clone());
                     break;
                 }
@@ -437,6 +451,7 @@ pub fn check_determinism(
                             toks[i + 1].text,
                             name
                         ),
+                        chain: None,
                     });
                 }
             }
@@ -458,6 +473,7 @@ pub fn check_determinism(
                      results; mark `// lint: timing-ok(reason)` if it is reporting-only",
                     toks[i].text
                 ),
+                chain: None,
             });
         }
     }
@@ -511,7 +527,55 @@ const ALLOC_CTORS: [&str; 6] = [
 ];
 const ALLOC_METHODS: [&str; 4] = ["to_vec", "to_owned", "to_string", "collect"];
 
-/// D2: allocating calls inside one registered zero-alloc function.
+/// Allocating constructs inside the token span `[start, end]`, as
+/// `(token index, description)` pairs. Escape markers are *not* applied
+/// here — callers filter with [`FileAnalysis::covered`].
+pub(crate) fn alloc_constructs(f: &FileAnalysis, start: usize, end: usize) -> Vec<(usize, String)> {
+    let toks = &f.lexed.tokens;
+    let mut out = Vec::new();
+    for i in start..=end.min(toks.len().saturating_sub(1)) {
+        let t = &toks[i];
+        if (t.is_ident("vec") || t.is_ident("format")) && f.is_punct_at(i + 1, '!') {
+            out.push((i, format!("{}!", t.text)));
+        }
+        if t.is_punct('.') && f.is_ident_at(i + 1, "clone") && f.is_punct_at(i + 2, '(') {
+            out.push((i, ".clone()".to_string()));
+        }
+        if t.is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| ALLOC_METHODS.iter().any(|m| t.is_ident(m)))
+        {
+            out.push((i, format!(".{}()", toks[i + 1].text)));
+        }
+        if ALLOC_TYPES.iter().any(|ty| t.is_ident(ty))
+            && f.is_punct_at(i + 1, ':')
+            && f.is_punct_at(i + 2, ':')
+        {
+            // Skip an optional turbofish: `Vec::<u32>::new()`.
+            let mut j = i + 3;
+            if f.is_punct_at(j, '<') {
+                if let Some(close) = matching_angle(toks, j) {
+                    if f.is_punct_at(close + 1, ':') && f.is_punct_at(close + 2, ':') {
+                        j = close + 3;
+                    }
+                }
+            }
+            if toks
+                .get(j)
+                .is_some_and(|c| ALLOC_CTORS.iter().any(|m| c.is_ident(m)))
+            {
+                out.push((i, format!("{}::{}", t.text, toks[j].text)));
+            }
+        }
+    }
+    out
+}
+
+/// D2, *intraprocedural* form: allocating calls inside one registered
+/// function's own body only. The engine proper uses the transitive
+/// [`check_hot_closure`]; this entry point is kept for the paired
+/// regression test proving what the per-fn engine misses.
 pub fn check_zero_alloc(f: &FileAnalysis, fname: &str, findings: &mut Vec<Finding>) {
     let bodies = fn_bodies(f, fname);
     if bodies.is_empty() {
@@ -524,67 +588,272 @@ pub fn check_zero_alloc(f: &FileAnalysis, fname: &str, findings: &mut Vec<Findin
                 "lint.toml registers zero-alloc fn `{fname}` but this file does not define it \
                  — update the registry"
             ),
+            chain: None,
         });
         return;
     }
     let toks = &f.lexed.tokens;
-    let report = |i: usize, what: &str, findings: &mut Vec<Finding>| {
-        if f.covered(MarkerKind::AllocOk, i) {
-            return;
-        }
-        findings.push(Finding {
-            rule: "D2-alloc",
-            path: f.path.clone(),
-            line: toks[i].line,
-            ident: fname.to_string(),
-            message: format!(
-                "allocating call `{what}` inside zero-alloc fn `{fname}` — reuse a workspace \
-                 buffer or mark `// lint: alloc-ok(reason)`"
-            ),
-        });
-    };
     for (start, end) in bodies {
-        for i in start..=end.min(toks.len().saturating_sub(1)) {
-            let t = &toks[i];
-            if (t.is_ident("vec") || t.is_ident("format")) && f.is_punct_at(i + 1, '!') {
-                report(i, &format!("{}!", t.text), findings);
+        for (i, what) in alloc_constructs(f, start, end) {
+            if f.covered(MarkerKind::AllocOk, i) {
+                continue;
             }
-            if t.is_punct('.') && f.is_ident_at(i + 1, "clone") && f.is_punct_at(i + 2, '(') {
-                report(i, ".clone()", findings);
-            }
-            if t.is_punct('.')
-                && toks
-                    .get(i + 1)
-                    .is_some_and(|t| ALLOC_METHODS.iter().any(|m| t.is_ident(m)))
-            {
-                report(i, &format!(".{}()", toks[i + 1].text), findings);
-            }
-            if ALLOC_TYPES.iter().any(|ty| t.is_ident(ty))
-                && f.is_punct_at(i + 1, ':')
-                && f.is_punct_at(i + 2, ':')
-            {
-                // Skip an optional turbofish: `Vec::<u32>::new()`.
-                let mut j = i + 3;
-                if f.is_punct_at(j, '<') {
-                    if let Some(close) = matching_angle(toks, j) {
-                        if f.is_punct_at(close + 1, ':') && f.is_punct_at(close + 2, ':') {
-                            j = close + 3;
-                        }
-                    }
-                }
-                if toks
-                    .get(j)
-                    .is_some_and(|c| ALLOC_CTORS.iter().any(|m| c.is_ident(m)))
-                {
-                    report(i, &format!("{}::{}", t.text, toks[j].text), findings);
-                }
-            }
+            findings.push(Finding {
+                rule: "D2-alloc",
+                path: f.path.clone(),
+                line: toks[i].line,
+                ident: fname.to_string(),
+                message: format!(
+                    "allocating call `{what}` inside zero-alloc fn `{fname}` — reuse a \
+                     workspace buffer or mark `// lint: alloc-ok(reason)`"
+                ),
+                chain: None,
+            });
         }
     }
 }
 
+/// Panic-raising macros D5 polices on the hot closure.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+/// Panic-on-failure methods D5 polices (`assert!`-family is deliberately
+/// *not* listed: asserting an invariant early is the sanctioned guard
+/// idiom, panicking on a fallible value is not).
+const PANIC_METHODS: [&str; 4] = ["unwrap", "expect", "unwrap_err", "expect_err"];
+
+/// The interprocedural rules over the transitive hot closure: transitive
+/// D2 (`D2-alloc` with chain attribution), D5 panic-freedom
+/// (`D5-panic`, opt-in `D5-index`), the transitive clock-read check
+/// (`D1-clock-reach`), and `callgraph-unresolved` notes for calls the
+/// resolver cannot see through.
+pub fn check_hot_closure(
+    files: &[FileAnalysis],
+    graph: &crate::callgraph::CallGraph,
+    closure: &crate::callgraph::HotClosure,
+    cfg: &Config,
+    findings: &mut Vec<Finding>,
+) {
+    for (&d, reach) in closure {
+        let def = &graph.defs[d];
+        let f = &files[def.file];
+        let toks = &f.lexed.tokens;
+        let chain = graph.chain(closure, d);
+        // Roots carry no chain (the finding is directly inside them);
+        // transitively-reached functions always do.
+        let attr = reach.parent.is_some().then(|| chain.clone());
+        let (start, end) = def.body;
+        if reach.zero_alloc {
+            for (i, what) in alloc_constructs(f, start, end) {
+                if f.covered(MarkerKind::AllocOk, i) {
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: "D2-alloc",
+                    path: f.path.clone(),
+                    line: toks[i].line,
+                    ident: def.name.clone(),
+                    message: format!(
+                        "allocating call `{what}` on the zero-alloc hot path ({chain}) — \
+                         reuse a workspace buffer or mark `// lint: alloc-ok(reason)`"
+                    ),
+                    chain: attr.clone(),
+                });
+            }
+        }
+        for i in start..=end.min(toks.len().saturating_sub(1)) {
+            let t = &toks[i];
+            // D5a: `.unwrap()`-family calls.
+            if t.is_punct('.')
+                && toks
+                    .get(i + 1)
+                    .is_some_and(|n| PANIC_METHODS.iter().any(|m| n.is_ident(m)))
+                && f.is_punct_at(i + 2, '(')
+                && !f.covered(MarkerKind::PanicOk, i)
+            {
+                findings.push(Finding {
+                    rule: "D5-panic",
+                    path: f.path.clone(),
+                    line: toks[i + 1].line,
+                    ident: def.name.clone(),
+                    message: format!(
+                        "`.{}()` on the panic-free hot path ({chain}) — handle the None/Err \
+                         case or mark `// lint: panic-ok(reason)`",
+                        toks[i + 1].text
+                    ),
+                    chain: attr.clone(),
+                });
+            }
+            // D5b: panic-raising macros.
+            if PANIC_MACROS.iter().any(|m| t.is_ident(m))
+                && f.is_punct_at(i + 1, '!')
+                && !f.covered(MarkerKind::PanicOk, i)
+            {
+                findings.push(Finding {
+                    rule: "D5-panic",
+                    path: f.path.clone(),
+                    line: t.line,
+                    ident: def.name.clone(),
+                    message: format!(
+                        "`{}!` on the panic-free hot path ({chain}) — return an error or \
+                         mark `// lint: panic-ok(reason)`",
+                        t.text
+                    ),
+                    chain: attr.clone(),
+                });
+            }
+            // D5c (opt-in via `[panic_freedom] indexing = true`): postfix
+            // indexing, which panics on out-of-bounds.
+            if cfg.panic_indexing
+                && t.is_punct('[')
+                && i > 0
+                && (toks[i - 1].kind == TokenKind::Ident
+                    || toks[i - 1].is_punct(')')
+                    || toks[i - 1].is_punct(']'))
+                && !f.covered(MarkerKind::PanicOk, i)
+            {
+                findings.push(Finding {
+                    rule: "D5-index",
+                    path: f.path.clone(),
+                    line: t.line,
+                    ident: def.name.clone(),
+                    message: format!(
+                        "postfix indexing on the panic-free hot path ({chain}) — use `get` or \
+                         mark `// lint: panic-ok(reason)`"
+                    ),
+                    chain: attr.clone(),
+                });
+            }
+            // D1 transitive: clock reads anywhere in the hot closure,
+            // even outside the determinism-scoped crates.
+            if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+                && f.is_punct_at(i + 1, ':')
+                && f.is_punct_at(i + 2, ':')
+                && f.is_ident_at(i + 3, "now")
+                && !f.covered(MarkerKind::TimingOk, i)
+            {
+                findings.push(Finding {
+                    rule: "D1-clock-reach",
+                    path: f.path.clone(),
+                    line: t.line,
+                    ident: def.name.clone(),
+                    message: format!(
+                        "`{}::now()` reachable from a hot root ({chain}) — wall-clock must \
+                         never feed results; mark `// lint: timing-ok(reason)` if \
+                         reporting-only",
+                        t.text
+                    ),
+                    chain: attr.clone(),
+                });
+            }
+        }
+    }
+    for oc in &graph.opaque {
+        if let Some(reach) = closure.get(&oc.caller) {
+            let def = &graph.defs[oc.caller];
+            let f = &files[def.file];
+            let chain = graph.chain(closure, oc.caller);
+            findings.push(Finding {
+                rule: "callgraph-unresolved",
+                path: f.path.clone(),
+                line: oc.line,
+                ident: def.name.clone(),
+                message: format!(
+                    "cannot resolve {} inside the hot closure ({chain}) — the callee is \
+                     invisible to the interprocedural rules; audit it and mark \
+                     `// lint: dyncall-ok(reason)`",
+                    oc.what
+                ),
+                chain: reach.parent.is_some().then_some(chain),
+            });
+        }
+    }
+}
+
+/// Rationale + escape syntax for `--explain RULE`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "D1-hash-iter" => {
+            "D1-hash-iter — iteration over HashMap/HashSet in a result-affecting crate.\n\
+             Hash iteration order is arbitrary (and randomized across platforms), so any\n\
+             result derived from it breaks bit-stable reproducibility. Sort the entries or\n\
+             use a BTreeMap/BTreeSet. Receiver types are resolved at block/fn scope.\n\
+             Escape: `// lint: ordered-ok(reason)` when the consumer is order-insensitive."
+        }
+        "D1-timing" => {
+            "D1-timing — Instant::now()/SystemTime::now() in a result-affecting crate.\n\
+             Wall-clock reads must never feed routing/search results: time-based budgets\n\
+             make runs irreproducible. Use node/iteration budgets instead.\n\
+             Escape: `// lint: timing-ok(reason)` for reporting-only uses."
+        }
+        "D1-clock-reach" => {
+            "D1-clock-reach — a clock read transitively reachable from a hot root.\n\
+             Same policy as D1-timing, but propagated through the workspace call graph\n\
+             from the [[zero_alloc]]/[[panic_free]] roots in lint.toml, so helpers in\n\
+             crates outside the determinism list are still caught. The finding carries\n\
+             the `root → … → offender` chain.\n\
+             Escape: `// lint: timing-ok(reason)`."
+        }
+        "D2-alloc" => {
+            "D2-alloc — an allocating construct on the zero-alloc hot path.\n\
+             The transitive call closure of every [[zero_alloc]] root must stay\n\
+             allocation-free after warm-up: Vec::new/with_capacity/from, vec!/format!,\n\
+             .clone()/.to_vec()/.to_owned()/.to_string()/.collect() are all findings,\n\
+             attributed with the call chain from the root. The runtime alloc sanitizer\n\
+             (tests/alloc_sanitizer.rs) measures what this rule proves syntactically.\n\
+             Escape: `// lint: alloc-ok(reason)` for one-time bind/warm-up growth."
+        }
+        "D2-missing" => {
+            "D2-missing — lint.toml registers a hot root that no longer exists.\n\
+             The registry names `path` + `functions`; a rename/move must update\n\
+             lint.toml in the same change, or the engine would silently check nothing."
+        }
+        "D3-wrapper" => {
+            "D3-wrapper — a `pub fn foo` with a `foo_in`/`foo_into` sibling must be a\n\
+             thin delegating wrapper (the `_in` variant holds the real logic and takes\n\
+             the caller-owned workspace). This keeps the allocating convenience API and\n\
+             the zero-alloc API from drifting apart."
+        }
+        "D4-safety" | "D4-forbid" | "D4-gate" => {
+            "D4 — unsafe hygiene. Every `unsafe` token needs a `// SAFETY:` comment on\n\
+             the same or the three preceding lines (D4-safety). Unsafe-free packages\n\
+             must declare `#![forbid(unsafe_code)]` in every crate/binary root\n\
+             (D4-forbid); packages with opt-in unsafe (e.g. simd kernels) must gate it:\n\
+             `#![cfg_attr(not(feature = \"…\"), forbid(unsafe_code))]` (D4-gate)."
+        }
+        "D5-panic" => {
+            "D5-panic — a panic-capable construct on the hot closure: .unwrap()/.expect()\n\
+             (and _err variants), panic!/unreachable!/todo!/unimplemented!. A panic in a\n\
+             long-lived serving worker tears down its warm RouteContext/NnWorkspace\n\
+             state; hot code must handle the None/Err case or document why it cannot\n\
+             occur. assert!-family guards are deliberately allowed.\n\
+             Escape: `// lint: panic-ok(reason)`; pre-existing cold-path sites live in\n\
+             lint-baseline.txt."
+        }
+        "D5-index" => {
+            "D5-index — postfix indexing (`xs[i]`) on the hot closure; panics when out\n\
+             of bounds. Off by default (`[panic_freedom] indexing = false` in lint.toml)\n\
+             because bounds-checked indexing is the dominant idiom in the numeric\n\
+             kernels; enable it to audit a closure exhaustively.\n\
+             Escape: `// lint: panic-ok(reason)`."
+        }
+        "callgraph-unresolved" => {
+            "callgraph-unresolved — a call through a trait object, `impl Fn` parameter\n\
+             or fn pointer inside the hot closure. The resolver cannot see the callee,\n\
+             so the transitive rules are blind past this point; the note makes the\n\
+             blind spot explicit instead of silent.\n\
+             Escape: `// lint: dyncall-ok(reason)` after auditing the possible callees."
+        }
+        "marker" => {
+            "marker — a malformed `// lint:` escape comment. A typo in a marker must\n\
+             not silently disable the escape, so the lexer reports it as a finding.\n\
+             Valid shape: `// lint: kind-ok(reason)` with kind one of alloc, ordered,\n\
+             timing, panic, dyncall."
+        }
+        _ => return None,
+    })
+}
+
 /// Index of the `>` matching `tokens[open]` (`<`), `->`-aware.
-fn matching_angle(tokens: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn matching_angle(tokens: &[Token], open: usize) -> Option<usize> {
     let mut depth = 0i32;
     for (i, t) in tokens.iter().enumerate().skip(open) {
         if t.is_punct('<') {
@@ -657,6 +926,7 @@ pub fn check_wrappers(f: &FileAnalysis, findings: &mut Vec<Finding>) {
                     body.len(),
                     if delegates { "" } else { ", no delegation" },
                 ),
+                chain: None,
             });
         }
     }
@@ -683,6 +953,7 @@ pub fn check_unsafe_comments(f: &FileAnalysis, findings: &mut Vec<Finding>) {
                 ident: "unsafe".to_string(),
                 message: "`unsafe` without a `// SAFETY:` comment on the preceding lines"
                     .to_string(),
+                chain: None,
             });
         }
     }
@@ -755,6 +1026,7 @@ pub fn check_bad_markers(f: &FileAnalysis, findings: &mut Vec<Finding>) {
             line: *line,
             ident: "lint".to_string(),
             message: message.clone(),
+            chain: None,
         });
     }
 }
@@ -788,13 +1060,8 @@ pub fn check_file(
     if in_src_of(&cfg.wrapper_paths) {
         check_wrappers(f, findings);
     }
-    for entry in &cfg.zero_alloc {
-        if entry.path == f.path {
-            for fname in &entry.functions {
-                check_zero_alloc(f, fname, findings);
-            }
-        }
-    }
+    // D2/D5/clock-reach run interprocedurally over the call graph — see
+    // [`check_hot_closure`], driven from `lib::run`.
 }
 
 #[cfg(test)]

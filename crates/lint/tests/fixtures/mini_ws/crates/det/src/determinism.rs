@@ -48,12 +48,22 @@ pub fn collect_sorted(m: &HashMap<u32, u32>) -> Vec<u32> {
     keys
 }
 
-/// CLEAN: `BTreeMap` iterates in key order — no finding. (Named `b`, not
-/// `m`: the hash-typed-name set is file-wide by design, so reusing a
-/// hash-typed name for an ordered container would still flag.)
+/// CLEAN: `BTreeMap` iterates in key order — no finding.
 pub fn ordered_sum(b: &BTreeMap<u32, u32>) -> u32 {
     let mut total = 0;
     for (_, v) in b.iter() {
+        total += v;
+    }
+    total
+}
+
+/// CLEAN (regression for the PR 4 caveat): reuses the name `m` — a
+/// `HashMap` parameter in `sum_values` above — for a `BTreeMap`.
+/// Receiver types resolve at block/fn scope, so the hash-typed `m`
+/// elsewhere in this file must not contaminate this function.
+pub fn ordered_reuse(m: &BTreeMap<u32, u32>) -> u32 {
+    let mut total = 0;
+    for (_, v) in m.iter() {
         total += v;
     }
     total

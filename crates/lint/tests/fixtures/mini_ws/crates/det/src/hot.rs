@@ -20,3 +20,19 @@ pub fn cold(xs: &[u32]) -> Vec<u32> {
     v.extend(xs.iter().map(|x| x * 2));
     v
 }
+
+/// Registered root whose own body is clean — the allocation hides one
+/// call deep in `stage_buffer`, which the per-fn engine provably misses
+/// (see the paired `transitive_d2_catches_what_per_fn_missed` test).
+pub fn deep_in(out: &mut Vec<u32>, xs: &[u32]) -> usize {
+    out.clear();
+    stage_buffer(out, xs)
+}
+
+/// Unregistered helper: VIOLATION (transitive D2-alloc, attributed with
+/// the chain `deep_in → stage_buffer`).
+fn stage_buffer(out: &mut Vec<u32>, xs: &[u32]) -> usize {
+    let staged: Vec<u32> = xs.to_vec(); // VIOLATION (one call deep)
+    out.extend_from_slice(&staged);
+    staged.len()
+}

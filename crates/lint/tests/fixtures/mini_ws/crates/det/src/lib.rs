@@ -7,6 +7,7 @@
 
 pub mod determinism;
 pub mod hot;
+pub mod panics;
 pub mod telemetry;
 pub mod unsafety;
 pub mod wrappers;

@@ -1,0 +1,59 @@
+//! D5 / call-graph fixtures: panic-capable constructs on registered
+//! `[[panic_free]]` roots, an opaque `impl Fn` call that must degrade to
+//! an explicit `callgraph-unresolved` note, a recursion pair proving
+//! propagation terminates, and escaped counterparts that must stay
+//! silent.
+
+/// VIOLATION (D5-panic ×2): `.unwrap()` and `panic!` on a panic-free
+/// root.
+pub fn lookup_hot(xs: &[u32]) -> u32 {
+    let first = *xs.first().unwrap(); // VIOLATION (occurrence 0)
+    if first == u32::MAX {
+        panic!("saturated lookup"); // VIOLATION (occurrence 1)
+    }
+    first
+}
+
+/// CLEAN: the escaped counterpart — same construct, audited reason.
+pub fn lookup_guarded(xs: &[u32]) -> u32 {
+    // lint: panic-ok(callers guarantee non-empty input; checked at bind)
+    let first = *xs.first().unwrap();
+    first
+}
+
+/// CLEAN by default; VIOLATION (D5-index) only when the fixture config
+/// opts in with `[panic_freedom] indexing = true`.
+pub fn probe(xs: &[u32], i: usize) -> u32 {
+    if i < xs.len() {
+        xs[i]
+    } else {
+        0
+    }
+}
+
+/// VIOLATION (callgraph-unresolved): the resolver cannot see through an
+/// `impl Fn` parameter, so the transitive rules are blind past it.
+pub fn dispatch_hot(score: impl Fn(u32) -> u32, x: u32) -> u32 {
+    score(x)
+}
+
+/// CLEAN: the audited counterpart.
+pub fn dispatch_audited(score: impl Fn(u32) -> u32, x: u32) -> u32 {
+    // lint: dyncall-ok(selector closures are pure arithmetic by contract)
+    score(x)
+}
+
+/// CLEAN: a registered root heading a mutual-recursion cycle —
+/// propagation must terminate and draw no findings.
+pub fn descend(n: u32) -> u32 {
+    if n == 0 {
+        0
+    } else {
+        bounce(n - 1)
+    }
+}
+
+/// The other half of the cycle.
+fn bounce(n: u32) -> u32 {
+    descend(n)
+}

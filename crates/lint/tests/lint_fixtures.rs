@@ -9,7 +9,7 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 use oarsmt_lint::report::{parse_baseline, render_json};
-use oarsmt_lint::{config, run};
+use oarsmt_lint::{config, render_dot, rules, run};
 
 fn mini_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/mini_ws")
@@ -23,8 +23,8 @@ fn mini_cfg() -> config::Config {
 /// The exact baseline keys the fixture workspace must produce — one entry
 /// per deliberate violation; every clean counterpart must stay silent.
 /// Order follows the report sort: (path, line, rule, ident), with
-/// file-level findings (D2-missing, D4-forbid) anchored at line 0.
-const EXPECTED_KEYS: [&str; 12] = [
+/// file-level findings (D2-missing, D4-forbid) anchored at line 1.
+const EXPECTED_KEYS: [&str; 17] = [
     "D4-forbid|crates/clean/src/lib.rs|clean|0",
     "D1-hash-iter|crates/det/src/determinism.rs|m|0",
     "D1-hash-iter|crates/det/src/determinism.rs|s|0",
@@ -33,7 +33,12 @@ const EXPECTED_KEYS: [&str; 12] = [
     "D2-alloc|crates/det/src/hot.rs|hot_in|0",
     "D2-alloc|crates/det/src/hot.rs|hot_in|1",
     "D2-alloc|crates/det/src/hot.rs|hot_in|2",
+    "D2-alloc|crates/det/src/hot.rs|stage_buffer|0",
     "D4-gate|crates/det/src/lib.rs|det|0",
+    "D5-panic|crates/det/src/panics.rs|lookup_hot|0",
+    "D5-panic|crates/det/src/panics.rs|lookup_hot|1",
+    "callgraph-unresolved|crates/det/src/panics.rs|dispatch_hot|0",
+    "D1-clock-reach|crates/det/src/telemetry.rs|bump_smuggled|0",
     "D1-timing|crates/det/src/telemetry.rs|Instant|0",
     "D4-safety|crates/det/src/unsafety.rs|unsafe|0",
     "D3-wrapper|crates/det/src/wrappers.rs|route|0",
@@ -46,6 +51,70 @@ fn fixture_workspace_produces_exactly_the_expected_findings() {
     assert_eq!(keys, EXPECTED_KEYS, "finding set drifted");
     assert_eq!(report.new_count(), EXPECTED_KEYS.len());
     assert_eq!(report.exit_code(), 1);
+}
+
+/// The acceptance pair for the interprocedural engine: the per-fn D2 pass
+/// sees nothing in `deep_in` (its own body is clean), while the
+/// call-graph engine attributes the allocation one call deep with the
+/// `root → … → offender` chain.
+#[test]
+fn transitive_d2_catches_what_per_fn_missed() {
+    let src = std::fs::read_to_string(mini_root().join("crates/det/src/hot.rs")).unwrap();
+    let f = rules::FileAnalysis::new("crates/det/src/hot.rs", &src);
+    let mut old = Vec::new();
+    rules::check_zero_alloc(&f, "deep_in", &mut old);
+    assert!(old.is_empty(), "per-fn engine must see nothing: {old:#?}");
+
+    let report = run(&mini_root(), &mini_cfg(), &BTreeSet::new()).unwrap();
+    let hit = report
+        .findings
+        .iter()
+        .find(|k| k.key == "D2-alloc|crates/det/src/hot.rs|stage_buffer|0")
+        .expect("transitive engine must find the staged allocation");
+    assert_eq!(
+        hit.finding.chain.as_deref(),
+        Some("deep_in → stage_buffer"),
+        "chain attribution"
+    );
+    // Findings directly inside a root carry no chain.
+    let direct = report
+        .findings
+        .iter()
+        .find(|k| k.key == "D2-alloc|crates/det/src/hot.rs|hot_in|0")
+        .unwrap();
+    assert!(direct.finding.chain.is_none());
+}
+
+/// D5-index is opt-in: the default config draws no indexing findings,
+/// `[panic_freedom] indexing = true` flags the postfix index in `probe`.
+#[test]
+fn indexing_policy_is_config_gated() {
+    let report = run(&mini_root(), &mini_cfg(), &BTreeSet::new()).unwrap();
+    assert!(
+        !report.findings.iter().any(|k| k.finding.rule == "D5-index"),
+        "indexing findings with the policy off"
+    );
+
+    let mut src = std::fs::read_to_string(mini_root().join("lint.toml")).unwrap();
+    src.push_str("\n[panic_freedom]\nindexing = true\n");
+    let cfg = config::parse(&src).unwrap();
+    let report = run(&mini_root(), &cfg, &BTreeSet::new()).unwrap();
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|k| k.key == "D5-index|crates/det/src/panics.rs|probe|0"),
+        "indexing finding missing with the policy on"
+    );
+}
+
+#[test]
+fn dot_subcommand_renders_the_closure() {
+    let dot = render_dot(&mini_root(), "deep_in").unwrap().unwrap();
+    assert!(dot.starts_with("digraph"), "{dot}");
+    assert!(dot.contains("deep_in") && dot.contains("stage_buffer"));
+    assert!(dot.contains("->"));
+    assert!(render_dot(&mini_root(), "no_such_fn").unwrap().is_err());
 }
 
 #[test]
@@ -80,13 +149,15 @@ fn json_report_has_the_machine_readable_shape() {
     for key in EXPECTED_KEYS {
         assert!(js.contains(key), "missing key {key} in JSON");
     }
-    // Every finding row carries the full field set.
+    // Every finding row carries the full field set — `chain` included,
+    // null for per-file findings and a string for transitive ones.
     for field in [
         "\"rule\"",
         "\"path\"",
         "\"line\"",
         "\"ident\"",
         "\"baselined\"",
+        "\"chain\"",
         "\"message\"",
     ] {
         assert_eq!(
@@ -95,6 +166,8 @@ fn json_report_has_the_machine_readable_shape() {
             "field {field} count"
         );
     }
+    assert!(js.contains("\"chain\": null"));
+    assert!(js.contains("\"chain\": \"deep_in → stage_buffer\""));
 }
 
 #[test]
@@ -111,4 +184,11 @@ fn real_repository_is_clean_against_its_committed_config() {
         .map(|k| format!("{}:{} {}", k.finding.path, k.finding.line, k.key))
         .collect();
     assert!(new.is_empty(), "new lint findings in the repo:\n{new:#?}");
+    // The committed baseline must hold no stale entries either — CI runs
+    // with --deny-stale.
+    assert!(
+        report.stale_baseline.is_empty(),
+        "stale baseline entries:\n{:#?}",
+        report.stale_baseline
+    );
 }

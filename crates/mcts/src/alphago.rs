@@ -244,6 +244,7 @@ impl AlphaGoMcts {
                 });
             }
             let node = &nodes[root as usize];
+            // lint: panic-ok(unreachable: the is_empty break above already filtered the edgeless case and nothing mutates the node in between)
             let best_edge = (0..node.edges.len())
                 .max_by(|&a, &b| {
                     let ea = &node.edges[a];

@@ -260,6 +260,7 @@ impl CombinatorialMcts {
                 if node.edges.is_empty() {
                     break; // expansion found no actions
                 }
+                // lint: panic-ok(unreachable: the is_empty break above already filtered the edgeless case)
                 (0..node.edges.len())
                     .max_by(|&a, &b| {
                         let ea = &node.edges[a];

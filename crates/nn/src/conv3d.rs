@@ -505,6 +505,7 @@ impl Conv3d {
     }
 
     fn backward_batch_impl(&mut self, grad_out: Tensor, ws: &mut NnWorkspace) -> Tensor {
+        // lint: panic-ok(caller-contract guard: backward without a prior forward is API misuse and must fail loudly, not compute garbage gradients)
         let xc = self
             .cache_input
             .take()
@@ -1026,6 +1027,7 @@ fn im2col_group<const K: usize, const D3: usize, const SEG: usize>(
     let mut dst = col0;
     for _ in r0..r1 {
         let src = base + (x * pd2 + y) * pd3;
+        // lint: panic-ok(the slice is exactly SEG long by construction, so the array conversion cannot fail; the expect only converts the type)
         let seg: &[f32; SEG] = xp[src..src + SEG].try_into().expect("segment length");
         for c in 0..K {
             let o0 = (g + c) * cols + dst;

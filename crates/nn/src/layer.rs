@@ -89,6 +89,7 @@ pub trait Layer {
     /// stack overrides it (a generic per-sample fallback would silently
     /// clobber single-sample caches and break `backward_batch_in`).
     fn forward_batch_in(&mut self, _x: &Tensor, _ws: &mut NnWorkspace) -> Tensor {
+        // lint: panic-ok(deliberately loud default: every layer in the batched stack overrides it, and a silent per-sample fallback would clobber single-sample caches)
         unimplemented!("layer has no batched forward path")
     }
 

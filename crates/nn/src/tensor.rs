@@ -81,6 +81,7 @@ impl Tensor {
     /// violates the non-empty invariant only transiently, until the pool
     /// calls [`Tensor::refit`].
     pub(crate) fn pool_seed() -> Tensor {
+        // lint: alloc-ok(capacity-0 husks touch no heap; refit reuses whatever storage the pool hands back)
         Tensor {
             shape: Vec::new(),
             data: Vec::new(),

@@ -286,6 +286,7 @@ impl Layer for UNet3d {
             cur = Some(pooled);
         }
         let mut cur = {
+            // lint: panic-ok(structural: UNetConfig validates levels >= 1, so the encoder loop always ran and `cur` is Some)
             let t = cur.expect("levels > 0");
             ws.set_mac_slot(Counter::MacsBottleneck);
             let b = self.bottleneck.forward_in(&t, ws);
@@ -294,6 +295,7 @@ impl Layer for UNet3d {
         };
         for i in (0..self.config.levels).rev() {
             ws.set_mac_slot(Counter::dec_macs(i));
+            // lint: panic-ok(structural: the encoder pushed exactly `levels` skips in this same call and the decoder pops each level once)
             let skip = self.scratch.pop().expect("one skip per level");
             let (s0, s1, s2, s3) = {
                 let s = skip.shape();
@@ -382,6 +384,7 @@ impl Layer for UNet3d {
             cur = Some(pooled);
         }
         let mut cur = {
+            // lint: panic-ok(structural: UNetConfig validates levels >= 1, so the encoder loop always ran and `cur` is Some)
             let t = cur.expect("levels > 0");
             ws.set_mac_slot(Counter::MacsBottleneck);
             let b = self.bottleneck.forward_batch_in(&t, ws);
@@ -390,6 +393,7 @@ impl Layer for UNet3d {
         };
         for i in (0..self.config.levels).rev() {
             ws.set_mac_slot(Counter::dec_macs(i));
+            // lint: panic-ok(structural: the encoder pushed exactly `levels` skips in this same call and the decoder pops each level once)
             let skip = self.scratch.pop().expect("one skip per level");
             let (s0, sb, s1, s2, s3) = {
                 let s = skip.shape();

@@ -78,6 +78,7 @@ impl RouteTree {
     ///
     /// Panics if `a` and `b` are not grid neighbors.
     pub fn add_edge(&mut self, graph: &HananGraph, a: GridPoint, b: GridPoint) -> bool {
+        // lint: panic-ok(documented caller contract — see # Panics above; a non-adjacent edge is a corrupt tree and must not be silently priced)
         let w = graph
             .edge_cost(a, b)
             .expect("route tree edges must connect grid neighbors");
@@ -101,6 +102,7 @@ impl RouteTree {
             self.edges.retain(|&e| e != key);
             let pa = graph.point(key.0 as usize);
             let pb = graph.point(key.1 as usize);
+            // lint: panic-ok(structural: the key came out of edge_set, so add_edge already proved adjacency when it was inserted)
             self.cost -= graph
                 .edge_cost(pa, pb)
                 .expect("stored edges connect grid neighbors");
