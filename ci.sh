@@ -35,8 +35,8 @@ cargo check -q -p oarsmt-repro --features simd
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "==> counter determinism (bit-identical totals across thread counts)"
-cargo test -q --test parallel_determinism search_counter_totals
+echo "==> counter determinism (bit-identical totals across thread counts, trace recorder armed)"
+cargo test -q --test parallel_determinism counter_totals
 
 echo "==> allocation sanitizer (zero steady-state allocs on registered hot paths, both kernel lanes)"
 cargo test --release -q -p oarsmt-lint --features alloc-count,simd --test alloc_sanitizer
@@ -73,6 +73,46 @@ cargo run --release -q -p oarsmt-repro --bin oarsmt -- report \
     target/BENCH_critic_smoke.json > /dev/null
 cargo run --release -q -p oarsmt-repro --bin oarsmt -- report \
     target/BENCH_critic_smoke.json target/BENCH_unet_smoke.json > /dev/null
+
+echo "==> regression gate (report --check: quick smokes vs committed baselines under report.toml)"
+cargo run --release -q -p oarsmt-repro --bin oarsmt -- report --check \
+    target/BENCH_critic_smoke.json \
+    crates/bench/artifacts/BENCH_critic_quick_baseline.json --policy report.toml
+cargo run --release -q -p oarsmt-repro --bin oarsmt -- report --check \
+    target/BENCH_dijkstra_smoke.json \
+    crates/bench/artifacts/BENCH_dijkstra_quick_baseline.json --policy report.toml
+# The gate must actually gate: a perturbed counter in a copy of the
+# artifact has to fail the check with a nonzero exit.
+sed '/"record":"counter","name":"dijkstra_pops"/s/"value":[0-9]*/"value":1/' \
+    target/BENCH_critic_smoke.json > target/BENCH_critic_perturbed.json
+if cargo run --release -q -p oarsmt-repro --bin oarsmt -- report --check \
+    target/BENCH_critic_perturbed.json \
+    crates/bench/artifacts/BENCH_critic_quick_baseline.json \
+    --policy report.toml > /dev/null 2>&1; then
+    echo "ERROR: report --check passed a perturbed counter" >&2
+    exit 1
+fi
+
+echo "==> trace smoke (flight-record a route, export + verify Chrome trace_event JSON)"
+cargo run --release -q -p oarsmt-repro --bin oarsmt -- \
+    gen 8 8 2 4 42 target/trace_case.json > /dev/null
+cargo run --release -q -p oarsmt-repro --bin oarsmt -- \
+    trace target/trace_case.json --out target/trace_smoke.json > /dev/null
+cargo run --release -q -p oarsmt-repro --bin oarsmt -- \
+    trace --verify target/trace_smoke.json
+
+echo "==> runlog round-trip (bench writes runs/<id>/metrics.jsonl, report renders it)"
+rm -rf target/runs/ci-smoke
+cargo run --release -q -p oarsmt-bench --bin critic_throughput -- --quick \
+    --out target/BENCH_critic_runlog_smoke.json \
+    --runlog target/runs/ci-smoke > /dev/null
+cargo run --release -q -p oarsmt-repro --bin oarsmt -- report \
+    target/runs/ci-smoke > /dev/null
+
+echo "==> BENCH_summary.json (regenerate from committed artifacts, must match the committed file)"
+cargo run --release -q -p oarsmt-repro --bin oarsmt -- report \
+    --summary crates/bench/artifacts --out target/BENCH_summary.json > /dev/null
+cmp target/BENCH_summary.json BENCH_summary.json
 
 echo "==> cargo doc --workspace --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps

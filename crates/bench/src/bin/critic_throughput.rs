@@ -25,7 +25,14 @@
 //! baseline values (quick mode runs a different workload, so only rates
 //! compare). Emits a `BENCH_critic.json` artifact.
 //!
-//! Usage: `critic_throughput [--quick] [--out PATH] [--baseline PATH]`
+//! Usage: `critic_throughput [--quick] [--out PATH] [--baseline PATH]
+//! [--trace FILE] [--runlog DIR]`
+//!
+//! `--trace FILE` flight-records the reused lane (each rung as a
+//! `bench_rung` span decomposing into the router's
+//! prepare/dijkstra/retrace phases) and exports Chrome `trace_event`
+//! JSON; `--runlog DIR` appends one rung record per ladder rung into
+//! `DIR/metrics.jsonl` for `oarsmt report`.
 
 #![forbid(unsafe_code)]
 
@@ -39,8 +46,10 @@ use oarsmt_geom::gen::TestSubsetSpec;
 use oarsmt_geom::HananGraph;
 use oarsmt_mcts::Critic;
 use oarsmt_router::RouteContext;
+use oarsmt_telemetry::runlog::RunLogger;
 use oarsmt_telemetry::{
-    Counter, CounterSet, Manifest, Span, SpanSet, SpanStart, TelemetrySnapshot, TIMING_ENABLED,
+    Counter, CounterSet, Manifest, Span, SpanSet, SpanStart, TelemetrySnapshot, TraceRecorder,
+    TIMING_ENABLED,
 };
 
 #[derive(Clone, Copy, PartialEq)]
@@ -112,15 +121,23 @@ fn sweep_layout(
 }
 
 /// Runs one rung in one mode over the deterministic layout sequence.
+/// With `trace`, the caller's flight recorder rides inside the rung's
+/// context (swapped in and out), bracketing the rung in a
+/// [`Span::BenchRung`] span.
 fn run_rung(
     spec: &TestSubsetSpec,
     mode: Mode,
     layouts_per_rung: usize,
     repeats: usize,
+    mut trace: Option<&mut TraceRecorder>,
 ) -> ModeResult {
     let critic = Critic::new();
     let mut selector = MedianHeuristicSelector::new();
     let mut ctx = RouteContext::new();
+    if let Some(rec) = trace.as_deref_mut() {
+        std::mem::swap(&mut ctx.trace, rec);
+    }
+    ctx.trace.begin(Span::BenchRung);
     let mut fsp_buf = Vec::new();
     let mut gen = spec.generator(0xDAC2024);
     let mut rollouts = 0usize;
@@ -155,6 +172,10 @@ fn run_rung(
             layouts += 1;
         }
     }
+    ctx.trace.end(Span::BenchRung);
+    if let Some(rec) = trace {
+        std::mem::swap(&mut ctx.trace, rec);
+    }
     ModeResult {
         rollouts,
         secs,
@@ -179,6 +200,18 @@ fn main() {
     let baseline = Artifact::load(&baseline_path)
         .map_err(|e| format!("{baseline_path}: {e}"))
         .expect("recorded baseline artifact");
+    let trace_path = arg_val("--trace");
+    let mut rec = TraceRecorder::new();
+    if trace_path.is_some() {
+        rec.enable(1 << 16);
+    }
+    let mut runlog = arg_val("--runlog").map(|dir| {
+        let p = std::path::Path::new(&dir);
+        let root = p.parent().filter(|r| !r.as_os_str().is_empty());
+        let id = p.file_name().and_then(|s| s.to_str()).unwrap_or("critic");
+        RunLogger::create(root.unwrap_or_else(|| std::path::Path::new(".")), id)
+            .expect("create runlog directory")
+    });
 
     let ladder = TestSubsetSpec::ladder();
     let rungs: Vec<TestSubsetSpec> = if quick {
@@ -188,6 +221,17 @@ fn main() {
     };
     let layouts_per_rung = if quick { 2 } else { 4 };
     let repeats = if quick { 1 } else { 3 };
+
+    let manifest = Manifest {
+        run: "critic_throughput".to_string(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        threads: 1,
+        seed: 0xDAC2024,
+        timing: TIMING_ENABLED,
+    };
+    if let Some(l) = runlog.as_mut() {
+        l.log_manifest(&manifest).expect("write runlog manifest");
+    }
 
     let mut table = Table::new([
         "subset",
@@ -203,8 +247,18 @@ fn main() {
     let mut spans_tot = SpanSet::new();
     let mut counters_tot = CounterSet::new();
     for spec in &rungs {
-        let fresh = run_rung(spec, Mode::Fresh, layouts_per_rung, repeats);
-        let reused = run_rung(spec, Mode::Reused, layouts_per_rung, repeats);
+        let fresh = run_rung(spec, Mode::Fresh, layouts_per_rung, repeats, None);
+        let reused = run_rung(
+            spec,
+            Mode::Reused,
+            layouts_per_rung,
+            repeats,
+            if trace_path.is_some() {
+                Some(&mut rec)
+            } else {
+                None
+            },
+        );
         assert_eq!(
             fresh.checksum.to_bits(),
             reused.checksum.to_bits(),
@@ -251,8 +305,35 @@ fn main() {
         tot.2 += reused.secs;
         spans_tot.merge_from(&reused.spans);
         counters_tot.merge_from(&reused.counters);
+        if let Some(l) = runlog.as_mut() {
+            l.log_rung(
+                spec.name,
+                "reused_rps",
+                reused_rps,
+                reused.secs,
+                &reused.counters,
+            )
+            .expect("write runlog rung");
+        }
         rows.push((spec.name, fresh, reused, speedup));
         eprintln!("[critic_throughput] {} done", spec.name);
+    }
+
+    if let Some(path) = &trace_path {
+        let events = rec.events_in_order();
+        std::fs::write(
+            path,
+            oarsmt_telemetry::tracing::to_chrome_json(&events, rec.dropped()),
+        )
+        .expect("write trace");
+        eprintln!(
+            "[critic_throughput] trace ({} events, {} dropped) -> {path}",
+            events.len(),
+            rec.dropped()
+        );
+    }
+    if let Some(l) = &runlog {
+        eprintln!("[critic_throughput] runlog -> {}", l.dir().display());
     }
 
     println!(
@@ -307,13 +388,7 @@ fn main() {
         ));
     }
     let snapshot = TelemetrySnapshot {
-        manifest: Manifest {
-            run: "critic_throughput".to_string(),
-            mode: if quick { "quick" } else { "full" }.to_string(),
-            threads: 1,
-            seed: 0xDAC2024,
-            timing: TIMING_ENABLED,
-        },
+        manifest,
         counters: counters_tot,
         spans: spans_tot,
     };

@@ -20,7 +20,11 @@
 //! Emits a `BENCH_dijkstra.json` artifact with per-rung wall-clock,
 //! speedups, op-count deltas, and an embedded telemetry snapshot.
 //!
-//! Usage: `dijkstra_bench [--quick] [--out PATH]`
+//! Usage: `dijkstra_bench [--quick] [--out PATH] [--trace FILE]`
+//!
+//! `--trace FILE` flight-records the Dial lane (each rung as a
+//! `bench_rung` span over the router's prepare/dijkstra/retrace phases)
+//! and exports Chrome `trace_event` JSON.
 
 #![forbid(unsafe_code)]
 
@@ -29,7 +33,9 @@ use std::time::Instant;
 use oarsmt_bench::Table;
 use oarsmt_geom::gen::TestSubsetSpec;
 use oarsmt_router::{OarmstRouter, QueuePolicy, RouteContext};
-use oarsmt_telemetry::{Counter, CounterSet, Manifest, SpanSet, TelemetrySnapshot, TIMING_ENABLED};
+use oarsmt_telemetry::{
+    Counter, CounterSet, Manifest, Span, SpanSet, TelemetrySnapshot, TraceRecorder, TIMING_ENABLED,
+};
 
 struct LaneResult {
     routes: usize,
@@ -47,9 +53,14 @@ fn run_lane(
     policy: QueuePolicy,
     layouts_per_rung: usize,
     repeats: usize,
+    mut trace: Option<&mut TraceRecorder>,
 ) -> LaneResult {
     let router = OarmstRouter::new().with_queue_policy(policy);
     let mut ctx = RouteContext::new();
+    if let Some(rec) = trace.as_deref_mut() {
+        std::mem::swap(&mut ctx.trace, rec);
+    }
+    ctx.trace.begin(Span::BenchRung);
     let mut gen = spec.generator(0xD1A17);
     let before = ctx.counters_total();
     let mut routes = 0usize;
@@ -77,6 +88,10 @@ fn run_lane(
             layouts += 1;
         }
     }
+    ctx.trace.end(Span::BenchRung);
+    if let Some(rec) = trace {
+        std::mem::swap(&mut ctx.trace, rec);
+    }
     LaneResult {
         routes,
         secs,
@@ -93,6 +108,14 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "crates/bench/artifacts/BENCH_dijkstra.json".to_string());
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned());
+    let mut rec = TraceRecorder::new();
+    if trace_path.is_some() {
+        rec.enable(1 << 16);
+    }
 
     let ladder = TestSubsetSpec::ladder();
     let rungs: Vec<TestSubsetSpec> = if quick {
@@ -116,9 +139,19 @@ fn main() {
     let mut counters_tot = CounterSet::new();
     let mut tot = (0usize, 0.0f64, 0.0f64, 0.0f64); // routes, heap, dial, astar secs
     for spec in &rungs {
-        let heap = run_lane(spec, QueuePolicy::Heap, layouts_per_rung, repeats);
-        let dial = run_lane(spec, QueuePolicy::Dial, layouts_per_rung, repeats);
-        let astar = run_lane(spec, QueuePolicy::AStar, layouts_per_rung, repeats);
+        let heap = run_lane(spec, QueuePolicy::Heap, layouts_per_rung, repeats, None);
+        let dial = run_lane(
+            spec,
+            QueuePolicy::Dial,
+            layouts_per_rung,
+            repeats,
+            if trace_path.is_some() {
+                Some(&mut rec)
+            } else {
+                None
+            },
+        );
+        let astar = run_lane(spec, QueuePolicy::AStar, layouts_per_rung, repeats, None);
 
         // §12.3: Dial is the heap, bit for bit — results and op counts.
         assert_eq!(
@@ -167,6 +200,20 @@ fn main() {
         counters_tot.merge_from(&dial.counters);
         rows.push((spec.name, heap, dial, astar));
         eprintln!("[dijkstra_bench] {} done", spec.name);
+    }
+
+    if let Some(path) = &trace_path {
+        let events = rec.events_in_order();
+        std::fs::write(
+            path,
+            oarsmt_telemetry::tracing::to_chrome_json(&events, rec.dropped()),
+        )
+        .expect("write trace");
+        eprintln!(
+            "[dijkstra_bench] trace ({} events, {} dropped) -> {path}",
+            events.len(),
+            rec.dropped()
+        );
     }
 
     println!(

@@ -7,20 +7,35 @@
 //! selection time grows mildly (one inference per layout regardless of the
 //! pin count).
 
+//! `--trace FILE` exports a Chrome `trace_event` JSON of the ladder: one
+//! `bench_rung` span per subset, decomposed into the baseline/select/route
+//! phase totals the harness already times (reconstructed via
+//! `begin_at`/`end_at`, so it works in every build; per-layout detail is
+//! not recorded).
+
 #![forbid(unsafe_code)]
 
 use oarsmt::parallel;
 use oarsmt_bench::{harness, Table};
 use oarsmt_geom::gen::TestSubsetSpec;
-use oarsmt_telemetry::Span;
+use oarsmt_telemetry::{tracing, Span, TraceRecorder};
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let flag = parallel::take_threads_flag(&mut args).unwrap_or_else(|e| {
-        eprintln!("{e}\nusage: table3 [--threads N]   (or OARSMT_THREADS=N)");
+        eprintln!("{e}\nusage: table3 [--threads N] [--trace FILE]   (or OARSMT_THREADS=N)");
         std::process::exit(2);
     });
     let threads = parallel::thread_count(flag);
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1).cloned());
+    let mut rec = TraceRecorder::new();
+    if trace_path.is_some() {
+        rec.enable(1024);
+    }
+    let mut t_ns: u64 = 0;
     println!("Table 3: runtime comparison between [14] and our router ({threads} threads)\n");
     let selector = harness::pretrained_selector();
     let mut table = Table::new([
@@ -49,8 +64,27 @@ fn main() {
             format!("{total:.5}"),
             format!("{:.1}x", base / total),
         ]);
+        let base_ns = result.spans.get(Span::PhaseBaseline).total_ns;
+        let select_ns = result.spans.get(Span::PhaseSelect).total_ns;
+        let route_ns = result.spans.get(Span::PhaseRoute).total_ns;
+        rec.begin_at(Span::BenchRung, t_ns);
+        rec.begin_at(Span::PhaseBaseline, t_ns);
+        rec.end_at(Span::PhaseBaseline, t_ns + base_ns);
+        t_ns += base_ns;
+        rec.begin_at(Span::PhaseSelect, t_ns);
+        rec.end_at(Span::PhaseSelect, t_ns + select_ns);
+        t_ns += select_ns;
+        rec.begin_at(Span::PhaseRoute, t_ns);
+        rec.end_at(Span::PhaseRoute, t_ns + route_ns);
+        t_ns += route_ns;
+        rec.end_at(Span::BenchRung, t_ns);
         eprintln!("[table3] {} done", result.name);
     }
     table.print();
+    if let Some(path) = &trace_path {
+        let events = rec.events_in_order();
+        std::fs::write(path, tracing::to_chrome_json(&events, rec.dropped())).expect("write trace");
+        eprintln!("[table3] trace ({} events) -> {path}", events.len());
+    }
     println!("\npaper: speedup 0.8x on T32 rising to ~75x on T512");
 }

@@ -119,6 +119,30 @@ fn hot_paths_are_allocation_free_in_steady_state() {
         "Tier A counters did not advance during the zero-alloc routes"
     );
 
+    // --- route_in with the flight recorder live: recording begin/end
+    // events into the preallocated ring is free — the warm loop stays at
+    // zero allocations with tracing enabled, and events actually land. ---
+    ctx.trace.enable(1024); // the one allocating call, outside the window
+    let tree = router.route_in(&mut ctx, &g, &candidates).unwrap();
+    ctx.recycle_tree(tree); // warm again post-enable
+    let traced_before = ctx.trace.len();
+    let (n, traced_cost) = allocs_during(|| {
+        let mut cost = 0.0;
+        for _ in 0..8 {
+            let tree = router.route_in(&mut ctx, &g, &candidates).unwrap();
+            cost = tree.cost();
+            ctx.recycle_tree(tree);
+        }
+        cost
+    });
+    assert_eq!(n, 0, "route_in allocated {n} times with tracing enabled");
+    assert_eq!(traced_cost, warm_cost, "tracing changed routing results");
+    assert!(
+        ctx.trace.len() > traced_before || ctx.trace.dropped() > 0,
+        "flight recorder recorded nothing during the traced routes"
+    );
+    ctx.trace.disable();
+
     // --- route_in under QueuePolicy::AStar: the f = g + h heap search and
     // its per-iteration target-hint rebuild are also allocation-free once
     // warm (the Auto default above already exercised the Dial bucket

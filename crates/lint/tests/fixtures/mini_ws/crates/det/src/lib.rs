@@ -9,5 +9,6 @@ pub mod determinism;
 pub mod hot;
 pub mod panics;
 pub mod telemetry;
+pub mod tracebuf;
 pub mod unsafety;
 pub mod wrappers;

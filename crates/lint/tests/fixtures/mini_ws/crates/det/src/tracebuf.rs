@@ -1,0 +1,42 @@
+//! Flight-recorder fixtures: a trace-record path that allocates per event
+//! (violation — recording rides inside the warm routing loop), and the
+//! bounded ring-buffer counterpart that overwrites preallocated slots
+//! (clean). Both are registered zero-alloc in the fixture `lint.toml`.
+
+/// Miniature trace event.
+#[derive(Clone, Copy, Default)]
+pub struct Event {
+    pub span: u32,
+    pub ts: u64,
+}
+
+/// Miniature flight recorder.
+#[derive(Default)]
+pub struct Recorder {
+    pub events: Vec<Event>,
+    pub labels: Vec<String>,
+    pub next: usize,
+    pub dropped: u64,
+}
+
+/// VIOLATION (D2-alloc): formats a label per event — the warm record path
+/// allocates a fresh `String` on every call.
+pub fn record_labeled(r: &mut Recorder, span: u32, ts: u64) {
+    r.labels.push(format!("span{span}"));
+    r.events.push(Event { span, ts });
+}
+
+/// CLEAN: the ring overwrites its preallocated slots (capacity is fixed
+/// when the recorder is enabled); a full ring drops the event instead of
+/// growing.
+pub fn record_ring(r: &mut Recorder, span: u32, ts: u64) {
+    let cap = r.events.len();
+    if cap == 0 {
+        r.dropped += 1;
+        return;
+    }
+    if let Some(slot) = r.events.get_mut(r.next) {
+        *slot = Event { span, ts };
+    }
+    r.next = (r.next + 1) % cap;
+}

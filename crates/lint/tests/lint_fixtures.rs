@@ -24,7 +24,7 @@ fn mini_cfg() -> config::Config {
 /// per deliberate violation; every clean counterpart must stay silent.
 /// Order follows the report sort: (path, line, rule, ident), with
 /// file-level findings (D2-missing, D4-forbid) anchored at line 1.
-const EXPECTED_KEYS: [&str; 17] = [
+const EXPECTED_KEYS: [&str; 18] = [
     "D4-forbid|crates/clean/src/lib.rs|clean|0",
     "D1-hash-iter|crates/det/src/determinism.rs|m|0",
     "D1-hash-iter|crates/det/src/determinism.rs|s|0",
@@ -40,6 +40,7 @@ const EXPECTED_KEYS: [&str; 17] = [
     "callgraph-unresolved|crates/det/src/panics.rs|dispatch_hot|0",
     "D1-clock-reach|crates/det/src/telemetry.rs|bump_smuggled|0",
     "D1-timing|crates/det/src/telemetry.rs|Instant|0",
+    "D2-alloc|crates/det/src/tracebuf.rs|record_labeled|0",
     "D4-safety|crates/det/src/unsafety.rs|unsafe|0",
     "D3-wrapper|crates/det/src/wrappers.rs|route|0",
 ];

@@ -22,7 +22,7 @@ use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_graph::dijkstra::{DijkstraWorkspace, SearchBounds};
 use oarsmt_graph::{GridAdjacency, StampMap, StampSet};
 use oarsmt_nn::NnWorkspace;
-use oarsmt_telemetry::{Counter, CounterSet};
+use oarsmt_telemetry::{Counter, CounterSet, TraceRecorder};
 
 use crate::tree::{RouteTree, TreeAdjacency};
 
@@ -177,6 +177,11 @@ pub struct RouteContext {
     /// tree-pool hits/misses, merged MCTS counters). Read the whole
     /// context's totals with [`RouteContext::counters_total`].
     pub counters: CounterSet,
+    /// Flight recorder for the routing phases (prepare / Dijkstra /
+    /// retrace). Disabled (capacity 0) by default so the hot path pays one
+    /// branch per phase; enable with `ctx.trace.enable(cap)` before the
+    /// queries of interest and export via `oarsmt trace`.
+    pub trace: TraceRecorder,
 }
 
 impl RouteContext {

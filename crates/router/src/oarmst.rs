@@ -15,6 +15,7 @@
 
 use oarsmt_geom::{GridPoint, HananGraph};
 use oarsmt_graph::QueuePolicy;
+use oarsmt_telemetry::Span;
 
 use crate::context::RouteContext;
 use crate::error::RouteError;
@@ -159,9 +160,11 @@ impl OarmstRouter {
         if pins.len() < 2 {
             return Err(RouteError::TooFewTerminals(pins.len()));
         }
+        ctx.trace.begin(Span::RoutePrepare);
         ctx.bind(graph);
         let mut kept = std::mem::take(&mut ctx.kept);
         dedup_candidates_in(ctx, graph, candidates, &mut kept);
+        ctx.trace.end(Span::RoutePrepare);
         let max_rounds = self.max_prune_rounds.unwrap_or(8);
         let mut tree = ctx.take_tree();
         if let Err(e) = self.build_once_in(ctx, graph, &kept, &mut tree) {
@@ -190,13 +193,16 @@ impl OarmstRouter {
         terminals.extend_from_slice(&kept);
         ctx.kept = kept;
         for _ in 0..self.polish_rounds {
-            match crate::retrace::polish_round_policy_in(
+            ctx.trace.begin(Span::RouteRetrace);
+            let round = crate::retrace::polish_round_policy_in(
                 ctx,
                 graph,
                 tree,
                 &terminals,
                 self.queue_policy,
-            ) {
+            );
+            ctx.trace.end(Span::RouteRetrace);
+            match round {
                 Ok((polished, improved)) => {
                     tree = polished;
                     if !improved {
@@ -261,9 +267,11 @@ impl OarmstRouter {
         if pins.len() < 2 {
             return Err(RouteError::TooFewTerminals(pins.len()));
         }
+        ctx.trace.begin(Span::RoutePrepare);
         ctx.bind(graph);
         let mut kept = std::mem::take(&mut ctx.kept);
         dedup_candidates_in(ctx, graph, candidates, &mut kept);
+        ctx.trace.end(Span::RoutePrepare);
         let mut tree = ctx.take_tree();
         let built = self.build_once_in(ctx, graph, &kept, &mut tree);
         ctx.kept = kept;
@@ -360,6 +368,7 @@ impl OarmstRouter {
                     }
                 }
             }
+            ctx.trace.begin(Span::RouteDijkstra);
             let searched = match bounds {
                 None => ctx.space.shortest_path_to_set_csr_policy_into(
                     graph,
@@ -380,6 +389,7 @@ impl OarmstRouter {
                     &mut ctx.path_buf,
                 ),
             };
+            ctx.trace.end(Span::RouteDijkstra);
             if let Err(e) = searched {
                 // Candidates sitting in walled-off pockets are simply
                 // dropped; only unreachable *pins* are fatal.

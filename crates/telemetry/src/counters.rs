@@ -242,6 +242,13 @@ impl CounterSet {
         self.vals[c as usize]
     }
 
+    /// Overwrites counter `c` with `v` (snapshot parsing: a re-read counter
+    /// record replaces the earlier value rather than accumulating).
+    #[inline]
+    pub fn set(&mut self, c: Counter, v: u64) {
+        self.vals[c as usize] = v;
+    }
+
     /// Adds every counter of `other` into `self`, index by index. Folding
     /// per-job deltas with this in index order is the thread-count-
     /// invariant reduction.

@@ -24,17 +24,37 @@
 //! into a [`TelemetrySnapshot`] with a line-oriented JSONL wire form that
 //! bench artifacts embed; [`report`] renders and diffs snapshots for the
 //! `oarsmt report` CLI subcommand.
+//!
+//! Three observability subsystems build on those tiers:
+//!
+//! * [`tracing`] — a bounded, pre-allocated ring-buffer flight recorder of
+//!   begin/end span events ([`TraceRecorder`]) with parent attribution and
+//!   Chrome `trace_event` JSON export (`oarsmt trace`). Recording is
+//!   alloc-free; timestamps are real only under `telemetry-timing`.
+//! * [`runlog`] — append-only JSONL run-metrics streams
+//!   (`runs/<run-id>/metrics.jsonl`): one [`StageStats`] record per
+//!   training stage / bench rung, plus counter deltas, rendered and diffed
+//!   by `oarsmt report`.
+//! * [`check`] — the CI regression gate (`oarsmt report --check`):
+//!   deterministic counters must stay bit-identical, wall-clock metrics
+//!   within per-metric bands from a `report.toml` [`Policy`].
 
 #![forbid(unsafe_code)]
 
+pub mod check;
 pub mod counters;
 pub mod report;
+pub mod runlog;
 pub mod snapshot;
 pub mod timing;
+pub mod tracing;
 
+pub use check::{CheckReport, MetricPolicy, Policy, Violation};
 pub use counters::{Counter, CounterSet, COUNTER_NAMES, NUM_COUNTERS};
+pub use runlog::{RunLog, RunLogger, RungRecord, StageRecord, StageStats};
 pub use snapshot::{Manifest, TelemetrySnapshot};
 pub use timing::{Span, SpanHist, SpanSet, SpanStart, NUM_SPANS, SPAN_BUCKETS, SPAN_NAMES};
+pub use tracing::{SpanAgg, TraceEvent, TraceKind, TraceRecorder};
 
 /// Whether Tier B actually reads clocks in this build (the
 /// `telemetry-timing` feature). When `false`, [`SpanStart::now`] and

@@ -45,8 +45,20 @@ fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Truncates a payload for an error message (parse failures quote the
+/// offending line, but artifact lines can be arbitrarily long).
+fn trunc(line: &str) -> String {
+    const MAX: usize = 60;
+    if line.chars().count() <= MAX {
+        line.to_string()
+    } else {
+        let cut: String = line.chars().take(MAX).collect();
+        format!("{cut}…")
+    }
+}
+
 /// Extracts the string value of `"key":"…"` from a JSON line.
-fn json_str(line: &str, key: &str) -> Option<String> {
+pub(crate) fn json_str(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":\"");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -63,12 +75,24 @@ fn json_str(line: &str, key: &str) -> Option<String> {
 }
 
 /// Extracts the numeric value of `"key":<digits>` from a JSON line.
-fn json_u64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn json_u64(line: &str, key: &str) -> Option<u64> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let digits: String = line[start..]
         .chars()
         .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Extracts the numeric value of `"key":<number>` from a JSON line,
+/// accepting the full float syntax (sign, fraction, exponent).
+pub(crate) fn json_f64(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
         .collect();
     digits.parse().ok()
 }
@@ -147,10 +171,17 @@ impl TelemetrySnapshot {
     /// ignored, which is what lets this read an embedded snapshot straight
     /// out of a `BENCH_*.json` file.
     ///
+    /// When the input holds more than one snapshot, the **last one wins**:
+    /// a second `manifest` record resets the counters and spans gathered so
+    /// far, and a repeated counter record overwrites (not accumulates) the
+    /// earlier value. This makes concatenated logs and re-appended
+    /// artifacts parse to their most recent state.
+    ///
     /// # Errors
     ///
-    /// Returns a message naming the first malformed telemetry record, or
-    /// when no `manifest` record is present at all.
+    /// Returns a message naming the first malformed telemetry record —
+    /// line number plus a truncated copy of the offending payload — or when
+    /// no `manifest` record is present at all.
     pub fn from_jsonl(src: &str) -> Result<TelemetrySnapshot, String> {
         let mut snap = TelemetrySnapshot::default();
         let mut saw_manifest = false;
@@ -162,9 +193,14 @@ impl TelemetrySnapshot {
             let lineno = i + 1;
             match kind.as_str() {
                 "manifest" => {
+                    // Last snapshot wins: a new manifest starts over.
+                    if saw_manifest {
+                        snap = TelemetrySnapshot::default();
+                    }
                     snap.manifest = Manifest {
-                        run: json_str(line, "run")
-                            .ok_or_else(|| format!("line {lineno}: manifest missing `run`"))?,
+                        run: json_str(line, "run").ok_or_else(|| {
+                            format!("line {lineno}: manifest missing `run` in `{}`", trunc(line))
+                        })?,
                         mode: json_str(line, "mode").unwrap_or_default(),
                         threads: json_u64(line, "threads").unwrap_or(0) as usize,
                         seed: json_u64(line, "seed").unwrap_or(0),
@@ -173,23 +209,35 @@ impl TelemetrySnapshot {
                     saw_manifest = true;
                 }
                 "counter" => {
-                    let name = json_str(line, "name")
-                        .ok_or_else(|| format!("line {lineno}: counter missing `name`"))?;
-                    let value = json_u64(line, "value")
-                        .ok_or_else(|| format!("line {lineno}: counter missing `value`"))?;
+                    let name = json_str(line, "name").ok_or_else(|| {
+                        format!("line {lineno}: counter missing `name` in `{}`", trunc(line))
+                    })?;
+                    let value = json_u64(line, "value").ok_or_else(|| {
+                        format!(
+                            "line {lineno}: counter missing `value` in `{}`",
+                            trunc(line)
+                        )
+                    })?;
                     if let Some(c) = Counter::from_name(&name) {
-                        snap.counters.add(c, value);
+                        snap.counters.set(c, value);
                     }
                 }
                 "span" => {
-                    let name = json_str(line, "name")
-                        .ok_or_else(|| format!("line {lineno}: span missing `name`"))?;
-                    let count = json_u64(line, "count")
-                        .ok_or_else(|| format!("line {lineno}: span missing `count`"))?;
-                    let total_ns = json_u64(line, "total_ns")
-                        .ok_or_else(|| format!("line {lineno}: span missing `total_ns`"))?;
-                    let buckets = json_u64_array(line, "buckets")
-                        .ok_or_else(|| format!("line {lineno}: span missing `buckets`"))?;
+                    let name = json_str(line, "name").ok_or_else(|| {
+                        format!("line {lineno}: span missing `name` in `{}`", trunc(line))
+                    })?;
+                    let count = json_u64(line, "count").ok_or_else(|| {
+                        format!("line {lineno}: span missing `count` in `{}`", trunc(line))
+                    })?;
+                    let total_ns = json_u64(line, "total_ns").ok_or_else(|| {
+                        format!(
+                            "line {lineno}: span missing `total_ns` in `{}`",
+                            trunc(line)
+                        )
+                    })?;
+                    let buckets = json_u64_array(line, "buckets").ok_or_else(|| {
+                        format!("line {lineno}: span missing `buckets` in `{}`", trunc(line))
+                    })?;
                     if let Some(s) = Span::from_name(&name) {
                         let mut h = SpanHist {
                             count,
@@ -283,6 +331,51 @@ mod tests {
         assert!(TelemetrySnapshot::from_jsonl("not telemetry\n").is_err());
         let bad = "{\"record\":\"counter\",\"name\":\"dijkstra_pops\"}\n";
         assert!(TelemetrySnapshot::from_jsonl(bad).is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_number_and_payload() {
+        let wire = "{\"record\":\"manifest\",\"run\":\"x\",\"mode\":\"\",\"threads\":1,\"seed\":0,\"timing\":false}\n\
+                    {\"record\":\"counter\",\"name\":\"dijkstra_pops\"}\n";
+        let err = TelemetrySnapshot::from_jsonl(wire).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("dijkstra_pops"), "payload missing: {err}");
+        // Long payloads are truncated, not quoted wholesale.
+        let long = format!(
+            "{{\"record\":\"counter\",\"name\":\"dijkstra_pops\",\"pad\":\"{}\"}}\n",
+            "x".repeat(500)
+        );
+        let wire = format!("{}{long}", wire.lines().next().unwrap().to_owned() + "\n");
+        let err = TelemetrySnapshot::from_jsonl(&wire).unwrap_err();
+        assert!(err.contains('…'), "{err}");
+        assert!(err.len() < 200, "error not truncated: {}", err.len());
+    }
+
+    #[test]
+    fn last_snapshot_wins_on_concatenated_input() {
+        let mut first = sample();
+        first.manifest.run = "old".to_string();
+        let mut second = TelemetrySnapshot {
+            manifest: Manifest {
+                run: "new".to_string(),
+                ..Manifest::default()
+            },
+            ..TelemetrySnapshot::default()
+        };
+        second.counters.add(Counter::DijkstraPops, 7);
+        let wire = format!("{}{}", first.to_jsonl(), second.to_jsonl());
+        let back = TelemetrySnapshot::from_jsonl(&wire).unwrap();
+        assert_eq!(back, second, "second manifest must reset state");
+        assert_eq!(back.counters.get(Counter::GemmPanel), 0);
+    }
+
+    #[test]
+    fn duplicate_counter_records_overwrite_not_accumulate() {
+        let wire = "{\"record\":\"manifest\",\"run\":\"x\",\"mode\":\"\",\"threads\":1,\"seed\":0,\"timing\":false}\n\
+                    {\"record\":\"counter\",\"name\":\"dijkstra_pops\",\"value\":5}\n\
+                    {\"record\":\"counter\",\"name\":\"dijkstra_pops\",\"value\":9}\n";
+        let snap = TelemetrySnapshot::from_jsonl(wire).unwrap();
+        assert_eq!(snap.counters.get(Counter::DijkstraPops), 9);
     }
 
     #[test]

@@ -54,10 +54,24 @@ pub enum Span {
     NnUpFwd,
     /// Upsample backward.
     NnUpBwd,
+    /// Router: per-query preparation (bind + candidate dedup).
+    RoutePrepare,
+    /// Router: one multi-source maze (Dijkstra) query of the Prim loop.
+    RouteDijkstra,
+    /// Router: one path-assessed polish round (retrace).
+    RouteRetrace,
+    /// Trainer: one full training stage (generation + fit).
+    TrainStage,
+    /// Trainer: sample-generation share of a stage.
+    TrainGen,
+    /// Trainer: optimizer-fit share of a stage.
+    TrainFit,
+    /// Bench harness: one benchmark rung end to end.
+    BenchRung,
 }
 
 /// Number of [`Span`] variants.
-pub const NUM_SPANS: usize = 15;
+pub const NUM_SPANS: usize = 22;
 
 /// Snake-case wire names, indexed by [`Span`] discriminant.
 pub const SPAN_NAMES: [&str; NUM_SPANS] = [
@@ -76,6 +90,13 @@ pub const SPAN_NAMES: [&str; NUM_SPANS] = [
     "nn_pool_bwd",
     "nn_up_fwd",
     "nn_up_bwd",
+    "route_prepare",
+    "route_dijkstra",
+    "route_retrace",
+    "train_stage",
+    "train_gen",
+    "train_fit",
+    "bench_rung",
 ];
 
 /// All spans in discriminant order.
@@ -95,7 +116,22 @@ pub const ALL_SPANS: [Span; NUM_SPANS] = [
     Span::NnPoolBwd,
     Span::NnUpFwd,
     Span::NnUpBwd,
+    Span::RoutePrepare,
+    Span::RouteDijkstra,
+    Span::RouteRetrace,
+    Span::TrainStage,
+    Span::TrainGen,
+    Span::TrainFit,
+    Span::BenchRung,
 ];
+
+/// Default span (the zeroed slot value of the trace ring buffer; never
+/// observable through the recorder API, which tracks the valid prefix).
+impl Default for Span {
+    fn default() -> Self {
+        Span::PhaseBaseline
+    }
+}
 
 impl Span {
     /// Parses a wire name back to the span.

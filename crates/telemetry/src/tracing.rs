@@ -1,0 +1,551 @@
+//! Tier B: a bounded ring-buffer flight recorder of begin/end span events.
+//!
+//! Where [`crate::timing`] aggregates durations into per-span histograms,
+//! this module keeps the *sequence*: every [`TraceRecorder::begin`] /
+//! [`TraceRecorder::end`] pair is one [`TraceEvent`] with a timestamp
+//! relative to the recorder's enable mark and the nesting depth at record
+//! time. Nesting is what buys hierarchy — a `critic_route` span decomposes
+//! into its `route_prepare` / `route_dijkstra` / `route_retrace` children,
+//! and [`summarize`] splits each span's total into self vs child time.
+//!
+//! The recorder obeys the same tier discipline as the histograms: the only
+//! clock read is [`SpanStart::elapsed_ns`] against the enable-time origin,
+//! so without the `telemetry-timing` feature every timestamp is zero (the
+//! event *sequence* is still recorded, which is what the determinism tests
+//! exercise). The buffer is allocated once by [`TraceRecorder::enable`];
+//! the record path is a cursor write into that buffer — alloc-free and
+//! panic-free, registered in `lint.toml` and measured by the alloc-count
+//! sanitizer. When the ring fills, the oldest events are overwritten and
+//! counted in [`TraceRecorder::dropped`]: a flight recorder keeps the most
+//! recent window, never stalls the hot loop.
+//!
+//! [`to_chrome_json`] exports an event list as Chrome `trace_event` JSON
+//! (load in `chrome://tracing` or Perfetto). The export re-balances the
+//! stream — orphan `E` events whose `B` was overwritten are skipped, spans
+//! still open at the end are closed at the last timestamp — so the output
+//! is always well-formed; [`verify_chrome`] checks exactly that property
+//! and backs the `oarsmt trace --verify` CI smoke.
+
+use crate::timing::{Span, SpanStart, SPAN_NAMES};
+
+/// Whether a [`TraceEvent`] opens or closes a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceKind {
+    /// Span opens (`ph: "B"`).
+    #[default]
+    Begin,
+    /// Span closes (`ph: "E"`).
+    End,
+}
+
+/// One recorded begin/end event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceEvent {
+    /// The span this event opens or closes.
+    pub span: Span,
+    /// Begin or end.
+    pub kind: TraceKind,
+    /// Nanoseconds since the recorder was enabled (zero without the
+    /// `telemetry-timing` feature, or for events injected with an explicit
+    /// timestamp of zero).
+    pub ts_ns: u64,
+    /// Nesting depth at record time (a begin at depth `d` nests inside `d`
+    /// open spans; its matching end carries the same `d`).
+    pub depth: u32,
+}
+
+/// The bounded flight recorder. `Default` is a disabled, zero-capacity
+/// recorder whose record calls are branch-and-return — cheap enough to
+/// leave embedded in every `RouteContext`.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    events: Vec<TraceEvent>,
+    /// Next write slot.
+    next: usize,
+    /// Whether the ring has wrapped at least once.
+    wrapped: bool,
+    /// Events overwritten after the ring filled.
+    dropped: u64,
+    /// Current nesting depth.
+    depth: u32,
+    /// Timestamp origin, marked at enable time.
+    origin: SpanStart,
+    enabled: bool,
+}
+
+impl TraceRecorder {
+    /// A disabled recorder (no buffer; record calls are no-ops).
+    #[must_use]
+    pub fn new() -> Self {
+        TraceRecorder::default()
+    }
+
+    /// A recorder enabled with the given ring capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut r = TraceRecorder::default();
+        r.enable(capacity);
+        r
+    }
+
+    /// Enables recording into a freshly allocated ring of `capacity`
+    /// events and marks the timestamp origin. This is the *one* allocating
+    /// call of the recorder lifecycle; a zero capacity leaves it disabled.
+    pub fn enable(&mut self, capacity: usize) {
+        self.events.clear();
+        self.events.resize(capacity, TraceEvent::default());
+        self.next = 0;
+        self.wrapped = false;
+        self.dropped = 0;
+        self.depth = 0;
+        self.origin = SpanStart::now();
+        self.enabled = capacity > 0;
+    }
+
+    /// Stops recording, keeping the buffer contents readable.
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether record calls currently store events.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Ring capacity in events.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of events currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        if self.wrapped {
+            self.events.len()
+        } else {
+            self.next
+        }
+    }
+
+    /// Whether no events are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events overwritten after the ring filled.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Writes one event at the cursor. Alloc-free: the ring was sized by
+    /// [`TraceRecorder::enable`] and is never grown here.
+    #[inline]
+    fn push(&mut self, span: Span, kind: TraceKind, ts_ns: u64, depth: u32) {
+        if self.wrapped {
+            self.dropped += 1;
+        }
+        let next = self.next;
+        if let Some(slot) = self.events.get_mut(next) {
+            *slot = TraceEvent {
+                span,
+                kind,
+                ts_ns,
+                depth,
+            };
+        }
+        self.next = next + 1;
+        if self.next >= self.events.len() {
+            self.next = 0;
+            self.wrapped = true;
+        }
+    }
+
+    /// Records a span begin at "now" (relative to the enable mark) and
+    /// deepens the nesting. No-op when disabled.
+    #[inline]
+    pub fn begin(&mut self, span: Span) {
+        if !self.enabled {
+            return;
+        }
+        let ts = self.origin.elapsed_ns();
+        let depth = self.depth;
+        self.depth += 1;
+        self.push(span, TraceKind::Begin, ts, depth);
+    }
+
+    /// Records a span end at "now" and unwinds the nesting. No-op when
+    /// disabled.
+    #[inline]
+    pub fn end(&mut self, span: Span) {
+        if !self.enabled {
+            return;
+        }
+        let ts = self.origin.elapsed_ns();
+        self.depth = self.depth.saturating_sub(1);
+        let depth = self.depth;
+        self.push(span, TraceKind::End, ts, depth);
+    }
+
+    /// Records a begin with an externally measured timestamp. Deterministic
+    /// in its arguments, like `SpanSet::record_ns`: harnesses that measure
+    /// on one side of a thread boundary (or reconstruct a timeline from
+    /// stage reports) inject events here. No-op when disabled.
+    #[inline]
+    pub fn begin_at(&mut self, span: Span, ts_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        let depth = self.depth;
+        self.depth += 1;
+        self.push(span, TraceKind::Begin, ts_ns, depth);
+    }
+
+    /// Records an end with an externally measured timestamp (see
+    /// [`TraceRecorder::begin_at`]). No-op when disabled.
+    #[inline]
+    pub fn end_at(&mut self, span: Span, ts_ns: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.depth = self.depth.saturating_sub(1);
+        let depth = self.depth;
+        self.push(span, TraceKind::End, ts_ns, depth);
+    }
+
+    /// The held events, oldest first (unwraps the ring).
+    #[must_use]
+    pub fn events_in_order(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.len());
+        if self.wrapped {
+            out.extend_from_slice(&self.events[self.next..]);
+            out.extend_from_slice(&self.events[..self.next]);
+        } else {
+            out.extend_from_slice(&self.events[..self.next]);
+        }
+        out
+    }
+}
+
+/// Per-span aggregate over one event stream: call count, inclusive total,
+/// and self time (total minus the time spent in nested child spans).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// The span.
+    pub span: Span,
+    /// Completed begin/end pairs.
+    pub count: u64,
+    /// Inclusive nanoseconds (children included).
+    pub total_ns: u64,
+    /// Exclusive nanoseconds (children subtracted).
+    pub self_ns: u64,
+}
+
+/// Aggregates an ordered event stream into per-span totals with parent
+/// attribution, in [`Span`] registry order. Orphan ends (begin lost to the
+/// ring) and unclosed begins are skipped — only completed pairs count.
+#[must_use]
+pub fn summarize(events: &[TraceEvent]) -> Vec<SpanAgg> {
+    use crate::timing::{ALL_SPANS, NUM_SPANS};
+    let mut count = [0u64; NUM_SPANS];
+    let mut total = [0u64; NUM_SPANS];
+    let mut own = [0u64; NUM_SPANS];
+    // Open-span stack: (span, begin ts, child time accumulated so far).
+    let mut stack: Vec<(Span, u64, u64)> = Vec::new();
+    for ev in events {
+        match ev.kind {
+            TraceKind::Begin => stack.push((ev.span, ev.ts_ns, 0)),
+            TraceKind::End => {
+                let Some(&(span, t0, child_ns)) = stack.last() else {
+                    continue; // orphan end: begin overwritten
+                };
+                if span != ev.span {
+                    continue; // mismatched nesting across a ring truncation
+                }
+                stack.pop();
+                let dur = ev.ts_ns.saturating_sub(t0);
+                let i = span as usize;
+                count[i] += 1;
+                total[i] = total[i].saturating_add(dur);
+                own[i] = own[i].saturating_add(dur.saturating_sub(child_ns));
+                if let Some(parent) = stack.last_mut() {
+                    parent.2 = parent.2.saturating_add(dur);
+                }
+            }
+        }
+    }
+    ALL_SPANS
+        .iter()
+        .filter(|&&s| count[s as usize] > 0)
+        .map(|&s| SpanAgg {
+            span: s,
+            count: count[s as usize],
+            total_ns: total[s as usize],
+            self_ns: own[s as usize],
+        })
+        .collect()
+}
+
+/// Renders a [`summarize`] result as an aligned self-vs-total table.
+#[must_use]
+pub fn render_summary(aggs: &[SpanAgg]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>14} {:>14}\n",
+        "span", "count", "total ms", "self ms"
+    ));
+    for a in aggs {
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>14.3} {:>14.3}\n",
+            SPAN_NAMES[a.span as usize],
+            a.count,
+            a.total_ns as f64 / 1e6,
+            a.self_ns as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+/// Serializes an ordered event stream as Chrome `trace_event` JSON, one
+/// event object per line. The output is always balanced: ends without a
+/// live begin are dropped, and spans still open after the last event are
+/// closed at its timestamp. `dropped` is surfaced under `otherData`.
+#[must_use]
+pub fn to_chrome_json(events: &[TraceEvent], dropped: u64) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    let mut stack: Vec<Span> = Vec::new();
+    let mut last_ts = 0u64;
+    let emit = |span: Span, ph: char, ts_ns: u64| {
+        format!(
+            "{{\"name\":\"{}\",\"cat\":\"oarsmt\",\"ph\":\"{}\",\"ts\":{:.3},\"pid\":0,\"tid\":0}}",
+            SPAN_NAMES[span as usize],
+            ph,
+            ts_ns as f64 / 1e3
+        )
+    };
+    for ev in events {
+        last_ts = last_ts.max(ev.ts_ns);
+        match ev.kind {
+            TraceKind::Begin => {
+                stack.push(ev.span);
+                lines.push(emit(ev.span, 'B', ev.ts_ns));
+            }
+            TraceKind::End => {
+                if stack.last() == Some(&ev.span) {
+                    stack.pop();
+                    lines.push(emit(ev.span, 'E', ev.ts_ns));
+                }
+                // else: orphan end (begin overwritten) — skip.
+            }
+        }
+    }
+    while let Some(span) = stack.pop() {
+        lines.push(emit(span, 'E', last_ts));
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, line) in lines.iter().enumerate() {
+        out.push_str(line);
+        if i + 1 < lines.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"dropped_events\":{dropped}}}}}\n"
+    ));
+    out
+}
+
+/// Verification result of [`verify_chrome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Total `B`/`E` events seen.
+    pub events: usize,
+    /// Maximum nesting depth reached.
+    pub max_depth: usize,
+}
+
+/// Checks that `src` is a [`to_chrome_json`]-shaped export with strictly
+/// balanced begin/end events: every `E` closes the innermost open `B` of
+/// the same name and nothing stays open. This is the `oarsmt trace
+/// --verify` backend and the CI trace-export smoke.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending line.
+pub fn verify_chrome(src: &str) -> Result<TraceCheck, String> {
+    if !src.trim_start().starts_with("{\"traceEvents\":[") {
+        return Err("not a trace export: missing `traceEvents` header".to_string());
+    }
+    if !src.trim_end().ends_with('}') {
+        return Err("truncated trace export: missing closing brace".to_string());
+    }
+    let mut stack: Vec<String> = Vec::new();
+    let mut events = 0usize;
+    let mut max_depth = 0usize;
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(',');
+        let Some(ph) = crate::snapshot::json_str(line, "ph") else {
+            continue;
+        };
+        let lineno = i + 1;
+        let name = crate::snapshot::json_str(line, "name")
+            .ok_or_else(|| format!("line {lineno}: event without a `name`"))?;
+        if !line.contains("\"ts\":") {
+            return Err(format!("line {lineno}: event without a `ts`"));
+        }
+        events += 1;
+        match ph.as_str() {
+            "B" => {
+                stack.push(name);
+                max_depth = max_depth.max(stack.len());
+            }
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "line {lineno}: `E` for `{name}` while `{open}` is innermost"
+                    ));
+                }
+                None => return Err(format!("line {lineno}: `E` for `{name}` with no open span")),
+            },
+            other => return Err(format!("line {lineno}: unknown phase `{other}`")),
+        }
+    }
+    if let Some(open) = stack.last() {
+        return Err(format!("span `{open}` never closed"));
+    }
+    Ok(TraceCheck { events, max_depth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        let mut r = TraceRecorder::new();
+        r.begin(Span::RoutePrepare);
+        r.end(Span::RoutePrepare);
+        assert!(r.is_empty());
+        assert!(!r.is_enabled());
+        assert_eq!(r.capacity(), 0);
+        // Zero capacity keeps it disabled too.
+        r.enable(0);
+        assert!(!r.is_enabled());
+    }
+
+    #[test]
+    fn ring_keeps_the_newest_window() {
+        let mut r = TraceRecorder::with_capacity(4);
+        for k in 0..6u64 {
+            r.begin_at(Span::RouteDijkstra, k * 10);
+            r.end_at(Span::RouteDijkstra, k * 10 + 5);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 8);
+        let evs = r.events_in_order();
+        assert_eq!(evs.len(), 4);
+        // Oldest-first and strictly the last two pairs.
+        assert_eq!(evs[0].ts_ns, 40);
+        assert_eq!(evs[3].ts_ns, 55);
+        assert!(evs.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+
+    #[test]
+    fn nesting_depth_is_recorded() {
+        let mut r = TraceRecorder::with_capacity(16);
+        r.begin_at(Span::CriticRoute, 0);
+        r.begin_at(Span::RouteDijkstra, 10);
+        r.end_at(Span::RouteDijkstra, 20);
+        r.end_at(Span::CriticRoute, 30);
+        let evs = r.events_in_order();
+        assert_eq!(evs[0].depth, 0);
+        assert_eq!(evs[1].depth, 1);
+        assert_eq!(evs[2].depth, 1);
+        assert_eq!(evs[3].depth, 0);
+    }
+
+    #[test]
+    fn summarize_attributes_self_vs_child_time() {
+        let mut r = TraceRecorder::with_capacity(16);
+        r.begin_at(Span::CriticRoute, 0);
+        r.begin_at(Span::RouteDijkstra, 20);
+        r.end_at(Span::RouteDijkstra, 50);
+        r.begin_at(Span::RouteRetrace, 60);
+        r.end_at(Span::RouteRetrace, 90);
+        r.end_at(Span::CriticRoute, 100);
+        let aggs = summarize(&r.events_in_order());
+        let get = |s: Span| *aggs.iter().find(|a| a.span == s).unwrap();
+        assert_eq!(get(Span::CriticRoute).total_ns, 100);
+        assert_eq!(get(Span::CriticRoute).self_ns, 40); // 100 - 30 - 30
+        assert_eq!(get(Span::RouteDijkstra).total_ns, 30);
+        assert_eq!(get(Span::RouteDijkstra).self_ns, 30);
+        assert_eq!(get(Span::RouteRetrace).count, 1);
+    }
+
+    #[test]
+    fn chrome_export_is_balanced_even_when_truncated() {
+        let mut r = TraceRecorder::with_capacity(4);
+        // 3 nested pairs = 6 events through a 4-slot ring: the outer
+        // begins are overwritten, leaving orphan ends.
+        r.begin_at(Span::CriticRoute, 0);
+        r.begin_at(Span::RouteDijkstra, 10);
+        r.begin_at(Span::RouteRetrace, 20);
+        r.end_at(Span::RouteRetrace, 30);
+        r.end_at(Span::RouteDijkstra, 40);
+        r.end_at(Span::CriticRoute, 50);
+        assert_eq!(r.dropped(), 2);
+        let js = to_chrome_json(&r.events_in_order(), r.dropped());
+        let check = verify_chrome(&js).expect("truncated export must still balance");
+        assert_eq!(check.events, 2); // only the innermost pair survives whole
+        assert!(js.contains("\"dropped_events\":2"));
+    }
+
+    #[test]
+    fn chrome_export_closes_open_spans() {
+        let mut r = TraceRecorder::with_capacity(8);
+        r.begin_at(Span::BenchRung, 0);
+        r.begin_at(Span::CriticSelect, 10);
+        // never ended
+        let js = to_chrome_json(&r.events_in_order(), 0);
+        let check = verify_chrome(&js).unwrap();
+        assert_eq!(check.events, 4);
+        assert_eq!(check.max_depth, 2);
+    }
+
+    #[test]
+    fn verify_rejects_imbalance() {
+        let bad = "{\"traceEvents\":[\n\
+                   {\"name\":\"critic_route\",\"cat\":\"oarsmt\",\"ph\":\"B\",\"ts\":0.000,\"pid\":0,\"tid\":0}\n\
+                   ],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":0}}\n";
+        assert!(verify_chrome(bad).unwrap_err().contains("never closed"));
+        let crossed = "{\"traceEvents\":[\n\
+                       {\"name\":\"a\",\"ph\":\"B\",\"ts\":0},\n\
+                       {\"name\":\"b\",\"ph\":\"B\",\"ts\":1},\n\
+                       {\"name\":\"a\",\"ph\":\"E\",\"ts\":2},\n\
+                       {\"name\":\"b\",\"ph\":\"E\",\"ts\":3}\n\
+                       ],\"otherData\":{}}";
+        assert!(verify_chrome(crossed).unwrap_err().contains("innermost"));
+        assert!(verify_chrome("nonsense").is_err());
+    }
+
+    #[test]
+    fn live_begin_end_nest_and_balance() {
+        let mut r = TraceRecorder::with_capacity(64);
+        r.begin(Span::CriticRoute);
+        r.begin(Span::RouteDijkstra);
+        r.end(Span::RouteDijkstra);
+        r.end(Span::CriticRoute);
+        let js = to_chrome_json(&r.events_in_order(), r.dropped());
+        let check = verify_chrome(&js).unwrap();
+        assert_eq!(check.events, 4);
+        assert_eq!(check.max_depth, 2);
+        // Timestamps are monotone whether or not the clock is real.
+        let evs = r.events_in_order();
+        assert!(evs.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+    }
+}

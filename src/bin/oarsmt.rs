@@ -5,8 +5,14 @@
 //! oarsmt route FILE [--selector W]    route a case, print stats + ASCII art
 //! oarsmt compare FILE                 run all routers on a case
 //! oarsmt train OUT.bin [STAGES] [--threads N] [--simd]
+//!              [--trace FILE] [--run-id ID]
 //!                                     train a selector, save weights
+//! oarsmt trace CASE [--out FILE] [--cap N] [--repeat N]
+//! oarsmt trace --verify FILE          flight-record a route / check a trace
 //! oarsmt report FILE [FILE2]          render (or diff) telemetry snapshots
+//! oarsmt report RUNDIR [RUNDIR2]      render (or diff) run-metrics streams
+//! oarsmt report --check CUR BASE [--policy report.toml]
+//! oarsmt report --summary DIR [--out FILE]
 //! ```
 //!
 //! Case files use the text format of [`oarsmt_geom::io`]. `train`
@@ -16,9 +22,19 @@
 //! every thread count. `--simd` opts the fit loop into the AVX2+FMA GEMM
 //! kernels (build with `--features simd`; see DESIGN.md §9 — weights stay
 //! deterministic for a fixed policy but are not bit-identical to scalar).
+//!
+//! Observability (DESIGN.md §14): `--trace` exports a Chrome
+//! `trace_event` JSON viewable in `chrome://tracing` / Perfetto
+//! (timestamps are real only when built with `--features
+//! telemetry-timing`; without it the event *sequence* still records).
+//! `--run-id ID` streams per-stage metrics into `runs/ID/metrics.jsonl`.
+//! `report --check` is the CI regression gate: deterministic counters must
+//! be bit-identical to the baseline and wall-clock metrics within the
+//! policy's bands; violations print as a table and exit nonzero.
 
 #![forbid(unsafe_code)]
 
+use std::path::Path;
 use std::process::ExitCode;
 
 use oarsmt::rl_router::RlRouter;
@@ -29,6 +45,8 @@ use oarsmt_geom::HananGraph;
 use oarsmt_nn::unet::UNetConfig;
 use oarsmt_router::segments::{render_layer, RouteGeometry};
 use oarsmt_router::{Lin18Router, Liu14Router, SpanningRouter};
+use oarsmt_telemetry::runlog::{RunLog, RunLogger, StageStats};
+use oarsmt_telemetry::{tracing, Span};
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,10 +62,11 @@ fn main() -> ExitCode {
         Some("route") => cmd_route(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("train") => cmd_train(&args[1..], threads_flag),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
         _ => {
             eprintln!(
-                "usage:\n  oarsmt gen H V M PINS SEED [FILE]\n  oarsmt route FILE [--selector WEIGHTS.bin]\n  oarsmt compare FILE\n  oarsmt train OUT.bin [STAGES] [--threads N] [--simd]\n  oarsmt report FILE [FILE2]\n\nreport renders the telemetry snapshot embedded in a BENCH_*.json artifact\n(or a raw .jsonl snapshot); with two files it prints a counter/span diff.\nOARSMT_THREADS=N sets the default worker count."
+                "usage:\n  oarsmt gen H V M PINS SEED [FILE]\n  oarsmt route FILE [--selector WEIGHTS.bin]\n  oarsmt compare FILE\n  oarsmt train OUT.bin [STAGES] [--threads N] [--simd] [--trace FILE] [--run-id ID]\n  oarsmt trace CASE [--out FILE] [--cap N] [--repeat N]\n  oarsmt trace --verify FILE\n  oarsmt report FILE-or-RUNDIR [FILE2-or-RUNDIR2]\n  oarsmt report --check CURRENT BASELINE [--policy report.toml]\n  oarsmt report --summary DIR [--out FILE]\n\nreport renders the telemetry snapshot embedded in a BENCH_*.json artifact\n(or a raw .jsonl snapshot, or a runs/<id> directory); with two arguments\nit prints a diff. --check exits nonzero when counters drift or wall-clock\nleaves the policy band. trace exports Chrome trace_event JSON\n(chrome://tracing; real timestamps need --features telemetry-timing).\nOARSMT_THREADS=N sets the default worker count."
             );
             return ExitCode::from(2);
         }
@@ -62,6 +81,18 @@ fn main() -> ExitCode {
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Removes `--flag VALUE` from `args`, returning the value when present.
+fn take_value_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{flag} expects a value"));
+    }
+    args.remove(i);
+    Ok(Some(args.remove(i)))
+}
 
 fn load_case(path: &str) -> Result<HananGraph, Box<dyn std::error::Error>> {
     let text = std::fs::read_to_string(path)?;
@@ -147,10 +178,14 @@ fn cmd_compare(args: &[String]) -> CliResult {
 }
 
 fn cmd_train(args: &[String], threads_flag: Option<usize>) -> CliResult {
-    let out = args.first().ok_or("train expects an output path")?;
+    let mut args = args.to_vec();
+    let trace_path = take_value_flag(&mut args, "--trace")?;
+    let run_id = take_value_flag(&mut args, "--run-id")?;
+    let simd = args.iter().any(|a| a == "--simd");
+    args.retain(|a| a != "--simd");
+    let out = args.first().ok_or("train expects an output path")?.clone();
     let stages: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(6);
     let threads = oarsmt::parallel::thread_count(threads_flag);
-    let simd = args.iter().any(|a| a == "--simd");
     eprintln!("[train] generating samples on {threads} worker(s)");
     if simd {
         if oarsmt_nn::simd_available() {
@@ -177,16 +212,193 @@ fn cmd_train(args: &[String], threads_flag: Option<usize>) -> CliResult {
     if simd {
         trainer.set_kernel_policy(oarsmt_nn::KernelPolicy::Simd);
     }
-    for report in trainer.run(&mut selector)? {
-        println!("{report}");
+
+    let manifest = oarsmt_telemetry::Manifest {
+        run: "train".to_string(),
+        mode: if simd { "simd" } else { "scalar" }.to_string(),
+        threads,
+        seed: 1,
+        timing: oarsmt_telemetry::TIMING_ENABLED,
+    };
+    let mut logger = match &run_id {
+        Some(id) => {
+            let mut l = RunLogger::create(Path::new("runs"), id)?;
+            l.log_manifest(&manifest)?;
+            Some(l)
+        }
+        None => None,
+    };
+    // The train trace is reconstructed from the per-stage wall-clock the
+    // trainer already reports (via `begin_at`/`end_at`), so it works in
+    // every build; stage boundaries are exact, sub-stage detail is not
+    // recorded here.
+    let mut rec = oarsmt_telemetry::TraceRecorder::new();
+    if trace_path.is_some() {
+        rec.enable(16 + stages * 8);
     }
-    selector.save(out)?;
+    let mut prev = trainer.counters();
+    let mut t_ns: u64 = 0;
+    for stage in 0..stages {
+        let report = trainer.run_stage(&mut selector, stage)?;
+        println!("{report}");
+        let total = trainer.counters();
+        let delta = total.delta_since(&prev);
+        prev = total;
+        let gen_ns = report.sample_gen_time.as_nanos() as u64;
+        let fit_ns = report.train_time.as_nanos() as u64;
+        rec.begin_at(Span::TrainStage, t_ns);
+        rec.begin_at(Span::TrainGen, t_ns);
+        rec.end_at(Span::TrainGen, t_ns + gen_ns);
+        rec.begin_at(Span::TrainFit, t_ns + gen_ns);
+        rec.end_at(Span::TrainFit, t_ns + gen_ns + fit_ns);
+        rec.end_at(Span::TrainStage, t_ns + gen_ns + fit_ns);
+        t_ns += gen_ns + fit_ns;
+        if let Some(l) = logger.as_mut() {
+            l.log_stage(
+                &StageStats {
+                    stage,
+                    samples: report.samples,
+                    loss: f64::from(report.avg_loss),
+                    mcts_cost_ratio: report.mcts_cost_ratio,
+                    gen_secs: report.sample_gen_time.as_secs_f64(),
+                    fit_secs: report.train_time.as_secs_f64(),
+                },
+                &delta,
+                &[(Span::TrainGen, gen_ns), (Span::TrainFit, fit_ns)],
+            )?;
+        }
+    }
+    if let Some(path) = &trace_path {
+        let events = rec.events_in_order();
+        std::fs::write(path, tracing::to_chrome_json(&events, rec.dropped()))?;
+        eprintln!("[train] trace ({} events) written to {path}", events.len());
+    }
+    if let Some(l) = &logger {
+        eprintln!("[train] metrics in {}", l.dir().display());
+    }
+    selector.save(&out)?;
     println!("weights saved to {out}");
     Ok(())
 }
 
+fn cmd_trace(args: &[String]) -> CliResult {
+    let mut args = args.to_vec();
+    if let Some(i) = args.iter().position(|a| a == "--verify") {
+        let path = args
+            .get(i + 1)
+            .ok_or("trace --verify expects a trace file")?;
+        let text = std::fs::read_to_string(path)?;
+        let check = tracing::verify_chrome(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: OK ({} events, max depth {})",
+            check.events, check.max_depth
+        );
+        return Ok(());
+    }
+    let out = take_value_flag(&mut args, "--out")?;
+    let cap: usize = match take_value_flag(&mut args, "--cap")? {
+        Some(v) => v.parse().map_err(|_| format!("bad --cap `{v}`"))?,
+        None => 65_536,
+    };
+    let repeat: usize = match take_value_flag(&mut args, "--repeat")? {
+        Some(v) => v.parse().map_err(|_| format!("bad --repeat `{v}`"))?,
+        None => 3,
+    };
+    let path = args.first().ok_or("trace expects a case file")?;
+    let graph = load_case(path)?;
+
+    if !oarsmt_telemetry::TIMING_ENABLED {
+        eprintln!(
+            "[trace] built without `telemetry-timing`: event sequence is \
+             recorded but every timestamp is zero"
+        );
+    }
+    let router = oarsmt_router::OarmstRouter::new();
+    let mut ctx = oarsmt_router::RouteContext::new();
+    ctx.trace.enable(cap);
+    for _ in 0..repeat.max(1) {
+        let tree = router.route_in(&mut ctx, &graph, &[])?;
+        ctx.recycle_tree(tree);
+    }
+    let events = ctx.trace.events_in_order();
+    print!("{}", tracing::render_summary(&tracing::summarize(&events)));
+    if ctx.trace.dropped() > 0 {
+        println!(
+            "({} older events dropped; raise --cap to keep them)",
+            ctx.trace.dropped()
+        );
+    }
+    if let Some(out) = out {
+        let json = tracing::to_chrome_json(&events, ctx.trace.dropped());
+        tracing::verify_chrome(&json).map_err(|e| format!("internal: {e}"))?;
+        std::fs::write(&out, json)?;
+        println!("trace ({} events) written to {out}", events.len());
+    }
+    Ok(())
+}
+
 fn cmd_report(args: &[String]) -> CliResult {
+    let mut args = args.to_vec();
+
+    if let Some(i) = args.iter().position(|a| a == "--summary") {
+        args.remove(i);
+        let out = take_value_flag(&mut args, "--out")?;
+        let dir = args.first().ok_or("report --summary expects a directory")?;
+        let text = oarsmt_telemetry::check::summary(Path::new(dir))?;
+        match out {
+            Some(path) => {
+                std::fs::write(&path, &text)?;
+                eprintln!("summary written to {path}");
+            }
+            None => print!("{text}"),
+        }
+        return Ok(());
+    }
+
+    if let Some(i) = args.iter().position(|a| a == "--check") {
+        args.remove(i);
+        let policy = match take_value_flag(&mut args, "--policy")? {
+            Some(path) => oarsmt_telemetry::Policy::parse(&std::fs::read_to_string(&path)?)
+                .map_err(|e| format!("{path}: {e}"))?,
+            None => oarsmt_telemetry::Policy::default(),
+        };
+        let [cur, base] = &args[..] else {
+            return Err("report --check expects: CURRENT BASELINE [--policy FILE]".into());
+        };
+        let report = oarsmt_telemetry::check::check(
+            &std::fs::read_to_string(cur).map_err(|e| format!("{cur}: {e}"))?,
+            &std::fs::read_to_string(base).map_err(|e| format!("{base}: {e}"))?,
+            &policy,
+        )?;
+        if report.ok() {
+            println!(
+                "check OK: {} counters bit-identical, {} wall-clock metrics in band",
+                report.counters_checked, report.metrics_checked
+            );
+            return Ok(());
+        }
+        print!("{}", oarsmt_telemetry::check::render_check(&report));
+        return Err(format!(
+            "regression check failed ({} violations)",
+            report.violations.len()
+        )
+        .into());
+    }
+
     let first = args.first().ok_or("report expects: FILE [FILE2]")?;
+    // A run directory (runs/<id>) renders/diffs its metrics stream; a file
+    // renders/diffs the embedded telemetry snapshot.
+    if Path::new(first).is_dir() {
+        let a = RunLog::load(Path::new(first))?;
+        match args.get(1) {
+            Some(second) => {
+                let b = RunLog::load(Path::new(second))?;
+                print!("{}", oarsmt_telemetry::runlog::diff(&a, &b));
+            }
+            None => print!("{}", oarsmt_telemetry::runlog::render(&a)),
+        }
+        return Ok(());
+    }
     let load =
         |path: &str| -> Result<oarsmt_telemetry::TelemetrySnapshot, Box<dyn std::error::Error>> {
             let text = std::fs::read_to_string(path)?;

@@ -103,8 +103,10 @@ fn mcts_labels_are_bit_identical_across_thread_counts() {
 
 /// Runs the golden searches of the label test above with per-job counter
 /// deltas (the same capture/fold pattern the sample-generation engine
-/// uses) and returns the folded totals.
-fn search_counters(threads: usize) -> CounterSet {
+/// uses) and returns the folded totals plus the number of trace events the
+/// workers recorded. `trace_cap > 0` arms the flight recorder on every
+/// worker context before the searches run.
+fn search_counters_traced(threads: usize, trace_cap: usize) -> (CounterSet, u64) {
     let config = MctsConfig {
         base_iterations: 8,
         base_size: 25,
@@ -114,21 +116,34 @@ fn search_counters(threads: usize) -> CounterSet {
         6,
         99,
         threads,
-        || (RouteContext::new(), small_selector(7)),
+        || {
+            let mut ctx = RouteContext::new();
+            if trace_cap > 0 {
+                ctx.trace.enable(trace_cap);
+            }
+            (ctx, small_selector(7))
+        },
         |state, _i, seed| {
             let (ctx, sel) = state;
             let graph = layout(seed);
             let mcts = CombinatorialMcts::new(config.clone());
             let before = ctx.counters_total();
             let _ = mcts.search_in(ctx, &graph, sel);
-            ctx.counters_total().delta_since(&before)
+            let events = ctx.trace.len() as u64 + ctx.trace.dropped();
+            (ctx.counters_total().delta_since(&before), events)
         },
     );
     let mut total = CounterSet::new();
-    for delta in &deltas {
+    let mut events = 0;
+    for (delta, n) in &deltas {
         total.merge_from(delta);
+        events = events.max(*n);
     }
-    total
+    (total, events)
+}
+
+fn search_counters(threads: usize) -> CounterSet {
+    search_counters_traced(threads, 0).0
 }
 
 #[test]
@@ -150,6 +165,27 @@ fn search_counter_totals_are_bit_identical_across_thread_counts() {
     four.fold_pool_splits();
     assert_eq!(one, four, "counter totals depend on the worker partition");
     assert!(!one.is_zero(), "golden searches must count real work");
+}
+
+/// The flight recorder is a pure observer: arming it on every worker
+/// context changes no deterministic counter, and the folded totals stay
+/// bit-identical between `--threads 1` and `--threads 4` with tracing on.
+#[test]
+fn counter_totals_survive_an_active_trace_recorder() {
+    let (mut plain, no_events) = search_counters_traced(1, 0);
+    let (mut traced_1, events_1) = search_counters_traced(1, 4096);
+    let (mut traced_4, events_4) = search_counters_traced(4, 4096);
+    assert_eq!(no_events, 0, "a disabled recorder must record nothing");
+    assert!(events_1 > 0, "an armed recorder must capture route spans");
+    assert!(events_4 > 0, "an armed recorder must capture route spans");
+    plain.fold_pool_splits();
+    traced_1.fold_pool_splits();
+    traced_4.fold_pool_splits();
+    assert_eq!(plain, traced_1, "tracing perturbed the counters");
+    assert_eq!(
+        traced_1, traced_4,
+        "traced counter totals depend on thread count"
+    );
 }
 
 #[test]
